@@ -1,0 +1,66 @@
+"""Ablation — EP dispatch mode (A2A vs AG/RS vs adaptive) at the
+system level, extending Fig. 7.
+
+For each Table 2 model, compares the full per-layer forward makespan
+under the three dispatch configurations.  The adaptive mode must always
+match the better of the two forced modes — the §3.2 design goal of
+"ensuring communication overhead stays lower than tensor parallelism"
+for any top-k.
+"""
+
+import pytest
+
+from conftest import report
+from repro.core.config import GPU_SPECS, MODEL_ZOO, ParallelConfig
+from repro.core.operators import build_forward_graph
+from repro.core.schedule import HolisticScheduler, OverlapConfig
+from repro.perf.estimator import KernelModel
+from repro.sim.engine import simulate
+
+GPU = GPU_SPECS["h800"]
+MODELS = ["internal-352b", "mixtral-8x7b", "mixtral-8x22b",
+          "hunyuan-large", "phi-3.5-moe", "deepseekmoe"]
+
+
+def layer_makespan(model, mode):
+    pc = ParallelConfig.megascale(8, ep_dispatch=mode)
+    graph = build_forward_graph(model, pc, 1)
+    km = KernelModel(GPU)
+    scheduler = HolisticScheduler(OverlapConfig.none())  # expose comm
+    return simulate(scheduler.schedule(graph, km.durations(graph))) \
+        .makespan
+
+
+def run_ablation():
+    rows = []
+    for name in MODELS:
+        model = MODEL_ZOO[name]
+        times = {mode: layer_makespan(model, mode)
+                 for mode in ("a2a", "ag_rs", "adaptive")}
+        rows.append({"model": name, "top_k": model.top_k, **times})
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation-dispatch")
+def test_ablation_dispatch_modes(benchmark):
+    rows = benchmark(run_ablation)
+    report(
+        "Ablation: EP dispatch mode, per-layer fwd makespan (ms, no "
+        "overlap)",
+        ["model", "top-k", "A2A", "AG/RS", "adaptive", "adaptive picks"],
+        [[r["model"], r["top_k"], r["a2a"] * 1e3, r["ag_rs"] * 1e3,
+          r["adaptive"] * 1e3,
+          "AG/RS" if abs(r["adaptive"] - r["ag_rs"]) < 1e-12 else "A2A"]
+         for r in rows],
+        notes="adaptive must equal min(A2A, AG/RS) for every model",
+    )
+
+    for r in rows:
+        best = min(r["a2a"], r["ag_rs"])
+        assert r["adaptive"] == pytest.approx(best, rel=1e-6), r["model"]
+    # Small top-k models prefer A2A; the top-6 model prefers AG/RS.
+    by_model = {r["model"]: r for r in rows}
+    assert by_model["mixtral-8x7b"]["a2a"] < \
+        by_model["mixtral-8x7b"]["ag_rs"]
+    assert by_model["deepseekmoe"]["ag_rs"] < \
+        by_model["deepseekmoe"]["a2a"]

@@ -1,0 +1,75 @@
+"""Ablation — SM allocation for fused A2A kernels (§4.2).
+
+"We allocate a small number of SMs for communication ... The number of
+SMs for communication is tuned to make communication and computation
+exhibit similar latency."  This bench sweeps the allocation for the
+fused QKV+A2A and GroupedGEMM+A2A kernels of Mixtral-8×7B and locates
+the optimum, verifying the paper's two claims: the optimum is a small
+fraction of the device, and it is (near-)latency-balanced.
+"""
+
+import pytest
+
+from conftest import report
+from repro.core.config import GPU_SPECS, MODEL_ZOO, ParallelConfig
+from repro.core.operators import build_forward_graph
+from repro.perf.sm_allocation import (
+    SM_COMM_SATURATION_FRACTION,
+    fused_kernel_time,
+    optimal_sm_fraction,
+)
+
+GPU = GPU_SPECS["h800"]
+MODEL = MODEL_ZOO["mixtral-8x7b"]
+SWEEP = [0.02, 0.05, 0.08, 0.10, 0.15, 0.25, 0.40]
+
+
+def kernel_pairs():
+    graph = build_forward_graph(
+        MODEL, ParallelConfig.megascale(8, ep_dispatch="a2a"), 1)
+    return {
+        "QKV+A2A": (graph["qkv_a2a"].comm_bytes,
+                    graph["qkv_proj"].flops),
+        "GroupedGEMM+A2A": (graph["combine_a2a"].comm_bytes,
+                            graph["fc2"].flops),
+    }
+
+
+def run_sweep():
+    rows = []
+    optima = {}
+    for label, (comm_bytes, flops) in kernel_pairs().items():
+        for f in SWEEP:
+            alloc = fused_kernel_time(comm_bytes, flops, GPU, f)
+            rows.append([label, f, alloc.compute_time * 1e6,
+                         alloc.comm_time * 1e6,
+                         alloc.duration * 1e6])
+        optima[label] = optimal_sm_fraction(comm_bytes, flops, GPU)
+    return rows, optima
+
+
+@pytest.mark.benchmark(group="ablation-sm")
+def test_ablation_sm_allocation(benchmark):
+    rows, optima = benchmark(run_sweep)
+    report(
+        "Ablation: SM allocation for fused A2A kernels (us)",
+        ["kernel", "SM fraction", "compute", "comm", "fused duration"],
+        rows,
+        notes="; ".join(
+            f"{label}: optimum f={alloc.sm_fraction:.3f} "
+            f"({alloc.duration * 1e6:.0f} us)"
+            for label, alloc in optima.items()),
+    )
+
+    for label, alloc in optima.items():
+        # 'A small number of SMs' — at most the saturation fraction.
+        assert alloc.sm_fraction <= SM_COMM_SATURATION_FRACTION + 1e-9
+        # The optimum beats every swept point.
+        for f in SWEEP:
+            comm_bytes, flops = kernel_pairs()[label]
+            candidate = fused_kernel_time(comm_bytes, flops, GPU, f)
+            assert alloc.duration <= candidate.duration * (1 + 1e-9)
+        # Balanced (or comm-saturated) at the optimum — §4.2's rule.
+        if alloc.sm_fraction < SM_COMM_SATURATION_FRACTION - 1e-9:
+            assert alloc.compute_time == pytest.approx(
+                alloc.comm_time, rel=1e-6)

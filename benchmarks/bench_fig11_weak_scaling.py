@@ -1,0 +1,65 @@
+"""Figure 11 — weak-scaling training performance of the 352B MoE model.
+
+Paper setup: global batch scaled 360→1,080 with GPUs 480→1,440.  Paper
+result: MegaScale-MoE sustains 1.74–1.79× Megatron-LM's throughput with
+near-linear scaling, while Megatron-LM's per-GPU throughput sags ~2.7%
+from growing communication.
+"""
+
+import pytest
+
+from conftest import report
+from repro.core.config import GPU_SPECS, MODEL_ZOO, ParallelConfig, \
+    TrainConfig
+from repro.perf.systems import MegaScalePerfModel, MegatronPerfModel
+
+MODEL = MODEL_ZOO["internal-352b"]
+GPU = GPU_SPECS["h800"]
+POINTS = [(480, 360), (720, 540), (960, 720), (1200, 900), (1440, 1080)]
+
+
+def run_fig11():
+    rows = []
+    for n_gpus, gbs in POINTS:
+        dp = n_gpus // 120
+        train = TrainConfig(global_batch_size=gbs)
+        ms = MegaScalePerfModel().iteration(
+            MODEL, ParallelConfig.megascale(8, 15, dp), train, GPU)
+        mg = MegatronPerfModel().iteration(
+            MODEL, ParallelConfig.megatron(8, 15, dp), train, GPU)
+        rows.append({
+            "n_gpus": n_gpus,
+            "gbs": gbs,
+            "ms_tput": ms.tokens_per_second,
+            "mg_tput": mg.tokens_per_second,
+            "speedup": mg.iteration_time / ms.iteration_time,
+        })
+    return rows
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_weak_scaling(benchmark):
+    rows = benchmark(run_fig11)
+    base = rows[0]
+    report(
+        "Fig. 11: weak scaling, 352B on H800",
+        ["GPUs", "global batch", "Megatron tok/s", "MegaScale tok/s",
+         "speedup", "MegaScale per-GPU vs 480"],
+        [[r["n_gpus"], r["gbs"],
+          f"{r['mg_tput'] / 1e3:.0f}k", f"{r['ms_tput'] / 1e3:.0f}k",
+          f"{r['speedup']:.2f}x",
+          f"{(r['ms_tput'] / r['n_gpus']) / (base['ms_tput'] / base['n_gpus']) * 100:.1f}%"]
+         for r in rows],
+        notes="paper: 1.74-1.79x speedup, near-linear MegaScale scaling",
+    )
+
+    for r in rows:
+        assert 1.55 < r["speedup"] < 2.0
+    # Near-linear: per-GPU throughput within 2% of the 480-GPU point.
+    for r in rows[1:]:
+        per_gpu = r["ms_tput"] / r["n_gpus"]
+        base_per_gpu = base["ms_tput"] / base["n_gpus"]
+        assert abs(per_gpu / base_per_gpu - 1) < 0.02
+    # Throughput triples from 480→1,440 GPUs.
+    assert rows[-1]["ms_tput"] / rows[0]["ms_tput"] == \
+        pytest.approx(3.0, rel=0.05)

@@ -1,0 +1,66 @@
+"""Figure 1 — evolution of NVIDIA GPUs: compute outpaces interconnect.
+
+The paper's motivating figure: across GPU generations, dense compute
+throughput grows much faster than NVLink bandwidth, so the FLOPs
+available per communicated byte keeps rising — which is why
+communication became the MoE-training bottleneck (§1).  This bench
+derives the ratio from the Table 4 specs and connects it to the exposed
+communication the full system model predicts per generation.
+"""
+
+import pytest
+
+from conftest import report
+from repro.core.config import GPU_SPECS, MODEL_ZOO, ParallelConfig, \
+    TrainConfig
+from repro.perf.systems import MegatronPerfModel
+
+GENERATIONS = ["v100", "a100", "h100", "h800"]
+MODEL = MODEL_ZOO["mixtral-8x7b"]
+
+
+def run_fig1():
+    rows = []
+    base = GPU_SPECS["v100"]
+    for name in GENERATIONS:
+        gpu = GPU_SPECS[name]
+        breakdown = MegatronPerfModel(full_recompute=False).iteration(
+            MODEL, ParallelConfig.megatron(8, 1, 4),
+            TrainConfig(global_batch_size=32), gpu)
+        rows.append({
+            "gpu": name,
+            "tflops": gpu.peak_flops / 1e12,
+            "nvlink": gpu.nvlink_bandwidth / 1e9,
+            "ratio": gpu.flops_per_byte_nvlink,
+            "ratio_growth": gpu.flops_per_byte_nvlink
+            / base.flops_per_byte_nvlink,
+            "exposed": breakdown.fraction("exposed_comm_time"),
+        })
+    return rows
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_gpu_evolution(benchmark):
+    rows = benchmark(run_fig1)
+    report(
+        "Fig. 1: GPU evolution — compute vs NVLink",
+        ["GPU", "BF16 TFLOPS", "NVLink GB/s", "FLOPs/NVLink byte",
+         "vs V100", "Megatron exposed comm"],
+        [[r["gpu"], r["tflops"], r["nvlink"], f"{r['ratio']:.0f}",
+          f"{r['ratio_growth']:.1f}x", f"{r['exposed'] * 100:.0f}%"]
+         for r in rows],
+        notes="compute/bandwidth ratio grows ~6x from V100 to H800 — "
+              "why communication became the bottleneck (§1)",
+    )
+
+    ratios = {r["gpu"]: r["ratio"] for r in rows}
+    # The compute/interconnect ratio grows monotonically through the
+    # export-constrained H800, which pairs Hopper compute with reduced
+    # NVLink.
+    assert ratios["v100"] < ratios["a100"] < ratios["h100"] < \
+        ratios["h800"]
+    assert ratios["h800"] / ratios["v100"] > 4.0
+    # And exposed communication under the no-overlap baseline grows
+    # with the ratio (same parallelism, same model).
+    exposed = {r["gpu"]: r["exposed"] for r in rows}
+    assert exposed["h800"] > exposed["a100"] > 0.0

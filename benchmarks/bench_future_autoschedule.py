@@ -1,0 +1,71 @@
+"""Future work (§7) — automatic operator scheduling vs the hand-tailored
+holistic schedule.
+
+The paper: "we seek to automate operator scheduling within the search
+space ... We leave automatic optimization for future work."  This bench
+runs the randomized-local-search scheduler against the holistic baseline
+on every strategy's forward and backward graphs and reports how much (if
+anything) automation recovers — quantifying how close the hand schedule
+already is to the searchable optimum.
+"""
+
+import pytest
+
+from conftest import report
+from repro.core.autoschedule import AutoScheduler
+from repro.core.config import GPU_SPECS, MODEL_ZOO, ParallelConfig
+from repro.core.operators import build_backward_graph, build_forward_graph
+from repro.core.schedule import OverlapConfig
+from repro.perf.estimator import KernelModel
+
+GPU = GPU_SPECS["h800"]
+MODEL = MODEL_ZOO["mixtral-8x7b"]
+CASES = [
+    ("SP+EP fwd", ParallelConfig.megascale(8), "fwd"),
+    ("SP+EP bwd", ParallelConfig.megascale(8), "bwd"),
+    ("SP+EP(agrs) bwd", ParallelConfig.megascale(8, ep_dispatch="ag_rs"),
+     "bwd"),
+    ("TP+TP bwd", ParallelConfig.megatron(8), "bwd"),
+]
+
+
+def run_search():
+    km = KernelModel(GPU)
+    rows = []
+    for label, parallel, which in CASES:
+        if which == "fwd":
+            graph = build_forward_graph(MODEL, parallel, 1)
+        else:
+            graph = build_backward_graph(MODEL, parallel, 1,
+                                         selective_remat=True)
+        result = AutoScheduler(
+            overlap=OverlapConfig.full(), budget=120, seed=0
+        ).optimize(graph, km.durations(graph))
+        rows.append({
+            "case": label,
+            "holistic_ms": result.baseline_makespan * 1e3,
+            "auto_ms": result.makespan * 1e3,
+            "gain": result.gain,
+            "evals": result.evaluations,
+        })
+    return rows
+
+
+@pytest.mark.benchmark(group="future-autoschedule")
+def test_future_autoschedule(benchmark):
+    rows = benchmark.pedantic(run_search, rounds=1, iterations=1)
+    report(
+        "Future work: automatic vs holistic operator scheduling",
+        ["graph", "holistic (ms)", "auto (ms)", "gain", "evaluations"],
+        [[r["case"], r["holistic_ms"], r["auto_ms"],
+          f"{r['gain'] * 100:.2f}%", r["evals"]] for r in rows],
+        notes="search never regresses; small gains mean the hand "
+              "schedule is already near the searchable optimum (§7)",
+    )
+
+    for r in rows:
+        # Never worse than the hand-tailored schedule...
+        assert r["auto_ms"] <= r["holistic_ms"] + 1e-9, r["case"]
+        # ...and the holistic schedule is within 10% of anything the
+        # search finds — the paper's engineering effort, validated.
+        assert r["gain"] < 0.10, r["case"]

@@ -1,0 +1,80 @@
+"""§7 "Scale up" — communication vs model-parallel degree.
+
+"While increased TP reduces per-GPU computation, the communication
+overhead remains constant ... leading to progressively longer
+communication times ... In contrast, when scaling training with SP and
+EP, the communication volume decreases as the parallel size n
+increases."  This bench sweeps n and reports, per layer and per rank,
+the communication volume and the no-overlap time share for TP+TP versus
+SP+EP — making TP's scalability wall concrete.
+"""
+
+import pytest
+
+from conftest import report
+from repro.core.config import GPU_SPECS, MODEL_ZOO, ParallelConfig
+from repro.core.operators import build_forward_graph
+from repro.perf.estimator import KernelModel
+
+GPU = GPU_SPECS["h800"]
+MODEL = MODEL_ZOO["mixtral-8x7b"]
+SIZES = [2, 4, 8, 16, 32]
+
+
+def per_layer(n, attention, ffn):
+    pc = ParallelConfig(n, attention, ffn)
+    graph = build_forward_graph(MODEL, pc, 1)
+    km = KernelModel(GPU)
+    durations = km.durations(graph)
+    comm_bytes = sum(op.comm_bytes for op in graph.comm_ops())
+    comm_time = sum(durations[op.name] for op in graph.comm_ops())
+    compute_time = sum(durations[op.name]
+                       for op in graph.compute_ops())
+    return comm_bytes, comm_time, compute_time
+
+
+def run_sweep():
+    rows = []
+    for n in SIZES:
+        tp_bytes, tp_comm, tp_comp = per_layer(n, "tp", "tp")
+        ms_bytes, ms_comm, ms_comp = per_layer(n, "sp", "ep")
+        rows.append({
+            "n": n,
+            "tp_mb": tp_bytes / 1e6,
+            "ms_mb": ms_bytes / 1e6,
+            "tp_comm_share": tp_comm / (tp_comm + tp_comp),
+            "ms_comm_share": ms_comm / (ms_comm + ms_comp),
+        })
+    return rows
+
+
+@pytest.mark.benchmark(group="scaleup-n")
+def test_scaleup_parallel_size(benchmark):
+    rows = benchmark(run_sweep)
+    report(
+        "§7: per-rank per-layer communication vs model-parallel size n",
+        ["n", "TP+TP MB", "SP+EP MB", "TP comm share (no overlap)",
+         "SP+EP comm share"],
+        [[r["n"], r["tp_mb"], r["ms_mb"],
+          f"{r['tp_comm_share'] * 100:.0f}%",
+          f"{r['ms_comm_share'] * 100:.0f}%"] for r in rows],
+        notes="TP volume ~constant in n while compute shrinks 1/n -> "
+              "its comm share explodes; SP+EP volume falls with n",
+    )
+
+    tp_bytes = [r["tp_mb"] for r in rows]
+    ms_bytes = [r["ms_mb"] for r in rows]
+    # TP volume is ~constant in n (the (n-1)/n factor saturates)...
+    assert tp_bytes[-1] / tp_bytes[0] < 2.0
+    assert tp_bytes[-1] / tp_bytes[0] > 1.0
+    # ...while SP+EP volume strictly decreases.
+    assert all(a > b for a, b in zip(ms_bytes, ms_bytes[1:]))
+    # TP's communication share grows monotonically toward domination;
+    # the paper observed >50% when pushing TP across nodes.
+    tp_share = [r["tp_comm_share"] for r in rows]
+    assert all(a < b for a, b in zip(tp_share, tp_share[1:]))
+    assert tp_share[-1] > 0.5
+    # SP+EP's share stays bounded as n grows.
+    ms_share = [r["ms_comm_share"] for r in rows]
+    assert ms_share[-1] < ms_share[0] * 2.5
+    assert ms_share[-1] < 0.5

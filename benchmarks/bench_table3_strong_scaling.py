@@ -1,0 +1,91 @@
+"""Table 3 — strong-scaling training performance of the 352B MoE model.
+
+Paper setup: Internal-352B on 240–1,440 H800 GPUs, global batch fixed at
+720 sequences of 8,192 tokens, PP=15, intra-node degree 8 (TP for
+Megatron-LM, SP=EP for MegaScale-MoE).  Paper results: MegaScale-MoE is
+1.65–1.88× faster, reaching 1.41M tokens/s on 1,440 GPUs with MFU
+declining from 32.5% to 27.9% as bubbles grow.
+"""
+
+import pytest
+
+from conftest import report
+from repro.core.config import GPU_SPECS, MODEL_ZOO, ParallelConfig, \
+    TrainConfig
+from repro.perf.mfu import days_for_tokens
+from repro.perf.systems import MegaScalePerfModel, MegatronPerfModel
+
+MODEL = MODEL_ZOO["internal-352b"]
+GPU = GPU_SPECS["h800"]
+PAPER = {
+    240: (39.94, 151.1e3, 21.61, 272.9e3),
+    480: (19.56, 301.1e3, 11.83, 498.6e3),
+    720: (13.70, 430.5e3, 7.97, 740.1e3),
+    960: (10.82, 550.2e3, 6.12, 963.8e3),
+    1440: (7.90, 746.6e3, 4.19, 1407.7e3),
+}
+
+
+def run_table3():
+    rows = []
+    train = TrainConfig(global_batch_size=720)
+    for n_gpus, paper in PAPER.items():
+        dp = n_gpus // 120
+        ms = MegaScalePerfModel().iteration(
+            MODEL, ParallelConfig.megascale(8, 15, dp), train, GPU)
+        mg = MegatronPerfModel().iteration(
+            MODEL, ParallelConfig.megatron(8, 15, dp), train, GPU)
+        rows.append({
+            "n_gpus": n_gpus,
+            "mg_iter": mg.iteration_time,
+            "ms_iter": ms.iteration_time,
+            "mg_tput": mg.tokens_per_second,
+            "ms_tput": ms.tokens_per_second,
+            "speedup": mg.iteration_time / ms.iteration_time,
+            "ms_mfu": ms.mfu(MODEL, GPU),
+            "ms_days": days_for_tokens(ms.tokens_per_second),
+            "paper": paper,
+        })
+    return rows
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_strong_scaling(benchmark):
+    rows = benchmark(run_table3)
+
+    table = []
+    for r in rows:
+        mg_p_iter, mg_p_tput, ms_p_iter, ms_p_tput = r["paper"]
+        table.append([
+            r["n_gpus"],
+            f"{r['mg_iter']:.2f}/{mg_p_iter:.2f}",
+            f"{r['ms_iter']:.2f}/{ms_p_iter:.2f}",
+            f"{r['ms_tput'] / 1e3:.0f}k/{ms_p_tput / 1e3:.0f}k",
+            f"{r['speedup']:.2f}x/"
+            f"{mg_p_iter / ms_p_iter:.2f}x",
+            f"{r['ms_mfu'] * 100:.1f}%",
+            f"{r['ms_days']:.1f}",
+        ])
+    report(
+        "Table 3: strong scaling, 352B on H800 (measured/paper)",
+        ["GPUs", "Megatron iter(s)", "MegaScale iter(s)",
+         "MegaScale tok/s", "speedup", "MFU*", "days/1T"],
+        table,
+        notes="* our MFU counts model FLOPs (2·params + causal attn); "
+              "the paper's convention counts ~1.28x more FLOPs/token, "
+              "so paper MFU 32.5-27.9% corresponds to ~25-21% here.",
+    )
+
+    # Shape assertions vs the paper.
+    for r in rows:
+        mg_p_iter, _, ms_p_iter, _ = r["paper"]
+        paper_speedup = mg_p_iter / ms_p_iter
+        assert 1.5 < r["speedup"] < 2.1
+        assert abs(r["speedup"] - paper_speedup) / paper_speedup < 0.25
+        assert r["ms_iter"] == pytest.approx(ms_p_iter, rel=0.25)
+        assert r["mg_iter"] == pytest.approx(mg_p_iter, rel=0.25)
+    # Headline: ~1.4M tokens/s at 1,440 GPUs.
+    assert rows[-1]["ms_tput"] == pytest.approx(1.41e6, rel=0.15)
+    # MFU declines with scale (fixed global batch → more bubbles).
+    mfus = [r["ms_mfu"] for r in rows]
+    assert all(a > b for a, b in zip(mfus, mfus[1:]))

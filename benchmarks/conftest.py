@@ -1,0 +1,68 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure from the paper's evaluation
+(§6) and prints paper-vs-measured rows.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Each bench uses the ``benchmark`` fixture so timing is recorded, asserts
+the paper's *qualitative* claims (who wins, by roughly what factor,
+where crossovers fall), and emits its table through :func:`report`.
+Measured rows are also appended to ``benchmarks/results.json`` so
+EXPERIMENTS.md can be regenerated from a run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Sequence
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.json")
+
+
+def report(title: str, headers: Sequence[str],
+           rows: Sequence[Sequence], notes: str = "") -> None:
+    """Print one experiment table and persist it for EXPERIMENTS.md."""
+    widths = [
+        max(len(str(h)), max((len(_fmt(r[i])) for r in rows), default=0))
+        for i, h in enumerate(headers)
+    ]
+    lines = [f"\n=== {title} ==="]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers,
+                                                           widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(_fmt(v).ljust(w)
+                               for v, w in zip(row, widths)))
+    if notes:
+        lines.append(notes)
+    print("\n".join(lines))
+
+    record = {
+        "title": title,
+        "headers": list(headers),
+        "rows": [[_fmt(v) for v in row] for row in rows],
+        "notes": notes,
+    }
+    existing: List[Dict] = []
+    if os.path.exists(RESULTS_PATH):
+        try:
+            with open(RESULTS_PATH) as handle:
+                existing = json.load(handle)
+        except (json.JSONDecodeError, OSError):
+            existing = []
+    existing = [r for r in existing if r["title"] != title]
+    existing.append(record)
+    with open(RESULTS_PATH, "w") as handle:
+        json.dump(existing, handle, indent=1)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)

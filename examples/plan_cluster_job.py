@@ -1,0 +1,100 @@
+"""Plan a production training job the way §3 and §7 do.
+
+Given a model from the Table 2 zoo and a GPU budget, this example:
+
+1. runs the parallelism planner (SP vs TP attention, EP dispatch mode,
+   PP/DP layout) and prints its §3 rationale;
+2. checks the §7 scale-up ratio R — can expert compute hide dispatch
+   communication on this hardware?
+3. predicts iteration time, throughput, MFU, and days-to-1T-tokens with
+   the calibrated performance model, against the Megatron-LM baseline;
+4. prints the per-GPU memory budget with and without selective
+   activation rematerialization.
+
+Run:  python examples/plan_cluster_job.py [model] [n_gpus] [gpu]
+e.g.  python examples/plan_cluster_job.py internal-352b 1440 h800
+"""
+
+import sys
+
+from repro.core import (
+    GPU_SPECS,
+    MODEL_ZOO,
+    ParallelConfig,
+    TrainConfig,
+    default_remat_plan,
+    no_remat_plan,
+    param_memory_per_gpu,
+    plan_parallelism,
+)
+from repro.perf import (
+    MegaScalePerfModel,
+    MegatronPerfModel,
+    days_for_tokens,
+)
+
+GB = 1024.0 ** 3
+
+
+def main(model_name="internal-352b", n_gpus=1440, gpu_name="h800"):
+    model = MODEL_ZOO[model_name]
+    gpu = GPU_SPECS[gpu_name]
+    print(f"planning: {model.name} ({model.total_params / 1e9:.0f}B "
+          f"params) on {n_gpus} x {gpu.name.upper()}\n")
+
+    # 1. Strategy selection.
+    plan = plan_parallelism(model, n_gpus, gpu)
+    print(plan.explain())
+    parallel = plan.parallel
+
+    # 2. Scale-up feasibility (§7).
+    verdict = ("expert compute can hide dispatch communication"
+               if plan.scale_up_ratio > 1 else
+               "experts too thin: dispatch communication will be "
+               "exposed — grow h_ffn or stay inside NVLink")
+    print(f"\nscale-up check: R = {plan.scale_up_ratio:.2f} -> "
+          f"{verdict}\n")
+
+    # 3. Predicted training performance vs the Megatron-LM baseline.
+    train = TrainConfig(global_batch_size=720)
+    ms = MegaScalePerfModel().iteration(model, parallel, train, gpu)
+    mg_parallel = ParallelConfig.megatron(
+        parallel.model_parallel_size, parallel.pipeline_size,
+        parallel.data_parallel_size)
+    mg = MegatronPerfModel().iteration(model, mg_parallel, train, gpu)
+    print(f"{'':22s}{'Megatron-LM':>14s}{'MegaScale-MoE':>15s}")
+    print(f"{'iteration time':22s}{mg.iteration_time:>12.2f} s"
+          f"{ms.iteration_time:>13.2f} s")
+    print(f"{'throughput':22s}{mg.tokens_per_second / 1e3:>11.0f}k t/s"
+          f"{ms.tokens_per_second / 1e3:>12.0f}k t/s")
+    print(f"{'MFU':22s}{mg.mfu(model, gpu) * 100:>13.1f}%"
+          f"{ms.mfu(model, gpu) * 100:>14.1f}%")
+    print(f"{'days for 1T tokens':22s}"
+          f"{days_for_tokens(mg.tokens_per_second):>14.1f}"
+          f"{days_for_tokens(ms.tokens_per_second):>15.1f}")
+    print(f"\nspeedup: {mg.iteration_time / ms.iteration_time:.2f}x "
+          f"(paper band: 1.65-1.88x)\n")
+
+    # 4. Memory budget.
+    static = param_memory_per_gpu(model, parallel)
+    layers_per_stage = model.n_layers / parallel.pipeline_size
+    in_flight = parallel.pipeline_size
+    for label, remat_plan in (("with SAR", default_remat_plan()),
+                              ("no SAR", no_remat_plan())):
+        act = remat_plan.retained_elements(model, parallel, 1) * 2.0 \
+            * layers_per_stage * in_flight
+        total = static["total"] + act
+        flag = "OK" if total < gpu.memory_bytes else "OOM!"
+        print(f"memory/GPU {label:9s}: params+opt "
+              f"{static['total'] / GB:5.1f} GB + activations "
+              f"{act / GB:5.1f} GB = {total / GB:5.1f} GB "
+              f"(HBM {gpu.memory_bytes / GB:.0f} GB) {flag}")
+
+
+if __name__ == "__main__":
+    args = sys.argv[1:]
+    main(
+        args[0] if len(args) > 0 else "internal-352b",
+        int(args[1]) if len(args) > 1 else 1440,
+        args[2] if len(args) > 2 else "h800",
+    )

@@ -1,0 +1,14 @@
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of MegaScale-MoE: communication-efficient "
+        "large-scale MoE training (EuroSys 2026)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+)

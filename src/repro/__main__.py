@@ -1,0 +1,152 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``plan MODEL N_GPUS [GPU]`` — §3/§7 job planning: strategy selection,
+  scale-up ratio, predicted performance vs Megatron-LM.
+* ``table3`` — regenerate the headline strong-scaling table.
+* ``train-demo [STEPS]`` — train a miniature MoE with SP+EP on a
+  simulated node and print the loss curve.
+* ``models`` / ``gpus`` — list the Table 2 zoo and Table 4 hardware.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.config import GPU_SPECS, MODEL_ZOO
+
+
+def cmd_models(_args) -> int:
+    print(f"{'name':16s} {'params':>8s} {'act.':>8s} {'layers':>6s} "
+          f"{'h':>6s} {'h_ffn':>6s} {'E':>3s} {'k':>2s} {'m':>2s}")
+    for name, m in MODEL_ZOO.items():
+        print(f"{name:16s} {m.total_params / 1e9:7.1f}B "
+              f"{m.activated_params / 1e9:7.1f}B {m.n_layers:6d} "
+              f"{m.hidden_size:6d} {m.ffn_hidden_size:6d} "
+              f"{m.n_experts:3d} {m.top_k:2d} {m.gqa_ratio:2d}")
+    return 0
+
+
+def cmd_gpus(_args) -> int:
+    print(f"{'name':6s} {'TFLOPS':>7s} {'HBM':>6s} {'HBM bw':>8s} "
+          f"{'NVLink':>7s} {'NIC':>6s}")
+    for name, g in GPU_SPECS.items():
+        print(f"{name:6s} {g.peak_flops / 1e12:7.0f} "
+              f"{g.memory_bytes / 1024 ** 3:4.0f}GB "
+              f"{g.memory_bandwidth / 1e12:5.1f}TB/s "
+              f"{g.nvlink_bandwidth / 1e9:4.0f}GB/s "
+              f"{g.nic_bandwidth / 1e9:3.0f}GB/s")
+    return 0
+
+
+def cmd_plan(args) -> int:
+    from .core.config import ParallelConfig, TrainConfig
+    from .core.planner import plan_parallelism
+    from .perf.systems import MegaScalePerfModel, MegatronPerfModel
+
+    model = MODEL_ZOO[args.model]
+    gpu = GPU_SPECS[args.gpu]
+    plan = plan_parallelism(model, args.n_gpus, gpu)
+    print(plan.explain())
+
+    train = TrainConfig(global_batch_size=args.batch)
+    ms = MegaScalePerfModel().iteration(model, plan.parallel, train, gpu)
+    mg_pc = ParallelConfig.megatron(
+        plan.parallel.model_parallel_size, plan.parallel.pipeline_size,
+        plan.parallel.data_parallel_size)
+    mg = MegatronPerfModel().iteration(model, mg_pc, train, gpu)
+    print(f"\npredicted: MegaScale {ms.iteration_time:.2f}s/iter "
+          f"({ms.tokens_per_second / 1e3:.0f}k tok/s, "
+          f"MFU {ms.mfu(model, gpu) * 100:.1f}%) — "
+          f"{mg.iteration_time / ms.iteration_time:.2f}x over "
+          f"Megatron-LM")
+    return 0
+
+
+def cmd_table3(_args) -> int:
+    from .core.config import ParallelConfig, TrainConfig
+    from .perf.systems import MegaScalePerfModel, MegatronPerfModel
+
+    model = MODEL_ZOO["internal-352b"]
+    gpu = GPU_SPECS["h800"]
+    train = TrainConfig(global_batch_size=720)
+    print(f"{'GPUs':>5s} {'Megatron s/iter':>16s} "
+          f"{'MegaScale s/iter':>17s} {'tok/s':>8s} {'speedup':>8s}")
+    for n_gpus in (240, 480, 720, 960, 1440):
+        dp = n_gpus // 120
+        ms = MegaScalePerfModel().iteration(
+            model, ParallelConfig.megascale(8, 15, dp), train, gpu)
+        mg = MegatronPerfModel().iteration(
+            model, ParallelConfig.megatron(8, 15, dp), train, gpu)
+        print(f"{n_gpus:5d} {mg.iteration_time:16.2f} "
+              f"{ms.iteration_time:17.2f} "
+              f"{ms.tokens_per_second / 1e3:7.0f}k "
+              f"{mg.iteration_time / ms.iteration_time:7.2f}x")
+    return 0
+
+
+def cmd_train_demo(args) -> int:
+    import numpy as np
+
+    from .comm import World
+    from .core.config import ModelConfig, ParallelConfig, TrainConfig
+    from .core.trainer import MegaScaleTrainer
+    from .data import MarkovCorpus, batch_iterator
+    from .model import MoETransformer
+    from .precision.optimizer import AdamW
+
+    config = ModelConfig("cli-demo", 2, 32, 8, 2, 48, 8, 2,
+                         vocab_size=64, seq_len=16)
+    model = MoETransformer(config, seed=0, dtype=np.float64)
+    train = TrainConfig(global_batch_size=4, micro_batch_size=4,
+                        seq_len=16, learning_rate=3e-3,
+                        aux_loss_coeff=0.01)
+    trainer = MegaScaleTrainer(
+        model, World(4, 4), ParallelConfig.megascale(4), train,
+        optimizer=AdamW(model.parameters(), lr=3e-3))
+    corpus = MarkovCorpus(vocab_size=64, seed=0)
+    print("step  lm-loss")
+    for step, batch in enumerate(
+            batch_iterator(corpus, 4, 16, seed=1, limit=args.steps)):
+        result = trainer.train_step(batch)
+        print(f"{step:4d}  {result.lm_loss:.4f}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MegaScale-MoE reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the Table 2 model zoo")
+    sub.add_parser("gpus", help="list the Table 4 GPU specs")
+
+    plan = sub.add_parser("plan", help="plan a training job (§3/§7)")
+    plan.add_argument("model", choices=sorted(MODEL_ZOO))
+    plan.add_argument("n_gpus", type=int)
+    plan.add_argument("gpu", nargs="?", default="h800",
+                      choices=sorted(GPU_SPECS))
+    plan.add_argument("--batch", type=int, default=720)
+
+    sub.add_parser("table3", help="regenerate the strong-scaling table")
+
+    demo = sub.add_parser("train-demo",
+                          help="train a miniature MoE on one node")
+    demo.add_argument("steps", nargs="?", type=int, default=10)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "models": cmd_models,
+        "gpus": cmd_gpus,
+        "plan": cmd_plan,
+        "table3": cmd_table3,
+        "train-demo": cmd_train_demo,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""Baseline systems the paper compares against."""
+
+from .megatron import (
+    MegatronTrainer,
+    megatron_parallel_config,
+    megatron_perf_model,
+)
+
+__all__ = ["MegatronTrainer", "megatron_parallel_config",
+           "megatron_perf_model"]

@@ -1,0 +1,53 @@
+"""The Megatron-LM baseline, packaged.
+
+The paper compares against Megatron-LM at commit ``f1f03922`` configured
+with TP for both attention and experts, no fine-grained overlap, and
+FP32 DP gradient communication (§6.1).  This module bundles that
+characterization into one place:
+
+* :func:`megatron_parallel_config` — TP+TP strategy assignment;
+* :func:`megatron_perf_model` — the calibrated iteration-time model;
+* :class:`MegatronTrainer` — a numerical trainer running the TP engines,
+  API-compatible with :class:`~repro.core.trainer.MegaScaleTrainer` so
+  ablations can swap systems with one line.
+"""
+
+from __future__ import annotations
+
+from ..comm.group import World
+from ..core.config import ParallelConfig, TrainConfig
+from ..core.trainer import MegaScaleTrainer
+from ..model.transformer import MoETransformer
+from ..perf.systems import MegatronPerfModel, SystemPerfModel
+
+__all__ = ["megatron_parallel_config", "megatron_perf_model",
+           "MegatronTrainer"]
+
+
+def megatron_parallel_config(model_parallel_size: int = 8,
+                             pipeline_size: int = 1,
+                             data_parallel_size: int = 1,
+                             **kwargs) -> ParallelConfig:
+    """TP attention + TP FFN, Megatron-LM's assignment (§6.1)."""
+    return ParallelConfig.megatron(model_parallel_size, pipeline_size,
+                                   data_parallel_size, **kwargs)
+
+
+def megatron_perf_model(**overrides) -> SystemPerfModel:
+    """The calibrated Megatron-LM iteration-time model."""
+    return MegatronPerfModel(**overrides)
+
+
+class MegatronTrainer(MegaScaleTrainer):
+    """Numerical trainer wired with Megatron's TP+TP engines.
+
+    Numerically equivalent to MegaScaleTrainer (both match the reference
+    model); they differ in communication pattern and volume, which the
+    ledger records — the point of the Eq. 1–4 comparisons.
+    """
+
+    def __init__(self, model: MoETransformer, world: World,
+                 train: TrainConfig, **kwargs):
+        parallel = megatron_parallel_config(
+            model_parallel_size=world.size)
+        super().__init__(model, world, parallel, train, **kwargs)

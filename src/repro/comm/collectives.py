@@ -1,0 +1,247 @@
+"""Data-moving collective operations over simulated ranks.
+
+Each function takes a :class:`~repro.comm.group.ProcessGroup` and a list of
+numpy arrays — one per rank, ordered like ``group.ranks`` — and returns the
+per-rank results, exactly as NCCL would deliver them.  Because the "wire"
+is a numpy copy, semantics are bit-exact; tests build every parallelism
+engine on top of these primitives and compare against single-rank math.
+
+Byte accounting
+---------------
+Every collective records the bytes each rank *sends* into the world's
+:class:`~repro.comm.group.CommLedger`, assuming NCCL's standard algorithms:
+
+* ring all-gather / reduce-scatter: each rank sends ``(n-1)`` shard-sizes;
+* ring all-reduce: ``2 (n-1)`` shard-sizes (reduce-scatter + all-gather);
+* all-to-all: each rank sends its ``n-1`` off-diagonal chunks.
+
+Arrays are simulated in float32/float64 regardless of the precision being
+modelled, so each function accepts ``elem_bytes`` to override the wire
+element size (e.g. 2 for BF16, 1 for FP8) used in the ledger.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .group import ProcessGroup
+
+__all__ = [
+    "all_gather",
+    "reduce_scatter",
+    "all_reduce",
+    "all_to_all",
+    "all_to_all_uneven",
+    "broadcast",
+    "gather",
+    "scatter",
+]
+
+
+def _elem_bytes(arrays: Sequence[np.ndarray],
+                elem_bytes: Optional[float]) -> float:
+    if elem_bytes is not None:
+        return float(elem_bytes)
+    return float(arrays[0].itemsize)
+
+
+def all_gather(
+    group: ProcessGroup,
+    shards: Sequence[np.ndarray],
+    axis: int = 0,
+    elem_bytes: Optional[float] = None,
+    tag: str = "",
+) -> List[np.ndarray]:
+    """Gather every rank's shard onto all ranks, concatenated along ``axis``.
+
+    Returns ``n`` identical full tensors (independent copies, as each rank
+    holds its own buffer).
+    """
+    group.check_shards(shards)
+    n = group.size
+    full = np.concatenate([np.asarray(s) for s in shards], axis=axis)
+    eb = _elem_bytes(shards, elem_bytes)
+    per_rank = [s.size * eb * (n - 1) / 1.0 for s in shards]
+    group.record("all_gather", per_rank, tag)
+    return [full.copy() for _ in range(n)]
+
+
+def reduce_scatter(
+    group: ProcessGroup,
+    tensors: Sequence[np.ndarray],
+    axis: int = 0,
+    elem_bytes: Optional[float] = None,
+    tag: str = "",
+) -> List[np.ndarray]:
+    """Element-wise sum of all ranks' tensors, scattered along ``axis``.
+
+    Rank ``i`` receives the ``i``-th equal slice of the reduced tensor.
+    The sliced dimension must be divisible by the group size.
+    """
+    group.check_shards(tensors)
+    n = group.size
+    first = np.asarray(tensors[0])
+    for t in tensors[1:]:
+        if np.asarray(t).shape != first.shape:
+            raise ValueError("reduce_scatter requires equal shapes per rank")
+    dim = first.shape[axis]
+    if dim % n != 0:
+        raise ValueError(
+            f"axis {axis} of size {dim} not divisible by group size {n}"
+        )
+    total = np.sum([np.asarray(t, dtype=np.float64) for t in tensors], axis=0)
+    pieces = np.split(total, n, axis=axis)
+    eb = _elem_bytes(tensors, elem_bytes)
+    shard_elems = first.size // n
+    group.record("reduce_scatter", [shard_elems * eb * (n - 1)] * n, tag)
+    return [p.astype(first.dtype).copy() for p in pieces]
+
+
+def all_reduce(
+    group: ProcessGroup,
+    tensors: Sequence[np.ndarray],
+    elem_bytes: Optional[float] = None,
+    tag: str = "",
+) -> List[np.ndarray]:
+    """Element-wise sum of all ranks' tensors, delivered to every rank."""
+    group.check_shards(tensors)
+    n = group.size
+    first = np.asarray(tensors[0])
+    total = np.sum([np.asarray(t, dtype=np.float64) for t in tensors], axis=0)
+    eb = _elem_bytes(tensors, elem_bytes)
+    # Ring all-reduce = reduce-scatter + all-gather on 1/n shards.
+    group.record("all_reduce", [2.0 * first.size / n * eb * (n - 1)] * n, tag)
+    return [total.astype(first.dtype).copy() for _ in range(n)]
+
+
+def all_to_all(
+    group: ProcessGroup,
+    chunk_lists: Sequence[Sequence[np.ndarray]],
+    elem_bytes: Optional[float] = None,
+    tag: str = "",
+) -> List[List[np.ndarray]]:
+    """General all-to-all: ``chunk_lists[i][j]`` goes from rank i to rank j.
+
+    Returns ``received`` with ``received[j][i] == chunk_lists[i][j]``.
+    Chunks may have arbitrary (even differing) shapes; only the self-chunk
+    ``[i][i]`` stays local and costs no communication.
+    """
+    group.check_shards(chunk_lists)
+    n = group.size
+    for i, row in enumerate(chunk_lists):
+        if len(row) != n:
+            raise ValueError(
+                f"rank {i} provided {len(row)} chunks, expected {n}"
+            )
+    received: List[List[np.ndarray]] = [
+        [np.asarray(chunk_lists[i][j]).copy() for i in range(n)]
+        for j in range(n)
+    ]
+    eb = _elem_bytes([np.asarray(chunk_lists[0][0])], elem_bytes)
+    per_rank = [
+        sum(np.asarray(chunk_lists[i][j]).size * eb
+            for j in range(n) if j != i)
+        for i in range(n)
+    ]
+    group.record("all_to_all", per_rank, tag)
+    return received
+
+
+def all_to_all_uneven(
+    group: ProcessGroup,
+    tensors: Sequence[np.ndarray],
+    send_splits: Sequence[Sequence[int]],
+    elem_bytes: Optional[float] = None,
+    tag: str = "",
+) -> List[np.ndarray]:
+    """All-to-all over row-split tensors (``torch.distributed.all_to_all_single``
+    with uneven splits).
+
+    Rank ``i`` sends ``send_splits[i][j]`` rows of ``tensors[i]`` to rank
+    ``j``; rank ``j`` receives the chunks concatenated in rank order.  This
+    is the primitive behind MoE token dispatch.
+    """
+    group.check_shards(tensors)
+    n = group.size
+    chunk_lists: List[List[np.ndarray]] = []
+    for i, (t, splits) in enumerate(zip(tensors, send_splits)):
+        t = np.asarray(t)
+        if len(splits) != n:
+            raise ValueError(
+                f"rank {i}: {len(splits)} splits for group of size {n}"
+            )
+        if sum(splits) != t.shape[0]:
+            raise ValueError(
+                f"rank {i}: splits {list(splits)} do not cover "
+                f"{t.shape[0]} rows"
+            )
+        offsets = np.cumsum([0] + list(splits))
+        chunk_lists.append(
+            [t[offsets[j]:offsets[j + 1]] for j in range(n)]
+        )
+    received = all_to_all(group, chunk_lists, elem_bytes=elem_bytes, tag=tag)
+    return [
+        np.concatenate(chunks, axis=0) if chunks else np.empty((0,))
+        for chunks in received
+    ]
+
+
+def broadcast(
+    group: ProcessGroup,
+    tensor: np.ndarray,
+    root: int = 0,
+    elem_bytes: Optional[float] = None,
+    tag: str = "",
+) -> List[np.ndarray]:
+    """Send ``tensor`` from local rank ``root`` to all ranks in the group."""
+    n = group.size
+    if not 0 <= root < n:
+        raise ValueError(f"root {root} out of range for group of size {n}")
+    t = np.asarray(tensor)
+    eb = _elem_bytes([t], elem_bytes)
+    per_rank = [0.0] * n
+    per_rank[root] = t.size * eb * (n - 1)
+    group.record("broadcast", per_rank, tag)
+    return [t.copy() for _ in range(n)]
+
+
+def gather(
+    group: ProcessGroup,
+    shards: Sequence[np.ndarray],
+    root: int = 0,
+    axis: int = 0,
+    elem_bytes: Optional[float] = None,
+    tag: str = "",
+) -> np.ndarray:
+    """Collect all shards onto local rank ``root``, concatenated on ``axis``."""
+    group.check_shards(shards)
+    eb = _elem_bytes(shards, elem_bytes)
+    per_rank = [np.asarray(s).size * eb if i != root else 0.0
+                for i, s in enumerate(shards)]
+    group.record("gather", per_rank, tag)
+    return np.concatenate([np.asarray(s) for s in shards], axis=axis)
+
+
+def scatter(
+    group: ProcessGroup,
+    tensor: np.ndarray,
+    root: int = 0,
+    axis: int = 0,
+    elem_bytes: Optional[float] = None,
+    tag: str = "",
+) -> List[np.ndarray]:
+    """Split ``tensor`` held by local rank ``root`` equally across ranks."""
+    n = group.size
+    t = np.asarray(tensor)
+    if t.shape[axis] % n != 0:
+        raise ValueError(
+            f"axis {axis} of size {t.shape[axis]} not divisible by {n}"
+        )
+    pieces = np.split(t, n, axis=axis)
+    eb = _elem_bytes([t], elem_bytes)
+    per_rank = [0.0] * n
+    per_rank[root] = (t.size - pieces[root].size) * eb
+    group.record("scatter", per_rank, tag)
+    return [p.copy() for p in pieces]

@@ -1,0 +1,144 @@
+"""Analytic (α–β) cost models for the simulated collectives.
+
+These models turn "bytes on the wire" into seconds, and are the timing
+backend for the performance model (:mod:`repro.perf`) that regenerates the
+paper's tables and figures.  They follow the standard α–β formulation:
+a collective over ``n`` ranks decomposes into communication *steps*, each
+costing ``α`` (link latency) plus ``moved_bytes / β`` (bandwidth term).
+
+Two empirical effects from the paper are modelled explicitly:
+
+* **All-to-all inefficiency** (§3.2, Fig. 7): all-to-all requires each
+  worker to talk to all others, whereas all-gather and reduce-scatter use
+  a ring of neighbour transfers; in practice A2A achieves a lower fraction
+  of link bandwidth.  ``LinkSpec.a2a_efficiency`` captures this.
+* **Hierarchical pipelining** (Appendix A.1, Fig. 5b): the four steps of
+  hierarchical parameter sync use distinct resources (NVLink vs NIC) and
+  are chunked so the stages overlap; the pipelined time approaches the
+  maximum stage time rather than the sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "LinkSpec",
+    "ring_all_gather_time",
+    "ring_reduce_scatter_time",
+    "ring_all_reduce_time",
+    "all_to_all_time",
+    "broadcast_time",
+    "hierarchical_sync_time",
+    "flat_sync_time",
+]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A communication link as seen by one rank.
+
+    Attributes:
+        bandwidth: Unidirectional per-rank bandwidth in bytes/second.
+        latency: Per-step base latency (α) in seconds.
+        a2a_efficiency: Fraction of ``bandwidth`` achieved by all-to-all
+            traffic patterns (ring patterns achieve ~1.0).
+    """
+
+    bandwidth: float
+    latency: float = 1e-5
+    a2a_efficiency: float = 0.6
+
+    def __post_init__(self):
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {self.bandwidth}")
+        if not 0 < self.a2a_efficiency <= 1:
+            raise ValueError(
+                f"a2a_efficiency must be in (0, 1], got {self.a2a_efficiency}"
+            )
+
+
+def ring_all_gather_time(total_bytes: float, n: int, link: LinkSpec) -> float:
+    """Time to all-gather a tensor of ``total_bytes`` across ``n`` ranks.
+
+    Ring algorithm: ``n-1`` steps, each moving one ``total/n`` shard.
+    """
+    if n <= 1:
+        return 0.0
+    shard = total_bytes / n
+    return (n - 1) * (link.latency + shard / link.bandwidth)
+
+
+def ring_reduce_scatter_time(total_bytes: float, n: int,
+                             link: LinkSpec) -> float:
+    """Time to reduce-scatter ``total_bytes`` across ``n`` ranks (ring)."""
+    return ring_all_gather_time(total_bytes, n, link)
+
+
+def ring_all_reduce_time(total_bytes: float, n: int, link: LinkSpec) -> float:
+    """Ring all-reduce = reduce-scatter followed by all-gather."""
+    if n <= 1:
+        return 0.0
+    return 2.0 * ring_all_gather_time(total_bytes, n, link)
+
+
+def all_to_all_time(per_rank_send_bytes: float, n: int,
+                    link: LinkSpec) -> float:
+    """Time for an all-to-all where each rank sends ``per_rank_send_bytes``.
+
+    The all-pairs traffic pattern reaches only ``a2a_efficiency`` of link
+    bandwidth and pays one latency per peer.
+    """
+    if n <= 1:
+        return 0.0
+    effective_bw = link.bandwidth * link.a2a_efficiency
+    return (n - 1) * link.latency + per_rank_send_bytes / effective_bw
+
+
+def broadcast_time(total_bytes: float, n: int, link: LinkSpec) -> float:
+    """Tree/pipeline broadcast of ``total_bytes`` to ``n-1`` peers."""
+    if n <= 1:
+        return 0.0
+    return link.latency + total_bytes / link.bandwidth
+
+
+def hierarchical_sync_time(
+    param_bytes: float,
+    n: int,
+    d: int,
+    intra: LinkSpec,
+    inter: LinkSpec,
+    pipelined: bool = True,
+    chunks: int = 8,
+) -> float:
+    """Time for the 4-step hierarchical sync of ``param_bytes`` replicated
+    over ``n`` intra-node ranks × ``d`` nodes (Appendix A.1).
+
+    With ``pipelined=True`` the transfer is segmented into ``chunks``
+    pieces whose stages overlap across the two resources (NVLink for
+    the intra-node stages, NIC for the inter-node ones, Fig. 5b): the
+    makespan approaches the busier *resource*'s total work, plus a
+    fill/drain term that shrinks with the chunk count.  An explicit
+    event simulation of the chunked pipeline validates this closed form
+    (tests/test_hierarchical_pipeline_sim.py).
+    """
+    intra_rs = ring_reduce_scatter_time(param_bytes, n, intra)
+    inter_rs = ring_reduce_scatter_time(param_bytes / max(n, 1), d, inter)
+    inter_ag = ring_all_gather_time(param_bytes / max(n, 1), d, inter)
+    intra_ag = ring_all_gather_time(param_bytes, n, intra)
+    stages = [intra_rs, inter_rs, inter_ag, intra_ag]
+    if not pipelined:
+        return sum(stages)
+    nvlink_busy = intra_rs + intra_ag
+    nic_busy = inter_rs + inter_ag
+    bottleneck = max(nvlink_busy, nic_busy)
+    fill_drain = (sum(stages) - bottleneck) / max(chunks, 1)
+    return bottleneck + fill_drain
+
+
+def flat_sync_time(param_bytes: float, n: int, d: int,
+                   inter: LinkSpec) -> float:
+    """Time for TP-attention sync: inter-node RS + AG of the ``P/n`` shard."""
+    shard = param_bytes / max(n, 1)
+    return (ring_reduce_scatter_time(shard, d, inter)
+            + ring_all_gather_time(shard, d, inter))

@@ -1,0 +1,191 @@
+"""Simulated process groups.
+
+MegaScale-MoE runs on thousands of GPUs connected by NVLink (intra-node)
+and RDMA (inter-node).  This reproduction replaces the cluster with a
+*simulated world*: rank-``i``'s tensor is simply the ``i``-th numpy array
+in a Python list, and collectives (see :mod:`repro.comm.collectives`) move
+data between those arrays with exactly the semantics of their NCCL
+counterparts.
+
+Alongside the data movement we keep an exact ledger of bytes each rank
+sends, per collective, assuming the standard algorithm NCCL would use
+(ring for all-gather / reduce-scatter / all-reduce, pairwise exchange for
+all-to-all).  Tests compare this ledger against the paper's closed-form
+communication-volume formulas (Eqs. 1-4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["CommRecord", "CommLedger", "ProcessGroup", "World"]
+
+
+@dataclass
+class CommRecord:
+    """One collective call as seen by the ledger."""
+
+    op: str
+    group_size: int
+    #: Bytes sent by each participating rank (they are symmetric for the
+    #: balanced collectives; all-to-all with uneven splits may differ).
+    send_bytes_per_rank: List[float]
+    tag: str = ""
+
+    @property
+    def total_bytes(self) -> float:
+        return float(sum(self.send_bytes_per_rank))
+
+    @property
+    def max_rank_bytes(self) -> float:
+        return float(max(self.send_bytes_per_rank, default=0.0))
+
+
+@dataclass
+class CommLedger:
+    """Accumulates :class:`CommRecord` entries for later inspection."""
+
+    records: List[CommRecord] = field(default_factory=list)
+    enabled: bool = True
+
+    def record(self, record: CommRecord) -> None:
+        """Append one collective record (no-op while disabled)."""
+        if self.enabled:
+            self.records.append(record)
+
+    def clear(self) -> None:
+        """Drop all accumulated records."""
+        self.records.clear()
+
+    def total_bytes(self, op: Optional[str] = None,
+                    tag: Optional[str] = None) -> float:
+        """Total bytes sent by all ranks, optionally filtered."""
+        return sum(
+            r.total_bytes for r in self.records
+            if (op is None or r.op == op) and (tag is None or r.tag == tag)
+        )
+
+    def per_rank_bytes(self, op: Optional[str] = None,
+                       tag: Optional[str] = None) -> float:
+        """Average per-rank bytes sent, optionally filtered."""
+        matching = [
+            r for r in self.records
+            if (op is None or r.op == op) and (tag is None or r.tag == tag)
+        ]
+        if not matching:
+            return 0.0
+        return sum(r.total_bytes / r.group_size for r in matching)
+
+    def counts(self) -> Dict[str, int]:
+        """Number of calls per collective op."""
+        out: Dict[str, int] = {}
+        for r in self.records:
+            out[r.op] = out.get(r.op, 0) + 1
+        return out
+
+
+class World:
+    """A simulated cluster of ``size`` ranks.
+
+    Ranks are numbered ``0..size-1``.  ``ranks_per_node`` describes the
+    NVLink-domain size so that sub-groups can be classified as intra- or
+    inter-node; the collective *semantics* do not depend on it, but the
+    ledger tags and the performance model do.
+    """
+
+    def __init__(self, size: int, ranks_per_node: int = 8):
+        if size < 1:
+            raise ValueError(f"world size must be >= 1, got {size}")
+        if ranks_per_node < 1:
+            raise ValueError(
+                f"ranks_per_node must be >= 1, got {ranks_per_node}"
+            )
+        self.size = size
+        self.ranks_per_node = ranks_per_node
+        self.ledger = CommLedger()
+
+    def node_of(self, rank: int) -> int:
+        """Node index hosting ``rank``."""
+        return rank // self.ranks_per_node
+
+    def group(self, ranks: Sequence[int]) -> "ProcessGroup":
+        """Create a process group over the given ranks."""
+        return ProcessGroup(self, list(ranks))
+
+    def full_group(self) -> "ProcessGroup":
+        """A group spanning every rank in the world."""
+        return self.group(range(self.size))
+
+    def intra_node_groups(self) -> List["ProcessGroup"]:
+        """One group per node, covering all ranks."""
+        groups = []
+        for start in range(0, self.size, self.ranks_per_node):
+            end = min(start + self.ranks_per_node, self.size)
+            groups.append(self.group(range(start, end)))
+        return groups
+
+    def cross_node_groups(self) -> List["ProcessGroup"]:
+        """Groups of same-local-rank peers across nodes (for hierarchical
+        collectives)."""
+        n_nodes = -(-self.size // self.ranks_per_node)
+        groups = []
+        for local in range(self.ranks_per_node):
+            ranks = [
+                node * self.ranks_per_node + local
+                for node in range(n_nodes)
+                if node * self.ranks_per_node + local < self.size
+            ]
+            if ranks:
+                groups.append(self.group(ranks))
+        return groups
+
+
+class ProcessGroup:
+    """An ordered subset of a :class:`World`'s ranks.
+
+    Collective functions in :mod:`repro.comm.collectives` take a group and
+    a list of per-rank arrays whose order matches ``group.ranks``.
+    """
+
+    def __init__(self, world: World, ranks: List[int]):
+        if not ranks:
+            raise ValueError("process group must contain at least one rank")
+        if len(set(ranks)) != len(ranks):
+            raise ValueError(f"duplicate ranks in group: {ranks}")
+        for r in ranks:
+            if not 0 <= r < world.size:
+                raise ValueError(
+                    f"rank {r} out of range for world of size {world.size}"
+                )
+        self.world = world
+        self.ranks = list(ranks)
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    @property
+    def is_intra_node(self) -> bool:
+        nodes = {self.world.node_of(r) for r in self.ranks}
+        return len(nodes) == 1
+
+    def record(self, op: str, send_bytes_per_rank: Sequence[float],
+               tag: str = "") -> None:
+        """Record one collective on this group into the world's ledger."""
+        self.world.ledger.record(CommRecord(
+            op=op,
+            group_size=self.size,
+            send_bytes_per_rank=list(send_bytes_per_rank),
+            tag=tag,
+        ))
+
+    def check_shards(self, shards: Sequence[np.ndarray]) -> None:
+        """Validate that a per-rank tensor list matches this group."""
+        if len(shards) != self.size:
+            raise ValueError(
+                f"expected {self.size} shards (one per rank), got "
+                f"{len(shards)}"
+            )

@@ -1,0 +1,179 @@
+"""Hierarchical parameter/gradient synchronization (Appendix A.1, Fig. 5).
+
+SP attention replicates the attention weights across the ``n`` ranks of a
+node, so gradient synchronization nominally involves ``n×`` more data than
+TP attention.  The paper shows this is cheap in practice because the extra
+reduction happens *intra-node* over NVLink: the sync becomes a four-step
+hierarchical collective
+
+1. intra-node reduce-scatter (data of size ``P`` on ``n`` devices),
+2. inter-node reduce-scatter (data of size ``P/n`` on ``d`` devices),
+3. inter-node all-gather     (data of size ``P/n`` on ``d`` devices),
+4. intra-node all-gather     (data of size ``P`` on ``n`` devices),
+
+whose *inter-node* volume — the bottleneck — equals TP attention's
+``2 P/n (d-1)/d``.  This module implements the data movement for both
+schemes on simulated ranks and reports the volumes so tests and the
+Fig. 14 bench can verify the equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .collectives import all_gather, reduce_scatter
+from .group import World
+
+__all__ = [
+    "hierarchical_sync",
+    "flat_sync",
+    "hierarchical_inter_node_volume",
+    "hierarchical_intra_node_volume",
+    "tp_inter_node_volume",
+]
+
+
+def hierarchical_sync(
+    world: World,
+    grads: Sequence[np.ndarray],
+    elem_bytes: float = 4.0,
+    tag: str = "param_sync_sp",
+) -> List[np.ndarray]:
+    """All-reduce replicated gradients with the 4-step hierarchical scheme.
+
+    Args:
+        world: Simulated world; ``world.ranks_per_node`` is the replication
+            degree ``n`` and the number of nodes is the DP degree ``d``.
+        grads: One gradient tensor per rank (all the same shape), flattened
+            internally.  ``grads[r]`` belongs to global rank ``r``.
+        elem_bytes: Wire bytes per element for the ledger.
+
+    Returns:
+        Per-rank fully-reduced gradients with the original shape.
+    """
+    n = world.ranks_per_node
+    if world.size % n != 0:
+        raise ValueError(
+            f"world size {world.size} not divisible by ranks_per_node {n}"
+        )
+    shape = np.asarray(grads[0]).shape
+    flats = [np.asarray(g, dtype=np.float64).reshape(-1) for g in grads]
+    numel = flats[0].size
+    if numel % n != 0:
+        pad = n - numel % n
+        flats = [np.concatenate([f, np.zeros(pad)]) for f in flats]
+    padded = flats[0].size
+
+    # Step 1: intra-node reduce-scatter (size P over n ranks).
+    intra_groups = world.intra_node_groups()
+    shards: List[np.ndarray] = [None] * world.size
+    for g in intra_groups:
+        outs = reduce_scatter(
+            g, [flats[r] for r in g.ranks], elem_bytes=elem_bytes,
+            tag=tag + ":intra_rs",
+        )
+        for local, r in enumerate(g.ranks):
+            shards[r] = outs[local]
+
+    # Steps 2+3: inter-node reduce-scatter + all-gather = all-reduce of the
+    # P/n shard across same-local-rank peers.  Implemented as the two
+    # explicit steps so the ledger separates them.
+    cross_groups = world.cross_node_groups()
+    for g in cross_groups:
+        d = g.size
+        shard = shards[g.ranks[0]].size
+        if d > 1 and shard % d == 0:
+            pieces = reduce_scatter(
+                g, [shards[r] for r in g.ranks], elem_bytes=elem_bytes,
+                tag=tag + ":inter_rs",
+            )
+            fulls = all_gather(
+                g, pieces, elem_bytes=elem_bytes, tag=tag + ":inter_ag",
+            )
+        else:
+            # Fallback for indivisible shard sizes: sum then copy.  Record
+            # the equivalent ring all-reduce volume.
+            total = np.sum([shards[r] for r in g.ranks], axis=0)
+            fulls = [total.copy() for _ in g.ranks]
+            if d > 1:
+                g.record(
+                    "all_reduce",
+                    [2.0 * shard / d * elem_bytes * (d - 1)] * d,
+                    tag + ":inter_fallback",
+                )
+        for local, r in enumerate(g.ranks):
+            shards[r] = fulls[local]
+
+    # Step 4: intra-node all-gather back to size P on every rank.
+    results: List[np.ndarray] = [None] * world.size
+    for g in intra_groups:
+        fulls = all_gather(
+            g, [shards[r] for r in g.ranks], elem_bytes=elem_bytes,
+            tag=tag + ":intra_ag",
+        )
+        for local, r in enumerate(g.ranks):
+            results[r] = fulls[local]
+
+    return [r[:numel].reshape(shape) for r in results]
+
+
+def flat_sync(
+    world: World,
+    grads: Sequence[np.ndarray],
+    elem_bytes: float = 4.0,
+    tag: str = "param_sync_tp",
+) -> List[np.ndarray]:
+    """TP-attention-style sync: inter-node RS + AG of the ``P/n`` shard.
+
+    With TP each rank already holds a distinct ``P/n`` shard, replicated
+    only across the ``d`` DP peers (one per node at the same local rank).
+    """
+    cross_groups = world.cross_node_groups()
+    shape = np.asarray(grads[0]).shape
+    results: List[np.ndarray] = [None] * world.size
+    for g in cross_groups:
+        d = g.size
+        flats = [np.asarray(grads[r], dtype=np.float64).reshape(-1)
+                 for r in g.ranks]
+        numel = flats[0].size
+        if d > 1 and numel % d == 0:
+            pieces = reduce_scatter(g, flats, elem_bytes=elem_bytes,
+                                    tag=tag + ":inter_rs")
+            fulls = all_gather(g, pieces, elem_bytes=elem_bytes,
+                               tag=tag + ":inter_ag")
+        else:
+            total = np.sum(flats, axis=0)
+            fulls = [total.copy() for _ in g.ranks]
+            if d > 1:
+                g.record(
+                    "all_reduce",
+                    [2.0 * numel / d * elem_bytes * (d - 1)] * d,
+                    tag + ":inter_fallback",
+                )
+        for local, r in enumerate(g.ranks):
+            results[r] = fulls[local].reshape(shape)
+    return results
+
+
+def hierarchical_inter_node_volume(param_bytes: float, n: int,
+                                   d: int) -> float:
+    """Per-rank inter-node bytes for hierarchical SP sync (Appendix A.1)."""
+    if d <= 1:
+        return 0.0
+    return 2.0 * param_bytes / n * (d - 1) / d
+
+
+def hierarchical_intra_node_volume(param_bytes: float, n: int) -> float:
+    """Per-rank intra-node bytes for hierarchical SP sync (Appendix A.1)."""
+    if n <= 1:
+        return 0.0
+    return 2.0 * param_bytes * (n - 1) / n
+
+
+def tp_inter_node_volume(param_bytes: float, n: int, d: int) -> float:
+    """Per-rank inter-node bytes for TP-attention sync (Appendix A.1)."""
+    if d <= 1:
+        return 0.0
+    return 2.0 * (param_bytes / n) * (d - 1) / d

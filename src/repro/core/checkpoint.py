@@ -1,0 +1,113 @@
+"""Checkpointing: save/restore model and optimizer state to disk.
+
+The production runs of §7 span months and "different colors indicate
+training restarts" (Fig. 19) — restartability is a first-class feature.
+Checkpoints are single ``.npz`` files holding every named parameter,
+the Adam moments, the step counter, and a config fingerprint that is
+validated on load so a checkpoint cannot silently restore into a
+mismatched model.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+import numpy as np
+
+from ..core.config import ModelConfig
+from ..model.layers import Module
+from ..precision.optimizer import AdamW
+
+__all__ = ["save_checkpoint", "load_checkpoint", "CheckpointError"]
+
+FORMAT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """Raised when a checkpoint is missing, corrupt, or mismatched."""
+
+
+def _fingerprint(config: ModelConfig) -> str:
+    fields = {
+        "n_layers": config.n_layers,
+        "hidden_size": config.hidden_size,
+        "n_heads": config.n_heads,
+        "gqa_ratio": config.gqa_ratio,
+        "ffn_hidden_size": config.ffn_hidden_size,
+        "n_experts": config.n_experts,
+        "top_k": config.top_k,
+        "vocab_size": config.vocab_size,
+    }
+    return json.dumps(fields, sort_keys=True)
+
+
+def save_checkpoint(path: str, model: Module, config: ModelConfig,
+                    optimizer: Optional[AdamW] = None,
+                    step: int = 0) -> None:
+    """Write a checkpoint atomically (tmp file + rename)."""
+    payload = {
+        "__meta__": np.frombuffer(
+            json.dumps({
+                "version": FORMAT_VERSION,
+                "fingerprint": _fingerprint(config),
+                "step": step,
+                "has_optimizer": optimizer is not None,
+            }).encode(), dtype=np.uint8),
+    }
+    for name, param in model.named_parameters():
+        payload[f"param/{name}"] = param.data
+    if optimizer is not None:
+        payload["opt/step_count"] = np.asarray(optimizer.step_count)
+        for i, (m, v) in enumerate(zip(optimizer.m, optimizer.v)):
+            payload[f"opt/m/{i}"] = m
+            payload[f"opt/v/{i}"] = v
+
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as handle:
+        np.savez(handle, **payload)
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: str, model: Module, config: ModelConfig,
+                    optimizer: Optional[AdamW] = None) -> int:
+    """Restore a checkpoint; returns the saved step.
+
+    Raises :class:`CheckpointError` on version or config mismatch, and
+    when optimizer state is requested but absent from the file.
+    """
+    if not os.path.exists(path):
+        raise CheckpointError(f"no checkpoint at {path}")
+    with np.load(path) as data:
+        try:
+            meta = json.loads(bytes(data["__meta__"]).decode())
+        except (KeyError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"corrupt checkpoint {path}") from exc
+        if meta["version"] != FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint version {meta['version']} != "
+                f"{FORMAT_VERSION}"
+            )
+        if meta["fingerprint"] != _fingerprint(config):
+            raise CheckpointError(
+                "checkpoint was written for a different model "
+                "configuration"
+            )
+
+        state = {}
+        for key in data.files:
+            if key.startswith("param/"):
+                state[key[len("param/"):]] = data[key]
+        model.load_state_dict(state)
+
+        if optimizer is not None:
+            if not meta["has_optimizer"]:
+                raise CheckpointError(
+                    "checkpoint has no optimizer state"
+                )
+            optimizer.step_count = int(data["opt/step_count"])
+            for i in range(len(optimizer.m)):
+                optimizer.m[i] = data[f"opt/m/{i}"].copy()
+                optimizer.v[i] = data[f"opt/v/{i}"].copy()
+        return int(meta["step"])

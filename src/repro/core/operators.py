@@ -1,0 +1,535 @@
+"""Operator-level decomposition of an MoE layer (§4, Fig. 20).
+
+MegaScale-MoE's overlap machinery works because each MoE layer is broken
+into *operators that run as GPU kernels* rather than a monolithic
+autograd module.  This module builds that operator DAG for any strategy
+combination (SP/TP attention × EP/TP FFN), for both the forward and the
+backward pass, annotated with everything the scheduler and performance
+model need:
+
+* ``flops``       — arithmetic work (GEMMs, attention);
+* ``mem_bytes``   — HBM traffic (memory-bound ops: norms, RoPE, SwiGLU,
+  scatter/gather — the ops §6.1 blames for MoE's lower MFU);
+* ``comm_bytes``  — per-rank wire bytes, with pattern and scope;
+* ``deps``        — data dependencies (activation producers);
+* ``fuse_group``  — which intra-operator overlap kernel the op belongs
+  to (§4.2: A2A+GEMM, GEMM+A2A, AG+scatter+GroupedGEMM,
+  GroupedGEMM+gather+RS).
+
+Element sizes default to BF16 (2 bytes) as in the paper's training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .config import ModelConfig, ParallelConfig
+
+__all__ = ["Op", "OpGraph", "build_forward_graph", "build_backward_graph"]
+
+COMPUTE_KINDS = ("gemm", "attn", "memory")
+COMM_PATTERNS = ("a2a", "ag", "rs", "ar")
+
+
+@dataclass(frozen=True)
+class Op:
+    """One schedulable unit of work on a rank.
+
+    ``comm_bytes`` is what this rank sends; for ring collectives that is
+    ``(n-1)``× the shard, matching the ledger conventions.
+    """
+
+    name: str
+    kind: str                      # "gemm" | "attn" | "memory" | "comm"
+    flops: float = 0.0
+    mem_bytes: float = 0.0
+    comm_bytes: float = 0.0
+    comm_pattern: str = ""         # a2a | ag | rs | ar
+    comm_scope: str = "intra"      # intra-node (NVLink) or inter (NIC)
+    deps: Tuple[str, ...] = ()
+    produces: Tuple[str, ...] = ()
+    fuse_group: str = ""
+    phase: str = "fwd"             # fwd | bwd | remat
+    #: GEMM tile shape (per-expert for grouped GEMMs) for the
+    #: shape-aware efficiency model; 0 means "not a GEMM".
+    gemm_shape: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+
+    def __post_init__(self):
+        if self.kind == "comm":
+            if self.comm_pattern not in COMM_PATTERNS:
+                raise ValueError(
+                    f"comm op {self.name!r} needs a pattern from "
+                    f"{COMM_PATTERNS}, got {self.comm_pattern!r}"
+                )
+        elif self.kind not in COMPUTE_KINDS:
+            raise ValueError(f"unknown op kind {self.kind!r}")
+
+
+class OpGraph:
+    """A validated DAG of :class:`Op` records in topological order."""
+
+    def __init__(self, ops: Sequence[Op]):
+        self.ops: List[Op] = list(ops)
+        self._by_name: Dict[str, Op] = {}
+        for op in self.ops:
+            if op.name in self._by_name:
+                raise ValueError(f"duplicate op name {op.name!r}")
+            self._by_name[op.name] = op
+        for op in self.ops:
+            for dep in op.deps:
+                if dep not in self._by_name:
+                    raise ValueError(
+                        f"op {op.name!r} depends on unknown op {dep!r}"
+                    )
+        self._check_topological()
+
+    def _check_topological(self) -> None:
+        seen = set()
+        for op in self.ops:
+            for dep in op.deps:
+                if dep not in seen:
+                    raise ValueError(
+                        f"op {op.name!r} appears before its dependency "
+                        f"{dep!r}"
+                    )
+            seen.add(op.name)
+
+    def __iter__(self):
+        return iter(self.ops)
+
+    def __len__(self):
+        return len(self.ops)
+
+    def __getitem__(self, name: str) -> Op:
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def total(self, attr: str, kind: Optional[str] = None,
+              phase: Optional[str] = None) -> float:
+        """Sum an op attribute over the graph, optionally filtered."""
+        return sum(
+            getattr(op, attr) for op in self.ops
+            if (kind is None or op.kind == kind)
+            and (phase is None or op.phase == phase)
+        )
+
+    def comm_ops(self) -> List[Op]:
+        """All communication ops, in graph order."""
+        return [op for op in self.ops if op.kind == "comm"]
+
+    def compute_ops(self) -> List[Op]:
+        """All non-communication ops, in graph order."""
+        return [op for op in self.ops if op.kind != "comm"]
+
+
+# ---------------------------------------------------------------------------
+# Forward graph
+# ---------------------------------------------------------------------------
+
+def build_forward_graph(
+    model: ModelConfig,
+    parallel: ParallelConfig,
+    micro_batch: int,
+    elem_bytes: float = 2.0,
+    seq_len: Optional[int] = None,
+) -> OpGraph:
+    """Operator DAG for one MoE layer's forward pass on one rank."""
+    dims = _Dims(model, parallel, micro_batch, elem_bytes,
+                 seq_len or model.seq_len)
+    ops: List[Op] = []
+    ops += _attention_forward(dims)
+    ops += _ffn_forward(dims)
+    return OpGraph(ops)
+
+
+class _Dims:
+    """Shared size arithmetic for graph builders."""
+
+    def __init__(self, model: ModelConfig, parallel: ParallelConfig,
+                 micro_batch: int, elem_bytes: float, seq_len: int):
+        self.model = model
+        self.parallel = parallel
+        self.b = micro_batch
+        self.s = seq_len
+        self.h = model.hidden_size
+        self.n = parallel.model_parallel_size
+        self.m = model.gqa_ratio
+        self.k = model.top_k
+        self.fh = model.ffn_hidden_size
+        self.E = model.n_experts
+        self.eb = elem_bytes
+        # Tokens this rank is responsible for in the SP region.
+        self.local_tokens = self.b * self.s / self.n
+        self.total_tokens = self.b * self.s
+
+    @property
+    def ep_mode(self) -> str:
+        mode = self.parallel.ep_dispatch
+        if mode == "adaptive":
+            from ..parallel.ep_ffn import choose_dispatch_mode
+            mode = choose_dispatch_mode(self.k, self.n)
+        return mode
+
+    def ring_send(self, full_elements: float) -> float:
+        """Per-rank bytes for a ring AG/RS whose full tensor has
+        ``full_elements``."""
+        return full_elements / self.n * (self.n - 1) * self.eb
+
+    def a2a_send(self, local_elements: float) -> float:
+        """Per-rank bytes for an A2A where this rank redistributes
+        ``local_elements``."""
+        return local_elements * (self.n - 1) / self.n * self.eb
+
+
+def _attention_forward(d: _Dims) -> List[Op]:
+    qkv_width = d.model.qkv_output_size
+    t_loc = d.local_tokens
+    ops: List[Op] = [
+        Op("ln1", "memory",
+           mem_bytes=2 * t_loc * d.h * d.eb,
+           deps=(), produces=("ln1_out",)),
+    ]
+    if d.parallel.attention == "sp":
+        ops += [
+            Op("qkv_proj", "gemm",
+               flops=2 * t_loc * d.h * qkv_width,
+               mem_bytes=(t_loc * (d.h + qkv_width)
+                          + d.h * qkv_width) * d.eb,
+               deps=("ln1",), produces=("qkv",),
+               fuse_group="gemm+a2a",
+               gemm_shape=(t_loc, d.h, qkv_width)),
+            Op("rope", "memory",
+               mem_bytes=2 * t_loc * (d.h + d.h / d.m) * d.eb,
+               deps=("qkv_proj",), produces=("q_rope", "k_rope")),
+            Op("qkv_a2a", "comm",
+               comm_bytes=d.a2a_send(t_loc * qkv_width),
+               comm_pattern="a2a",
+               deps=("rope",), produces=("qkv_a2a",),
+               fuse_group="a2a+attn"),
+            Op("attention", "attn",
+               flops=2 * 2 * d.b * d.s * (d.s / 2) * d.h / d.n,
+               mem_bytes=d.total_tokens * qkv_width / d.n * d.eb,
+               deps=("qkv_a2a",), produces=("attn",),
+               fuse_group="a2a+attn"),
+            Op("attn_a2a", "comm",
+               comm_bytes=d.a2a_send(d.total_tokens * d.h / d.n),
+               comm_pattern="a2a",
+               deps=("attention",), produces=("attn_a2a",),
+               fuse_group="a2a+gemm"),
+            Op("out_proj", "gemm",
+               flops=2 * t_loc * d.h * d.h,
+               mem_bytes=(2 * t_loc * d.h + d.h * d.h) * d.eb,
+               deps=("attn_a2a",), produces=("attn_out",),
+               fuse_group="a2a+gemm",
+               gemm_shape=(t_loc, d.h, d.h)),
+        ]
+    else:  # Megatron TP attention: AG in, RS out (Eq. 1 volume).
+        ops += [
+            Op("attn_ag", "comm",
+               comm_bytes=d.ring_send(d.total_tokens * d.h),
+               comm_pattern="ag",
+               deps=("ln1",), produces=("ln1_out_full",),
+               fuse_group="attn_ag+gemm"),
+            Op("qkv_proj", "gemm",
+               flops=2 * d.total_tokens * d.h * qkv_width / d.n,
+               mem_bytes=(d.total_tokens * (d.h + qkv_width / d.n)
+                          + d.h * qkv_width / d.n) * d.eb,
+               deps=("attn_ag",), produces=("qkv",),
+               fuse_group="attn_ag+gemm",
+               gemm_shape=(d.total_tokens, d.h, qkv_width / d.n)),
+            Op("rope", "memory",
+               mem_bytes=2 * d.total_tokens * (d.h + d.h / d.m)
+               / d.n * d.eb,
+               deps=("qkv_proj",), produces=("q_rope", "k_rope")),
+            Op("attention", "attn",
+               flops=2 * 2 * d.b * d.s * (d.s / 2) * d.h / d.n,
+               mem_bytes=d.total_tokens * qkv_width / d.n * d.eb,
+               deps=("rope",), produces=("attn",)),
+            Op("out_proj", "gemm",
+               flops=2 * d.total_tokens * d.h * d.h / d.n,
+               mem_bytes=(d.total_tokens * (d.h / d.n + d.h)
+                          + d.h * d.h / d.n) * d.eb,
+               deps=("attention",), produces=("attn_partial",),
+               fuse_group="attn_gemm+rs",
+               gemm_shape=(d.total_tokens, d.h / d.n, d.h)),
+            Op("attn_rs", "comm",
+               comm_bytes=d.ring_send(d.total_tokens * d.h),
+               comm_pattern="rs",
+               deps=("out_proj",), produces=("attn_out",),
+               fuse_group="attn_gemm+rs"),
+        ]
+    ops.append(Op("residual1", "memory",
+                  mem_bytes=3 * d.local_tokens * d.h * d.eb,
+                  deps=(ops[-1].name,), produces=("ln2_in",)))
+    return ops
+
+
+def _ffn_forward(d: _Dims) -> List[Op]:
+    ops: List[Op] = [
+        Op("ln2", "memory",
+           mem_bytes=2 * d.local_tokens * d.h * d.eb,
+           deps=("residual1",), produces=("ln2_out",)),
+        Op("router", "gemm",
+           flops=2 * d.local_tokens * d.h * d.E,
+           mem_bytes=d.local_tokens * (d.h + d.E) * d.eb,
+           deps=("ln2",), produces=("routing",),
+           gemm_shape=(d.local_tokens, d.h, d.E)),
+    ]
+    routed = d.total_tokens * d.k / d.n  # rows per rank after dispatch
+
+    if d.parallel.ffn == "ep" and d.ep_mode == "ag_rs":
+        ops += [
+            Op("ffn_ag", "comm",
+               comm_bytes=d.ring_send(d.total_tokens * d.h),
+               comm_pattern="ag",
+               deps=("ln2",), produces=("ln2_out_ag",),
+               fuse_group="ag+scatter+ggemm"),
+            Op("scatter", "memory",
+               mem_bytes=(d.total_tokens * d.h + routed * d.h) * d.eb,
+               deps=("ffn_ag", "router"), produces=("ffn_in",),
+               fuse_group="ag+scatter+ggemm"),
+        ]
+        gemm_dep = "scatter"
+    elif d.parallel.ffn == "ep":  # a2a dispatch
+        ops += [
+            Op("scatter", "memory",
+               mem_bytes=2 * d.local_tokens * d.k * d.h * d.eb,
+               deps=("ln2", "router"), produces=("send_rows",)),
+            Op("dispatch_a2a", "comm",
+               comm_bytes=d.a2a_send(d.local_tokens * d.k * d.h),
+               comm_pattern="a2a",
+               deps=("scatter",), produces=("ffn_in",),
+               fuse_group="a2a+ggemm"),
+        ]
+        gemm_dep = "dispatch_a2a"
+    else:  # TP FFN: AG in, every rank runs all routed rows on shards.
+        ops += [
+            Op("ffn_ag", "comm",
+               comm_bytes=d.ring_send(d.total_tokens * d.h),
+               comm_pattern="ag",
+               deps=("ln2",), produces=("ln2_out_ag",),
+               fuse_group="tp_ffn_ag+gemm"),
+            Op("scatter", "memory",
+               mem_bytes=(d.total_tokens * d.h
+                          + d.total_tokens * d.k * d.h) * d.eb,
+               deps=("ffn_ag", "router"), produces=("ffn_in",),
+               fuse_group="tp_ffn_ag+gemm"),
+        ]
+        gemm_dep = "scatter"
+
+    if d.parallel.ffn == "ep":
+        rows, width, experts_here = routed, d.fh, d.E / d.n
+        ggemm_fuse = ("ag+scatter+ggemm" if d.ep_mode == "ag_rs"
+                      else "a2a+ggemm")
+    else:
+        rows, width, experts_here = d.total_tokens * d.k, d.fh / d.n, d.E
+        ggemm_fuse = "tp_ffn_ag+gemm"
+
+    weight_bytes = experts_here * d.h * width * d.eb
+    rows_per_expert = rows / max(experts_here, 1)
+    ops += [
+        Op("fc1", "gemm",
+           flops=2 * rows * d.h * width,
+           mem_bytes=(rows * (d.h + width)) * d.eb + weight_bytes,
+           deps=(gemm_dep,), produces=("fc1_out",),
+           fuse_group=ggemm_fuse,
+           gemm_shape=(rows_per_expert, d.h, width)),
+        Op("fc3", "gemm",
+           flops=2 * rows * d.h * width,
+           mem_bytes=(rows * (d.h + width)) * d.eb + weight_bytes,
+           deps=(gemm_dep,), produces=("fc3_out",),
+           gemm_shape=(rows_per_expert, d.h, width)),
+        Op("swiglu", "memory",
+           mem_bytes=3 * rows * width * d.eb,
+           deps=("fc1", "fc3"), produces=("fc2_in",)),
+        Op("fc2", "gemm",
+           flops=2 * rows * width * d.h,
+           mem_bytes=(rows * (width + d.h)) * d.eb + weight_bytes,
+           deps=("swiglu",), produces=("fc2_out",),
+           fuse_group="ggemm+gather+rs" if d.parallel.ffn == "ep"
+           and d.ep_mode == "ag_rs" else (
+               "tp_ffn_gemm+rs" if d.parallel.ffn == "tp" else ""),
+           gemm_shape=(rows_per_expert, width, d.h)),
+    ]
+
+    if d.parallel.ffn == "ep" and d.ep_mode == "ag_rs":
+        ops += [
+            Op("gather", "memory",
+               mem_bytes=(routed * d.h + d.total_tokens * d.h) * d.eb,
+               deps=("fc2",), produces=("fc2_out_full",),
+               fuse_group="ggemm+gather+rs"),
+            Op("ffn_rs", "comm",
+               comm_bytes=d.ring_send(d.total_tokens * d.h),
+               comm_pattern="rs",
+               deps=("gather",), produces=("ffn_out",),
+               fuse_group="ggemm+gather+rs"),
+        ]
+        last = "ffn_rs"
+    elif d.parallel.ffn == "ep":
+        ops += [
+            Op("combine_a2a", "comm",
+               comm_bytes=d.a2a_send(d.local_tokens * d.k * d.h),
+               comm_pattern="a2a",
+               deps=("fc2",), produces=("combined_rows",),
+               fuse_group="ggemm+a2a"),
+            Op("weighted_sum", "memory",
+               mem_bytes=2 * d.local_tokens * d.k * d.h * d.eb,
+               deps=("combine_a2a",), produces=("ffn_out",)),
+        ]
+        last = "weighted_sum"
+    else:
+        ops += [
+            Op("gather", "memory",
+               mem_bytes=(d.total_tokens * d.k * d.h
+                          + d.total_tokens * d.h) * d.eb,
+               deps=("fc2",), produces=("fc2_out_full",),
+               fuse_group="tp_ffn_gemm+rs"),
+            Op("ffn_rs", "comm",
+               comm_bytes=d.ring_send(d.total_tokens * d.h),
+               comm_pattern="rs",
+               deps=("gather",), produces=("ffn_out",),
+               fuse_group="tp_ffn_gemm+rs"),
+        ]
+        last = "ffn_rs"
+
+    ops.append(Op("residual2", "memory",
+                  mem_bytes=3 * d.local_tokens * d.h * d.eb,
+                  deps=(last,), produces=("hidden_next",)))
+    return ops
+
+
+# ---------------------------------------------------------------------------
+# Backward graph
+# ---------------------------------------------------------------------------
+
+def build_backward_graph(
+    model: ModelConfig,
+    parallel: ParallelConfig,
+    micro_batch: int,
+    elem_bytes: float = 2.0,
+    seq_len: Optional[int] = None,
+    selective_remat: bool = True,
+) -> OpGraph:
+    """Operator DAG for one MoE layer's backward pass on one rank.
+
+    Built by mirroring the forward graph: every GEMM becomes a dgrad and
+    a wgrad GEMM (same FLOPs each), every collective becomes its dual,
+    memory ops double their traffic.  With ``selective_remat`` the
+    recompute/re-communicate ops of Fig. 8b are inserted (phase
+    ``"remat"``) with dependencies that let the scheduler overlap them.
+    """
+    fwd = build_forward_graph(model, parallel, micro_batch, elem_bytes,
+                              seq_len)
+    dual = {"ag": "rs", "rs": "ag", "a2a": "a2a", "ar": "ar"}
+
+    ops: List[Op] = []
+    prev_name: Optional[str] = None
+    for op in reversed(list(fwd)):
+        deps = (prev_name,) if prev_name else ()
+        if op.kind == "comm":
+            bwd = Op(f"{op.name}.bwd", "comm",
+                     comm_bytes=op.comm_bytes,
+                     comm_pattern=dual[op.comm_pattern],
+                     comm_scope=op.comm_scope,
+                     deps=deps, produces=(f"d_{op.name}",),
+                     fuse_group=op.fuse_group, phase="bwd")
+            ops.append(bwd)
+            prev_name = bwd.name
+        elif op.kind == "gemm":
+            dgrad = Op(f"{op.name}.dgrad", "gemm",
+                       flops=op.flops, mem_bytes=op.mem_bytes,
+                       deps=deps, produces=(f"d_{op.name}_in",),
+                       fuse_group=op.fuse_group, phase="bwd",
+                       gemm_shape=op.gemm_shape)
+            wgrad = Op(f"{op.name}.wgrad", "gemm",
+                       flops=op.flops, mem_bytes=op.mem_bytes,
+                       deps=deps, produces=(f"d_{op.name}_w",),
+                       phase="bwd", gemm_shape=op.gemm_shape)
+            ops += [dgrad, wgrad]
+            prev_name = dgrad.name
+        elif op.kind == "attn":
+            bwd = Op(f"{op.name}.bwd", "attn",
+                     flops=2.5 * op.flops, mem_bytes=2 * op.mem_bytes,
+                     deps=deps, produces=(f"d_{op.name}",),
+                     fuse_group=op.fuse_group, phase="bwd")
+            ops.append(bwd)
+            prev_name = bwd.name
+        else:
+            bwd = Op(f"{op.name}.bwd", "memory",
+                     mem_bytes=2 * op.mem_bytes,
+                     deps=deps, produces=(f"d_{op.name}",),
+                     fuse_group=op.fuse_group, phase="bwd")
+            ops.append(bwd)
+            prev_name = bwd.name
+
+    if selective_remat:
+        ops = _insert_remat_ops(fwd, ops)
+    return OpGraph(ops)
+
+
+def _insert_remat_ops(fwd: OpGraph, bwd_ops: List[Op]) -> List[Op]:
+    """Insert Fig. 8b rematerialization ops before their consumers.
+
+    Recomputed/re-communicated activations (everything except the
+    retained set {hidden, qkv_a2a, attn_a2a, ln2_in, fc1_out, fc3_out})
+    show up as ``remat.*`` ops: re-run RMSNorm2, re-all-gather the FFN
+    input, and re-apply SwiGLU to recover ``fc2_in``.  Each carries no
+    ordering dependency on the backward chain, so the scheduler is free
+    to hide it under communication.
+    """
+    by_name = {op.name: op for op in bwd_ops}
+    out: List[Op] = []
+    inserted = set()
+
+    def remat_for(consumer: str) -> List[Op]:
+        extra: List[Op] = []
+        if consumer == "fc2.dgrad" and "swiglu" in fwd:
+            src = fwd["swiglu"]
+            extra.append(Op("remat.swiglu", "memory",
+                            mem_bytes=src.mem_bytes,
+                            produces=("fc2_in",), phase="remat"))
+        if consumer in ("fc1.dgrad", "fc1.wgrad") and "ln2" in fwd:
+            src = fwd["ln2"]
+            extra.append(Op("remat.ln2", "memory",
+                            mem_bytes=src.mem_bytes,
+                            produces=("ln2_out",), phase="remat"))
+            if "ffn_ag" in fwd:
+                ag = fwd["ffn_ag"]
+                extra.append(Op("remat.ffn_ag", "comm",
+                                comm_bytes=ag.comm_bytes,
+                                comm_pattern="ag",
+                                comm_scope=ag.comm_scope,
+                                deps=("remat.ln2",),
+                                produces=("ln2_out_ag",), phase="remat"))
+            if "scatter" in fwd:
+                sc = fwd["scatter"]
+                extra.append(Op("remat.scatter", "memory",
+                                mem_bytes=sc.mem_bytes,
+                                deps=("remat.ffn_ag",)
+                                if "ffn_ag" in fwd else ("remat.ln2",),
+                                produces=("ffn_in",), phase="remat"))
+        if consumer == "qkv_proj.wgrad" and "ln1" in fwd:
+            extra.append(Op("remat.ln1", "memory",
+                            mem_bytes=fwd["ln1"].mem_bytes,
+                            produces=("ln1_out",), phase="remat"))
+        return [e for e in extra if e.name not in inserted]
+
+    for op in bwd_ops:
+        for extra in remat_for(op.name):
+            out.append(extra)
+            inserted.add(extra.name)
+        if op.name in ("fc2.dgrad", "fc2.wgrad") and \
+                "remat.swiglu" in inserted:
+            op = replace(op, deps=op.deps + ("remat.swiglu",))
+        if op.name in ("fc1.dgrad", "fc1.wgrad", "fc3.dgrad",
+                       "fc3.wgrad") and "remat.scatter" in inserted:
+            op = replace(op, deps=op.deps + ("remat.scatter",))
+        elif op.name in ("fc1.dgrad", "fc1.wgrad", "fc3.dgrad",
+                         "fc3.wgrad") and "remat.ln2" in inserted \
+                and "remat.scatter" not in inserted:
+            op = replace(op, deps=op.deps + ("remat.ln2",))
+        out.append(op)
+    return out

@@ -1,0 +1,181 @@
+"""Parallelism planning (§3, Fig. 4).
+
+Chooses the communication-efficient strategy combination for a model on
+a cluster the way MegaScale-MoE does:
+
+* pipeline parallelism across nodes (inter-node), never TP/EP;
+* SP (Ulysses) for attention inside the node, falling back to TP when
+  head counts don't divide;
+* EP for experts, with the adaptive dispatch mode of §3.2 — all-to-all
+  for small top-k, all-gather/reduce-scatter once top-k approaches the
+  EP size (the Fig. 7 crossover);
+* DP outermost.
+
+Also provides the Fig. 7 timing comparison of the three dispatch
+collectives and the Eq. 5–9 scale-up check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..comm.cost import (
+    LinkSpec,
+    all_to_all_time,
+    ring_all_gather_time,
+    ring_reduce_scatter_time,
+)
+from .analysis import scale_up_ratio
+from .config import GPUSpec, ModelConfig, ParallelConfig
+
+__all__ = ["PlanDecision", "plan_parallelism", "dispatch_mode_times",
+           "dispatch_crossover_top_k"]
+
+
+@dataclass
+class PlanDecision:
+    """A chosen configuration plus the reasoning behind each choice."""
+
+    parallel: ParallelConfig
+    rationale: Dict[str, str]
+    scale_up_ratio: float
+
+    def explain(self) -> str:
+        """Human-readable summary of the plan and its rationale."""
+        lines = [f"strategy = {self.parallel.strategy_name} "
+                 f"(PP={self.parallel.pipeline_size}, "
+                 f"DP={self.parallel.data_parallel_size})"]
+        lines += [f"  {key}: {why}" for key, why in self.rationale.items()]
+        lines.append(f"  scale-up ratio R = {self.scale_up_ratio:.2f} "
+                     f"({'>' if self.scale_up_ratio > 1 else '<='} 1)")
+        return "\n".join(lines)
+
+
+def plan_parallelism(
+    model: ModelConfig,
+    n_gpus: int,
+    gpu: GPUSpec,
+    ranks_per_node: int = 8,
+    pipeline_size: Optional[int] = None,
+) -> PlanDecision:
+    """Pick the MegaScale-MoE parallelism for a (model, cluster) pair."""
+    if n_gpus % ranks_per_node != 0:
+        raise ValueError(
+            f"n_gpus={n_gpus} not divisible by ranks_per_node="
+            f"{ranks_per_node}"
+        )
+    n = ranks_per_node
+    rationale: Dict[str, str] = {}
+
+    # Attention: SP unless the head counts don't divide the node.
+    if model.n_heads % n == 0 and model.n_kv_heads % n == 0:
+        attention = "sp"
+        rationale["attention"] = (
+            f"SP: A2A volume shrinks with n and GQA ratio m={model.gqa_ratio}"
+            f" (Eq. 2), ~{(2 + 2 / model.gqa_ratio) / n:.2f}× of TP's"
+        )
+    else:
+        attention = "tp"
+        rationale["attention"] = (
+            f"TP fallback: heads ({model.n_heads}/{model.n_kv_heads}) do "
+            f"not divide the node size {n}"
+        )
+
+    # FFN: EP unless experts don't divide the node.
+    if model.n_experts % n == 0:
+        ffn = "ep"
+        mode = ("a2a" if model.top_k < 0.75 * n else "ag_rs")
+        rationale["ffn"] = (
+            f"EP with {mode} dispatch: top-k={model.top_k} vs EP size {n} "
+            f"(Fig. 7 crossover near k≈6 on 8 GPUs)"
+        )
+    else:
+        ffn = "tp"
+        mode = "adaptive"
+        rationale["ffn"] = (
+            f"TP fallback: {model.n_experts} experts do not divide the "
+            f"node size {n}"
+        )
+
+    # Pipeline: the *shallowest* pipeline whose per-GPU memory fits —
+    # deeper pipelines only add bubbles (Table 3's MFU decline), so PP
+    # is sized by parameter pressure, not preference.
+    nodes = n_gpus // n
+    if pipeline_size is None:
+        candidates = [p for p in range(1, min(nodes, model.n_layers) + 1)
+                      if nodes % p == 0 and model.n_layers % p == 0]
+        pipeline_size = candidates[-1]
+        for p in candidates:
+            if _memory_fits(model, n, p, nodes // p, gpu):
+                pipeline_size = p
+                break
+    dp = nodes // pipeline_size
+    rationale["pipeline"] = (
+        f"PP={pipeline_size} across nodes: shallowest pipeline whose "
+        f"per-GPU memory fits (deeper pipelines only add bubbles, §3)"
+    )
+
+    ratio = scale_up_ratio(model.ffn_hidden_size, gpu.nvlink_bandwidth,
+                           gpu.peak_flops, n)
+    parallel = ParallelConfig(
+        model_parallel_size=n,
+        attention=attention,
+        ffn=ffn,
+        pipeline_size=pipeline_size,
+        data_parallel_size=dp,
+        ep_dispatch=mode if ffn == "ep" else "adaptive",
+    )
+    return PlanDecision(parallel=parallel, rationale=rationale,
+                        scale_up_ratio=ratio)
+
+
+def _memory_fits(model: ModelConfig, n: int, p: int, d: int,
+                 gpu: GPUSpec, headroom: float = 0.9) -> bool:
+    """Static + in-flight activation bytes under SAR vs HBM capacity."""
+    from .analysis import param_memory_per_gpu
+    from .remat import default_remat_plan
+
+    pc = ParallelConfig.megascale(n, pipeline_size=p,
+                                  data_parallel_size=max(d, 1))
+    static = param_memory_per_gpu(model, pc)["total"]
+    layers_per_stage = model.n_layers / p
+    activations = default_remat_plan().retained_elements(model, pc, 1) \
+        * 2.0 * layers_per_stage * p  # p micro-batches in flight (1F1B)
+    return static + activations < gpu.memory_bytes * headroom
+
+
+def dispatch_mode_times(
+    model: ModelConfig,
+    top_k: int,
+    n: int,
+    link: LinkSpec,
+    micro_batch: int = 1,
+    elem_bytes: float = 2.0,
+) -> Dict[str, float]:
+    """Fig. 7 — dispatch time per collective choice for a given top-k.
+
+    Returns seconds for ``a2a`` (uneven all-to-all of routed rows),
+    ``ag`` (all-gather of all tokens) and ``rs`` (reduce-scatter of the
+    combined tensor).  Dispatch under AG/RS mode costs ``ag``; combine
+    costs ``rs``; A2A mode pays ``a2a`` both ways.
+    """
+    tokens = micro_batch * model.seq_len
+    h = model.hidden_size
+    a2a_bytes = tokens * top_k / n * h * (n - 1) / n * elem_bytes
+    full_bytes = tokens * h * elem_bytes
+    return {
+        "a2a": all_to_all_time(a2a_bytes, n, link),
+        "ag": ring_all_gather_time(full_bytes, n, link),
+        "rs": ring_reduce_scatter_time(full_bytes, n, link),
+    }
+
+
+def dispatch_crossover_top_k(model: ModelConfig, n: int,
+                             link: LinkSpec) -> int:
+    """Smallest top-k at which AG/RS dispatch beats A2A (Fig. 7)."""
+    for k in range(1, model.n_experts + 1):
+        times = dispatch_mode_times(model, k, n, link)
+        if times["ag"] + times["rs"] <= 2 * times["a2a"]:
+            return k
+    return model.n_experts + 1

@@ -1,0 +1,171 @@
+"""Selective activation rematerialization (§4.1, Fig. 8, Appendix A.2).
+
+MegaScale-MoE keeps only activations that are *computationally expensive*
+to recreate and recomputes (or re-communicates) the rest during backward,
+hiding the re-work under independent communication.  This module holds:
+
+* the Fig. 20 activation table with exact element counts,
+* :class:`RematPlan` — which activations to retain, with memory
+  accounting that reproduces the Appendix A.2 formulas,
+* the paper's default plan (retain ``hidden``, ``qkv_a2a``,
+  ``attn_a2a``, ``ln2_in``, ``fc1_out``, ``fc3_out``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List
+
+from .config import ModelConfig, ParallelConfig
+
+__all__ = [
+    "ActivationSpec",
+    "activation_table",
+    "RematPlan",
+    "default_remat_plan",
+    "no_remat_plan",
+]
+
+
+@dataclass(frozen=True)
+class ActivationSpec:
+    """One row of Fig. 20.
+
+    ``share`` is the element count in units of ``b·s·h/n`` as a function
+    of (n, m, k, f); ``source`` documents the producing operator and
+    ``recreate`` how the activation can be rebuilt in backward:
+    ``"recompute"`` (cheap memory-bound op), ``"recommunicate"``
+    (repeat a collective), or ``"expensive"`` (GEMM/attention output —
+    these are the retention candidates).
+    """
+
+    name: str
+    source: str
+    recreate: str
+
+    def share(self, n: int, m: int, k: int, f: float) -> float:
+        """Element count in units of ``b·s·h/n`` for given (n, m, k, f)."""
+        return _SHARES[self.name](n, m, k, f)
+
+
+_SHARES = {
+    "hidden":      lambda n, m, k, f: 1.0,
+    "ln1_out":     lambda n, m, k, f: 1.0,
+    "qkv":         lambda n, m, k, f: 1.0 + 2.0 / m,
+    "q_rope":      lambda n, m, k, f: 1.0,
+    "k_rope":      lambda n, m, k, f: 1.0 / m,
+    "qkv_a2a":     lambda n, m, k, f: 1.0 + 2.0 / m,
+    "attn":        lambda n, m, k, f: 1.0,
+    "attn_a2a":    lambda n, m, k, f: 1.0,
+    "attn_out":    lambda n, m, k, f: 1.0,
+    "ln2_in":      lambda n, m, k, f: 1.0,
+    "ln2_out":     lambda n, m, k, f: 1.0,
+    "ln2_out_ag":  lambda n, m, k, f: float(n),
+    "ffn_in":      lambda n, m, k, f: float(k),
+    "fc1_out":     lambda n, m, k, f: k * f,
+    "fc3_out":     lambda n, m, k, f: k * f,
+    "fc2_in":      lambda n, m, k, f: k * f,
+    "fc2_out":     lambda n, m, k, f: float(k),
+    "fc2_out_rs":  lambda n, m, k, f: float(n),
+    "ffn_out":     lambda n, m, k, f: 1.0,
+    "hidden_next": lambda n, m, k, f: 1.0,
+}
+
+
+def activation_table() -> List[ActivationSpec]:
+    """The full Fig. 20 activation list for one MoE layer."""
+    rows = [
+        ("hidden",      "layer input",                    "expensive"),
+        ("ln1_out",     "RMSNorm(hidden)",                "recompute"),
+        ("qkv",         "MatMul(ln1_out, qkv_weight)",    "expensive"),
+        ("q_rope",      "RopeEmbedding(q)",               "recompute"),
+        ("k_rope",      "RopeEmbedding(k)",               "recompute"),
+        ("qkv_a2a",     "All-to-All(q_rope, k_rope, v)",  "recommunicate"),
+        ("attn",        "SelfAttention(qkv_a2a)",         "expensive"),
+        ("attn_a2a",    "All-to-All(attn)",               "recommunicate"),
+        ("attn_out",    "MatMul(attn_a2a, out_weight)",   "expensive"),
+        ("ln2_in",      "Add(hidden, attn_out)",          "recompute"),
+        ("ln2_out",     "RMSNorm(ln2_in)",                "recompute"),
+        ("ln2_out_ag",  "All-Gather(ln2_out)",            "recommunicate"),
+        ("ffn_in",      "Scatter(ln2_out_ag)",            "recompute"),
+        ("fc1_out",     "GroupedGEMM(ffn_in, fc1_w)",     "expensive"),
+        ("fc3_out",     "GroupedGEMM(ffn_in, fc3_w)",     "expensive"),
+        ("fc2_in",      "SiLU(fc1_out, fc3_out)",         "recompute"),
+        ("fc2_out",     "GroupedGEMM(fc2_in, fc2_w)",     "expensive"),
+        ("fc2_out_rs",  "Gather(fc2_out)",                "recompute"),
+        ("ffn_out",     "Reduce-Scatter(fc2_out_rs)",     "recommunicate"),
+        ("hidden_next", "Add(ln2_in, ffn_out)",           "expensive"),
+    ]
+    return [ActivationSpec(*row) for row in rows]
+
+
+#: The paper's retained set: sums to ``(2kf + 4 + 2/m)·bsh/n``.
+PAPER_RETAINED: FrozenSet[str] = frozenset(
+    {"hidden", "qkv_a2a", "attn_a2a", "ln2_in", "fc1_out", "fc3_out"}
+)
+
+
+
+@dataclass(frozen=True)
+class RematPlan:
+    """A retention decision over the Fig. 20 activation set."""
+
+    retained: FrozenSet[str]
+
+    def __post_init__(self):
+        unknown = self.retained - set(_SHARES)
+        if unknown:
+            raise ValueError(f"unknown activations: {sorted(unknown)}")
+
+    def retained_elements(self, model: ModelConfig,
+                          parallel: ParallelConfig,
+                          micro_batch: int) -> float:
+        """Elements stored between forward and backward per layer."""
+        n, m, k = (parallel.model_parallel_size, model.gqa_ratio,
+                   model.top_k)
+        f = model.ffn_hidden_size / model.hidden_size
+        unit = micro_batch * model.seq_len * model.hidden_size / n
+        return unit * sum(
+            spec.share(n, m, k, f) for spec in activation_table()
+            if spec.name in self.retained
+        )
+
+    def recreated(self) -> List[ActivationSpec]:
+        """Activations that backward must rebuild."""
+        return [spec for spec in activation_table()
+                if spec.name not in self.retained]
+
+    def recompute_names(self) -> List[str]:
+        """Recreated activations rebuilt by re-running compute."""
+        return [s.name for s in self.recreated()
+                if s.recreate == "recompute"]
+
+    def recommunicate_names(self) -> List[str]:
+        """Recreated activations rebuilt by repeating a collective."""
+        return [s.name for s in self.recreated()
+                if s.recreate == "recommunicate"]
+
+    def savings_vs_full(self, model: ModelConfig,
+                        parallel: ParallelConfig,
+                        micro_batch: int) -> float:
+        """Fraction of per-layer activation memory this plan saves."""
+        full = no_remat_plan().retained_elements(model, parallel,
+                                                 micro_batch)
+        mine = self.retained_elements(model, parallel, micro_batch)
+        return 1.0 - mine / full if full else 0.0
+
+
+def default_remat_plan() -> RematPlan:
+    """The paper's plan: keep GEMM/attention-adjacent activations only.
+
+    Retained shares sum to ``2kf + 4 + 2/m`` — the Appendix A.2 reduced
+    formula.  Everything recomputed is memory-bound (RMSNorm, SwiGLU,
+    scatter) or a repeatable collective (all-gather), so backward can
+    hide the re-work under gradient communication (Fig. 8b).
+    """
+    return RematPlan(PAPER_RETAINED)
+
+
+def no_remat_plan() -> RematPlan:
+    """Store every Fig. 20 activation: the ``(2n+2k+3kf+12+5/m)`` total."""
+    return RematPlan(frozenset(_SHARES))

@@ -1,0 +1,176 @@
+"""Production training runner: checkpoint cadence, faults, recovery.
+
+Fig. 19's run "uses over 10,000 GPUs and lasts for months ... Different
+colors indicate training restarts."  Operating such a run requires more
+than a train_step: periodic checkpoints, crash detection, resume from
+the latest durable state, and a metrics trail.  This module provides
+that loop for any trainer exposing ``train_step`` /
+``state_dict`` / ``load_state_dict``:
+
+* :class:`ProductionRunner` — drives steps, checkpoints every
+  ``checkpoint_interval`` steps, and on a :class:`SimulatedFault`
+  rebuilds the trainer from the latest checkpoint and replays from the
+  next un-trained batch (steps since the last checkpoint are re-run,
+  exactly like a real restart).
+* :class:`FaultInjector` — deterministic fault schedule for tests and
+  benches.
+* :class:`MetricsLog` — step/loss/restart history with CSV export.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["SimulatedFault", "FaultInjector", "MetricsLog",
+           "ProductionRunner"]
+
+
+class SimulatedFault(RuntimeError):
+    """A injected failure (node loss, NCCL timeout, ...)."""
+
+
+class FaultInjector:
+    """Raises :class:`SimulatedFault` at predetermined global steps.
+
+    Each scheduled step faults exactly once: the post-restart replay of
+    the same step proceeds (a real cluster swaps the bad node out).
+    """
+
+    def __init__(self, fault_steps: Sequence[int]):
+        self.pending = set(int(s) for s in fault_steps)
+        self.fired: List[int] = []
+
+    def check(self, step: int) -> None:
+        """Raise :class:`SimulatedFault` if ``step`` is scheduled to fail."""
+        if step in self.pending:
+            self.pending.discard(step)
+            self.fired.append(step)
+            raise SimulatedFault(f"injected fault at step {step}")
+
+
+@dataclass
+class MetricsLog:
+    """Append-only training telemetry."""
+
+    steps: List[int] = field(default_factory=list)
+    losses: List[float] = field(default_factory=list)
+    restarts: List[int] = field(default_factory=list)
+    checkpoints: List[int] = field(default_factory=list)
+
+    def record(self, step: int, loss: float) -> None:
+        """Append one training step."""
+        self.steps.append(step)
+        self.losses.append(loss)
+
+    def to_csv(self, path: str) -> None:
+        """Write the step/loss history as CSV."""
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["step", "loss"])
+            for step, loss in zip(self.steps, self.losses):
+                writer.writerow([step, loss])
+
+    @property
+    def restart_count(self) -> int:
+        return len(self.restarts)
+
+
+class ProductionRunner:
+    """Runs a trainer with durable checkpoints and crash recovery.
+
+    Args:
+        trainer_factory: Builds a *fresh* trainer (used at start and
+            after every restart); must expose ``train_step(batch)``
+            returning an object with a ``loss`` attribute (or a float),
+            plus ``state_dict()`` / ``load_state_dict()``.
+        checkpoint_dir: Where step-stamped ``.npz`` state lands.
+        checkpoint_interval: Steps between checkpoints.
+        max_restarts: Give up (re-raise) after this many recoveries.
+    """
+
+    def __init__(self, trainer_factory: Callable[[], object],
+                 checkpoint_dir: str, checkpoint_interval: int = 10,
+                 max_restarts: int = 10):
+        if checkpoint_interval < 1:
+            raise ValueError(
+                f"checkpoint_interval must be >= 1, got "
+                f"{checkpoint_interval}"
+            )
+        self.trainer_factory = trainer_factory
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_interval = checkpoint_interval
+        self.max_restarts = max_restarts
+        os.makedirs(checkpoint_dir, exist_ok=True)
+
+    # -- checkpoint files ---------------------------------------------------
+
+    def _path(self, step: int) -> str:
+        return os.path.join(self.checkpoint_dir, f"step_{step:08d}.npz")
+
+    def latest_checkpoint(self) -> Optional[int]:
+        """Highest checkpointed step in the directory, or None."""
+        steps = []
+        for name in os.listdir(self.checkpoint_dir):
+            if name.startswith("step_") and name.endswith(".npz"):
+                try:
+                    steps.append(int(name[5:-4]))
+                except ValueError:
+                    continue
+        return max(steps) if steps else None
+
+    def _save(self, trainer, step: int) -> None:
+        state = trainer.state_dict()
+        tmp = self._path(step) + ".tmp"
+        with open(tmp, "wb") as handle:
+            np.savez(handle, **state)
+        os.replace(tmp, self._path(step))
+
+    def _load(self, trainer, step: int) -> None:
+        with np.load(self._path(step)) as data:
+            trainer.load_state_dict({k: data[k] for k in data.files})
+
+    # -- the loop ------------------------------------------------------------
+
+    def run(self, batches: Sequence[np.ndarray],
+            fault_injector: Optional[FaultInjector] = None,
+            metrics: Optional[MetricsLog] = None) -> MetricsLog:
+        """Train through ``batches`` with recovery; returns the log."""
+        metrics = metrics or MetricsLog()
+        trainer = self.trainer_factory()
+
+        resume = self.latest_checkpoint()
+        step = 0
+        if resume is not None:
+            self._load(trainer, resume)
+            step = resume
+
+        restarts = 0
+        while step < len(batches):
+            try:
+                if fault_injector is not None:
+                    fault_injector.check(step)
+                result = trainer.train_step(batches[step])
+                loss = getattr(result, "loss", result)
+                metrics.record(step, float(loss))
+                step += 1
+                if step % self.checkpoint_interval == 0:
+                    self._save(trainer, step)
+                    metrics.checkpoints.append(step)
+            except SimulatedFault:
+                restarts += 1
+                if restarts > self.max_restarts:
+                    raise
+                metrics.restarts.append(step)
+                trainer = self.trainer_factory()
+                resume = self.latest_checkpoint()
+                step = resume if resume is not None else 0
+                if resume is not None:
+                    self._load(trainer, resume)
+        self._save(trainer, step)
+        metrics.checkpoints.append(step)
+        return metrics

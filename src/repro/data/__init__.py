@@ -1,0 +1,5 @@
+"""Synthetic workload generation."""
+
+from .synthetic import MarkovCorpus, batch_iterator
+
+__all__ = ["MarkovCorpus", "batch_iterator"]

@@ -1,0 +1,26 @@
+"""Numerical MoE transformer substrate."""
+
+from .layers import Linear, Module, RMSNorm, SelfAttention, init_linear
+from .moe import Expert, MoELayer, MoEOutput, TopKRouter, \
+    grouped_expert_forward
+from .routing import DispatchPlan, RoutingResult, build_dispatch_plan
+from .transformer import ModelForward, MoETransformer, TransformerBlock
+
+__all__ = [
+    "Linear",
+    "Module",
+    "RMSNorm",
+    "SelfAttention",
+    "init_linear",
+    "Expert",
+    "MoELayer",
+    "MoEOutput",
+    "TopKRouter",
+    "grouped_expert_forward",
+    "DispatchPlan",
+    "RoutingResult",
+    "build_dispatch_plan",
+    "ModelForward",
+    "MoETransformer",
+    "TransformerBlock",
+]

@@ -1,0 +1,253 @@
+"""Mixture-of-Experts layer: router, experts, grouped computation.
+
+Reference (single-rank) implementation of the paper's MoE FFN:
+
+* :class:`TopKRouter` — trainable gate with top-k selection, the
+  device-group auxiliary balance loss of §3.2 ("similar to DeepSeek-V2,
+  we treat the experts placed on the same GPU as a group"), and optional
+  capacity-based token dropping.
+* :class:`Expert` — one SwiGLU FFN (fc1 / fc3 gate / fc2, Fig. 20).
+* :class:`MoELayer` — dispatch → GroupedGEMM-style per-expert compute →
+  weighted combine.  Following §4.1, the gate-weighted sum is applied
+  *after* FC2 so ``ffn_out`` never needs to be stored separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..tensor import Tensor, ops
+from .layers import Linear, Module, init_linear
+from .routing import DispatchPlan, RoutingResult, build_dispatch_plan
+
+__all__ = ["TopKRouter", "Expert", "MoELayer", "MoEOutput",
+           "grouped_expert_forward"]
+
+
+@dataclass
+class MoEOutput:
+    """Everything a MoE layer forward produces."""
+
+    hidden: Tensor
+    aux_loss: Tensor
+    routing: RoutingResult
+    plan: DispatchPlan
+    tokens_per_expert: np.ndarray
+
+
+class TopKRouter(Module):
+    """Trainable gating network with top-k routing.
+
+    Args:
+        rng: Initialization source.
+        hidden_size: Input feature width.
+        n_experts: Total experts.
+        top_k: Experts per token.
+        experts_per_group: Group size for the balance loss; with EP this
+            is ``n_experts / ep_size`` so each group is one GPU's experts
+            (§3.2 "Load balance").  Defaults to 1 (per-expert balance).
+        capacity_factor: If > 0, each expert keeps at most
+            ``ceil(capacity_factor · T · k / E)`` token-slots; the rest
+            are dropped.  0 disables dropping.
+    """
+
+    def __init__(self, rng: np.random.Generator, hidden_size: int,
+                 n_experts: int, top_k: int, experts_per_group: int = 1,
+                 capacity_factor: float = 0.0, dtype=np.float32):
+        if top_k > n_experts:
+            raise ValueError(f"top_k={top_k} > n_experts={n_experts}")
+        if n_experts % experts_per_group != 0:
+            raise ValueError(
+                f"n_experts={n_experts} not divisible by "
+                f"experts_per_group={experts_per_group}"
+            )
+        self.gate = Linear(rng, hidden_size, n_experts, dtype=dtype)
+        self.n_experts = n_experts
+        self.top_k = top_k
+        self.experts_per_group = experts_per_group
+        self.capacity_factor = capacity_factor
+
+    def __call__(self, x_flat: Tensor) -> Tuple[RoutingResult, Tensor,
+                                                Tensor]:
+        """Route a flat ``[T, h]`` batch.
+
+        Returns ``(routing, gate_weights, aux_loss)`` where
+        ``gate_weights`` is the differentiable ``[T, k]`` combine-weight
+        tensor (renormalized over the selected experts).
+        """
+        t = x_flat.shape[0]
+        logits = self.gate(x_flat)
+        probs = ops.softmax(logits, axis=-1)
+
+        # Top-k selection happens on values only (indices carry no grad).
+        raw = probs.data
+        idx = np.argsort(-raw, axis=-1, kind="stable")[:, :self.top_k]
+        selected = probs[np.arange(t)[:, None], idx]
+        denom = selected.sum(axis=-1, keepdims=True)
+        weights = selected / (denom + 1e-20)
+
+        kept = self._capacity_mask(idx, t)
+        aux = self._aux_loss(probs, idx, kept)
+        routing = RoutingResult(
+            expert_index=idx, gate_weight=weights.data.copy(), kept=kept)
+        return routing, weights, aux
+
+    def _capacity_mask(self, idx: np.ndarray, t: int) -> np.ndarray:
+        """Token-drop mask: first-come-first-served per expert."""
+        kept = np.ones_like(idx, dtype=bool)
+        if self.capacity_factor <= 0:
+            return kept
+        capacity = int(np.ceil(
+            self.capacity_factor * t * self.top_k / self.n_experts))
+        fill = np.zeros(self.n_experts, dtype=np.int64)
+        flat_experts = idx.reshape(-1)
+        flat_kept = kept.reshape(-1)
+        for pos, e in enumerate(flat_experts):
+            if fill[e] >= capacity:
+                flat_kept[pos] = False
+            else:
+                fill[e] += 1
+        return flat_kept.reshape(idx.shape)
+
+    def _aux_loss(self, probs: Tensor, idx: np.ndarray,
+                  kept: np.ndarray) -> Tensor:
+        """Device-group balance loss: ``G · Σ_g f_g · P_g``.
+
+        ``f_g`` — fraction of kept token-slots dispatched to group ``g``
+        (a constant w.r.t. the gate); ``P_g`` — mean routed probability
+        mass of group ``g`` (differentiable).  With
+        ``experts_per_group=1`` this reduces to the classic Switch loss.
+        """
+        g_size = self.experts_per_group
+        n_groups = self.n_experts // g_size
+        counts = np.bincount(idx[kept].reshape(-1),
+                             minlength=self.n_experts).astype(np.float64)
+        group_counts = counts.reshape(n_groups, g_size).sum(axis=1)
+        total = max(group_counts.sum(), 1.0)
+        f = group_counts / total  # dispatch fraction per group
+
+        t = probs.shape[0]
+        group_probs = probs.reshape(t, n_groups, g_size).sum(axis=-1)
+        p = group_probs.mean(axis=0)  # [n_groups], differentiable
+        return (p * f).sum() * float(n_groups)
+
+
+class Expert(Module):
+    """One SwiGLU feed-forward expert: ``fc2(silu(fc1 x) * fc3 x)``.
+
+    With ``remat=True`` the SwiGLU activation is gradient-checkpointed:
+    ``fc1_out``/``fc3_out`` stay resident (GroupedGEMM outputs, §4.1's
+    retained set) while ``fc2_in`` is recomputed during backward —
+    exactly the Fig. 8b rematerialization.
+    """
+
+    def __init__(self, rng: np.random.Generator, hidden_size: int,
+                 ffn_hidden_size: int, dtype=np.float32,
+                 remat: bool = False):
+        self.fc1 = Tensor(init_linear(rng, hidden_size, ffn_hidden_size,
+                                      dtype), requires_grad=True, name="fc1")
+        self.fc3 = Tensor(init_linear(rng, hidden_size, ffn_hidden_size,
+                                      dtype), requires_grad=True, name="fc3")
+        self.fc2 = Tensor(init_linear(rng, ffn_hidden_size, hidden_size,
+                                      dtype), requires_grad=True, name="fc2")
+        self.remat = remat
+
+    def __call__(self, x: Tensor) -> Tensor:
+        from ..precision.policy import current_policy
+        policy = current_policy()
+        fc1, fc3, fc2 = self.fc1, self.fc3, self.fc2
+        if policy is not None:
+            x = policy.cast_activation(x)
+            fc1 = policy.cast_weight(fc1)
+            fc3 = policy.cast_weight(fc3)
+            fc2 = policy.cast_weight(fc2)
+        gate_in = x @ fc1
+        lin_in = x @ fc3
+        if self.remat:
+            from ..tensor.checkpoint import checkpoint_segment
+            fc2_in = checkpoint_segment(
+                lambda a, b: a.silu() * b, gate_in, lin_in)
+        else:
+            fc2_in = gate_in.silu() * lin_in
+        if policy is not None:
+            # SwiGLU expands the dynamic range; the FC2 input is
+            # re-quantized exactly where the paper applies per-token
+            # quantization (§7, "FP8 training").
+            fc2_in = policy.cast_activation(fc2_in)
+        return fc2_in @ fc2
+
+
+def grouped_expert_forward(experts: List[Expert], ffn_in: Tensor,
+                           plan: DispatchPlan,
+                           expert_offset: int = 0) -> Tensor:
+    """GroupedGEMM: run each expert on its contiguous row block.
+
+    ``ffn_in`` rows must already be sorted by expert per ``plan``;
+    ``expert_offset`` maps plan expert ids onto the local ``experts``
+    list (non-zero on EP ranks holding a slice of the expert set).
+    """
+    pieces = []
+    for expert_id, start, end in plan.expert_slices():
+        local = expert_id - expert_offset
+        if not 0 <= local < len(experts):
+            raise IndexError(
+                f"plan references expert {expert_id}, but this rank holds "
+                f"[{expert_offset}, {expert_offset + len(experts)})"
+            )
+        pieces.append(experts[local](ffn_in[start:end]))
+    if not pieces:
+        return Tensor(np.zeros((0, experts[0].fc2.shape[1]),
+                               dtype=ffn_in.dtype))
+    return ops.concat(pieces, axis=0)
+
+
+class MoELayer(Module):
+    """Router + experts + dispatch/combine, reference implementation."""
+
+    def __init__(self, rng: np.random.Generator, hidden_size: int,
+                 ffn_hidden_size: int, n_experts: int, top_k: int,
+                 experts_per_group: int = 1, capacity_factor: float = 0.0,
+                 dtype=np.float32, remat: bool = False):
+        self.router = TopKRouter(rng, hidden_size, n_experts, top_k,
+                                 experts_per_group, capacity_factor, dtype)
+        self.experts = [Expert(rng, hidden_size, ffn_hidden_size, dtype,
+                               remat=remat)
+                        for _ in range(n_experts)]
+        self.hidden_size = hidden_size
+        self.n_experts = n_experts
+        self.top_k = top_k
+
+    def __call__(self, x: Tensor) -> MoEOutput:
+        """Forward over ``[b, s, h]`` (or already-flat ``[T, h]``) input."""
+        orig_shape = x.shape
+        if x.ndim == 3:
+            x_flat = x.reshape(-1, orig_shape[-1])
+        else:
+            x_flat = x
+        t = x_flat.shape[0]
+
+        routing, weights, aux = self.router(x_flat)
+        plan = build_dispatch_plan(routing, self.n_experts)
+
+        # Scatter: replicate each token's row into its routed positions.
+        ffn_in = ops.take_rows(x_flat, plan.token_of_row)
+        fc2_out = grouped_expert_forward(self.experts, ffn_in, plan)
+
+        # Weighted combine *after* FC2 (§4.1 reordering): scale each row
+        # by its gate weight, then accumulate back per token.
+        w_rows = weights[plan.token_of_row, plan.slot_of_row]
+        scaled = fc2_out * w_rows.reshape(-1, 1)
+        combined = ops.put_rows(scaled, plan.token_of_row, t)
+
+        if len(orig_shape) == 3:
+            combined = combined.reshape(*orig_shape)
+        return MoEOutput(
+            hidden=combined,
+            aux_loss=aux,
+            routing=routing,
+            plan=plan,
+            tokens_per_expert=routing.tokens_per_expert(self.n_experts),
+        )

@@ -1,0 +1,82 @@
+"""Parallel execution engines over simulated ranks."""
+
+from .block import ParallelBlockEngine, shard_sequence, unshard_sequence
+from .dist_ops import (
+    dist_all_gather,
+    dist_all_reduce,
+    dist_all_to_all,
+    dist_all_to_all_uneven,
+    dist_reduce_scatter,
+)
+from .dp import DataParallelTrainer, DPStepResult, zero1_memory_model
+from .ep_ffn import EPFFNEngine, EPForwardResult, choose_dispatch_mode
+from .pipeline import (
+    PipelineRunner,
+    PipelineTask,
+    bubble_fraction,
+    gpipe_schedule,
+    interleaved_1f1b_schedule,
+    one_f_one_b_schedule,
+    validate_schedule,
+)
+from .cp_attention import (
+    CPAttentionEngine,
+    cp_attention_comm_volume,
+    cp_imbalance,
+    cp_layout_positions,
+    cp_workload_shares,
+)
+from .hybrid2d import Hybrid2DStepResult, Hybrid2DTrainer
+from .pp_engine import PipelineParallelTrainer, PPStepResult, \
+    stage_partition
+from .sp_attention import SPAttentionEngine
+from .tp_attention import TPAttentionEngine
+from .tp_ffn import TPFFNEngine
+from .vocab_parallel import (
+    shard_lm_head,
+    vocab_parallel_cross_entropy,
+    vocab_parallel_loss,
+)
+from .zero import Zero1AdamW, zero_memory_model
+
+__all__ = [
+    "ParallelBlockEngine",
+    "shard_sequence",
+    "unshard_sequence",
+    "dist_all_gather",
+    "dist_all_reduce",
+    "dist_all_to_all",
+    "dist_all_to_all_uneven",
+    "dist_reduce_scatter",
+    "DataParallelTrainer",
+    "DPStepResult",
+    "zero1_memory_model",
+    "EPFFNEngine",
+    "EPForwardResult",
+    "choose_dispatch_mode",
+    "PipelineRunner",
+    "PipelineTask",
+    "bubble_fraction",
+    "gpipe_schedule",
+    "interleaved_1f1b_schedule",
+    "one_f_one_b_schedule",
+    "validate_schedule",
+    "SPAttentionEngine",
+    "TPAttentionEngine",
+    "TPFFNEngine",
+    "CPAttentionEngine",
+    "cp_attention_comm_volume",
+    "cp_imbalance",
+    "cp_layout_positions",
+    "cp_workload_shares",
+    "Hybrid2DStepResult",
+    "Hybrid2DTrainer",
+    "PipelineParallelTrainer",
+    "PPStepResult",
+    "stage_partition",
+    "Zero1AdamW",
+    "zero_memory_model",
+    "shard_lm_head",
+    "vocab_parallel_cross_entropy",
+    "vocab_parallel_loss",
+]

@@ -1,0 +1,312 @@
+"""Differentiable collectives over per-rank Tensors.
+
+The parallel engines (:mod:`repro.parallel`) express sharded forward
+passes as ordinary autograd code; the collectives here are the seams
+between ranks.  Each takes one :class:`~repro.tensor.Tensor` per rank and
+returns per-rank output Tensors wired into the tape so that backward
+automatically performs the *dual* collective:
+
+=================  =======================
+forward            backward
+=================  =======================
+all-gather         reduce-scatter
+reduce-scatter     all-gather
+all-to-all         all-to-all (reversed)
+all-reduce         all-reduce
+=================  =======================
+
+Bytes are recorded in the world's ledger for the forward collective at
+call time and for the backward collective as its gradients flow —
+tagged ``<tag>`` and ``<tag>:bwd`` respectively — so tests can check the
+paper's per-pass volume formulas (Eqs. 1–4) in both directions.
+
+Backward byte accounting assumes a *single* backward sweep (one
+``backward()`` call from a combined scalar, as a real loss produces).
+Sweeping per-rank outputs separately re-traverses shared ancestors and
+multiplies the ``:bwd`` ledger entries; gradients themselves stay exact
+because contributions accumulate linearly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..comm.group import ProcessGroup
+from ..tensor import Tensor
+
+__all__ = [
+    "dist_all_gather",
+    "dist_reduce_scatter",
+    "dist_all_to_all",
+    "dist_all_to_all_uneven",
+    "dist_all_reduce",
+]
+
+
+def _eb(tensors: Sequence[Tensor], elem_bytes: Optional[float]) -> float:
+    if elem_bytes is not None:
+        return float(elem_bytes)
+    return float(tensors[0].data.itemsize)
+
+
+def dist_all_gather(
+    group: ProcessGroup,
+    shards: Sequence[Tensor],
+    axis: int = 0,
+    elem_bytes: Optional[float] = None,
+    tag: str = "",
+) -> List[Tensor]:
+    """All-gather per-rank shards; every rank receives the concatenation.
+
+    Backward is a reduce-scatter: rank ``i``'s gradient is the sum over
+    output ranks of the ``i``-th slice of each output gradient.
+    """
+    group.check_shards(shards)
+    n = group.size
+    eb = _eb(shards, elem_bytes)
+    datas = [s.data for s in shards]
+    full = np.concatenate(datas, axis=axis)
+    sizes = [d.shape[axis] for d in datas]
+    offsets = np.cumsum([0] + sizes)
+    group.record("all_gather", [d.size * eb * (n - 1) for d in datas], tag)
+
+    outs = []
+    for j in range(n):
+        def backward(g, j=j):
+            # Output j's grad is scattered back: slice i goes to rank i.
+            slicer = [slice(None)] * g.ndim
+            grads = []
+            wire = 0.0
+            for i in range(n):
+                slicer[axis] = slice(offsets[i], offsets[i + 1])
+                piece = g[tuple(slicer)]
+                grads.append(piece)
+                if i != j:
+                    wire += piece.size * eb
+            group.record("reduce_scatter", _one_hot(n, j, wire),
+                         tag + ":bwd")
+            return tuple(grads)
+
+        outs.append(Tensor.from_op(full.copy(), list(shards), backward,
+                                   "dist_all_gather"))
+    return outs
+
+
+def dist_reduce_scatter(
+    group: ProcessGroup,
+    tensors: Sequence[Tensor],
+    axis: int = 0,
+    elem_bytes: Optional[float] = None,
+    tag: str = "",
+) -> List[Tensor]:
+    """Sum all ranks' tensors; rank ``j`` receives the ``j``-th slice.
+
+    Backward is an all-gather: every input receives the concatenation of
+    the per-rank output gradients.
+    """
+    group.check_shards(tensors)
+    n = group.size
+    eb = _eb(tensors, elem_bytes)
+    first = tensors[0].data
+    for t in tensors[1:]:
+        if t.data.shape != first.shape:
+            raise ValueError("dist_reduce_scatter requires equal shapes")
+    if first.shape[axis] % n != 0:
+        raise ValueError(
+            f"axis {axis} of size {first.shape[axis]} not divisible by {n}"
+        )
+    total = np.sum([t.data.astype(np.float64) for t in tensors], axis=0)
+    pieces = np.split(total, n, axis=axis)
+    shard_elems = first.size // n
+    group.record("reduce_scatter", [shard_elems * eb * (n - 1)] * n, tag)
+
+    width = first.shape[axis] // n
+    outs = []
+    for j in range(n):
+        def backward(g, j=j):
+            # d(out_j)/d(in_i) is 1 on slice j for every i: each input
+            # rank receives g_j placed at slice j (the all-gather dual).
+            full_shape = list(first.shape)
+            grad = np.zeros(full_shape, dtype=g.dtype)
+            slicer = [slice(None)] * len(full_shape)
+            slicer[axis] = slice(j * width, (j + 1) * width)
+            grad[tuple(slicer)] = g
+            group.record("all_gather", _one_hot(n, j, g.size * eb * (n - 1)),
+                         tag + ":bwd")
+            return tuple(grad.copy() for _ in range(n))
+
+        outs.append(Tensor.from_op(pieces[j].astype(first.dtype),
+                                   list(tensors), backward,
+                                   "dist_reduce_scatter"))
+    return outs
+
+
+def dist_all_to_all(
+    group: ProcessGroup,
+    tensors: Sequence[Tensor],
+    split_axis: int,
+    concat_axis: int,
+    elem_bytes: Optional[float] = None,
+    tag: str = "",
+) -> List[Tensor]:
+    """Balanced all-to-all: split each rank's tensor into ``n`` chunks on
+    ``split_axis``, exchange, concatenate received chunks on
+    ``concat_axis``.
+
+    This is the Ulysses primitive (§3.1): e.g. split heads / gather
+    sequence on the way in, split sequence / gather heads on the way out.
+    Backward is the reverse all-to-all.
+    """
+    group.check_shards(tensors)
+    n = group.size
+    eb = _eb(tensors, elem_bytes)
+    datas = [t.data for t in tensors]
+    for d in datas:
+        if d.shape[split_axis] % n != 0:
+            raise ValueError(
+                f"split axis {split_axis} of size {d.shape[split_axis]} "
+                f"not divisible by {n}"
+            )
+    chunks = [np.split(d, n, axis=split_axis) for d in datas]
+    per_rank = [sum(chunks[i][j].size * eb for j in range(n) if j != i)
+                for i in range(n)]
+    group.record("all_to_all", per_rank, tag)
+
+    chunk_split = datas[0].shape[split_axis] // n
+    outs = []
+    for j in range(n):
+        received = np.concatenate([chunks[i][j] for i in range(n)],
+                                  axis=concat_axis)
+        recv_width = [chunks[i][j].shape[concat_axis] for i in range(n)]
+        recv_offsets = np.cumsum([0] + recv_width)
+
+        def backward(g, j=j, recv_offsets=recv_offsets):
+            # Chunk received from rank i returns to rank i, back at
+            # split-position j.
+            grads = []
+            wire = 0.0
+            slicer = [slice(None)] * g.ndim
+            for i in range(n):
+                slicer[concat_axis] = slice(recv_offsets[i],
+                                            recv_offsets[i + 1])
+                piece = g[tuple(slicer)]
+                grad = np.zeros(datas[i].shape, dtype=g.dtype)
+                gslicer = [slice(None)] * grad.ndim
+                gslicer[split_axis] = slice(j * chunk_split,
+                                            (j + 1) * chunk_split)
+                grad[tuple(gslicer)] = piece
+                grads.append(grad)
+                if i != j:
+                    wire += piece.size * eb
+            group.record("all_to_all", _one_hot(n, j, wire), tag + ":bwd")
+            return tuple(grads)
+
+        outs.append(Tensor.from_op(received, list(tensors), backward,
+                                   "dist_all_to_all"))
+    return outs
+
+
+def dist_all_to_all_uneven(
+    group: ProcessGroup,
+    tensors: Sequence[Tensor],
+    send_splits: Sequence[Sequence[int]],
+    elem_bytes: Optional[float] = None,
+    tag: str = "",
+) -> List[Tensor]:
+    """Row-wise all-to-all with per-destination row counts.
+
+    Rank ``i`` sends ``send_splits[i][j]`` rows to rank ``j``; rank ``j``
+    receives the chunks concatenated in source-rank order.  This is MoE
+    token dispatch (§3.2): the splits come from the routing result.
+    Backward routes gradient rows back to their source ranks.
+    """
+    group.check_shards(tensors)
+    n = group.size
+    eb = _eb(tensors, elem_bytes)
+    offsets = []
+    for i, (t, splits) in enumerate(zip(tensors, send_splits)):
+        if len(splits) != n:
+            raise ValueError(
+                f"rank {i}: {len(splits)} splits for group size {n}"
+            )
+        if sum(splits) != t.data.shape[0]:
+            raise ValueError(
+                f"rank {i}: splits {list(splits)} do not cover "
+                f"{t.data.shape[0]} rows"
+            )
+        offsets.append(np.cumsum([0] + list(splits)))
+
+    per_rank = [
+        sum(send_splits[i][j] for j in range(n) if j != i)
+        * int(np.prod(tensors[i].data.shape[1:])) * eb
+        for i in range(n)
+    ]
+    group.record("all_to_all", per_rank, tag)
+
+    outs = []
+    for j in range(n):
+        pieces = [tensors[i].data[offsets[i][j]:offsets[i][j + 1]]
+                  for i in range(n)]
+        received = (np.concatenate(pieces, axis=0) if pieces else
+                    np.zeros((0,) + tensors[0].data.shape[1:]))
+        recv_counts = [send_splits[i][j] for i in range(n)]
+        recv_offsets = np.cumsum([0] + recv_counts)
+
+        def backward(g, j=j, recv_offsets=recv_offsets):
+            grads = []
+            wire = 0.0
+            for i in range(n):
+                piece = g[recv_offsets[i]:recv_offsets[i + 1]]
+                grad = np.zeros(tensors[i].data.shape, dtype=g.dtype)
+                grad[offsets[i][j]:offsets[i][j + 1]] = piece
+                grads.append(grad)
+                if i != j:
+                    wire += piece.size * eb
+            group.record("all_to_all", _one_hot(n, j, wire), tag + ":bwd")
+            return tuple(grads)
+
+        outs.append(Tensor.from_op(received, list(tensors), backward,
+                                   "dist_all_to_all_uneven"))
+    return outs
+
+
+def dist_all_reduce(
+    group: ProcessGroup,
+    tensors: Sequence[Tensor],
+    elem_bytes: Optional[float] = None,
+    tag: str = "",
+) -> List[Tensor]:
+    """Sum all ranks' tensors; every rank receives the total.
+
+    Backward is itself an all-reduce of the output gradients.
+    """
+    group.check_shards(tensors)
+    n = group.size
+    eb = _eb(tensors, elem_bytes)
+    first = tensors[0].data
+    total = np.sum([t.data.astype(np.float64) for t in tensors], axis=0)
+    group.record("all_reduce",
+                 [2.0 * first.size / n * eb * (n - 1)] * n, tag)
+
+    outs = []
+    for j in range(n):
+        def backward(g, j=j):
+            group.record(
+                "all_reduce",
+                _one_hot(n, j, 2.0 * g.size / n * eb * (n - 1)),
+                tag + ":bwd",
+            )
+            return tuple(g.copy() for _ in range(n))
+
+        outs.append(Tensor.from_op(total.astype(first.dtype),
+                                   list(tensors), backward,
+                                   "dist_all_reduce"))
+    return outs
+
+
+def _one_hot(n: int, j: int, value: float) -> List[float]:
+    out = [0.0] * n
+    out[j] = value
+    return out

@@ -1,0 +1,118 @@
+"""Ulysses-style sequence-parallel attention (§3.1).
+
+Each of the ``n`` ranks holds a ``[b, s/n, h]`` sequence shard and a full
+*replica* of the attention weights.  The forward pass follows Fig. 20:
+
+    qkv = MatMul(ln1_out, qkv_weight)          # local, seq-sharded
+    q_rope, k_rope = RoPE(q, k)                # local positions known
+    qkv_a2a = All-to-All(q_rope, k_rope, v)    # seq-shard -> head-shard
+    attn = SelfAttention(qkv_a2a)              # full sequence, n-th of heads
+    attn_a2a = All-to-All(attn)                # head-shard -> seq-shard
+    attn_out = MatMul(attn_a2a, out_weight)    # local
+
+Communication per pass is the Eq. 2 volume — two all-to-alls that shrink
+with both ``n`` and the GQA ratio ``m`` — versus TP's all-gather +
+reduce-scatter of the full activation (Eq. 1).
+
+Weights are *shared Tensor objects* across ranks: gradient contributions
+from every rank accumulate on the replica exactly as the hierarchical
+parameter sync of Appendix A.1 would produce.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..comm.group import ProcessGroup
+from ..model.layers import SelfAttention
+from ..tensor import Tensor
+from .dist_ops import dist_all_to_all
+
+__all__ = ["SPAttentionEngine"]
+
+
+class SPAttentionEngine:
+    """Runs a replicated :class:`SelfAttention` over sequence shards."""
+
+    def __init__(self, group: ProcessGroup, attn: SelfAttention,
+                 elem_bytes: Optional[float] = None):
+        n = group.size
+        if attn.n_heads % n != 0:
+            raise ValueError(
+                f"n_heads={attn.n_heads} not divisible by SP size {n}"
+            )
+        if attn.n_kv_heads % n != 0:
+            raise ValueError(
+                f"n_kv_heads={attn.n_kv_heads} not divisible by SP size {n}"
+            )
+        self.group = group
+        self.attn = attn
+        self.elem_bytes = elem_bytes
+
+    def forward(self, hidden_shards: List[Tensor],
+                seq_len: int) -> List[Tensor]:
+        """Map ``ln1_out`` shards to ``attn_out`` shards.
+
+        Args:
+            hidden_shards: Per-rank ``[b, s/n, h]`` normalized activations.
+            seq_len: Full sequence length ``s`` (for RoPE positions).
+        """
+        group, attn = self.group, self.attn
+        group.check_shards(hidden_shards)
+        n = group.size
+        local_s = seq_len // n
+
+        qs, ks, vs = [], [], []
+        for rank, shard in enumerate(hidden_shards):
+            b, s_local, _ = shard.shape
+            if s_local != local_s:
+                raise ValueError(
+                    f"rank {rank} shard has seq {s_local}, expected "
+                    f"{local_s}"
+                )
+            qkv = attn.qkv_proj(shard)
+            q, k, v = attn.split_qkv(qkv, b, s_local)
+            positions = np.arange(rank * local_s, (rank + 1) * local_s)
+            from ..tensor import ops
+            qs.append(ops.rope_rotate(q, attn.rope_base, positions))
+            ks.append(ops.rope_rotate(k, attn.rope_base, positions))
+            vs.append(v)
+
+        # All-to-all: split the head axis (2), gather the sequence axis
+        # (1).  After this, rank r holds ALL positions for its n-th of
+        # the query and KV heads.
+        q_full = dist_all_to_all(group, qs, split_axis=2, concat_axis=1,
+                                 elem_bytes=self.elem_bytes,
+                                 tag="sp_attn:qkv_a2a")
+        k_full = dist_all_to_all(group, ks, split_axis=2, concat_axis=1,
+                                 elem_bytes=self.elem_bytes,
+                                 tag="sp_attn:qkv_a2a")
+        v_full = dist_all_to_all(group, vs, split_axis=2, concat_axis=1,
+                                 elem_bytes=self.elem_bytes,
+                                 tag="sp_attn:qkv_a2a")
+
+        attn_heads = []
+        from ..tensor import ops
+        for rank in range(n):
+            out = ops.scaled_dot_product_attention(
+                q_full[rank].transpose(0, 2, 1, 3),
+                k_full[rank].transpose(0, 2, 1, 3),
+                v_full[rank].transpose(0, 2, 1, 3),
+                causal=True,
+            )
+            attn_heads.append(out.transpose(0, 2, 1, 3))
+
+        # All-to-all back: split sequence (1), gather heads (2).
+        attn_shards = dist_all_to_all(group, attn_heads, split_axis=1,
+                                      concat_axis=2,
+                                      elem_bytes=self.elem_bytes,
+                                      tag="sp_attn:attn_a2a")
+
+        outs = []
+        for shard in attn_shards:
+            b, s_local = shard.shape[0], shard.shape[1]
+            flat = shard.reshape(b, s_local, attn.hidden_size)
+            outs.append(attn.out_proj(flat))
+        return outs

@@ -1,0 +1,29 @@
+"""Performance model: kernel timing, system models, MFU accounting."""
+
+from .estimator import KernelModel
+from .mfu import days_for_tokens, mfu, tokens_per_second
+from .sm_allocation import (
+    SMAllocation,
+    fused_kernel_time,
+    optimal_sm_fraction,
+)
+from .systems import (
+    IterationBreakdown,
+    MegaScalePerfModel,
+    MegatronPerfModel,
+    SystemPerfModel,
+)
+
+__all__ = [
+    "KernelModel",
+    "SMAllocation",
+    "fused_kernel_time",
+    "optimal_sm_fraction",
+    "days_for_tokens",
+    "mfu",
+    "tokens_per_second",
+    "IterationBreakdown",
+    "MegaScalePerfModel",
+    "MegatronPerfModel",
+    "SystemPerfModel",
+]

@@ -1,0 +1,129 @@
+"""Kernel and collective duration estimation from GPU specifications.
+
+Times every :class:`~repro.core.operators.Op` on a given
+:class:`~repro.core.config.GPUSpec` with a roofline model:
+
+* GEMMs run at ``min(peak·eff, mem_bw·intensity)`` — thin shards (e.g.
+  TP slicing each expert's intermediate dimension) automatically lose
+  efficiency because their arithmetic intensity drops, reproducing the
+  GEMM-efficiency argument of §3.2 without a hand-tuned penalty.
+* Attention (FlashAttention-style) has its own efficiency cap.
+* Memory-bound ops move their bytes at a fraction of HBM bandwidth;
+  the fraction is a knob because MegaScale-MoE's custom CUDA
+  scatter/gather ops beat ``torch.scatter_add`` (§3.2).
+* Collectives use the α–β models of :mod:`repro.comm.cost`; all-to-all
+  pays the all-pairs efficiency penalty (Fig. 7); ``comm_scope``
+  selects NVLink vs NIC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..comm.cost import LinkSpec
+from ..core.config import GPUSpec
+from ..core.operators import Op, OpGraph
+
+__all__ = ["KernelModel"]
+
+
+@dataclass
+class KernelModel:
+    """Per-op duration oracle for one GPU model.
+
+    Attributes:
+        gpu: Hardware specification (Table 4).
+        gemm_max_eff: Peak fraction a well-shaped GEMM reaches.
+        attn_eff: Peak fraction for FlashAttention kernels.
+        mem_eff: HBM-bandwidth fraction for memory-bound ops (lower for
+            stock ``torch.scatter_add``-style kernels, higher for the
+            paper's custom scatter/gather).
+        link_eff: Achievable fraction of the spec'd NVLink bandwidth.
+        a2a_eff: Additional all-to-all inefficiency vs ring collectives.
+        kernel_latency: Fixed launch/dispatch overhead per op.
+    """
+
+    gpu: GPUSpec
+    gemm_max_eff: float = 0.55
+    attn_eff: float = 0.35
+    mem_eff: float = 0.80
+    link_eff: float = 0.42
+    a2a_eff: float = 0.60
+    kernel_latency: float = 5e-6
+    #: Tile-quantization constants of the shape-efficiency factor
+    #: d/(d+c), separately for the row (M) and the weight (N/K)
+    #: dimensions: few rows per expert (micro-batch 1) dominate the
+    #: grouped-GEMM inefficiency, while thin TP weight shards add a
+    #: smaller penalty.  Calibrated once against Table 3's 240-GPU rows.
+    shape_tile_rows: float = 512.0
+    shape_tile_weights: float = 128.0
+
+    def intra_link(self) -> LinkSpec:
+        """The NVLink link as the cost models see it."""
+        return LinkSpec(
+            bandwidth=self.gpu.nvlink_bandwidth * self.link_eff,
+            latency=1e-5,
+            a2a_efficiency=self.a2a_eff,
+        )
+
+    def inter_link(self) -> LinkSpec:
+        """The inter-node NIC link as the cost models see it."""
+        return LinkSpec(
+            bandwidth=self.gpu.nic_bandwidth,
+            latency=2e-5,
+            a2a_efficiency=self.a2a_eff,
+        )
+
+    def op_duration(self, op: Op) -> float:
+        """Seconds for one op on one rank."""
+        if op.kind == "comm":
+            return self._comm_duration(op)
+        if op.kind == "gemm":
+            eff = self.gemm_max_eff * self._shape_factor(op.gemm_shape)
+            compute = op.flops / (self.gpu.peak_flops * eff)
+            memory = op.mem_bytes / self.gpu.memory_bandwidth
+            return max(compute, memory) + self.kernel_latency
+        if op.kind == "attn":
+            compute = op.flops / (self.gpu.peak_flops * self.attn_eff)
+            memory = op.mem_bytes / self.gpu.memory_bandwidth
+            return max(compute, memory) + self.kernel_latency
+        # memory-bound
+        return (op.mem_bytes / (self.gpu.memory_bandwidth * self.mem_eff)
+                + self.kernel_latency)
+
+    def _comm_duration(self, op: Op) -> float:
+        link = (self.inter_link() if op.comm_scope == "inter"
+                else self.intra_link())
+        if op.comm_pattern == "a2a":
+            # comm_bytes already includes the (n-1)/n self-exclusion.
+            return (op.comm_bytes / (link.bandwidth * link.a2a_efficiency)
+                    + link.latency)
+        # Ring AG/RS/AR: comm_bytes = (n-1) × shard, moved at link speed.
+        return op.comm_bytes / link.bandwidth + link.latency
+
+    def durations(self, graph: OpGraph) -> Dict[str, float]:
+        """Duration map for a whole operator graph."""
+        return {op.name: self.op_duration(op) for op in graph}
+
+    def _shape_factor(self, shape) -> float:
+        m, k, n = shape
+        if not (m and k and n):
+            return 1.0
+        cm, cw = self.shape_tile_rows, self.shape_tile_weights
+        return (m / (m + cm)) * (k / (k + cw)) * (n / (n + cw))
+
+    def gemm_efficiency(self, rows: float, k_dim: float,
+                        n_dim: float) -> float:
+        """Achieved peak fraction of an ``[rows,k]×[k,n]`` GEMM.
+
+        Combines the shape (tile-quantization) factor with the roofline:
+        thin shards — e.g. TP slicing ``h_ffn`` to ``h_ffn/n`` — lose
+        efficiency on both counts, which is the §3.2 argument for EP.
+        """
+        flops = 2.0 * rows * k_dim * n_dim
+        bytes_moved = 2.0 * (rows * k_dim + k_dim * n_dim + rows * n_dim)
+        intensity = flops / bytes_moved
+        roof = intensity * self.gpu.memory_bandwidth / self.gpu.peak_flops
+        return min(self.gemm_max_eff * self._shape_factor(
+            (rows, k_dim, n_dim)), roof)

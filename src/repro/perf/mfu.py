@@ -1,0 +1,36 @@
+"""MFU, throughput, and training-time accounting (§6.1, Table 3).
+
+Small helpers shared by the benchmark harness: convert between iteration
+time, tokens/second, Model FLOPs Utilization, and "days to train 1T
+tokens" — the four columns of Table 3.
+"""
+
+from __future__ import annotations
+
+from ..core.config import GPUSpec, ModelConfig
+
+__all__ = ["tokens_per_second", "mfu", "days_for_tokens"]
+
+SECONDS_PER_DAY = 86400.0
+
+
+def tokens_per_second(global_batch_tokens: float,
+                      iteration_time: float) -> float:
+    """Training throughput from one iteration's tokens and duration."""
+    if iteration_time <= 0:
+        raise ValueError(f"iteration_time must be > 0, got {iteration_time}")
+    return global_batch_tokens / iteration_time
+
+
+def mfu(model: ModelConfig, gpu: GPUSpec, n_gpus: int,
+        throughput_tokens_per_s: float) -> float:
+    """Model FLOPs Utilization: achieved training FLOPs over peak."""
+    achieved = model.train_flops_per_token() * throughput_tokens_per_s
+    return achieved / (n_gpus * gpu.peak_flops)
+
+
+def days_for_tokens(throughput_tokens_per_s: float,
+                    total_tokens: float = 1e12) -> float:
+    """Wall-clock days to process ``total_tokens`` (Table 3's last
+    column, default 1T)."""
+    return total_tokens / throughput_tokens_per_s / SECONDS_PER_DAY

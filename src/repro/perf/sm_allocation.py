@@ -1,0 +1,120 @@
+"""SM allocation for fused communication kernels (§4.2).
+
+The paper's A2A+GEMM kernels dedicate "a small number of SMs" to
+communication because all-to-all needs SM-driven data movement (unlike
+AG/RS, which ride the copy engines), and notes that this number "is
+tuned to make communication and computation exhibit similar latency".
+
+This module makes that trade-off explicit:
+
+* giving the comm side a fraction ``f`` of the SMs slows computation to
+  ``(1-f)`` of peak while comm throughput scales with ``f`` up to the
+  link bandwidth;
+* the fused kernel finishes when both sides do, so its duration is
+  ``max(compute(f), comm(f))``;
+* :func:`optimal_sm_fraction` finds the equalizing ``f`` in closed form
+  and :func:`fused_kernel_time` evaluates any allocation, enabling the
+  tuning sweep the paper performed by hand.
+
+AG/RS-fused kernels (copy-engine driven) keep all SMs for compute:
+``fused_kernel_time(..., copy_engine=True)`` models that case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import GPUSpec
+
+__all__ = ["SMAllocation", "fused_kernel_time", "optimal_sm_fraction"]
+
+#: Per-SM share of peak link throughput an SM-driven copy loop achieves;
+#: a handful of SMs saturate NVLink (measured behaviour of Flux-style
+#: kernels), so the comm side needs only a small allocation.
+SM_COMM_SATURATION_FRACTION = 0.10
+
+
+@dataclass(frozen=True)
+class SMAllocation:
+    """One evaluated allocation point."""
+
+    sm_fraction: float
+    compute_time: float
+    comm_time: float
+
+    @property
+    def duration(self) -> float:
+        return max(self.compute_time, self.comm_time)
+
+
+def fused_kernel_time(
+    comm_bytes: float,
+    flops: float,
+    gpu: GPUSpec,
+    sm_fraction: float,
+    compute_eff: float = 0.35,
+    link_eff: float = 0.5,
+    copy_engine: bool = False,
+) -> SMAllocation:
+    """Duration of a tile-fused kernel under an SM split.
+
+    Args:
+        comm_bytes: Wire bytes the kernel moves.
+        flops: Arithmetic work it performs.
+        gpu: Hardware model (peak FLOPs, SM count, NVLink bandwidth).
+        sm_fraction: Fraction of SMs given to communication.
+        compute_eff: Achieved fraction of peak for the GEMM side.
+        link_eff: Achievable fraction of spec NVLink bandwidth.
+        copy_engine: If True the transfer rides the copy engines (AG/RS
+            case): comm speed is SM-independent and compute keeps every
+            SM.
+    """
+    if not 0.0 <= sm_fraction < 1.0:
+        raise ValueError(
+            f"sm_fraction must be in [0, 1), got {sm_fraction}"
+        )
+    bandwidth = gpu.nvlink_bandwidth * link_eff
+    if copy_engine:
+        compute = flops / (gpu.peak_flops * compute_eff)
+        comm = comm_bytes / bandwidth
+        return SMAllocation(0.0, compute, comm)
+
+    if sm_fraction == 0.0 and comm_bytes > 0:
+        return SMAllocation(0.0, flops / (gpu.peak_flops * compute_eff),
+                            float("inf"))
+    compute = flops / (gpu.peak_flops * compute_eff * (1 - sm_fraction))
+    comm_rate = bandwidth * min(
+        1.0, sm_fraction / SM_COMM_SATURATION_FRACTION)
+    comm = comm_bytes / comm_rate if comm_bytes else 0.0
+    return SMAllocation(sm_fraction, compute, comm)
+
+
+def optimal_sm_fraction(
+    comm_bytes: float,
+    flops: float,
+    gpu: GPUSpec,
+    compute_eff: float = 0.35,
+    link_eff: float = 0.5,
+) -> SMAllocation:
+    """The equalizing allocation (§4.2's hand-tuned operating point).
+
+    Below saturation, comm time falls and compute time rises with
+    ``f``; the minimum of their max is where they cross (or at the comm
+    saturation point if compute still dominates there).
+    """
+    sat = SM_COMM_SATURATION_FRACTION
+    at_sat = fused_kernel_time(comm_bytes, flops, gpu, sat,
+                               compute_eff, link_eff)
+    if at_sat.comm_time >= at_sat.compute_time:
+        # Comm-bound even with the link saturated: more SMs can't speed
+        # the transfer and would only slow compute — stay at saturation.
+        return at_sat
+    # Compute-bound at saturation: shrink the comm allocation until the
+    # two sides balance.  Solve compute(f) == comm(f) on f < sat:
+    #   A / (1 - f) = B * sat / f  with A = base compute, B = base comm.
+    a = flops / (gpu.peak_flops * compute_eff)
+    b = comm_bytes / (gpu.nvlink_bandwidth * link_eff)
+    f = b * sat / (a + b * sat)
+    f = min(max(f, 1e-6), 0.99)
+    return fused_kernel_time(comm_bytes, flops, gpu, f, compute_eff,
+                             link_eff)

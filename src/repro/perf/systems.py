@@ -1,0 +1,228 @@
+"""End-to-end iteration-time models for MegaScale-MoE and Megatron-LM.
+
+Assembles the per-layer operator graphs (:mod:`repro.core.operators`),
+the kernel/collective duration oracle (:mod:`repro.perf.estimator`), the
+holistic scheduler (:mod:`repro.core.schedule`) and the event simulator
+(:mod:`repro.sim.engine`) into one number per training iteration, plus
+the breakdown Fig. 12a plots (FlashAttention / GEMM / exposed comm /
+others / bubble / DP).
+
+The two systems differ exactly where the paper says they differ:
+
+===============  =========================  ==========================
+                 Megatron-LM                MegaScale-MoE
+===============  =========================  ==========================
+parallelism      TP attention + TP FFN      SP attention + EP FFN
+overlap          none (torch.autograd)      inter- + intra-operator
+scatter/gather   torch.scatter_add (slow)   custom index-mapped kernels
+DP gradients     FP32 reduce-scatter        BF16 all-to-all (§5)
+remat            stores all activations     selective remat (§4.1)
+===============  =========================  ==========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..core.config import (
+    GPUSpec,
+    ModelConfig,
+    ParallelConfig,
+    TrainConfig,
+)
+from ..core.operators import build_backward_graph, build_forward_graph
+from ..core.schedule import HolisticScheduler, OverlapConfig
+from ..sim.engine import simulate
+from .estimator import KernelModel
+
+__all__ = ["IterationBreakdown", "SystemPerfModel", "MegatronPerfModel",
+           "MegaScalePerfModel"]
+
+
+@dataclass
+class IterationBreakdown:
+    """One training iteration, decomposed (seconds, per GPU timeline)."""
+
+    system: str
+    iteration_time: float
+    attn_time: float
+    gemm_time: float
+    memory_op_time: float
+    exposed_comm_time: float
+    bubble_time: float
+    dp_exposed_time: float
+    optimizer_time: float
+    global_batch_tokens: float
+    n_gpus: int
+    #: Raw per-layer makespans, for debugging and ablations.
+    layer_fwd_time: float = 0.0
+    layer_bwd_time: float = 0.0
+
+    @property
+    def tokens_per_second(self) -> float:
+        return self.global_batch_tokens / self.iteration_time
+
+    def mfu(self, model: ModelConfig, gpu: GPUSpec) -> float:
+        """Model FLOPs Utilization for this iteration."""
+        flops = model.train_flops_per_token() * self.global_batch_tokens
+        return flops / (self.iteration_time * self.n_gpus
+                        * gpu.peak_flops)
+
+    def fraction(self, attr: str) -> float:
+        """One component's share of the iteration time."""
+        return getattr(self, attr) / self.iteration_time
+
+
+@dataclass
+class SystemPerfModel:
+    """Common machinery; subclasses pin the paper's system differences."""
+
+    name: str = "generic"
+    overlap: OverlapConfig = field(default_factory=OverlapConfig.full)
+    mem_eff: float = 0.80
+    grad_elem_bytes: float = 4.0
+    selective_remat: bool = False
+    #: Re-run the full layer forward during backward (Megatron's
+    #: ``--recompute-granularity full``, needed to fit 352B-scale
+    #: activations without selective rematerialization).
+    full_recompute: bool = False
+    dp_overlap_fraction: float = 0.5
+    elem_bytes: float = 2.0
+
+    # -- per-layer -----------------------------------------------------------
+
+    def kernel_model(self, gpu: GPUSpec) -> KernelModel:
+        """Duration oracle with this system's memory-op efficiency."""
+        return KernelModel(gpu, mem_eff=self.mem_eff)
+
+    def layer_timelines(self, model: ModelConfig, parallel: ParallelConfig,
+                        micro_batch: int, gpu: GPUSpec):
+        """(fwd timeline, bwd timeline) for one MoE layer on one rank."""
+        km = self.kernel_model(gpu)
+        scheduler = HolisticScheduler(self.overlap)
+        fwd = build_forward_graph(model, parallel, micro_batch,
+                                  self.elem_bytes)
+        bwd = build_backward_graph(model, parallel, micro_batch,
+                                   self.elem_bytes,
+                                   selective_remat=self.selective_remat)
+        tl_fwd = simulate(scheduler.schedule(fwd, km.durations(fwd)))
+        tl_bwd = simulate(scheduler.schedule(bwd, km.durations(bwd)))
+        return fwd, bwd, tl_fwd, tl_bwd
+
+    def _kind_times(self, graph, km: KernelModel) -> Dict[str, float]:
+        out = {"attn": 0.0, "gemm": 0.0, "memory": 0.0, "comm": 0.0}
+        for op in graph:
+            out[op.kind if op.kind in out else "memory"] += \
+                km.op_duration(op)
+        return out
+
+    # -- iteration ------------------------------------------------------------
+
+    def iteration(self, model: ModelConfig, parallel: ParallelConfig,
+                  train: TrainConfig, gpu: GPUSpec) -> IterationBreakdown:
+        """Full iteration-time model for one (system, job) pair."""
+        p = parallel.pipeline_size
+        v = parallel.virtual_pipeline_size
+        d = parallel.data_parallel_size
+        n = parallel.model_parallel_size
+        n_gpus = parallel.total_gpus
+        micro = train.micro_batch_size
+        if train.global_batch_size % (d * micro) != 0:
+            raise ValueError(
+                f"global batch {train.global_batch_size} not divisible by "
+                f"dp×micro = {d}×{micro}"
+            )
+        m = train.global_batch_size // (d * micro)
+        layers_per_stage = model.n_layers / p
+
+        km = self.kernel_model(gpu)
+        fwd, bwd, tl_fwd, tl_bwd = self.layer_timelines(
+            model, parallel, micro, gpu)
+        kinds_f = self._kind_times(fwd, km)
+        kinds_b = self._kind_times(bwd, km)
+        if self.full_recompute:
+            for kind, t in kinds_f.items():
+                kinds_b[kind] += t
+
+        # Embedding + LM head on the boundary stages (vocab-parallel).
+        tokens_local = micro * model.seq_len / n
+        head_flops = 2 * tokens_local * model.hidden_size \
+            * model.vocab_size / max(n, 1) * n  # vocab sharded over n
+        head_time = head_flops / (gpu.peak_flops * km.gemm_max_eff)
+        extras = 3.0 * head_time  # fwd + 2× in backward
+
+        bwd_makespan = tl_bwd.makespan
+        if self.full_recompute:
+            bwd_makespan += tl_fwd.makespan
+        period = (tl_fwd.makespan + bwd_makespan) * layers_per_stage
+        period_last = period + extras
+        eff_period = max(period, period_last)
+
+        pp_time = eff_period * m
+        bubble = eff_period * (p - 1) / max(v, 1)
+        compute_total = pp_time + bubble
+
+        # Data-parallel gradient sync across nodes (Appendix A.1 keeps
+        # inter-node volume identical for SP and TP attention).
+        from ..core.analysis import param_memory_per_gpu
+        params_bytes = param_memory_per_gpu(model, parallel)["params"] \
+            / self.elem_bytes  # back to parameter count
+        grad_bytes = params_bytes * self.grad_elem_bytes
+        dp_link = km.inter_link()
+        dp_time = (2.0 * grad_bytes * (d - 1) / max(d, 1)
+                   / dp_link.bandwidth) if d > 1 else 0.0
+        dp_exposed = dp_time * (1.0 - self.dp_overlap_fraction)
+
+        # Optimizer: streaming 18 bytes/param through HBM.
+        opt_time = params_bytes * 18.0 / gpu.memory_bandwidth
+
+        total = compute_total + dp_exposed + opt_time
+
+        scale = layers_per_stage * m
+        return IterationBreakdown(
+            system=self.name,
+            iteration_time=total,
+            attn_time=(kinds_f["attn"] + kinds_b["attn"]) * scale,
+            gemm_time=(kinds_f["gemm"] + kinds_b["gemm"]) * scale
+            + extras * m,
+            memory_op_time=(kinds_f["memory"] + kinds_b["memory"]) * scale,
+            exposed_comm_time=(tl_fwd.exposed_comm + tl_bwd.exposed_comm)
+            * scale,
+            bubble_time=bubble,
+            dp_exposed_time=dp_exposed,
+            optimizer_time=opt_time,
+            global_batch_tokens=train.global_batch_size * model.seq_len,
+            n_gpus=n_gpus,
+            layer_fwd_time=tl_fwd.makespan,
+            layer_bwd_time=tl_bwd.makespan,
+        )
+
+
+def MegatronPerfModel(**overrides) -> SystemPerfModel:
+    """The Megatron-LM baseline as characterized in §3 and §6.1."""
+    defaults = dict(
+        name="megatron-lm",
+        overlap=OverlapConfig.none(),
+        mem_eff=0.50,            # torch.scatter_add / torch.gather
+        grad_elem_bytes=4.0,     # FP32 gradient reduce-scatter
+        selective_remat=False,
+        full_recompute=True,     # fits activations at 352B scale
+        dp_overlap_fraction=0.5,
+    )
+    defaults.update(overrides)
+    return SystemPerfModel(**defaults)
+
+
+def MegaScalePerfModel(**overrides) -> SystemPerfModel:
+    """MegaScale-MoE with all communication optimizations enabled."""
+    defaults = dict(
+        name="megascale-moe",
+        overlap=OverlapConfig.full(),
+        mem_eff=0.85,            # custom CUDA scatter/gather (§3.2)
+        grad_elem_bytes=2.0,     # BF16 all-to-all DP compression (§5)
+        selective_remat=True,
+        dp_overlap_fraction=0.5,
+    )
+    defaults.update(overrides)
+    return SystemPerfModel(**defaults)

@@ -1,0 +1,44 @@
+"""Tape-based autograd engine and NN operators."""
+
+from .tensor import Node, Tensor, is_grad_enabled, no_grad
+from .ops import (
+    concat,
+    cross_entropy,
+    dropout,
+    embedding,
+    index_add_rows,
+    log_softmax,
+    masked_fill,
+    precision_cast,
+    put_rows,
+    rmsnorm,
+    rope_rotate,
+    scaled_dot_product_attention,
+    softmax,
+    split,
+    stack,
+    take_rows,
+)
+
+__all__ = [
+    "Node",
+    "Tensor",
+    "is_grad_enabled",
+    "no_grad",
+    "concat",
+    "cross_entropy",
+    "dropout",
+    "embedding",
+    "index_add_rows",
+    "log_softmax",
+    "masked_fill",
+    "precision_cast",
+    "put_rows",
+    "rmsnorm",
+    "rope_rotate",
+    "scaled_dot_product_attention",
+    "softmax",
+    "split",
+    "stack",
+    "take_rows",
+]

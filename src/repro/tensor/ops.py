@@ -1,0 +1,354 @@
+"""Neural-network operators on :class:`~repro.tensor.tensor.Tensor`.
+
+These are the operator-level building blocks that Figure 20 of the paper
+enumerates for one MoE layer — RMSNorm, matmul projections, RoPE,
+self-attention, SwiGLU, token scatter/gather — plus the loss functions and
+the precision-cast op used to emulate BF16/FP8 mixed-precision training.
+Each operator has an explicit backward so schedulers can treat forward and
+backward as separately reorderable units.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "concat",
+    "split",
+    "stack",
+    "softmax",
+    "log_softmax",
+    "rmsnorm",
+    "embedding",
+    "cross_entropy",
+    "take_rows",
+    "put_rows",
+    "index_add_rows",
+    "masked_fill",
+    "rope_rotate",
+    "scaled_dot_product_attention",
+    "precision_cast",
+    "dropout",
+]
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis``."""
+    arrays = [t.data for t in tensors]
+    out = np.concatenate(arrays, axis=axis)
+    sizes = [a.shape[axis] for a in arrays]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g):
+        slicer = [slice(None)] * g.ndim
+        grads = []
+        for i in range(len(sizes)):
+            slicer[axis] = slice(offsets[i], offsets[i + 1])
+            grads.append(g[tuple(slicer)])
+        return tuple(grads)
+
+    return Tensor.from_op(out, list(tensors), backward, "concat")
+
+
+def split(t: Tensor, sections: int, axis: int = 0) -> List[Tensor]:
+    """Split ``t`` into ``sections`` equal parts along ``axis``."""
+    if t.shape[axis] % sections != 0:
+        raise ValueError(
+            f"axis {axis} of size {t.shape[axis]} not divisible by "
+            f"{sections}"
+        )
+    pieces = np.split(t.data, sections, axis=axis)
+    outs = []
+    for i, piece in enumerate(pieces):
+        def backward(g, i=i, shape=t.shape, piece_shape=piece.shape):
+            full = np.zeros(shape, dtype=g.dtype)
+            slicer = [slice(None)] * len(shape)
+            width = piece_shape[axis]
+            slicer[axis] = slice(i * width, (i + 1) * width)
+            full[tuple(slicer)] = g
+            return (full,)
+
+        outs.append(Tensor.from_op(piece.copy(), [t], backward, "split"))
+    return outs
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis``."""
+    out = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g):
+        return tuple(np.take(g, i, axis=axis) for i in range(len(tensors)))
+
+    return Tensor.from_op(out, list(tensors), backward, "stack")
+
+
+def softmax(t: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along ``axis``."""
+    x = t.data
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(g):
+        dot = (g * out).sum(axis=axis, keepdims=True)
+        return (out * (g - dot),)
+
+    return Tensor.from_op(out, [t], backward, "softmax")
+
+
+def log_softmax(t: Tensor, axis: int = -1) -> Tensor:
+    """log(softmax(t)) computed stably."""
+    x = t.data
+    shifted = x - x.max(axis=axis, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - lse
+    probs = np.exp(out)
+
+    def backward(g):
+        return (g - probs * g.sum(axis=axis, keepdims=True),)
+
+    return Tensor.from_op(out, [t], backward, "log_softmax")
+
+
+def rmsnorm(t: Tensor, weight: Tensor, eps: float = 1e-6) -> Tensor:
+    """Root-mean-square layer norm: ``x / rms(x) * weight``.
+
+    The paper's MoE layer uses RMSNorm before attention and before the
+    FFN (Fig. 20: ``ln1_out``, ``ln2_out``).
+    """
+    x = t.data
+    w = weight.data
+    ms = (x * x).mean(axis=-1, keepdims=True)
+    inv_rms = 1.0 / np.sqrt(ms + eps)
+    normed = x * inv_rms
+    out = normed * w
+
+    def backward(g):
+        h = x.shape[-1]
+        gw = (g * normed).reshape(-1, h).sum(axis=0)
+        gx_normed = g * w
+        # d/dx of x * (mean(x^2)+eps)^-1/2
+        dot = (gx_normed * x).sum(axis=-1, keepdims=True)
+        gx = inv_rms * gx_normed - x * (inv_rms ** 3) * dot / h
+        return gx, gw
+
+    return Tensor.from_op(out, [t, weight], backward, "rmsnorm")
+
+
+def embedding(weight: Tensor, ids: np.ndarray) -> Tensor:
+    """Row lookup ``weight[ids]`` with sparse-gradient accumulation."""
+    ids = np.asarray(ids)
+    out = weight.data[ids]
+
+    def backward(g):
+        gw = np.zeros_like(weight.data)
+        np.add.at(gw, ids, g)
+        return (gw,)
+
+    return Tensor.from_op(out, [weight], backward, "embedding")
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean token-level cross-entropy over the last axis.
+
+    ``logits`` is ``[..., vocab]``; ``targets`` holds integer class ids
+    with shape ``logits.shape[:-1]``.
+    """
+    targets = np.asarray(targets)
+    x = logits.data
+    vocab = x.shape[-1]
+    flat = x.reshape(-1, vocab)
+    tgt = targets.reshape(-1)
+    if tgt.shape[0] != flat.shape[0]:
+        raise ValueError(
+            f"targets shape {targets.shape} does not match logits "
+            f"{logits.shape}"
+        )
+    shifted = flat - flat.max(axis=-1, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    log_probs = shifted - lse
+    n = flat.shape[0]
+    loss = -log_probs[np.arange(n), tgt].mean()
+    probs = np.exp(log_probs)
+
+    def backward(g):
+        grad = probs.copy()
+        grad[np.arange(n), tgt] -= 1.0
+        grad *= np.asarray(g) / n
+        return (grad.reshape(x.shape),)
+
+    return Tensor.from_op(np.asarray(loss, dtype=x.dtype), [logits],
+                          backward, "cross_entropy")
+
+
+def take_rows(t: Tensor, index: np.ndarray) -> Tensor:
+    """Gather rows ``t[index]`` along axis 0 (indices may repeat).
+
+    This is MegaScale-MoE's efficient *gather* operator (§3.2): the
+    row-index mapping is precomputed from the routing result, and the op
+    is a pure data movement whose backward is an index-add.
+    """
+    index = np.asarray(index)
+    out = t.data[index]
+
+    def backward(g):
+        full = np.zeros_like(t.data)
+        np.add.at(full, index, g)
+        return (full,)
+
+    return Tensor.from_op(out, [t], backward, "take_rows")
+
+
+def put_rows(t: Tensor, index: np.ndarray, out_rows: int) -> Tensor:
+    """Scatter rows of ``t`` to positions ``index`` of a fresh tensor.
+
+    ``index`` must be a permutation-like assignment (duplicate targets
+    accumulate).  This is the *scatter* counterpart of :func:`take_rows`.
+    """
+    index = np.asarray(index)
+    out = np.zeros((out_rows,) + t.shape[1:], dtype=t.dtype)
+    np.add.at(out, index, t.data)
+
+    def backward(g):
+        return (g[index],)
+
+    return Tensor.from_op(out, [t], backward, "put_rows")
+
+
+def index_add_rows(base: Tensor, index: np.ndarray, rows: Tensor) -> Tensor:
+    """``base`` with ``rows`` accumulated at ``index`` along axis 0."""
+    index = np.asarray(index)
+    out = base.data.copy()
+    np.add.at(out, index, rows.data)
+
+    def backward(g):
+        return g, g[index]
+
+    return Tensor.from_op(out, [base, rows], backward, "index_add_rows")
+
+
+def masked_fill(t: Tensor, mask: np.ndarray, value: float) -> Tensor:
+    """Replace elements where ``mask`` is True with ``value``."""
+    mask = np.asarray(mask, dtype=bool)
+    out = np.where(mask, np.asarray(value, dtype=t.dtype), t.data)
+
+    def backward(g):
+        return (np.where(mask, 0.0, g),)
+
+    return Tensor.from_op(out, [t], backward, "masked_fill")
+
+
+def dropout(t: Tensor, p: float, rng: np.random.Generator,
+            training: bool = True) -> Tensor:
+    """Inverted dropout with keep-probability scaling."""
+    if not training or p <= 0.0:
+        return t
+    keep = 1.0 - p
+    mask = (rng.random(t.shape) < keep) / keep
+
+    def backward(g):
+        return (g * mask,)
+
+    return Tensor.from_op(t.data * mask, [t], backward, "dropout")
+
+
+def _rope_cache(seq_len: int, head_dim: int, base: float,
+                positions: Optional[np.ndarray]) -> Tuple[np.ndarray,
+                                                          np.ndarray]:
+    half = head_dim // 2
+    inv_freq = base ** (-np.arange(0, half, dtype=np.float64) / half)
+    if positions is None:
+        positions = np.arange(seq_len, dtype=np.float64)
+    angles = np.outer(positions, inv_freq)  # [s, half]
+    return np.cos(angles), np.sin(angles)
+
+
+def rope_rotate(t: Tensor, base: float = 10000.0,
+                positions: Optional[np.ndarray] = None) -> Tensor:
+    """Rotary position embedding over the last axis.
+
+    ``t`` is ``[batch, seq, heads, head_dim]``; pairs ``(x_i, x_{i+half})``
+    are rotated by position-dependent angles.  ``positions`` overrides the
+    default ``0..seq-1`` (needed when the sequence is SP-sharded).
+    """
+    b, s, nh, hd = t.shape
+    if hd % 2 != 0:
+        raise ValueError(f"head_dim must be even for RoPE, got {hd}")
+    cos, sin = _rope_cache(s, hd, base, positions)
+    cos = cos[None, :, None, :]
+    sin = sin[None, :, None, :]
+    half = hd // 2
+    x1 = t.data[..., :half]
+    x2 = t.data[..., half:]
+    out = np.concatenate([x1 * cos - x2 * sin, x1 * sin + x2 * cos], axis=-1)
+
+    def backward(g):
+        g1 = g[..., :half]
+        g2 = g[..., half:]
+        gx1 = g1 * cos + g2 * sin
+        gx2 = -g1 * sin + g2 * cos
+        return (np.concatenate([gx1, gx2], axis=-1),)
+
+    return Tensor.from_op(out, [t], backward, "rope")
+
+
+def scaled_dot_product_attention(
+    q: Tensor, k: Tensor, v: Tensor, causal: bool = True
+) -> Tensor:
+    """Multi-head attention core on ``[batch, heads, seq, head_dim]``.
+
+    Supports grouped-query attention: if ``k``/``v`` have fewer heads than
+    ``q`` (by an integer factor ``m``), they are shared across groups of
+    ``m`` query heads — the GQA pattern the paper's SP-communication
+    formula (Eq. 2) exploits.
+    """
+    bq, hq, sq, dq = q.shape
+    bk, hk, sk, dk = k.shape
+    if hq % hk != 0:
+        raise ValueError(f"query heads {hq} not a multiple of kv heads {hk}")
+    m = hq // hk
+    if m > 1:
+        k = _repeat_heads(k, m)
+        v = _repeat_heads(v, m)
+    scale = 1.0 / np.sqrt(dq)
+    scores = (q @ k.swapaxes(-1, -2)) * scale
+    if causal:
+        mask = np.triu(np.ones((sq, sk), dtype=bool), k=1)
+        scores = masked_fill(scores, mask[None, None], -1e30)
+    weights = softmax(scores, axis=-1)
+    return weights @ v
+
+
+def _repeat_heads(t: Tensor, m: int) -> Tensor:
+    """Repeat each KV head ``m`` times along the head axis (GQA)."""
+    b, h, s, d = t.shape
+    out = np.repeat(t.data, m, axis=1)
+
+    def backward(g):
+        return (g.reshape(b, h, m, s, d).sum(axis=2),)
+
+    return Tensor.from_op(out, [t], backward, "repeat_heads")
+
+
+def precision_cast(t: Tensor, round_fn, grad_round_fn=None) -> Tensor:
+    """Emulate a precision cast: round forward values, optionally round
+    the backward gradient too.
+
+    ``round_fn`` maps an ndarray to its low-precision-rounded values (see
+    :mod:`repro.precision.formats`).  With ``grad_round_fn=None`` the
+    gradient passes through unrounded (a pure storage cast); passing a
+    rounding function emulates gradients that are themselves produced in
+    low precision.
+    """
+    out = round_fn(t.data)
+
+    def backward(g):
+        if grad_round_fn is not None:
+            g = grad_round_fn(g)
+        return (g,)
+
+    return Tensor.from_op(out, [t], backward, "precision_cast")

@@ -1,0 +1,415 @@
+"""A small tape-based reverse-mode autodiff engine over numpy.
+
+MegaScale-MoE's key scheduling idea is that an MoE layer is *decomposed
+into operators* whose forward and backward passes can be reordered and
+overlapped (Section 4).  Reproducing the numerical experiments therefore
+needs an autograd substrate where each operator's backward is an explicit,
+schedulable unit — exactly what a tape of :class:`Node` records provides.
+
+The engine is deliberately minimal: dense numpy arrays, float32/float64,
+reverse-mode only.  Operator definitions live in :mod:`repro.tensor.ops`;
+this module provides the :class:`Tensor` wrapper, broadcasting-aware
+arithmetic, and the topological-sort backward pass.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Tensor", "Node", "no_grad", "is_grad_enabled"]
+
+ArrayLike = Union[np.ndarray, float, int, list, tuple, "Tensor"]
+
+_GRAD_ENABLED = [True]
+
+
+class no_grad:
+    """Context manager disabling tape recording (for eval / optimizers)."""
+
+    def __enter__(self):
+        self._prev = _GRAD_ENABLED[0]
+        _GRAD_ENABLED[0] = False
+        return self
+
+    def __exit__(self, *exc):
+        _GRAD_ENABLED[0] = self._prev
+        return False
+
+
+def is_grad_enabled() -> bool:
+    """True when operations record tape nodes."""
+    return _GRAD_ENABLED[0]
+
+
+class Node:
+    """A tape record: the inputs of an op and its backward function.
+
+    ``backward_fn(grad_out) -> tuple[grad_in, ...]`` must return one
+    gradient array (or None) per entry of ``inputs``.
+    """
+
+    __slots__ = ("inputs", "backward_fn", "op_name")
+
+    def __init__(self, inputs: Sequence["Tensor"],
+                 backward_fn: Callable[[np.ndarray], Tuple], op_name: str):
+        self.inputs = tuple(inputs)
+        self.backward_fn = backward_fn
+        self.op_name = op_name
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` after numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dims numpy added.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over dims that were broadcast from 1.
+    for axis, dim in enumerate(shape):
+        if dim == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+class Tensor:
+    """An array with an optional gradient and a tape pointer."""
+
+    __slots__ = ("data", "grad", "requires_grad", "node", "name")
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False,
+                 name: str = ""):
+        if isinstance(data, Tensor):
+            data = data.data
+        arr = np.asarray(data)
+        if arr.dtype not in (np.float32, np.float64):
+            arr = arr.astype(np.float32)
+        self.data: np.ndarray = arr
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self.node: Optional[Node] = None
+        self.name = name
+
+    # -- construction helpers -------------------------------------------
+
+    @staticmethod
+    def zeros(*shape: int, dtype=np.float32,
+              requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape, dtype=dtype), requires_grad)
+
+    @staticmethod
+    def ones(*shape: int, dtype=np.float32,
+             requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape, dtype=dtype), requires_grad)
+
+    @staticmethod
+    def from_op(data: np.ndarray, inputs: Sequence["Tensor"],
+                backward_fn: Callable, op_name: str) -> "Tensor":
+        """Create an op output, recording a tape node if needed."""
+        requires = is_grad_enabled() and any(t.requires_grad for t in inputs)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out.node = Node(inputs, backward_fn, op_name)
+        return out
+
+    # -- basic properties -------------------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        """The underlying ndarray (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """The scalar value of a 1-element tensor."""
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """A tape-free view of the same values."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        """A leaf copy with the same data and grad flag."""
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad" if self.requires_grad else ""
+        label = f" {self.name!r}" if self.name else ""
+        return f"Tensor{label}(shape={self.shape}{grad_flag})"
+
+    # -- autograd ----------------------------------------------------------
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Reverse-mode sweep from this tensor through the tape."""
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a non-grad tensor")
+        if grad is None:
+            if self.size != 1:
+                raise RuntimeError(
+                    "backward() without an explicit gradient requires a "
+                    f"scalar output, got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+
+        order = self._topological_order()
+        grads = {id(self): grad}
+        for t in order:
+            g_out = grads.pop(id(t), None)
+            if g_out is None or t.node is None:
+                if g_out is not None and t.node is None and t.requires_grad:
+                    t.grad = g_out if t.grad is None else t.grad + g_out
+                continue
+            in_grads = t.node.backward_fn(g_out)
+            if len(in_grads) != len(t.node.inputs):
+                raise RuntimeError(
+                    f"op {t.node.op_name!r} returned {len(in_grads)} "
+                    f"gradients for {len(t.node.inputs)} inputs"
+                )
+            for inp, g in zip(t.node.inputs, in_grads):
+                if g is None or not inp.requires_grad:
+                    continue
+                g = _unbroadcast(np.asarray(g, dtype=inp.data.dtype),
+                                 inp.shape)
+                if id(inp) in grads:
+                    grads[id(inp)] = grads[id(inp)] + g
+                else:
+                    grads[id(inp)] = g
+
+    def _topological_order(self) -> List["Tensor"]:
+        """Tensors reachable from self, in reverse-topological order."""
+        visited = set()
+        order: List[Tensor] = []
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            t, processed = stack.pop()
+            if processed:
+                order.append(t)
+                continue
+            if id(t) in visited:
+                continue
+            visited.add(id(t))
+            stack.append((t, True))
+            if t.node is not None:
+                for inp in t.node.inputs:
+                    if id(inp) not in visited:
+                        stack.append((inp, False))
+        order.reverse()
+        return order
+
+    def zero_grad(self) -> None:
+        """Clear the accumulated gradient."""
+        self.grad = None
+
+    # -- arithmetic --------------------------------------------------------
+
+    def _coerce(self, other: ArrayLike) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(
+            np.asarray(other, dtype=self.data.dtype))
+
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        out = self.data + other.data
+        return Tensor.from_op(
+            out, [self, other],
+            lambda g: (g, g),
+            "add",
+        )
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        return Tensor.from_op(
+            self.data - other.data, [self, other],
+            lambda g: (g, -g),
+            "sub",
+        )
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return self._coerce(other) - self
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        a, b = self.data, other.data
+        return Tensor.from_op(
+            a * b, [self, other],
+            lambda g: (g * b, g * a),
+            "mul",
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        a, b = self.data, other.data
+        return Tensor.from_op(
+            a / b, [self, other],
+            lambda g: (g / b, -g * a / (b * b)),
+            "div",
+        )
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return self._coerce(other) / self
+
+    def __neg__(self) -> "Tensor":
+        return Tensor.from_op(-self.data, [self], lambda g: (-g,), "neg")
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        a = self.data
+        return Tensor.from_op(
+            a ** exponent, [self],
+            lambda g: (g * exponent * a ** (exponent - 1),),
+            "pow",
+        )
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        other = self._coerce(other)
+        a, b = self.data, other.data
+        out = a @ b
+
+        def backward(g):
+            if b.ndim == 1:
+                ga = np.outer(g, b) if a.ndim > 1 else g * b
+                gb = a.T @ g if a.ndim > 1 else a * g
+            elif a.ndim == 1:
+                ga = g @ b.swapaxes(-1, -2)
+                gb = np.outer(a, g)
+            else:
+                ga = g @ b.swapaxes(-1, -2)
+                gb = a.swapaxes(-1, -2) @ g
+            return ga, gb
+
+        return Tensor.from_op(out, [self, other], backward, "matmul")
+
+    # -- reductions / shaping ---------------------------------------------
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Sum over the given axes."""
+        out = self.data.sum(axis=axis, keepdims=keepdims)
+        shape = self.shape
+
+        def backward(g):
+            g = np.asarray(g)
+            if axis is None:
+                return (np.broadcast_to(g, shape).copy(),)
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            if not keepdims:
+                for ax in sorted(a % len(shape) for a in axes):
+                    g = np.expand_dims(g, ax)
+            return (np.broadcast_to(g, shape).copy(),)
+
+        return Tensor.from_op(out, [self], backward, "sum")
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Mean over the given axes."""
+        if axis is None:
+            count = self.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        """View with a new shape (same element count)."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        old = self.shape
+        return Tensor.from_op(
+            self.data.reshape(shape), [self],
+            lambda g: (g.reshape(old),),
+            "reshape",
+        )
+
+    def transpose(self, *axes: int) -> "Tensor":
+        """Permute axes (reversed by default)."""
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        inverse = np.argsort(axes)
+        return Tensor.from_op(
+            self.data.transpose(axes), [self],
+            lambda g: (g.transpose(inverse),),
+            "transpose",
+        )
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        """Exchange two axes."""
+        return Tensor.from_op(
+            self.data.swapaxes(a, b), [self],
+            lambda g: (g.swapaxes(a, b),),
+            "swapaxes",
+        )
+
+    def __getitem__(self, index) -> "Tensor":
+        out = self.data[index]
+        shape = self.shape
+
+        def backward(g):
+            full = np.zeros(shape, dtype=g.dtype)
+            np.add.at(full, index, g)
+            return (full,)
+
+        return Tensor.from_op(out, [self], backward, "getitem")
+
+    # -- elementwise nonlinearities (the rest live in ops.py) -------------
+
+    def exp(self) -> "Tensor":
+        """Element-wise exponential."""
+        out = np.exp(self.data)
+        return Tensor.from_op(out, [self], lambda g: (g * out,), "exp")
+
+    def log(self) -> "Tensor":
+        """Element-wise natural logarithm."""
+        a = self.data
+        return Tensor.from_op(np.log(a), [self], lambda g: (g / a,), "log")
+
+    def sqrt(self) -> "Tensor":
+        """Element-wise square root."""
+        out = np.sqrt(self.data)
+        return Tensor.from_op(out, [self], lambda g: (g / (2 * out),), "sqrt")
+
+    def tanh(self) -> "Tensor":
+        """Element-wise hyperbolic tangent."""
+        out = np.tanh(self.data)
+        return Tensor.from_op(
+            out, [self], lambda g: (g * (1 - out * out),), "tanh")
+
+    def sigmoid(self) -> "Tensor":
+        """Element-wise logistic sigmoid."""
+        out = 1.0 / (1.0 + np.exp(-self.data))
+        return Tensor.from_op(
+            out, [self], lambda g: (g * out * (1 - out),), "sigmoid")
+
+    def relu(self) -> "Tensor":
+        """Element-wise max(x, 0)."""
+        mask = self.data > 0
+        return Tensor.from_op(
+            self.data * mask, [self], lambda g: (g * mask,), "relu")
+
+    def silu(self) -> "Tensor":
+        """SiLU / swish: ``x * sigmoid(x)`` (the SwiGLU building block)."""
+        x = self.data
+        sig = 1.0 / (1.0 + np.exp(-x))
+        out = x * sig
+
+        def backward(g):
+            return (g * (sig * (1 + x * (1 - sig))),)
+
+        return Tensor.from_op(out, [self], backward, "silu")

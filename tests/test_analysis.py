@@ -1,0 +1,228 @@
+"""Tests for the closed-form analysis (Eqs. 1–9, Appendix A.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis import (
+    activation_budget,
+    activation_elements_full,
+    activation_elements_remat,
+    attention_comm_volume,
+    ep_ffn_comm_volume,
+    ffn_comm_volume,
+    param_memory_per_gpu,
+    scale_up_ratio,
+    sp_attention_comm_volume,
+    tp_attention_comm_volume,
+    tp_ffn_comm_volume,
+)
+from repro.core.config import GPU_SPECS, MODEL_ZOO, ModelConfig, \
+    ParallelConfig
+
+
+class TestCommVolumeFormulas:
+    def test_eq1_literal(self):
+        assert tp_attention_comm_volume(2, 8192, 4096, 8) == \
+            pytest.approx(2 * 2 * 8192 * 4096 * 7 / 8)
+
+    def test_eq2_literal(self):
+        b, s, h, n, m = 2, 8192, 4096, 8, 4
+        expected = 2 * b * s * h * (n - 1) / n * (2 + 2 / m) / n
+        assert sp_attention_comm_volume(b, s, h, n, m) == \
+            pytest.approx(expected)
+
+    def test_eq3_literal(self):
+        b, s, h, n, k = 1, 8192, 4096, 8, 3
+        assert ep_ffn_comm_volume(b, s, h, n, k) == \
+            pytest.approx(2 * k / n * b * s * h * (n - 1) / n)
+
+    def test_eq4_equals_eq1(self):
+        assert tp_ffn_comm_volume(3, 64, 128, 8) == \
+            tp_attention_comm_volume(3, 64, 128, 8)
+
+    def test_degenerate_single_rank(self):
+        assert tp_attention_comm_volume(1, 8, 16, 1) == 0.0
+        assert sp_attention_comm_volume(1, 8, 16, 1, 4) == 0.0
+        assert ep_ffn_comm_volume(1, 8, 16, 1, 2) == 0.0
+
+    def test_paper_quarter_claim(self):
+        """§3.1: with n=8 and GQA, SP attention communication drops to
+        about one-fourth of TP's."""
+        b, s, h = 1, 8192, 4096
+        ratio = sp_attention_comm_volume(b, s, h, 8, 4) / \
+            tp_attention_comm_volume(b, s, h, 8)
+        assert ratio == pytest.approx((2 + 0.5) / 8)
+        assert 0.2 < ratio < 0.35
+
+    @given(st.integers(2, 64), st.integers(1, 16))
+    @settings(max_examples=50, deadline=None)
+    def test_sp_beats_tp_beyond_threshold(self, n, m):
+        """SP volume < TP volume iff (2 + 2/m)/n < 1."""
+        sp = sp_attention_comm_volume(1, 64, 128, n, m)
+        tp = tp_attention_comm_volume(1, 64, 128, n)
+        if (2 + 2 / m) / n < 1:
+            assert sp < tp
+        else:
+            assert sp >= tp
+
+    @given(st.integers(2, 64), st.integers(1, 16))
+    @settings(max_examples=50, deadline=None)
+    def test_ep_vs_tp_crossover_at_k_equals_n(self, n, k):
+        """Eq. 3 vs Eq. 4: A2A volume beats TP exactly when k < n."""
+        ep = ep_ffn_comm_volume(1, 64, 128, n, k)
+        tp = tp_ffn_comm_volume(1, 64, 128, n)
+        if k < n:
+            assert ep < tp
+        elif k > n:
+            assert ep > tp
+
+    def test_strategy_dispatchers(self):
+        model = MODEL_ZOO["mixtral-8x7b"]
+        sp = ParallelConfig.megascale(8)
+        tp = ParallelConfig.megatron(8)
+        assert attention_comm_volume(model, sp, 1) < \
+            attention_comm_volume(model, tp, 1)
+        assert ffn_comm_volume(model, sp, 1) <= \
+            ffn_comm_volume(model, tp, 1)
+
+    def test_adaptive_ffn_capped_at_tp(self):
+        """With the adaptive dispatch, EP volume never exceeds Eq. 4
+        (§3.2's guarantee)."""
+        model = MODEL_ZOO["deepseekmoe"]  # top-6
+        for n in (2, 4, 8):
+            pc = ParallelConfig.megascale(n)
+            assert ffn_comm_volume(model, pc, 1) <= \
+                tp_ffn_comm_volume(1, model.seq_len, model.hidden_size,
+                                   n) + 1e-9
+
+
+class TestScaleUpRatio:
+    def test_formula(self):
+        r = scale_up_ratio(14336, 400e9, 989e12, 8)
+        assert r == pytest.approx(1.5 * 14336 * 400e9 / 989e12 * 8 / 7)
+
+    def test_independent_of_model_scale_knobs(self):
+        """§7: R does not depend on experts, top-k, hidden size, batch —
+        only h_ffn and the hardware ratio (and weakly n)."""
+        base = scale_up_ratio(14336, 400e9, 989e12, 8)
+        also = scale_up_ratio(14336, 400e9, 989e12, 8)
+        assert base == also  # no other inputs exist to vary
+
+    def test_n_dependence_vanishes(self):
+        r8 = scale_up_ratio(14336, 400e9, 989e12, 8)
+        r64 = scale_up_ratio(14336, 400e9, 989e12, 64)
+        assert abs(r8 - r64) / r8 < 0.15
+
+    def test_h800_ffn_sizes_sustain_overlap(self):
+        """For the paper's models on H800 NVLink, R > 1 comfortably."""
+        gpu = GPU_SPECS["h800"]
+        for name in ("internal-352b", "mixtral-8x7b", "mixtral-8x22b"):
+            model = MODEL_ZOO[name]
+            r = scale_up_ratio(model.ffn_hidden_size,
+                               gpu.nvlink_bandwidth, gpu.peak_flops)
+            assert r > 1.0, name
+
+    def test_rdma_needs_bigger_experts(self):
+        """Crossing the NVLink domain (50 GB/s RDMA) shrinks R by the
+        bandwidth ratio — the §7 'scale up' question."""
+        nvlink = scale_up_ratio(14336, 400e9, 989e12)
+        rdma = scale_up_ratio(14336, 50e9, 989e12)
+        assert rdma == pytest.approx(nvlink / 8)
+        # An expert dimension 8× larger restores R.
+        assert scale_up_ratio(14336 * 8, 50e9, 989e12) == \
+            pytest.approx(nvlink)
+
+    def test_single_rank_infinite(self):
+        assert scale_up_ratio(1024, 1e9, 1e12, 1) == float("inf")
+
+
+class TestActivationMemory:
+    @given(st.integers(2, 16), st.sampled_from([1, 2, 4, 8]),
+           st.integers(1, 8), st.floats(0.5, 5.0))
+    @settings(max_examples=50, deadline=None)
+    def test_remat_always_smaller(self, n, m, k, f):
+        full = activation_elements_full(1, 64, 32, n, m, k, f)
+        remat = activation_elements_remat(1, 64, 32, n, m, k, f)
+        assert remat < full
+
+    def test_full_formula_literal(self):
+        b, s, h, n, m, k, f = 1, 8192, 4096, 8, 4, 3, 3.5
+        expected = (2 * n + 2 * k + 3 * k * f + 12 + 5 / m) * b * s * h / n
+        assert activation_elements_full(b, s, h, n, m, k, f) == \
+            pytest.approx(expected)
+
+    def test_remat_formula_literal(self):
+        b, s, h, n, m, k, f = 1, 8192, 4096, 8, 4, 3, 3.5
+        expected = (2 * k * f + 4 + 2 / m) * b * s * h / n
+        assert activation_elements_remat(b, s, h, n, m, k, f) == \
+            pytest.approx(expected)
+
+    def test_paper_headline_50_percent(self):
+        """§4.1: ~50% activation memory reduction on the paper's
+        models."""
+        for name in ("mixtral-8x7b", "mixtral-8x2b", "internal-352b"):
+            model = MODEL_ZOO[name]
+            budget = activation_budget(model, ParallelConfig.megascale(8),
+                                       micro_batch=1)
+            assert 0.35 < budget.savings_fraction < 0.75, name
+
+    def test_budget_matches_formulas(self):
+        model = MODEL_ZOO["mixtral-8x7b"]
+        pc = ParallelConfig.megascale(8)
+        budget = activation_budget(model, pc, 2)
+        f = model.ffn_hidden_size / model.hidden_size
+        assert budget.full_elements == pytest.approx(
+            activation_elements_full(2, model.seq_len, model.hidden_size,
+                                     8, model.gqa_ratio, model.top_k, f))
+
+
+class TestParamMemory:
+    def test_sp_replicates_attention(self):
+        model = MODEL_ZOO["mixtral-8x7b"]
+        sp = param_memory_per_gpu(model, ParallelConfig.megascale(8))
+        tp = param_memory_per_gpu(model, ParallelConfig.megatron(8))
+        assert sp["params"] > tp["params"]
+        # But the overhead is small because experts dominate (§3.1):
+        # the paper reports single-digit-percent extra memory.
+        assert sp["params"] / tp["params"] < 1.3
+
+    def test_sp_overhead_band_all_models(self):
+        """Fig. 13 discussion: SP's extra parameter/gradient/optimizer
+        memory stays small across the model zoo (paper: 1.7%–8.1%; our
+        accounting stays under 20% for every configuration)."""
+        for name, model in MODEL_ZOO.items():
+            sp = param_memory_per_gpu(
+                model, ParallelConfig.megascale(8, data_parallel_size=4))
+            tp = param_memory_per_gpu(
+                model, ParallelConfig.megatron(8, data_parallel_size=4))
+            overhead = sp["total"] / tp["total"] - 1
+            assert 0.0 < overhead < 0.20, (name, overhead)
+
+    def test_sp_overhead_shrinks_with_expert_count(self):
+        """The more parameters live in the (sharded) experts, the
+        cheaper SP's attention replication — why MoE makes the SP
+        trade-off acceptable (§3.1)."""
+        many = MODEL_ZOO["internal-352b"]   # 32 experts, h_ffn 14336
+        few = MODEL_ZOO["mixtral-8x7b"]     # 8 experts, same h/h_ffn
+        def overhead(model):
+            sp = param_memory_per_gpu(model, ParallelConfig.megascale(8))
+            tp = param_memory_per_gpu(model, ParallelConfig.megatron(8))
+            return sp["total"] / tp["total"] - 1
+        assert overhead(many) < overhead(few)
+
+    def test_zero_shards_optimizer(self):
+        model = MODEL_ZOO["mixtral-8x7b"]
+        pc1 = ParallelConfig.megascale(8, data_parallel_size=1)
+        pc8 = ParallelConfig.megascale(8, data_parallel_size=8)
+        m1 = param_memory_per_gpu(model, pc1)
+        m8 = param_memory_per_gpu(model, pc8)
+        assert m8["optimizer"] == pytest.approx(m1["optimizer"] / 8)
+        assert m8["params"] == m1["params"]
+
+    def test_pipeline_divides_layers(self):
+        model = MODEL_ZOO["mixtral-8x7b"]
+        p1 = param_memory_per_gpu(model, ParallelConfig.megascale(8, 1))
+        p4 = param_memory_per_gpu(model, ParallelConfig.megascale(8, 4))
+        assert p4["params"] < p1["params"] / 3

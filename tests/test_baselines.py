@@ -1,0 +1,85 @@
+"""Tests for the packaged Megatron-LM baseline characterization."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    MegatronTrainer,
+    megatron_parallel_config,
+    megatron_perf_model,
+)
+from repro.core.config import GPU_SPECS, MODEL_ZOO, ParallelConfig, \
+    TrainConfig
+
+
+class TestMegatronConfig:
+    def test_tp_everywhere(self):
+        pc = megatron_parallel_config(8, 15, 12)
+        assert pc.attention == "tp" and pc.ffn == "tp"
+        assert pc.strategy_name == "TP+TP"
+        assert pc.total_gpus == 1440
+
+    def test_kwargs_forwarded(self):
+        pc = megatron_parallel_config(8, zero_stage=0)
+        assert pc.zero_stage == 0
+
+
+class TestMegatronPerfModel:
+    def test_baseline_characterization(self):
+        system = megatron_perf_model()
+        assert system.name == "megatron-lm"
+        assert not system.overlap.inter_op
+        assert not system.overlap.intra_op
+        assert system.grad_elem_bytes == 4.0   # FP32 DP gradients
+        assert system.full_recompute
+        assert system.mem_eff < 0.6            # torch.scatter_add
+
+    def test_overrides(self):
+        system = megatron_perf_model(full_recompute=False)
+        assert not system.full_recompute
+
+    def test_slower_than_megascale_on_paper_setup(self):
+        from repro.perf import MegaScalePerfModel
+        model = MODEL_ZOO["internal-352b"]
+        gpu = GPU_SPECS["h800"]
+        train = TrainConfig(global_batch_size=720)
+        mg = megatron_perf_model().iteration(
+            model, megatron_parallel_config(8, 15, 4), train, gpu)
+        ms = MegaScalePerfModel().iteration(
+            model, ParallelConfig.megascale(8, 15, 4), train, gpu)
+        assert mg.iteration_time > 1.5 * ms.iteration_time
+
+
+class TestMegatronTrainerWiring:
+    def test_adopts_world_size_and_tp(self):
+        from repro.comm import World
+        from repro.core.config import ModelConfig
+        from repro.model import MoETransformer
+        cfg = ModelConfig("mb", 1, 16, 4, 2, 24, 4, 2, vocab_size=32,
+                          seq_len=8)
+        model = MoETransformer(cfg, seed=0, dtype=np.float64)
+        trainer = MegatronTrainer(
+            model, World(2, 2),
+            TrainConfig(global_batch_size=2, micro_batch_size=2,
+                        seq_len=8))
+        assert trainer.parallel.strategy_name == "TP+TP"
+        assert trainer.parallel.model_parallel_size == 2
+
+    def test_trains(self, rng):
+        from repro.comm import World
+        from repro.core.config import ModelConfig
+        from repro.model import MoETransformer
+        from repro.precision.optimizer import AdamW
+        cfg = ModelConfig("mb2", 1, 16, 4, 2, 24, 4, 2, vocab_size=32,
+                          seq_len=8)
+        model = MoETransformer(cfg, seed=0, dtype=np.float64)
+        trainer = MegatronTrainer(
+            model, World(2, 2),
+            TrainConfig(global_batch_size=2, micro_batch_size=2,
+                        seq_len=8, aux_loss_coeff=0.01),
+            optimizer=AdamW(model.parameters(), lr=1e-2))
+        batch = rng.integers(0, 32, (2, 9))
+        first = trainer.train_step(batch).loss
+        for _ in range(3):
+            last = trainer.train_step(batch).loss
+        assert last < first

@@ -1,0 +1,157 @@
+"""End-to-end equivalence: block engine combos and MegaScaleTrainer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MegatronTrainer
+from repro.comm import World
+from repro.core import MegaScaleTrainer, ModelConfig, ParallelConfig, \
+    TrainConfig
+from repro.data import MarkovCorpus, batch_iterator
+from repro.model import MoETransformer
+from repro.model.transformer import TransformerBlock
+from repro.parallel import ParallelBlockEngine, shard_sequence, \
+    unshard_sequence
+from repro.precision.optimizer import AdamW, clip_grad_norm
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def block_setup(rng, tiny_config):
+    block = TransformerBlock(np.random.default_rng(0), tiny_config,
+                             dtype=np.float64)
+    x = rng.standard_normal((2, 8, tiny_config.hidden_size))
+    xt = Tensor(x, requires_grad=True)
+    hidden, moe_out = block(xt)
+    return block, x, hidden.data.copy(), moe_out.aux_loss.item()
+
+
+class TestParallelBlockEngine:
+    @pytest.mark.parametrize("attn,ffn", [
+        ("sp", "ep"), ("sp", "tp"), ("tp", "ep"), ("tp", "tp"),
+    ])
+    def test_all_strategy_combos_match(self, block_setup, attn, ffn):
+        block, x, ref_hidden, ref_aux = block_setup
+        block.zero_grad()
+        world = World(4, 4)
+        engine = ParallelBlockEngine(world.full_group(), block, attn, ffn)
+        shards = shard_sequence(x, 4)
+        outs, aux = engine.forward(shards, 8)
+        np.testing.assert_allclose(unshard_sequence(outs), ref_hidden,
+                                   atol=1e-9)
+        assert aux.item() == pytest.approx(ref_aux, abs=1e-10)
+
+    def test_invalid_strategies(self, block_setup):
+        block = block_setup[0]
+        world = World(4, 4)
+        with pytest.raises(ValueError, match="attention strategy"):
+            ParallelBlockEngine(world.full_group(), block, "cp", "ep")
+        with pytest.raises(ValueError, match="ffn strategy"):
+            ParallelBlockEngine(world.full_group(), block, "sp", "zero")
+
+    def test_shard_helpers(self, rng):
+        x = rng.standard_normal((2, 8, 4))
+        shards = shard_sequence(x, 4)
+        assert len(shards) == 4 and shards[0].shape == (2, 2, 4)
+        np.testing.assert_array_equal(unshard_sequence(shards), x)
+        with pytest.raises(ValueError, match="divisible"):
+            shard_sequence(x, 3)
+
+
+def train_reference(config, batches, lr=1e-2, aux=0.01):
+    model = MoETransformer(config, seed=0, dtype=np.float64)
+    opt = AdamW(model.parameters(), lr=lr)
+    losses = []
+    for batch in batches:
+        model.zero_grad()
+        loss = model.language_model_loss(batch, aux_coeff=aux)
+        loss.backward()
+        clip_grad_norm(model.parameters(), 1.0)
+        opt.step()
+        losses.append(loss.item())
+    return model, losses
+
+
+class TestMegaScaleTrainer:
+    def make(self, config, n, **kwargs):
+        model = MoETransformer(config, seed=0, dtype=np.float64)
+        world = World(n, n)
+        tr = TrainConfig(global_batch_size=4, micro_batch_size=4,
+                         seq_len=config.seq_len, learning_rate=1e-2,
+                         aux_loss_coeff=0.01)
+        trainer = MegaScaleTrainer(
+            model, world, ParallelConfig.megascale(n), tr,
+            optimizer=AdamW(model.parameters(), lr=1e-2), **kwargs)
+        return trainer
+
+    def test_losses_match_reference_exactly(self, tiny_config):
+        corpus = MarkovCorpus(vocab_size=64, seed=0)
+        batches = list(batch_iterator(corpus, 4, 16, limit=4))
+        _, ref_losses = train_reference(tiny_config, batches)
+        trainer = self.make(tiny_config, 4)
+        dist_losses = [trainer.train_step(b).loss for b in batches]
+        np.testing.assert_allclose(dist_losses, ref_losses, atol=1e-9)
+
+    def test_megatron_trainer_matches_too(self, tiny_config):
+        corpus = MarkovCorpus(vocab_size=64, seed=0)
+        batches = list(batch_iterator(corpus, 4, 16, limit=3))
+        _, ref_losses = train_reference(tiny_config, batches)
+        model = MoETransformer(tiny_config, seed=0, dtype=np.float64)
+        world = World(4, 4)
+        tr = TrainConfig(global_batch_size=4, micro_batch_size=4,
+                         seq_len=16, learning_rate=1e-2,
+                         aux_loss_coeff=0.01)
+        trainer = MegatronTrainer(
+            model, world, tr, optimizer=AdamW(model.parameters(),
+                                              lr=1e-2))
+        losses = [trainer.train_step(b).loss for b in batches]
+        np.testing.assert_allclose(losses, ref_losses, atol=1e-9)
+
+    def test_world_size_mismatch(self, tiny_config):
+        model = MoETransformer(tiny_config, seed=0)
+        with pytest.raises(ValueError, match="world size"):
+            MegaScaleTrainer(model, World(4, 4),
+                             ParallelConfig.megascale(8),
+                             TrainConfig())
+
+    def test_sequence_divisibility(self, tiny_config):
+        trainer = self.make(tiny_config, 4)
+        with pytest.raises(ValueError, match="divisible"):
+            trainer.train_step(np.zeros((1, 11), dtype=int))
+
+    def test_eval_loss_no_mutation(self, tiny_config, rng):
+        trainer = self.make(tiny_config, 4)
+        ids = rng.integers(0, 64, (2, 17))
+        before = {k: v.copy() for k, v in trainer.state_dict().items()}
+        trainer.eval_loss(ids)
+        after = trainer.state_dict()
+        for k in before:
+            np.testing.assert_array_equal(before[k], after[k])
+
+    def test_checkpoint_roundtrip(self, tiny_config, rng):
+        trainer = self.make(tiny_config, 4)
+        ids = rng.integers(0, 64, (2, 17))
+        trainer.train_step(ids)
+        state = trainer.state_dict()
+        fresh = self.make(tiny_config, 4)
+        fresh.load_state_dict(state)
+        assert fresh.eval_loss(ids) == pytest.approx(
+            trainer.eval_loss(ids))
+
+    def test_step_result_telemetry(self, tiny_config, rng):
+        trainer = self.make(tiny_config, 4)
+        ids = rng.integers(0, 64, (2, 17))
+        result = trainer.train_step(ids)
+        assert result.tokens == 2 * 16
+        assert result.grad_norm > 0
+        assert result.loss == pytest.approx(
+            result.lm_loss + 0.01 * result.aux_loss)
+
+    def test_training_reduces_loss(self, tiny_config):
+        corpus = MarkovCorpus(vocab_size=64, seed=1)
+        trainer = self.make(tiny_config, 4)
+        batches = list(batch_iterator(corpus, 4, 16, limit=10))
+        first = trainer.eval_loss(batches[0])
+        for batch in batches:
+            trainer.train_step(batch)
+        assert trainer.eval_loss(batches[0]) < first

@@ -1,0 +1,254 @@
+"""Tests for the simulated collectives and their byte ledger."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import (
+    World,
+    all_gather,
+    all_reduce,
+    all_to_all,
+    all_to_all_uneven,
+    broadcast,
+    gather,
+    reduce_scatter,
+    scatter,
+)
+
+
+def make_shards(rng, n, shape):
+    return [rng.standard_normal(shape) for _ in range(n)]
+
+
+class TestAllGather:
+    def test_semantics(self, rng, world4):
+        g = world4.full_group()
+        shards = make_shards(rng, 4, (2, 3))
+        outs = all_gather(g, shards)
+        expected = np.concatenate(shards, axis=0)
+        for out in outs:
+            np.testing.assert_array_equal(out, expected)
+
+    def test_axis(self, rng, world4):
+        g = world4.full_group()
+        shards = make_shards(rng, 4, (2, 3))
+        outs = all_gather(g, shards, axis=1)
+        assert outs[0].shape == (2, 12)
+
+    def test_outputs_independent(self, rng, world4):
+        g = world4.full_group()
+        outs = all_gather(g, make_shards(rng, 4, (2,)))
+        outs[0][0] = 999.0
+        assert outs[1][0] != 999.0
+
+    def test_ledger_ring_bytes(self, rng, world4):
+        g = world4.full_group()
+        world4.ledger.clear()
+        all_gather(g, make_shards(rng, 4, (2, 3)), tag="t")
+        rec = world4.ledger.records[-1]
+        # Each rank sends its 6-element float64 shard (n-1) times.
+        assert rec.send_bytes_per_rank == [6 * 8 * 3] * 4
+
+    def test_elem_bytes_override(self, rng, world4):
+        g = world4.full_group()
+        world4.ledger.clear()
+        all_gather(g, make_shards(rng, 4, (2, 3)), elem_bytes=2.0)
+        assert world4.ledger.records[-1].send_bytes_per_rank == [36] * 4
+
+    def test_wrong_shard_count(self, rng, world4):
+        with pytest.raises(ValueError, match="expected 4 shards"):
+            all_gather(world4.full_group(), make_shards(rng, 3, (2,)))
+
+
+class TestReduceScatter:
+    def test_semantics(self, rng, world4):
+        g = world4.full_group()
+        tensors = make_shards(rng, 4, (8, 3))
+        outs = reduce_scatter(g, tensors)
+        total = np.sum(tensors, axis=0)
+        for j, out in enumerate(outs):
+            np.testing.assert_allclose(out, total[j * 2:(j + 1) * 2],
+                                       rtol=1e-12)
+
+    def test_indivisible_raises(self, rng, world4):
+        with pytest.raises(ValueError, match="not divisible"):
+            reduce_scatter(world4.full_group(), make_shards(rng, 4, (7, 3)))
+
+    def test_unequal_shapes_raise(self, rng, world4):
+        tensors = make_shards(rng, 3, (8, 3)) + [rng.standard_normal((8, 4))]
+        with pytest.raises(ValueError, match="equal shapes"):
+            reduce_scatter(world4.full_group(), tensors)
+
+    def test_ledger(self, rng, world4):
+        g = world4.full_group()
+        world4.ledger.clear()
+        reduce_scatter(g, make_shards(rng, 4, (8, 3)))
+        rec = world4.ledger.records[-1]
+        assert rec.send_bytes_per_rank == [6 * 8 * 3] * 4
+
+
+class TestAllReduce:
+    def test_semantics(self, rng, world4):
+        g = world4.full_group()
+        tensors = make_shards(rng, 4, (3, 3))
+        outs = all_reduce(g, tensors)
+        total = np.sum(tensors, axis=0)
+        for out in outs:
+            np.testing.assert_allclose(out, total, rtol=1e-12)
+
+    def test_rs_then_ag_equals_ar(self, rng, world4):
+        """Ring all-reduce identity: AG(RS(x)) == AR(x)."""
+        g = world4.full_group()
+        tensors = make_shards(rng, 4, (8, 2))
+        via_two = all_gather(g, reduce_scatter(g, tensors))
+        direct = all_reduce(g, tensors)
+        for a, b in zip(via_two, direct):
+            np.testing.assert_allclose(a, b, rtol=1e-12)
+
+    def test_bytes_equal_two_phase(self, rng, world4):
+        g = world4.full_group()
+        world4.ledger.clear()
+        tensors = make_shards(rng, 4, (8, 2))
+        all_reduce(g, tensors, tag="ar")
+        ar_bytes = world4.ledger.total_bytes(tag="ar")
+        world4.ledger.clear()
+        all_gather(g, reduce_scatter(g, tensors, tag="rs"), tag="ag")
+        two_phase = world4.ledger.total_bytes()
+        assert ar_bytes == pytest.approx(two_phase)
+
+
+class TestAllToAll:
+    def test_transpose_semantics(self, rng, world4):
+        g = world4.full_group()
+        chunks = [[rng.standard_normal((2,)) for _ in range(4)]
+                  for _ in range(4)]
+        received = all_to_all(g, chunks)
+        for i in range(4):
+            for j in range(4):
+                np.testing.assert_array_equal(received[j][i], chunks[i][j])
+
+    def test_involution(self, rng, world4):
+        """A2A twice returns every chunk to its origin."""
+        g = world4.full_group()
+        chunks = [[rng.standard_normal((3,)) for _ in range(4)]
+                  for _ in range(4)]
+        once = all_to_all(g, chunks)
+        twice = all_to_all(g, once)
+        for i in range(4):
+            for j in range(4):
+                np.testing.assert_array_equal(twice[i][j], chunks[i][j])
+
+    def test_self_chunk_free(self, rng, world4):
+        g = world4.full_group()
+        world4.ledger.clear()
+        chunks = [[rng.standard_normal((5,)) for _ in range(4)]
+                  for _ in range(4)]
+        all_to_all(g, chunks)
+        rec = world4.ledger.records[-1]
+        assert rec.send_bytes_per_rank == [5 * 8 * 3] * 4
+
+    def test_uneven_rows(self, rng, world4):
+        g = world4.full_group()
+        splits = [[1, 2, 0, 1], [0, 1, 1, 2], [2, 0, 1, 0], [1, 1, 1, 1]]
+        tensors = [rng.standard_normal((sum(s), 3)) for s in splits]
+        outs = all_to_all_uneven(g, tensors, splits)
+        for j in range(4):
+            assert outs[j].shape[0] == sum(splits[i][j] for i in range(4))
+        # Rank 0's first row goes to rank 0 (split [1, ...]).
+        np.testing.assert_array_equal(outs[0][0], tensors[0][0])
+
+    def test_uneven_split_mismatch(self, rng, world4):
+        g = world4.full_group()
+        tensors = [rng.standard_normal((3, 2)) for _ in range(4)]
+        bad = [[1, 1, 1, 1]] * 4  # sums to 4, rows are 3
+        with pytest.raises(ValueError, match="do not cover"):
+            all_to_all_uneven(g, tensors, bad)
+
+    @given(st.integers(2, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_uneven_conservation(self, n):
+        """Total rows are conserved through dispatch."""
+        rng = np.random.default_rng(n)
+        world = World(n, ranks_per_node=n)
+        g = world.full_group()
+        splits = [list(rng.integers(0, 4, n)) for _ in range(n)]
+        tensors = [rng.standard_normal((sum(s), 2)) for s in splits]
+        outs = all_to_all_uneven(g, tensors, splits)
+        assert sum(o.shape[0] for o in outs) == \
+            sum(t.shape[0] for t in tensors)
+
+
+class TestBroadcastGatherScatter:
+    def test_broadcast(self, rng, world4):
+        g = world4.full_group()
+        t = rng.standard_normal((3, 2))
+        outs = broadcast(g, t, root=2)
+        for out in outs:
+            np.testing.assert_array_equal(out, t)
+
+    def test_broadcast_bad_root(self, rng, world4):
+        with pytest.raises(ValueError, match="root"):
+            broadcast(world4.full_group(), np.zeros(2), root=9)
+
+    def test_gather(self, rng, world4):
+        g = world4.full_group()
+        shards = make_shards(rng, 4, (2, 2))
+        out = gather(g, shards, root=1)
+        np.testing.assert_array_equal(out, np.concatenate(shards))
+
+    def test_scatter_roundtrip(self, rng, world4):
+        g = world4.full_group()
+        t = rng.standard_normal((8, 2))
+        pieces = scatter(g, t, root=0)
+        np.testing.assert_array_equal(np.concatenate(pieces), t)
+
+    def test_scatter_indivisible(self, rng, world4):
+        with pytest.raises(ValueError, match="not divisible"):
+            scatter(world4.full_group(), np.zeros((7, 2)))
+
+
+class TestWorldAndGroups:
+    def test_world_validation(self):
+        with pytest.raises(ValueError):
+            World(0)
+        with pytest.raises(ValueError):
+            World(4, ranks_per_node=0)
+
+    def test_node_of(self, world8):
+        assert world8.node_of(0) == 0
+        assert world8.node_of(5) == 1
+
+    def test_intra_node_groups(self, world8):
+        groups = world8.intra_node_groups()
+        assert [g.ranks for g in groups] == [[0, 1, 2, 3], [4, 5, 6, 7]]
+        assert all(g.is_intra_node for g in groups)
+
+    def test_cross_node_groups(self, world8):
+        groups = world8.cross_node_groups()
+        assert [g.ranks for g in groups] == [[0, 4], [1, 5], [2, 6], [3, 7]]
+        assert not any(g.is_intra_node for g in groups)
+
+    def test_group_duplicate_ranks(self, world4):
+        with pytest.raises(ValueError, match="duplicate"):
+            world4.group([0, 0, 1])
+
+    def test_group_out_of_range(self, world4):
+        with pytest.raises(ValueError, match="out of range"):
+            world4.group([0, 7])
+
+    def test_ledger_filters(self, rng, world4):
+        g = world4.full_group()
+        all_gather(g, make_shards(rng, 4, (2,)), tag="x")
+        reduce_scatter(g, make_shards(rng, 4, (4,)), tag="y")
+        led = world4.ledger
+        assert led.total_bytes(op="all_gather") > 0
+        assert led.total_bytes(tag="y") > 0
+        assert led.total_bytes(op="all_gather", tag="y") == 0
+        assert led.counts() == {"all_gather": 1, "reduce_scatter": 1}
+
+    def test_ledger_disable(self, rng, world4):
+        world4.ledger.enabled = False
+        all_gather(world4.full_group(), make_shards(rng, 4, (2,)))
+        assert not world4.ledger.records

@@ -1,0 +1,68 @@
+"""Meta-test: every public item carries a docstring.
+
+The repository's documentation contract: modules, public classes,
+public functions/methods, and dataclasses all explain themselves.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__,
+                                      prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue
+        yield importlib.import_module(info.name)
+
+
+def public_members(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        defined_here = getattr(obj, "__module__", None) == module.__name__
+        if not defined_here:
+            continue
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            yield name, obj
+
+
+class TestDocstrings:
+    def test_every_module_documented(self):
+        missing = [m.__name__ for m in iter_modules()
+                   if not (m.__doc__ or "").strip()]
+        assert not missing, f"modules without docstrings: {missing}"
+
+    def test_every_public_class_and_function_documented(self):
+        missing = []
+        for module in iter_modules():
+            for name, obj in public_members(module):
+                if not (obj.__doc__ or "").strip():
+                    missing.append(f"{module.__name__}.{name}")
+        assert not missing, \
+            f"undocumented public items: {sorted(missing)[:20]}"
+
+    def test_public_methods_documented(self):
+        """Public methods of public classes need docstrings too
+        (dunder and inherited methods excluded)."""
+        missing = []
+        for module in iter_modules():
+            for cls_name, cls in public_members(module):
+                if not inspect.isclass(cls):
+                    continue
+                for name, member in vars(cls).items():
+                    if name.startswith("_"):
+                        continue
+                    if not inspect.isfunction(member):
+                        continue
+                    if not (member.__doc__ or "").strip():
+                        missing.append(
+                            f"{module.__name__}.{cls_name}.{name}")
+        assert not missing, \
+            f"undocumented public methods: {sorted(missing)[:20]}"

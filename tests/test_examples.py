@@ -1,0 +1,50 @@
+"""Smoke tests: every example script runs to completion and prints the
+artifacts it promises."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "communication ledger" in out
+        assert "single-rank reference final loss" in out
+
+    def test_plan_cluster_job(self):
+        out = run_example("plan_cluster_job.py", "mixtral-8x7b", "64",
+                          "h800")
+        assert "SP+EP" in out
+        assert "scale-up check" in out
+        assert "memory/GPU" in out
+
+    def test_fp8_training(self):
+        out = run_example("fp8_training.py")
+        assert "Fig. 18 miniature" in out
+        assert "Fig. 17 miniature" in out
+        assert "paper: 50%" in out
+
+    def test_overlap_explorer(self):
+        out = run_example("overlap_explorer.py", "mixtral-8x7b")
+        assert "no overlap (Megatron-style)" in out
+        assert "inter + intra-operator overlap" in out
+        assert "rematerialization work" in out
+
+    def test_production_run(self):
+        out = run_example("production_run.py")
+        assert "restarts: 3" in out
+        assert "metrics.csv" in out

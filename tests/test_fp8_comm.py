@@ -1,0 +1,196 @@
+"""Tests for FP8-compressed collectives and their engine integration
+(§5, 'Communication compression for FP8 training')."""
+
+import numpy as np
+import pytest
+
+from repro.comm import World
+from repro.core import MegaScaleTrainer, ModelConfig, ParallelConfig, \
+    TrainConfig
+from repro.data import MarkovCorpus, batch_iterator
+from repro.model import MoETransformer
+from repro.model.moe import MoELayer
+from repro.parallel.dist_ops_fp8 import (
+    dist_all_gather_fp8,
+    dist_reduce_scatter_fp8,
+)
+from repro.parallel.ep_ffn import EPFFNEngine
+from repro.parallel.tp_ffn import TPFFNEngine
+from repro.precision.optimizer import AdamW
+from repro.tensor import Tensor
+
+
+def leaf_shards(rng, n, shape):
+    return [Tensor(rng.standard_normal(shape), requires_grad=True)
+            for _ in range(n)]
+
+
+class TestDistReduceScatterFP8:
+    def test_close_to_exact_sum(self, rng, world4):
+        g = world4.full_group()
+        tensors = leaf_shards(rng, 4, (8, 16))
+        outs = dist_reduce_scatter_fp8(g, tensors)
+        exact = np.sum([t.data for t in tensors], axis=0)
+        for j, out in enumerate(outs):
+            ref = exact[j * 2:(j + 1) * 2]
+            rel = np.abs(out.data - ref) / (np.abs(ref) + 1e-6)
+            assert np.median(rel) < 0.1
+
+    def test_reduction_in_high_precision(self, rng, world4):
+        """Summing n near-max values must not saturate: the reduction
+        happens after dequantization (§5)."""
+        g = world4.full_group()
+        tensors = [Tensor(np.full((4, 4), 300.0)) for _ in range(4)]
+        outs = dist_reduce_scatter_fp8(g, tensors)
+        assert outs[0].data.max() == pytest.approx(1200.0, rel=0.1)
+
+    def test_wire_bytes_fp8(self, rng, world4):
+        g = world4.full_group()
+        tensors = leaf_shards(rng, 4, (8, 16))
+        world4.ledger.clear()
+        dist_reduce_scatter_fp8(g, tensors, tag="x")
+        fwd = world4.ledger.total_bytes(tag="x")
+        # 3 off-diagonal chunks of 2x16 at 1B + 2 rows x 4B scales each.
+        expected_per_rank = 3 * (2 * 16 * 1.0 + 2 * 4.0)
+        assert fwd == pytest.approx(4 * expected_per_rank)
+
+    def test_backward_flows_with_quantization(self, rng, world4):
+        g = world4.full_group()
+        tensors = leaf_shards(rng, 4, (8, 4))
+        outs = dist_reduce_scatter_fp8(g, tensors)
+        total = outs[0].sum()
+        for out in outs[1:]:
+            total = total + out.sum()
+        total.backward()
+        for t in tensors:
+            assert t.grad is not None
+            # Gradient of a sum is ~ones; FP8 represents 1.0 exactly.
+            np.testing.assert_allclose(t.grad, 1.0, rtol=1e-6)
+
+    def test_validation(self, rng, world4):
+        g = world4.full_group()
+        with pytest.raises(ValueError, match="not divisible"):
+            dist_reduce_scatter_fp8(g, leaf_shards(rng, 4, (7, 4)))
+        with pytest.raises(ValueError, match="axis 0"):
+            dist_reduce_scatter_fp8(g, leaf_shards(rng, 4, (8, 4)),
+                                    axis=1)
+
+
+class TestDistAllGatherFP8:
+    def test_forward_close(self, rng, world4):
+        g = world4.full_group()
+        shards = leaf_shards(rng, 4, (4, 8))
+        outs = dist_all_gather_fp8(g, shards)
+        full = np.concatenate([s.data for s in shards], axis=0)
+        rel = np.abs(outs[0].data - full) / (np.abs(full) + 1e-6)
+        assert np.median(rel) < 0.1
+
+    def test_backward_reduces_to_sources(self, rng, world4):
+        g = world4.full_group()
+        shards = leaf_shards(rng, 4, (4, 8))
+        outs = dist_all_gather_fp8(g, shards)
+        total = None
+        for out in outs:
+            piece = out.sum()
+            total = piece if total is None else total + piece
+        total.backward()
+        for s in shards:
+            # Each shard's grad accumulates n copies of ~1.0.
+            np.testing.assert_allclose(s.grad, 4.0, rtol=0.1)
+
+    def test_ledger_counts_scales(self, rng, world4):
+        g = world4.full_group()
+        shards = leaf_shards(rng, 4, (4, 8))
+        world4.ledger.clear()
+        dist_all_gather_fp8(g, shards, tag="y")
+        per_rank = (4 * 8 * 1.0 + 4 * 4.0) * 3  # payload + scales, n-1
+        assert world4.ledger.total_bytes(tag="y") == \
+            pytest.approx(4 * per_rank)
+
+
+class TestEngineIntegration:
+    def setup_engine(self, Engine, fp8, rng, **kwargs):
+        moe = MoELayer(rng, 16, 24, 8, 2, dtype=np.float64)
+        world = World(4, 4)
+        engine = Engine(world.full_group(), moe, fp8_comm=fp8, **kwargs)
+        return moe, world, engine
+
+    @pytest.mark.parametrize("Engine,kwargs", [
+        (EPFFNEngine, {"mode": "ag_rs"}),
+        (TPFFNEngine, {}),
+    ])
+    def test_compressed_output_close(self, Engine, kwargs):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((2, 8, 16))
+        moe_ref = MoELayer(np.random.default_rng(1), 16, 24, 8, 2,
+                           dtype=np.float64)
+        ref = moe_ref(Tensor(x)).hidden.data
+
+        moe, world, engine = self.setup_engine(
+            Engine, True, np.random.default_rng(1), **kwargs)
+        shards = [Tensor(x[:, r * 2:(r + 1) * 2].copy())
+                  for r in range(4)]
+        result = engine.forward(shards)
+        outs = (result.output_shards if hasattr(result, "output_shards")
+                else result[0])
+        full = np.concatenate([o.data for o in outs], axis=1)
+        rel = np.abs(full - ref) / (np.abs(ref) + 1e-3)
+        assert np.median(rel) < 0.15
+
+    def test_fp8_halves_forward_bytes_vs_bf16(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((2, 8, 16))
+        totals = {}
+        for fp8 in (False, True):
+            moe, world, engine = self.setup_engine(
+                TPFFNEngine, fp8, np.random.default_rng(3))
+            if not fp8:
+                engine.elem_bytes = 2.0
+            shards = [Tensor(x[:, r * 2:(r + 1) * 2].copy())
+                      for r in range(4)]
+            engine.forward(shards)
+            totals[fp8] = sum(
+                r.total_bytes for r in world.ledger.records
+                if not r.tag.endswith(":bwd"))
+        # FP8 payload is half of BF16 plus per-token FP32 scales.
+        assert totals[True] < 0.75 * totals[False]
+
+
+class TestFP8TrainerEndToEnd:
+    def test_training_converges_with_compression(self):
+        config = ModelConfig("fp8comm", 2, 32, 8, 2, 48, 8, 6,
+                             vocab_size=64, seq_len=16)  # top-6: AG/RS
+        model = MoETransformer(config, seed=0, dtype=np.float64)
+        train = TrainConfig(global_batch_size=4, micro_batch_size=4,
+                            seq_len=16, learning_rate=3e-3,
+                            aux_loss_coeff=0.01, precision="fp8")
+        trainer = MegaScaleTrainer(
+            model, World(4, 4), ParallelConfig.megascale(4), train,
+            optimizer=AdamW(model.parameters(), lr=3e-3))
+        assert trainer.engines[0].ffn_engine.fp8_comm
+        corpus = MarkovCorpus(vocab_size=64, seed=0)
+        losses = [trainer.train_step(b).lm_loss
+                  for b in batch_iterator(corpus, 4, 16, seed=1,
+                                          limit=10)]
+        assert losses[-1] < losses[0]
+        assert np.isfinite(losses).all()
+
+    def test_compressed_curve_tracks_uncompressed(self):
+        config = ModelConfig("fp8comm2", 2, 32, 8, 2, 48, 8, 6,
+                             vocab_size=64, seq_len=16)
+        curves = {}
+        for precision in ("bf16", "fp8"):
+            model = MoETransformer(config, seed=0, dtype=np.float64)
+            train = TrainConfig(global_batch_size=4, micro_batch_size=4,
+                                seq_len=16, learning_rate=3e-3,
+                                aux_loss_coeff=0.01,
+                                precision=precision)
+            trainer = MegaScaleTrainer(
+                model, World(4, 4), ParallelConfig.megascale(4), train,
+                optimizer=AdamW(model.parameters(), lr=3e-3))
+            corpus = MarkovCorpus(vocab_size=64, seed=0)
+            curves[precision] = np.array([
+                trainer.train_step(b).lm_loss
+                for b in batch_iterator(corpus, 4, 16, seed=1, limit=8)])
+        rel = np.abs(curves["bf16"] - curves["fp8"]) / curves["bf16"]
+        assert rel.mean() < 0.05

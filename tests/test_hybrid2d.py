@@ -1,0 +1,116 @@
+"""Tests for the hybrid 2D (model × data parallel) trainer (Fig. 4/5)."""
+
+import numpy as np
+import pytest
+
+from repro.comm import World
+from repro.core.config import ModelConfig, ParallelConfig, TrainConfig
+from repro.data import MarkovCorpus, batch_iterator
+from repro.model import MoETransformer
+from repro.parallel.dp import DataParallelTrainer
+from repro.parallel.hybrid2d import Hybrid2DTrainer, _is_replicated
+from repro.precision.optimizer import AdamW
+
+CONFIG = ModelConfig("h2d", n_layers=2, hidden_size=32, n_heads=8,
+                     gqa_ratio=2, ffn_hidden_size=48, n_experts=8,
+                     top_k=2, vocab_size=64, seq_len=16)
+TRAIN = TrainConfig(global_batch_size=4, micro_batch_size=2, seq_len=16,
+                    learning_rate=1e-2, aux_loss_coeff=0.01)
+
+
+def make_batches(steps, per_step=2):
+    corpus = MarkovCorpus(vocab_size=64, seed=0)
+    return list(batch_iterator(corpus, 2, 16, seed=1,
+                               limit=steps * per_step))
+
+
+class TestReplicationClassifier:
+    def test_attention_and_norms_replicated(self):
+        for name in ("blocks.0.attn.qkv_proj.weight", "blocks.1.ln1.weight",
+                     "embedding", "lm_head.weight", "final_norm.weight"):
+            assert _is_replicated(name), name
+
+    def test_experts_and_router_sharded(self):
+        for name in ("blocks.0.moe.experts.3.fc1",
+                     "blocks.1.moe.router.gate.weight"):
+            assert not _is_replicated(name), name
+
+
+class TestHybrid2DTrainer:
+    def test_matches_plain_dp_exactly(self):
+        batches = make_batches(3)
+        world = World(8, ranks_per_node=4)
+        h2d = Hybrid2DTrainer(CONFIG, world, ParallelConfig.megascale(4),
+                              TRAIN, seed=0)
+        h_losses = [h2d.train_step(batches[i:i + 2]).loss
+                    for i in range(0, 6, 2)]
+
+        model = MoETransformer(CONFIG, seed=0, dtype=np.float64)
+        dp = DataParallelTrainer(
+            model, World(2, 2).full_group(),
+            AdamW(model.parameters(), lr=1e-2),
+            lambda m, b: m.language_model_loss(b, aux_coeff=0.01),
+            sync_method="fp32_rs", grad_clip=1.0)
+        d_losses = [dp.train_step(batches[i:i + 2]).mean_loss
+                    for i in range(0, 6, 2)]
+        np.testing.assert_allclose(h_losses, d_losses, atol=1e-12)
+
+    def test_replicas_stay_identical(self):
+        batches = make_batches(2)
+        world = World(8, ranks_per_node=4)
+        h2d = Hybrid2DTrainer(CONFIG, world, ParallelConfig.megascale(4),
+                              TRAIN, seed=0)
+        for i in range(0, 4, 2):
+            h2d.train_step(batches[i:i + 2])
+        a = h2d.replicas[0].state_dict()
+        b = h2d.replicas[1].state_dict()
+        for name in a:
+            np.testing.assert_array_equal(a[name], b[name], err_msg=name)
+
+    def test_traffic_split_recorded(self):
+        batches = make_batches(1)
+        world = World(8, ranks_per_node=4)
+        h2d = Hybrid2DTrainer(CONFIG, world, ParallelConfig.megascale(4),
+                              TRAIN, seed=0)
+        result = h2d.train_step(batches[:2])
+        # Hierarchical sync produces both intra- and inter-node traffic.
+        assert result.intra_node_sync_bytes > 0
+        assert result.inter_node_sync_bytes > 0
+
+    def test_intra_traffic_is_replicated_params_only(self):
+        """Expert parameters never touch the intra-node sync path."""
+        batches = make_batches(1)
+        world = World(8, ranks_per_node=4)
+        h2d = Hybrid2DTrainer(CONFIG, world, ParallelConfig.megascale(4),
+                              TRAIN, seed=0)
+        h2d.train_step(batches[:2])
+        expert_tags = {r.tag for r in world.ledger.records
+                       if "hybrid2d:expert" in r.tag}
+        assert all(":intra_" not in t for t in expert_tags)
+
+    def test_world_shape_validation(self):
+        with pytest.raises(ValueError, match="ranks_per_node"):
+            Hybrid2DTrainer(CONFIG, World(8, ranks_per_node=2),
+                            ParallelConfig.megascale(4), TRAIN)
+
+    def test_batch_count_validation(self):
+        world = World(8, ranks_per_node=4)
+        h2d = Hybrid2DTrainer(CONFIG, world, ParallelConfig.megascale(4),
+                              TRAIN, seed=0)
+        with pytest.raises(ValueError, match="replica batches"):
+            h2d.train_step(make_batches(1)[:1])
+
+    def test_single_replica_degenerates_to_mp_only(self):
+        batches = make_batches(1)
+        world = World(4, ranks_per_node=4)
+        h2d = Hybrid2DTrainer(CONFIG, world, ParallelConfig.megascale(4),
+                              TRAIN, seed=0)
+        result = h2d.train_step(batches[:1])
+        assert result.inter_node_sync_bytes == 0.0
+
+    def test_eval_loss_runs(self):
+        world = World(8, ranks_per_node=4)
+        h2d = Hybrid2DTrainer(CONFIG, world, ParallelConfig.megascale(4),
+                              TRAIN, seed=0)
+        loss = h2d.eval_loss(make_batches(1)[0])
+        assert np.isfinite(loss)

@@ -1,0 +1,227 @@
+"""Tests for the MoE layer: router, experts, grouped computation."""
+
+import numpy as np
+import pytest
+
+from repro.model.moe import Expert, MoELayer, TopKRouter, \
+    grouped_expert_forward
+from repro.model.routing import build_dispatch_plan
+from repro.tensor import Tensor
+
+from conftest import gradcheck
+
+
+class TestTopKRouter:
+    def test_selects_top_probabilities(self, rng):
+        router = TopKRouter(rng, 8, 4, 2, dtype=np.float64)
+        x = Tensor(rng.standard_normal((10, 8)))
+        routing, weights, _ = router(x)
+        # Selected experts must have the k largest probabilities.
+        logits = x.data @ router.gate.weight.data
+        probs = np.exp(logits) / np.exp(logits).sum(-1, keepdims=True)
+        for t in range(10):
+            chosen = set(routing.expert_index[t])
+            top = set(np.argsort(-probs[t])[:2])
+            assert chosen == top
+
+    def test_weights_renormalized(self, rng):
+        router = TopKRouter(rng, 8, 4, 2)
+        _, weights, _ = router(Tensor(rng.standard_normal((6, 8))))
+        np.testing.assert_allclose(weights.data.sum(-1), 1.0, rtol=1e-5)
+
+    def test_top1_weight_is_one(self, rng):
+        router = TopKRouter(rng, 8, 4, 1)
+        _, weights, _ = router(Tensor(rng.standard_normal((6, 8))))
+        np.testing.assert_allclose(weights.data, 1.0, rtol=1e-6)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="top_k"):
+            TopKRouter(rng, 8, 4, 5)
+        with pytest.raises(ValueError, match="experts_per_group"):
+            TopKRouter(rng, 8, 4, 2, experts_per_group=3)
+
+    def test_aux_loss_balanced_baseline(self, rng):
+        """With perfectly uniform probabilities the Switch loss is 1."""
+        router = TopKRouter(rng, 8, 4, 1)
+        router.gate.weight.data[:] = 0.0  # uniform gate
+        _, _, aux = router(Tensor(rng.standard_normal((400, 8))))
+        # f is whatever argsort ties produce, but P is exactly uniform:
+        # aux = E * sum_e f_e * (1/E) = 1.
+        assert aux.item() == pytest.approx(1.0, rel=1e-5)
+
+    def test_aux_loss_penalizes_collapse(self, rng):
+        """Concentrating all mass on one expert raises the loss toward
+        E (here 4)."""
+        router = TopKRouter(rng, 8, 4, 1, dtype=np.float64)
+        router.gate.weight.data[:] = 0.0
+        router.gate.weight.data[:, 0] = 50.0
+        x = np.abs(rng.standard_normal((100, 8)))  # positive sum => expert 0
+        _, _, aux = router(Tensor(x))
+        assert aux.item() > 3.5
+
+    def test_group_balance_ignores_within_group_skew(self, rng):
+        """With experts_per_group=2, skew *within* a device's experts is
+        invisible to the loss (§3.2: per-device balance)."""
+        router = TopKRouter(rng, 8, 4, 1, experts_per_group=2,
+                            dtype=np.float64)
+        router.gate.weight.data[:] = 0.0
+        # All mass on expert 0 — but groups {0,1}, {2,3}: group-level
+        # f = [1, 0], P ≈ [1, 0] → loss ≈ 2 (G=2 groups).
+        router.gate.weight.data[:, 0] = 50.0
+        x = np.abs(rng.standard_normal((100, 8)))
+        _, _, aux_within = router(Tensor(x))
+        per_expert = TopKRouter(rng, 8, 4, 1, dtype=np.float64)
+        per_expert.gate.weight.data[:] = router.gate.weight.data
+        _, _, aux_pe = per_expert(Tensor(x))
+        assert aux_within.item() == pytest.approx(2.0, rel=0.05)
+        assert aux_pe.item() == pytest.approx(4.0, rel=0.05)
+
+    def test_aux_loss_differentiable(self, rng):
+        router = TopKRouter(rng, 8, 4, 2, dtype=np.float64)
+        x = Tensor(rng.standard_normal((20, 8)))
+        _, _, aux = router(x)
+        aux.backward()
+        assert router.gate.weight.grad is not None
+        assert np.abs(router.gate.weight.grad).max() > 0
+
+
+class TestCapacityDropping:
+    def test_no_drop_by_default(self, rng):
+        router = TopKRouter(rng, 8, 4, 2)
+        routing, _, _ = router(Tensor(rng.standard_normal((50, 8))))
+        assert routing.kept.all()
+
+    def test_capacity_enforced(self, rng):
+        router = TopKRouter(rng, 8, 4, 2, capacity_factor=1.0)
+        routing, _, _ = router(Tensor(rng.standard_normal((64, 8))))
+        capacity = int(np.ceil(1.0 * 64 * 2 / 4))
+        assert routing.tokens_per_expert(4).max() <= capacity
+
+    def test_fcfs_order(self, rng):
+        """Earlier tokens keep their slots; later overflow drops."""
+        router = TopKRouter(rng, 8, 2, 1, capacity_factor=0.5)
+        router.gate.weight.data[:] = 0.0
+        router.gate.weight.data[:, 0] = 10.0  # everyone wants expert 0
+        routing, _, _ = router(Tensor(np.abs(rng.standard_normal((8, 8)))))
+        capacity = int(np.ceil(0.5 * 8 * 1 / 2))
+        assert routing.kept[:capacity, 0].all()
+        assert not routing.kept[capacity:, 0].any()
+
+    def test_generous_capacity_keeps_all(self, rng):
+        router = TopKRouter(rng, 8, 4, 2, capacity_factor=8.0)
+        routing, _, _ = router(Tensor(rng.standard_normal((32, 8))))
+        assert routing.kept.all()
+
+
+class TestExpert:
+    def test_swiglu_structure(self, rng):
+        e = Expert(rng, 6, 10, dtype=np.float64)
+        x = rng.standard_normal((4, 6))
+        out = e(Tensor(x)).data
+        a = x @ e.fc1.data
+        b = x @ e.fc3.data
+        silu = a / (1 + np.exp(-a)) * a / a  # x*sigmoid(x)
+        expected = (a * (1 / (1 + np.exp(-a))) * b) @ e.fc2.data
+        np.testing.assert_allclose(out, expected, rtol=1e-10)
+
+    def test_grad(self, rng):
+        e = Expert(rng, 4, 6, dtype=np.float64)
+
+        def fn(x, w1, w3, w2):
+            gate = x @ w1
+            lin = x @ w3
+            return (gate.silu() * lin) @ w2
+
+        gradcheck(fn, [rng.standard_normal((3, 4)), e.fc1.data.copy(),
+                       e.fc3.data.copy(), e.fc2.data.copy()], rng)
+
+
+class TestGroupedForward:
+    def test_matches_per_expert_calls(self, rng):
+        experts = [Expert(rng, 4, 6, dtype=np.float64) for _ in range(3)]
+        from repro.model.routing import RoutingResult
+        idx = np.array([[0], [2], [1], [2], [0]])
+        r = RoutingResult(idx, np.ones((5, 1)), np.ones((5, 1), bool))
+        plan = build_dispatch_plan(r, 3)
+        x = Tensor(rng.standard_normal((5, 4)))
+        from repro.tensor import ops
+        ffn_in = ops.take_rows(x, plan.token_of_row)
+        out = grouped_expert_forward(experts, ffn_in, plan).data
+        for row in range(plan.n_rows):
+            token = plan.token_of_row[row]
+            expert = idx[token, 0]
+            expected = experts[expert](Tensor(x.data[token:token + 1])).data
+            np.testing.assert_allclose(out[row], expected[0], rtol=1e-10)
+
+    def test_offset_out_of_range(self, rng):
+        experts = [Expert(rng, 4, 6) for _ in range(2)]
+        from repro.model.routing import RoutingResult
+        r = RoutingResult(np.array([[3]]), np.ones((1, 1)),
+                          np.ones((1, 1), bool))
+        plan = build_dispatch_plan(r, 4)
+        with pytest.raises(IndexError, match="this rank holds"):
+            grouped_expert_forward(experts, Tensor(np.zeros((1, 4))),
+                                   plan, expert_offset=0)
+
+
+class TestMoELayer:
+    def test_output_shape(self, rng, tiny_config):
+        moe = MoELayer(rng, 32, 48, 8, 2)
+        x = Tensor(rng.standard_normal((2, 4, 32)).astype(np.float32))
+        out = moe(x)
+        assert out.hidden.shape == (2, 4, 32)
+        assert out.tokens_per_expert.sum() == 2 * 4 * 2
+
+    def test_flat_input(self, rng):
+        moe = MoELayer(rng, 16, 24, 4, 2)
+        out = moe(Tensor(rng.standard_normal((6, 16)).astype(np.float32)))
+        assert out.hidden.shape == (6, 16)
+
+    def test_top1_single_expert_equivalence(self, rng):
+        """With top-1 routing, each token's output is exactly the chosen
+        expert's output (weight 1)."""
+        moe = MoELayer(rng, 8, 12, 4, 1, dtype=np.float64)
+        x = rng.standard_normal((5, 8))
+        out = moe(Tensor(x))
+        for t in range(5):
+            e = out.routing.expert_index[t, 0]
+            expected = moe.experts[e](Tensor(x[t:t + 1])).data[0]
+            np.testing.assert_allclose(out.hidden.data[t], expected,
+                                       rtol=1e-10)
+
+    def test_weighted_combination(self, rng):
+        """Top-2 output equals the gate-weighted sum of expert outputs."""
+        moe = MoELayer(rng, 8, 12, 4, 2, dtype=np.float64)
+        x = rng.standard_normal((4, 8))
+        out = moe(Tensor(x))
+        for t in range(4):
+            acc = np.zeros(8)
+            for s in range(2):
+                e = out.routing.expert_index[t, s]
+                w = out.routing.gate_weight[t, s]
+                acc += w * moe.experts[e](Tensor(x[t:t + 1])).data[0]
+            np.testing.assert_allclose(out.hidden.data[t], acc, rtol=1e-9)
+
+    def test_gradients_flow_everywhere(self, rng):
+        moe = MoELayer(rng, 8, 12, 4, 2, dtype=np.float64)
+        x = Tensor(rng.standard_normal((16, 8)), requires_grad=True)
+        out = moe(x)
+        (out.hidden.sum() + out.aux_loss).backward()
+        assert x.grad is not None
+        assert moe.router.gate.weight.grad is not None
+        # Every expert that received tokens has gradients.
+        for e, expert in enumerate(moe.experts):
+            if out.tokens_per_expert[e] > 0:
+                assert expert.fc1.grad is not None, f"expert {e}"
+
+    def test_dropped_tokens_zero_contribution(self, rng):
+        """A token whose only slots are dropped outputs zero."""
+        moe = MoELayer(rng, 8, 12, 2, 1, capacity_factor=0.25,
+                       dtype=np.float64)
+        moe.router.gate.weight.data[:] = 0.0
+        moe.router.gate.weight.data[:, 0] = 10.0
+        x = np.abs(rng.standard_normal((8, 8)))
+        out = moe(Tensor(x))
+        capacity = int(np.ceil(0.25 * 8 * 1 / 2))
+        np.testing.assert_allclose(out.hidden.data[capacity:], 0.0,
+                                   atol=1e-12)

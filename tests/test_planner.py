@@ -1,0 +1,105 @@
+"""Tests for parallelism planning and the Fig. 7 dispatch analysis."""
+
+import pytest
+
+from repro.comm.cost import LinkSpec
+from repro.core.config import GPU_SPECS, MODEL_ZOO, ModelConfig
+from repro.core.planner import (
+    dispatch_crossover_top_k,
+    dispatch_mode_times,
+    plan_parallelism,
+)
+
+H800 = GPU_SPECS["h800"]
+NVLINK = LinkSpec(bandwidth=200e9, latency=1e-5, a2a_efficiency=0.6)
+
+
+class TestPlanParallelism:
+    def test_megascale_choice_for_paper_models(self):
+        """The planner picks SP+EP for every Table 2 model on 8-GPU
+        nodes — the §3 configuration."""
+        for name in ("internal-352b", "mixtral-8x7b", "mixtral-8x22b",
+                     "phi-3.5-moe"):
+            plan = plan_parallelism(MODEL_ZOO[name], n_gpus=64, gpu=H800)
+            assert plan.parallel.attention == "sp", name
+            assert plan.parallel.ffn == "ep", name
+
+    def test_tp_fallback_for_odd_heads(self):
+        model = ModelConfig("odd", 2, 24, 6, 2, 32, 8, 2)
+        plan = plan_parallelism(model, n_gpus=8, gpu=H800)
+        assert plan.parallel.attention == "tp"
+        assert "do not divide" in plan.rationale["attention"]
+
+    def test_tp_fallback_for_odd_experts(self):
+        model = ModelConfig("odd-e", 2, 32, 8, 2, 32, 6, 2)
+        plan = plan_parallelism(model, n_gpus=8, gpu=H800)
+        assert plan.parallel.ffn == "tp"
+
+    def test_pipeline_covers_gpus(self):
+        model = MODEL_ZOO["internal-352b"]  # 60 layers
+        plan = plan_parallelism(model, n_gpus=960, gpu=H800)
+        pc = plan.parallel
+        assert pc.total_gpus == 960
+        assert model.n_layers % pc.pipeline_size == 0
+
+    def test_explicit_pipeline_size(self):
+        model = MODEL_ZOO["internal-352b"]
+        plan = plan_parallelism(model, n_gpus=960, gpu=H800,
+                                pipeline_size=15)
+        assert plan.parallel.pipeline_size == 15
+        assert plan.parallel.data_parallel_size == 8
+
+    def test_dispatch_mode_by_top_k(self):
+        small_k = plan_parallelism(MODEL_ZOO["mixtral-8x7b"], 8, H800)
+        big_k = plan_parallelism(MODEL_ZOO["deepseekmoe"], 8, H800)
+        assert small_k.parallel.ep_dispatch == "a2a"     # top-2
+        assert big_k.parallel.ep_dispatch == "ag_rs"     # top-6
+
+    def test_gpu_count_validation(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            plan_parallelism(MODEL_ZOO["mixtral-8x7b"], 9, H800)
+
+    def test_explain_mentions_ratio(self):
+        plan = plan_parallelism(MODEL_ZOO["mixtral-8x7b"], 8, H800)
+        text = plan.explain()
+        assert "scale-up ratio" in text
+        assert plan.scale_up_ratio > 1.0
+
+
+class TestDispatchModeTimes:
+    def test_a2a_grows_with_k(self):
+        model = MODEL_ZOO["mixtral-8x7b"]
+        t2 = dispatch_mode_times(model, 2, 8, NVLINK)["a2a"]
+        t8 = dispatch_mode_times(model, 8, 8, NVLINK)["a2a"]
+        # 4× the bytes; the fixed latency term dilutes the ratio a bit.
+        assert t8 > t2 * 2.5
+
+    def test_ag_rs_independent_of_k(self):
+        model = MODEL_ZOO["mixtral-8x7b"]
+        t2 = dispatch_mode_times(model, 2, 8, NVLINK)
+        t8 = dispatch_mode_times(model, 8, 8, NVLINK)
+        assert t2["ag"] == t8["ag"]
+        assert t2["rs"] == t8["rs"]
+
+    def test_fig7_crossover_band(self):
+        """Fig. 7: on Mixtral-8×7B with 8 ranks, AG/RS overtakes A2A
+        around top-k ≈ 6."""
+        model = MODEL_ZOO["mixtral-8x7b"]
+        crossover = dispatch_crossover_top_k(model, 8, NVLINK)
+        assert 4 <= crossover <= 8
+
+    def test_crossover_never_for_tiny_k_range(self):
+        """With a perfect-efficiency A2A link the crossover moves to
+        k = n (pure volume argument)."""
+        model = MODEL_ZOO["mixtral-8x7b"]
+        perfect = LinkSpec(bandwidth=200e9, latency=0.0,
+                           a2a_efficiency=1.0)
+        crossover = dispatch_crossover_top_k(model, 8, perfect)
+        assert crossover == 8
+
+    def test_low_a2a_efficiency_moves_crossover_down(self):
+        model = MODEL_ZOO["mixtral-8x7b"]
+        bad_a2a = LinkSpec(bandwidth=200e9, latency=1e-5,
+                           a2a_efficiency=0.3)
+        assert dispatch_crossover_top_k(model, 8, bad_a2a) < \
+            dispatch_crossover_top_k(model, 8, NVLINK)

@@ -1,0 +1,319 @@
+"""Tests for the PP numerical engine, ZeRO-1 sharding, checkpoints, and
+the automatic scheduler."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.comm import World
+from repro.core import MODEL_ZOO, ModelConfig, ParallelConfig
+from repro.core.autoschedule import AutoScheduler
+from repro.core.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.core.config import GPU_SPECS
+from repro.core.operators import build_backward_graph
+from repro.core.schedule import OverlapConfig
+from repro.model import MoETransformer
+from repro.parallel.pp_engine import PipelineParallelTrainer, \
+    stage_partition
+from repro.parallel.zero import Zero1AdamW, zero_memory_model
+from repro.perf import KernelModel
+from repro.precision.optimizer import AdamW, clip_grad_norm
+from repro.tensor import Tensor
+
+CONFIG = ModelConfig("pp-tiny", n_layers=4, hidden_size=16, n_heads=4,
+                     gqa_ratio=2, ffn_hidden_size=24, n_experts=4,
+                     top_k=2, vocab_size=32, seq_len=8)
+
+
+class TestStagePartition:
+    def test_balanced(self):
+        assert [len(r) for r in stage_partition(8, 4)] == [2, 2, 2, 2]
+
+    def test_uneven_front_loaded(self):
+        assert [len(r) for r in stage_partition(7, 3)] == [3, 2, 2]
+
+    def test_covers_all_layers(self):
+        ranges = stage_partition(10, 4)
+        covered = [layer for r in ranges for layer in r]
+        assert covered == list(range(10))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stage_partition(2, 4)
+        with pytest.raises(ValueError):
+            stage_partition(4, 0)
+
+
+class TestPipelineParallelTrainer:
+    def reference_step(self, batch, n_micro, lr=1e-2):
+        model = MoETransformer(CONFIG, seed=0, dtype=np.float64)
+        opt = AdamW(model.parameters(), lr=lr)
+        model.zero_grad()
+        total = None
+        for micro in np.split(batch, n_micro):
+            loss = model.language_model_loss(micro, aux_coeff=0.01)
+            total = loss if total is None else total + loss
+        total = total * (1.0 / n_micro)
+        total.backward()
+        clip_grad_norm(model.parameters(), 1.0)
+        opt.step()
+        return model, total.item()
+
+    @pytest.mark.parametrize("n_stages,n_micro", [(2, 2), (4, 4), (2, 4)])
+    def test_matches_grad_accumulation(self, rng, n_stages, n_micro):
+        batch = rng.integers(0, 32, (n_micro * 2, 9))
+        ref_model, ref_loss = self.reference_step(batch, n_micro)
+
+        model = MoETransformer(CONFIG, seed=0, dtype=np.float64)
+        trainer = PipelineParallelTrainer(
+            model, World(n_stages, 1), n_micro,
+            optimizer=AdamW(model.parameters(), lr=1e-2),
+            aux_loss_coeff=0.01)
+        result = trainer.train_step(batch)
+        assert result.loss == pytest.approx(ref_loss, abs=1e-10)
+        for (name, p_ref), (_, p_pp) in zip(
+                ref_model.named_parameters(), model.named_parameters()):
+            np.testing.assert_allclose(p_pp.data, p_ref.data,
+                                       atol=1e-10, err_msg=name)
+
+    def test_p2p_bytes_scale_with_boundaries(self, rng):
+        batch = rng.integers(0, 32, (4, 9))
+        results = {}
+        for n_stages in (2, 4):
+            model = MoETransformer(CONFIG, seed=0, dtype=np.float64)
+            trainer = PipelineParallelTrainer(
+                model, World(n_stages, 1), 2,
+                optimizer=AdamW(model.parameters(), lr=1e-2))
+            results[n_stages] = trainer.train_step(batch).p2p_bytes
+        # p stages => p-1 boundaries, fwd + bwd each.
+        assert results[4] == pytest.approx(3 * results[2])
+
+    def test_batch_divisibility(self, rng):
+        model = MoETransformer(CONFIG, seed=0)
+        trainer = PipelineParallelTrainer(model, World(2, 1), 3)
+        with pytest.raises(ValueError, match="divisible"):
+            trainer.train_step(np.zeros((4, 9), dtype=int))
+
+    def test_micro_losses_reported(self, rng):
+        model = MoETransformer(CONFIG, seed=0, dtype=np.float64)
+        trainer = PipelineParallelTrainer(
+            model, World(2, 1), 2, aux_loss_coeff=0.01)
+        result = trainer.train_step(rng.integers(0, 32, (4, 9)))
+        assert len(result.micro_losses) == 2
+        assert result.loss == pytest.approx(
+            np.mean(result.micro_losses))
+
+
+class TestZero1AdamW:
+    def test_bit_identical_to_adamw(self, rng):
+        shapes = [(6, 4), (10,), (3, 3, 2)]
+        full_params = [Tensor(rng.standard_normal(s),
+                              requires_grad=True) for s in shapes]
+        zero_params = [Tensor(p.data.copy(), requires_grad=True)
+                       for p in full_params]
+        full = AdamW(full_params, lr=1e-2, weight_decay=0.1)
+        world = World(4, 4)
+        zero = Zero1AdamW(zero_params, world.full_group(), lr=1e-2,
+                          weight_decay=0.1)
+        for _ in range(4):
+            per_rank = [[rng.standard_normal(s) for s in shapes]
+                        for _ in range(4)]
+            avg = [np.mean([per_rank[r][i] for r in range(4)], axis=0)
+                   for i in range(len(shapes))]
+            full.step(grads=avg)
+            zero.step(per_rank_grads=per_rank)
+        for a, b in zip(full_params, zero_params):
+            np.testing.assert_allclose(b.data, a.data, atol=1e-12)
+
+    def test_presynced_grad_path(self, rng):
+        p_full = Tensor(rng.standard_normal(8), requires_grad=True)
+        p_zero = Tensor(p_full.data.copy(), requires_grad=True)
+        grad = rng.standard_normal(8)
+        full = AdamW([p_full], lr=1e-2)
+        full.step(grads=[grad])
+        world = World(2, 2)
+        zero = Zero1AdamW([p_zero], world.full_group(), lr=1e-2)
+        p_zero.grad = grad
+        zero.step()
+        np.testing.assert_allclose(p_zero.data, p_full.data, atol=1e-12)
+
+    def test_state_bytes_sharded(self, rng):
+        params = [Tensor(rng.standard_normal(64), requires_grad=True)]
+        world = World(4, 4)
+        zero = Zero1AdamW(params, world.full_group())
+        # Each rank holds master+m+v for 1/4 of the (padded) params.
+        assert zero.state_nbytes_per_rank() == 3 * 16 * 8.0
+
+    def test_comm_pattern_recorded(self, rng):
+        params = [Tensor(rng.standard_normal(16), requires_grad=True)]
+        world = World(4, 4)
+        zero = Zero1AdamW(params, world.full_group())
+        params[0].grad = rng.standard_normal(16)
+        zero.step()
+        counts = world.ledger.counts()
+        assert counts["reduce_scatter"] == 1
+        assert counts["all_gather"] == 1
+
+    def test_grad_set_count_validated(self, rng):
+        params = [Tensor(rng.standard_normal(8), requires_grad=True)]
+        world = World(4, 4)
+        zero = Zero1AdamW(params, world.full_group())
+        with pytest.raises(ValueError, match="gradient sets"):
+            zero.step(per_rank_grads=[[rng.standard_normal(8)]] * 3)
+
+
+class TestZeroMemoryModel:
+    def test_stage_progression(self):
+        totals = [zero_memory_model(1e9, 8, stage)["total"]
+                  for stage in (0, 1, 2, 3)]
+        assert all(a > b for a, b in zip(totals, totals[1:]))
+
+    def test_stage3_shards_everything(self):
+        m = zero_memory_model(1e9, 8, 3)
+        assert m["params"] == pytest.approx(1e9 * 2.0 / 8)
+        assert m["grads"] == pytest.approx(1e9 * 4.0 / 8)
+        assert m["optimizer"] == pytest.approx(1e9 * 12.0 / 8)
+
+    def test_invalid_stage(self):
+        with pytest.raises(ValueError, match="stage"):
+            zero_memory_model(1e9, 8, 4)
+
+
+class TestCheckpoint:
+    def roundtrip(self, tmp_path, with_opt=True):
+        rng = np.random.default_rng(0)
+        model = MoETransformer(CONFIG, seed=0, dtype=np.float64)
+        opt = AdamW(model.parameters(), lr=1e-2)
+        ids = rng.integers(0, 32, (2, 9))
+        model.language_model_loss(ids).backward()
+        opt.step()
+        path = os.path.join(tmp_path, "ckpt.npz")
+        save_checkpoint(path, model, CONFIG,
+                        opt if with_opt else None, step=11)
+        return path, model, opt, ids
+
+    def test_model_state_restored(self, tmp_path, rng):
+        path, model, _, ids = self.roundtrip(tmp_path)
+        fresh = MoETransformer(CONFIG, seed=99, dtype=np.float64)
+        step = load_checkpoint(path, fresh, CONFIG)
+        assert step == 11
+        a = model.language_model_loss(ids).item()
+        b = fresh.language_model_loss(ids).item()
+        assert a == pytest.approx(b, abs=1e-12)
+
+    def test_optimizer_state_restored(self, tmp_path):
+        path, _, opt, _ = self.roundtrip(tmp_path)
+        fresh = MoETransformer(CONFIG, seed=99, dtype=np.float64)
+        fresh_opt = AdamW(fresh.parameters(), lr=1e-2)
+        load_checkpoint(path, fresh, CONFIG, fresh_opt)
+        assert fresh_opt.step_count == opt.step_count
+        for a, b in zip(opt.m, fresh_opt.m):
+            np.testing.assert_array_equal(a, b)
+
+    def test_config_mismatch_rejected(self, tmp_path):
+        path, *_ = self.roundtrip(tmp_path)
+        other = ModelConfig("other", 4, 16, 4, 2, 24, 8, 2,
+                            vocab_size=32, seq_len=8)
+        fresh = MoETransformer(other, seed=0)
+        with pytest.raises(CheckpointError, match="different model"):
+            load_checkpoint(path, fresh, other)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            load_checkpoint(os.path.join(tmp_path, "nope.npz"),
+                            MoETransformer(CONFIG, seed=0), CONFIG)
+
+    def test_missing_optimizer_state(self, tmp_path):
+        path, *_ = self.roundtrip(tmp_path, with_opt=False)
+        fresh = MoETransformer(CONFIG, seed=0, dtype=np.float64)
+        with pytest.raises(CheckpointError, match="no optimizer"):
+            load_checkpoint(path, fresh, CONFIG,
+                            AdamW(fresh.parameters()))
+
+    def test_atomic_write_leaves_no_tmp(self, tmp_path):
+        path, *_ = self.roundtrip(tmp_path)
+        assert not os.path.exists(path + ".tmp")
+
+
+class TestAutoScheduler:
+    def graph_and_durations(self):
+        graph = build_backward_graph(MODEL_ZOO["mixtral-8x7b"],
+                                     ParallelConfig.megascale(8), 1)
+        km = KernelModel(GPU_SPECS["h800"])
+        return graph, km.durations(graph)
+
+    def test_never_worse_than_holistic(self):
+        graph, durations = self.graph_and_durations()
+        result = AutoScheduler(budget=30, seed=0).optimize(graph,
+                                                           durations)
+        assert result.makespan <= result.baseline_makespan + 1e-12
+        assert result.evaluations >= 1
+
+    def test_deterministic_by_seed(self):
+        graph, durations = self.graph_and_durations()
+        a = AutoScheduler(budget=20, seed=5).optimize(graph, durations)
+        b = AutoScheduler(budget=20, seed=5).optimize(graph, durations)
+        assert a.makespan == b.makespan
+
+    def test_result_schedule_is_valid(self):
+        from repro.sim.engine import simulate
+        graph, durations = self.graph_and_durations()
+        result = AutoScheduler(budget=10, seed=1).optimize(graph,
+                                                           durations)
+        assert simulate(result.tasks).makespan == \
+            pytest.approx(result.makespan)
+
+    def test_budget_validated(self):
+        with pytest.raises(ValueError, match="budget"):
+            AutoScheduler(budget=0)
+
+    def test_improves_deliberately_bad_baseline(self):
+        """Against a baseline with shuffled compute order, search finds
+        strictly better schedules — the automation payoff."""
+        from repro.sim.engine import SimTask, simulate
+        # Chain a->b with long c independent: bad order runs c first on
+        # the same stream as the chain.
+        tasks = [
+            SimTask("c", 5.0, "compute"),
+            SimTask("a", 1.0, "compute"),
+            SimTask("comm", 4.0, "comm", deps=("a",), is_comm=True),
+            SimTask("b", 1.0, "compute", deps=("comm",)),
+        ]
+        base = simulate(tasks).makespan
+        # The search operates on our scheduler output normally; here we
+        # directly exercise the reorder helper through a tiny search.
+        from repro.core.autoschedule import _reorder_by_priority
+        best = base
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            pri = {t.name: rng.random() for t in tasks}
+            cand = _reorder_by_priority(tasks, pri)
+            best = min(best, simulate(cand).makespan)
+        assert best < base
+
+
+class TestCheckpointCorruption:
+    def test_corrupt_file_rejected(self, tmp_path):
+        import numpy as np
+        path = os.path.join(str(tmp_path), "bad.npz")
+        np.savez(path, junk=np.zeros(3))  # no __meta__
+        fresh = MoETransformer(CONFIG, seed=0, dtype=np.float64)
+        with pytest.raises(CheckpointError, match="corrupt"):
+            load_checkpoint(path, fresh, CONFIG)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        import json
+        import numpy as np
+        path = os.path.join(str(tmp_path), "old.npz")
+        meta = json.dumps({"version": 999, "fingerprint": "x",
+                           "step": 0, "has_optimizer": False})
+        np.savez(path, __meta__=np.frombuffer(meta.encode(),
+                                              dtype=np.uint8))
+        fresh = MoETransformer(CONFIG, seed=0, dtype=np.float64)
+        with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(path, fresh, CONFIG)

@@ -1,0 +1,199 @@
+"""Tests for the event simulator and the holistic scheduler (§4)."""
+
+import pytest
+
+from repro.core.config import MODEL_ZOO, ParallelConfig
+from repro.core.operators import build_backward_graph, build_forward_graph
+from repro.core.schedule import (
+    FUSION_FILL_DRAIN,
+    FusedKernel,
+    HolisticScheduler,
+    OverlapConfig,
+)
+from repro.core.operators import Op
+from repro.perf.estimator import KernelModel
+from repro.core.config import GPU_SPECS
+from repro.sim.engine import SimTask, Timeline, simulate
+
+MODEL = MODEL_ZOO["mixtral-8x7b"]
+GPU = GPU_SPECS["h800"]
+
+
+class TestSimulator:
+    def test_sequential_chain(self):
+        tasks = [
+            SimTask("a", 1.0, "s"),
+            SimTask("b", 2.0, "s", deps=("a",)),
+        ]
+        tl = simulate(tasks)
+        assert tl.makespan == 3.0
+        assert tl.record_of("b").start == 1.0
+
+    def test_parallel_streams_overlap(self):
+        tasks = [
+            SimTask("compute", 3.0, "compute"),
+            SimTask("comm", 2.0, "comm", is_comm=True),
+        ]
+        tl = simulate(tasks)
+        assert tl.makespan == 3.0
+        assert tl.exposed_comm == 0.0
+
+    def test_exposed_comm_counts_uncovered_time(self):
+        tasks = [
+            SimTask("comm", 2.0, "comm", is_comm=True),
+            SimTask("compute", 3.0, "compute", deps=("comm",)),
+        ]
+        tl = simulate(tasks)
+        assert tl.makespan == 5.0
+        assert tl.exposed_comm == 2.0
+
+    def test_exposed_comm_unions_compute_streams(self):
+        tasks = [
+            SimTask("c1", 2.0, "s1"),
+            SimTask("c2", 2.0, "s2"),  # overlaps c1 entirely
+            SimTask("comm", 1.0, "comm", is_comm=True, deps=("c1", "c2")),
+        ]
+        tl = simulate(tasks)
+        assert tl.exposed_comm == pytest.approx(1.0)
+
+    def test_stream_in_order_blocking(self):
+        """A ready task queued behind a blocked one must wait — CUDA
+        stream semantics."""
+        tasks = [
+            SimTask("slow", 5.0, "other"),
+            SimTask("blocked", 1.0, "s", deps=("slow",)),
+            SimTask("ready", 1.0, "s"),  # queued after 'blocked'
+        ]
+        tl = simulate(tasks)
+        assert tl.record_of("ready").start == 6.0
+
+    def test_deadlock_detection(self):
+        tasks = [
+            SimTask("a", 1.0, "s1", deps=("b",)),
+            SimTask("b", 1.0, "s2", deps=("a",)),
+        ]
+        with pytest.raises(ValueError, match="deadlock"):
+            simulate(tasks)
+
+    def test_unknown_dep(self):
+        with pytest.raises(ValueError, match="unknown task"):
+            simulate([SimTask("a", 1.0, "s", deps=("ghost",))])
+
+    def test_duplicate_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            simulate([SimTask("a", 1.0, "s"), SimTask("a", 1.0, "t")])
+
+    def test_negative_duration(self):
+        with pytest.raises(ValueError, match="negative"):
+            SimTask("a", -1.0, "s")
+
+    def test_busy_time_filters(self):
+        tasks = [
+            SimTask("x", 2.0, "compute"),
+            SimTask("y", 3.0, "comm", is_comm=True),
+        ]
+        tl = simulate(tasks)
+        assert tl.compute_time == 2.0
+        assert tl.comm_time == 3.0
+        assert tl.busy_time(stream="comm") == 3.0
+
+
+class TestFusedKernel:
+    def test_duration_max_plus_fill_drain(self):
+        k = FusedKernel("f", [], comm_time=2.0, compute_time=5.0)
+        assert k.duration == pytest.approx(5.0 + FUSION_FILL_DRAIN * 2.0)
+        assert k.sequential_duration == 7.0
+
+    def test_fusion_always_wins_when_balanced(self):
+        k = FusedKernel("f", [], comm_time=3.0, compute_time=3.0)
+        assert k.duration < k.sequential_duration
+
+
+class TestHolisticScheduler:
+    def durations(self, graph):
+        return KernelModel(GPU).durations(graph)
+
+    def makespan(self, graph, overlap):
+        sched = HolisticScheduler(overlap)
+        return simulate(sched.schedule(graph, self.durations(graph)))
+
+    @pytest.mark.parametrize("parallel", [
+        ParallelConfig.megascale(8, ep_dispatch="a2a"),
+        ParallelConfig.megascale(8, ep_dispatch="ag_rs"),
+        ParallelConfig.megatron(8),
+    ], ids=lambda p: f"{p.strategy_name}-{p.ep_dispatch}")
+    def test_overlap_strictly_ordered(self, parallel):
+        """makespan(full) <= makespan(inter-only) <= makespan(none) for
+        both passes — the §4 hierarchy of optimizations."""
+        for build in (build_forward_graph,
+                      lambda *a, **kw: build_backward_graph(*a, **kw)):
+            graph = build(MODEL, parallel, 1)
+            none = self.makespan(graph, OverlapConfig.none()).makespan
+            inter = self.makespan(
+                graph, OverlapConfig(inter_op=True,
+                                     intra_op=False)).makespan
+            full = self.makespan(graph, OverlapConfig.full()).makespan
+            assert full <= inter * (1 + 1e-9)
+            assert inter <= none * (1 + 1e-9)
+
+    def test_no_overlap_equals_sum_of_durations(self):
+        graph = build_forward_graph(MODEL, ParallelConfig.megascale(8), 1)
+        durations = self.durations(graph)
+        tl = self.makespan(graph, OverlapConfig.none())
+        assert tl.makespan == pytest.approx(sum(durations.values()))
+
+    def test_full_overlap_hides_most_comm(self):
+        """With intra-op fusion the exposed communication of a MegaScale
+        forward layer approaches zero (§4.2)."""
+        graph = build_forward_graph(
+            MODEL, ParallelConfig.megascale(8, ep_dispatch="ag_rs"), 1)
+        tl = self.makespan(graph, OverlapConfig.full())
+        none = self.makespan(graph, OverlapConfig.none())
+        comm_total = sum(self.durations(graph)[op.name]
+                         for op in graph.comm_ops())
+        assert tl.exposed_comm < 0.2 * comm_total
+
+    def test_megatron_exposes_all_comm(self):
+        graph = build_forward_graph(MODEL, ParallelConfig.megatron(8), 1)
+        tl = self.makespan(graph, OverlapConfig.none())
+        comm_total = sum(self.durations(graph)[op.name]
+                         for op in graph.comm_ops())
+        assert tl.exposed_comm == pytest.approx(comm_total, rel=1e-6)
+
+    def test_remat_hidden_under_communication(self):
+        """Backward with selective remat costs at most a few percent
+        more than without, despite re-running ops (§4.1, Fig. 16)."""
+        pc = ParallelConfig.megascale(8, ep_dispatch="ag_rs")
+        with_remat = build_backward_graph(MODEL, pc, 1,
+                                          selective_remat=True)
+        without = build_backward_graph(MODEL, pc, 1,
+                                       selective_remat=False)
+        t_with = self.makespan(with_remat, OverlapConfig.full()).makespan
+        t_without = self.makespan(without, OverlapConfig.full()).makespan
+        assert t_with <= t_without * 1.05
+
+    def test_missing_duration_rejected(self):
+        graph = build_forward_graph(MODEL, ParallelConfig.megascale(8), 1)
+        sched = HolisticScheduler(OverlapConfig.full())
+        with pytest.raises(KeyError, match="no duration"):
+            sched.schedule(graph, {})
+
+    def test_fused_units_replace_members(self):
+        graph = build_forward_graph(
+            MODEL, ParallelConfig.megascale(8, ep_dispatch="ag_rs"), 1)
+        sched = HolisticScheduler(OverlapConfig.full())
+        tasks = sched.schedule(graph, self.durations(graph))
+        names = {t.name for t in tasks}
+        assert any(n.startswith("fused:") for n in names)
+        assert "ffn_ag" not in names  # absorbed into the fused kernel
+
+    def test_schedule_is_simulatable_for_all_strategies(self):
+        for parallel in (ParallelConfig.megascale(8),
+                         ParallelConfig.megatron(8),
+                         ParallelConfig(8, "sp", "tp"),
+                         ParallelConfig(8, "tp", "ep")):
+            for remat in (True, False):
+                graph = build_backward_graph(MODEL, parallel, 1,
+                                             selective_remat=remat)
+                tl = self.makespan(graph, OverlapConfig.full())
+                assert tl.makespan > 0

@@ -1,0 +1,95 @@
+"""Tests for the §4.2 SM-allocation model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import GPU_SPECS
+from repro.perf.sm_allocation import (
+    SM_COMM_SATURATION_FRACTION,
+    fused_kernel_time,
+    optimal_sm_fraction,
+)
+
+GPU = GPU_SPECS["h800"]
+FLOPS = 1e12
+BYTES = 50e6
+
+
+class TestFusedKernelTime:
+    def test_zero_sms_cannot_communicate(self):
+        alloc = fused_kernel_time(BYTES, FLOPS, GPU, 0.0)
+        assert alloc.comm_time == float("inf")
+
+    def test_zero_bytes_free_comm(self):
+        alloc = fused_kernel_time(0.0, FLOPS, GPU, 0.0)
+        assert alloc.comm_time == 0.0
+
+    def test_more_sms_slower_compute(self):
+        a = fused_kernel_time(BYTES, FLOPS, GPU, 0.05)
+        b = fused_kernel_time(BYTES, FLOPS, GPU, 0.30)
+        assert b.compute_time > a.compute_time
+
+    def test_comm_saturates(self):
+        """Beyond the saturation fraction more SMs don't speed comm."""
+        sat = SM_COMM_SATURATION_FRACTION
+        a = fused_kernel_time(BYTES, FLOPS, GPU, sat)
+        b = fused_kernel_time(BYTES, FLOPS, GPU, 2 * sat)
+        assert b.comm_time == pytest.approx(a.comm_time)
+
+    def test_copy_engine_keeps_all_sms(self):
+        alloc = fused_kernel_time(BYTES, FLOPS, GPU, 0.5,
+                                  copy_engine=True)
+        assert alloc.sm_fraction == 0.0
+        assert alloc.compute_time == pytest.approx(
+            FLOPS / (GPU.peak_flops * 0.35))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="sm_fraction"):
+            fused_kernel_time(BYTES, FLOPS, GPU, 1.0)
+
+
+class TestOptimalFraction:
+    def test_balances_or_saturates(self):
+        alloc = optimal_sm_fraction(BYTES, FLOPS, GPU)
+        if alloc.sm_fraction < SM_COMM_SATURATION_FRACTION - 1e-9:
+            # Balanced point: the two sides have similar latency —
+            # §4.2's tuning criterion.
+            assert alloc.compute_time == pytest.approx(
+                alloc.comm_time, rel=1e-6)
+        else:
+            assert alloc.compute_time >= alloc.comm_time
+
+    def test_compute_heavy_balances_below_saturation(self):
+        """With compute dominating, the balancing allocation shrinks
+        well below the saturation point — 'a small number of SMs'."""
+        alloc = optimal_sm_fraction(1e6, 1e13, GPU)
+        assert alloc.sm_fraction < SM_COMM_SATURATION_FRACTION
+        assert alloc.compute_time == pytest.approx(alloc.comm_time,
+                                                   rel=1e-6)
+
+    def test_comm_heavy_stays_at_saturation(self):
+        """Comm-bound kernels keep exactly the saturating allocation;
+        more SMs can't help the transfer."""
+        alloc = optimal_sm_fraction(5e9, 1e10, GPU)
+        assert alloc.sm_fraction == pytest.approx(
+            SM_COMM_SATURATION_FRACTION)
+        assert alloc.comm_time >= alloc.compute_time
+
+    @given(st.floats(1e5, 1e9), st.floats(1e9, 1e14))
+    @settings(max_examples=40, deadline=None)
+    def test_optimal_beats_any_fixed_allocation(self, comm_bytes, flops):
+        best = optimal_sm_fraction(comm_bytes, flops, GPU)
+        for f in (0.02, 0.05, 0.10, 0.25, 0.5):
+            candidate = fused_kernel_time(comm_bytes, flops, GPU, f)
+            assert best.duration <= candidate.duration * (1 + 1e-6)
+
+    def test_paper_claim_small_number_of_sms(self):
+        """For the paper's shapes (A2A ≈ GEMM time), the optimal comm
+        allocation is a small fraction of the device (§4.2: 'a small
+        number of SMs')."""
+        # Mixtral-8x7B-like fused QKV+A2A: ~0.1 ms of each side.
+        alloc = optimal_sm_fraction(comm_bytes=24e6, flops=5.2e10, GPU=GPU) \
+            if False else optimal_sm_fraction(24e6, 5.2e10, GPU)
+        assert alloc.sm_fraction <= 0.15
