@@ -18,6 +18,16 @@ Every collective records the bytes each rank *sends* into the world's
 Arrays are simulated in float32/float64 regardless of the precision being
 modelled, so each function accepts ``elem_bytes`` to override the wire
 element size (e.g. 2 for BF16, 1 for FP8) used in the ledger.
+
+Fault injection
+---------------
+Every collective brackets its transfer with
+:meth:`~repro.comm.group.ProcessGroup.pre_collective` (which may raise
+an injected crash or timeout before any data moves) and
+:meth:`~repro.comm.group.ProcessGroup.post_collective` (which may
+bit-flip a delivered buffer, or raise a checksum fault).  Both are
+no-ops unless a fault plan is attached to the world; see
+:mod:`repro.ft.faults`.
 """
 
 from __future__ import annotations
@@ -60,12 +70,15 @@ def all_gather(
     holds its own buffer).
     """
     group.check_shards(shards)
+    group.pre_collective("all_gather", tag)
     n = group.size
     full = np.concatenate([np.asarray(s) for s in shards], axis=axis)
     eb = _elem_bytes(shards, elem_bytes)
     per_rank = [s.size * eb * (n - 1) / 1.0 for s in shards]
     group.record("all_gather", per_rank, tag)
-    return [full.copy() for _ in range(n)]
+    out = [full.copy() for _ in range(n)]
+    group.post_collective("all_gather", out, tag)
+    return out
 
 
 def reduce_scatter(
@@ -91,12 +104,15 @@ def reduce_scatter(
         raise ValueError(
             f"axis {axis} of size {dim} not divisible by group size {n}"
         )
+    group.pre_collective("reduce_scatter", tag)
     total = np.sum([np.asarray(t, dtype=np.float64) for t in tensors], axis=0)
     pieces = np.split(total, n, axis=axis)
     eb = _elem_bytes(tensors, elem_bytes)
     shard_elems = first.size // n
     group.record("reduce_scatter", [shard_elems * eb * (n - 1)] * n, tag)
-    return [p.astype(first.dtype).copy() for p in pieces]
+    out = [p.astype(first.dtype).copy() for p in pieces]
+    group.post_collective("reduce_scatter", out, tag)
+    return out
 
 
 def all_reduce(
@@ -107,13 +123,16 @@ def all_reduce(
 ) -> List[np.ndarray]:
     """Element-wise sum of all ranks' tensors, delivered to every rank."""
     group.check_shards(tensors)
+    group.pre_collective("all_reduce", tag)
     n = group.size
     first = np.asarray(tensors[0])
     total = np.sum([np.asarray(t, dtype=np.float64) for t in tensors], axis=0)
     eb = _elem_bytes(tensors, elem_bytes)
     # Ring all-reduce = reduce-scatter + all-gather on 1/n shards.
     group.record("all_reduce", [2.0 * first.size / n * eb * (n - 1)] * n, tag)
-    return [total.astype(first.dtype).copy() for _ in range(n)]
+    out = [total.astype(first.dtype).copy() for _ in range(n)]
+    group.post_collective("all_reduce", out, tag)
+    return out
 
 
 def all_to_all(
@@ -135,6 +154,7 @@ def all_to_all(
             raise ValueError(
                 f"rank {i} provided {len(row)} chunks, expected {n}"
             )
+    group.pre_collective("all_to_all", tag)
     received: List[List[np.ndarray]] = [
         [np.asarray(chunk_lists[i][j]).copy() for i in range(n)]
         for j in range(n)
@@ -146,6 +166,7 @@ def all_to_all(
         for i in range(n)
     ]
     group.record("all_to_all", per_rank, tag)
+    group.post_collective("all_to_all", received, tag)
     return received
 
 
@@ -199,12 +220,15 @@ def broadcast(
     n = group.size
     if not 0 <= root < n:
         raise ValueError(f"root {root} out of range for group of size {n}")
+    group.pre_collective("broadcast", tag)
     t = np.asarray(tensor)
     eb = _elem_bytes([t], elem_bytes)
     per_rank = [0.0] * n
     per_rank[root] = t.size * eb * (n - 1)
     group.record("broadcast", per_rank, tag)
-    return [t.copy() for _ in range(n)]
+    out = [t.copy() for _ in range(n)]
+    group.post_collective("broadcast", out, tag)
+    return out
 
 
 def gather(
@@ -217,11 +241,14 @@ def gather(
 ) -> np.ndarray:
     """Collect all shards onto local rank ``root``, concatenated on ``axis``."""
     group.check_shards(shards)
+    group.pre_collective("gather", tag)
     eb = _elem_bytes(shards, elem_bytes)
     per_rank = [np.asarray(s).size * eb if i != root else 0.0
                 for i, s in enumerate(shards)]
     group.record("gather", per_rank, tag)
-    return np.concatenate([np.asarray(s) for s in shards], axis=axis)
+    out = np.concatenate([np.asarray(s) for s in shards], axis=axis)
+    group.post_collective("gather", out, tag)
+    return out
 
 
 def scatter(
@@ -239,9 +266,12 @@ def scatter(
         raise ValueError(
             f"axis {axis} of size {t.shape[axis]} not divisible by {n}"
         )
+    group.pre_collective("scatter", tag)
     pieces = np.split(t, n, axis=axis)
     eb = _elem_bytes([t], elem_bytes)
     per_rank = [0.0] * n
     per_rank[root] = (t.size - pieces[root].size) * eb
     group.record("scatter", per_rank, tag)
-    return [p.copy() for p in pieces]
+    out = [p.copy() for p in pieces]
+    group.post_collective("scatter", out, tag)
+    return out

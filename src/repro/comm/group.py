@@ -12,6 +12,18 @@ sends, per collective, assuming the standard algorithm NCCL would use
 (ring for all-gather / reduce-scatter / all-reduce, pairwise exchange for
 all-to-all).  Tests compare this ledger against the paper's closed-form
 communication-volume formulas (Eqs. 1-4).
+
+Fault-tolerance hooks
+---------------------
+A :class:`World` optionally carries a fault plan and a health monitor
+(see :mod:`repro.ft`).  Both are duck-typed so this module stays
+ft-agnostic: the plan exposes ``before(op, tag)`` (may raise a fault
+before data moves), ``corrupt(op, tag, arrays)`` (bit-flips delivered
+payloads), and ``slow_factor(rank)`` (slow-link multipliers); the
+monitor exposes ``observe_collective(op, ranks, durations, tag)``.
+Collectives call :meth:`ProcessGroup.pre_collective` /
+:meth:`ProcessGroup.post_collective` around every transfer, and
+:meth:`ProcessGroup.record` feeds per-rank timings to the monitor.
 """
 
 from __future__ import annotations
@@ -22,6 +34,16 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 __all__ = ["CommRecord", "CommLedger", "ProcessGroup", "World"]
+
+
+def _flatten_arrays(outputs) -> List[np.ndarray]:
+    """Flatten a possibly-nested list structure into its ndarrays."""
+    if isinstance(outputs, np.ndarray):
+        return [outputs]
+    flat: List[np.ndarray] = []
+    for item in outputs:
+        flat.extend(_flatten_arrays(item))
+    return flat
 
 
 @dataclass
@@ -106,6 +128,23 @@ class World:
         self.size = size
         self.ranks_per_node = ranks_per_node
         self.ledger = CommLedger()
+        #: Optional fault plan (see :class:`repro.ft.FaultPlan`).
+        self.fault_plan = None
+        #: Optional health monitor (see :class:`repro.ft.HealthMonitor`).
+        self.health = None
+        #: Nominal link bandwidth (bytes/s) used to turn ledger bytes
+        #: into the per-rank durations the straggler detector consumes.
+        self.nominal_bandwidth = 100e9
+
+    def attach_fault_plan(self, plan) -> "World":
+        """Install a fault plan consulted around every collective."""
+        self.fault_plan = plan
+        return self
+
+    def attach_health_monitor(self, monitor) -> "World":
+        """Install a health monitor fed by every collective."""
+        self.health = monitor
+        return self
 
     def node_of(self, rank: int) -> int:
         """Node index hosting ``rank``."""
@@ -174,13 +213,52 @@ class ProcessGroup:
 
     def record(self, op: str, send_bytes_per_rank: Sequence[float],
                tag: str = "") -> None:
-        """Record one collective on this group into the world's ledger."""
+        """Record one collective on this group into the world's ledger.
+
+        Also feeds the health monitor, when one is attached: every
+        rank's completion time for a collective is the max transfer
+        over the nominal bandwidth, stretched by that rank's slow-link
+        factor from the fault plan.
+        """
         self.world.ledger.record(CommRecord(
             op=op,
             group_size=self.size,
             send_bytes_per_rank=list(send_bytes_per_rank),
             tag=tag,
         ))
+        health = self.world.health
+        if health is not None:
+            base = max(send_bytes_per_rank, default=0.0)
+            base = float(base) / self.world.nominal_bandwidth
+            if base > 0.0:
+                plan = self.world.fault_plan
+                durations = [
+                    base * (plan.slow_factor(r) if plan is not None
+                            else 1.0)
+                    for r in self.ranks
+                ]
+                health.observe_collective(op, self.ranks, durations,
+                                          tag)
+
+    def pre_collective(self, op: str, tag: str = "") -> None:
+        """Consult the fault plan before a collective moves data.
+
+        May raise a fault (rank crash, timeout) from the plan.
+        """
+        plan = self.world.fault_plan
+        if plan is not None:
+            plan.before(op, tag)
+
+    def post_collective(self, op: str, outputs, tag: str = "") -> None:
+        """Consult the fault plan after a collective delivered data.
+
+        ``outputs`` is the (possibly nested) list of delivered arrays;
+        a scheduled corruption bit-flips one of them in place, or
+        raises a checksum fault when the plan verifies checksums.
+        """
+        plan = self.world.fault_plan
+        if plan is not None:
+            plan.corrupt(op, tag, _flatten_arrays(outputs))
 
     def check_shards(self, shards: Sequence[np.ndarray]) -> None:
         """Validate that a per-rank tensor list matches this group."""

@@ -8,13 +8,29 @@ that loop for any trainer exposing ``train_step`` /
 ``state_dict`` / ``load_state_dict``:
 
 * :class:`ProductionRunner` — drives steps, checkpoints every
-  ``checkpoint_interval`` steps, and on a :class:`SimulatedFault`
-  rebuilds the trainer from the latest checkpoint and replays from the
-  next un-trained batch (steps since the last checkpoint are re-run,
-  exactly like a real restart).
-* :class:`FaultInjector` — deterministic fault schedule for tests and
-  benches.
-* :class:`MetricsLog` — step/loss/restart history with CSV export.
+  ``checkpoint_interval`` steps, and recovers from faults with a
+  layered policy (see :mod:`repro.ft`):
+
+  1. *transient comm faults* (timeouts, checksum mismatches) are
+     retried in place with exponential backoff when a
+     :class:`~repro.ft.recovery.BackoffPolicy` is configured;
+  2. *persistent faults* (rank crashes, exhausted retries, NaNs, and
+     plain :class:`SimulatedFault`) trigger a restart: the trainer is
+     rebuilt and state reloaded from the newest checkpoint that passes
+     CRC/readability validation — corrupt or truncated ``.npz`` files
+     are skipped, walking back the checkpoint chain;
+  3. *loss spikes* (via a :class:`~repro.ft.health.LossSpikeGuard`)
+     roll back to the last checkpoint and replay, or skip the
+     offending batch (``on_spike="skip"``).
+
+  Checkpoints are written atomically (tmp file + rename) with a CRC32
+  sidecar; leftover ``.tmp`` files from crashed writes are ignored and
+  swept on the next successful save.
+* :class:`FaultInjector` — deterministic step-level fault/loss-spike
+  schedule for tests and benches (comm-level faults are injected by
+  :class:`~repro.ft.faults.FaultPlan` instead).
+* :class:`MetricsLog` — step/loss/restart/recovery history with CSV
+  export.
 """
 
 from __future__ import annotations
@@ -22,16 +38,26 @@ from __future__ import annotations
 import csv
 import os
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Set
 
 import numpy as np
+
+from ..ft.faults import Fault, LossSpike
+from ..ft.health import LossSpikeGuard, NumericGuard
+from ..ft.recovery import (
+    BackoffPolicy,
+    RetryStats,
+    retry_with_backoff,
+    validate_checkpoint,
+    write_checkpoint_meta,
+)
 
 __all__ = ["SimulatedFault", "FaultInjector", "MetricsLog",
            "ProductionRunner"]
 
 
-class SimulatedFault(RuntimeError):
-    """A injected failure (node loss, NCCL timeout, ...)."""
+class SimulatedFault(Fault):
+    """An injected failure (node loss, NCCL timeout, ...)."""
 
 
 class FaultInjector:
@@ -39,11 +65,19 @@ class FaultInjector:
 
     Each scheduled step faults exactly once: the post-restart replay of
     the same step proceeds (a real cluster swaps the bad node out).
+    ``spike_steps`` additionally perturb the *reported* loss once per
+    scheduled step by ``spike_factor`` — modelling a transient loss
+    blow-up for the spike-rollback path without touching the weights.
     """
 
-    def __init__(self, fault_steps: Sequence[int]):
+    def __init__(self, fault_steps: Sequence[int] = (),
+                 spike_steps: Sequence[int] = (),
+                 spike_factor: float = 100.0):
         self.pending = set(int(s) for s in fault_steps)
         self.fired: List[int] = []
+        self.spike_pending = set(int(s) for s in spike_steps)
+        self.spiked: List[int] = []
+        self.spike_factor = float(spike_factor)
 
     def check(self, step: int) -> None:
         """Raise :class:`SimulatedFault` if ``step`` is scheduled to fail."""
@@ -51,6 +85,14 @@ class FaultInjector:
             self.pending.discard(step)
             self.fired.append(step)
             raise SimulatedFault(f"injected fault at step {step}")
+
+    def perturb_loss(self, step: int, loss: float) -> float:
+        """Inflate the reported loss once at each scheduled spike step."""
+        if step in self.spike_pending:
+            self.spike_pending.discard(step)
+            self.spiked.append(step)
+            return loss * self.spike_factor
+        return loss
 
 
 @dataclass
@@ -61,6 +103,16 @@ class MetricsLog:
     losses: List[float] = field(default_factory=list)
     restarts: List[int] = field(default_factory=list)
     checkpoints: List[int] = field(default_factory=list)
+    #: Steps at which a loss spike forced a rollback (or a skip).
+    rollbacks: List[int] = field(default_factory=list)
+    #: Batches dropped by the ``on_spike="skip"`` policy.
+    skipped: List[int] = field(default_factory=list)
+    #: Checkpoint steps discarded as corrupt during recovery.
+    invalid_checkpoints: List[int] = field(default_factory=list)
+    #: In-place step retries after transient comm faults.
+    retries: int = 0
+    #: Total simulated backoff delay across those retries.
+    backoff_seconds: float = 0.0
 
     def record(self, step: int, loss: float) -> None:
         """Append one training step."""
@@ -79,6 +131,11 @@ class MetricsLog:
     def restart_count(self) -> int:
         return len(self.restarts)
 
+    @property
+    def replayed_steps(self) -> int:
+        """Steps executed more than once (recovery overhead)."""
+        return len(self.steps) - len(set(self.steps))
+
 
 class ProductionRunner:
     """Runs a trainer with durable checkpoints and crash recovery.
@@ -91,20 +148,55 @@ class ProductionRunner:
         checkpoint_dir: Where step-stamped ``.npz`` state lands.
         checkpoint_interval: Steps between checkpoints.
         max_restarts: Give up (re-raise) after this many recoveries.
+        retry_policy: Retry transient comm faults in place with this
+            backoff before escalating to a restart (None = every fault
+            escalates immediately).
+        loss_guard: Raise-and-rollback on loss spikes.
+        numeric_guard: Raise-and-restart on NaN/inf losses.
+        validate_checkpoints: Verify CRC/readability before resuming
+            from a checkpoint, walking back past corrupt ones.
+        on_spike: ``"rollback"`` reloads the last checkpoint and
+            replays; ``"skip"`` drops the offending batch and moves on.
+        max_rollbacks: Give up after this many loss-spike recoveries.
+        sleep: Receives each backoff delay (None = simulated time,
+            no real sleeping).
     """
 
     def __init__(self, trainer_factory: Callable[[], object],
                  checkpoint_dir: str, checkpoint_interval: int = 10,
-                 max_restarts: int = 10):
+                 max_restarts: int = 10, *,
+                 retry_policy: Optional[BackoffPolicy] = None,
+                 loss_guard: Optional[LossSpikeGuard] = None,
+                 numeric_guard: Optional[NumericGuard] = None,
+                 validate_checkpoints: bool = True,
+                 on_spike: str = "rollback",
+                 max_rollbacks: int = 10,
+                 sleep: Optional[Callable[[float], None]] = None):
         if checkpoint_interval < 1:
             raise ValueError(
                 f"checkpoint_interval must be >= 1, got "
                 f"{checkpoint_interval}"
             )
+        if on_spike not in ("rollback", "skip"):
+            raise ValueError(
+                f"on_spike must be 'rollback' or 'skip', got "
+                f"{on_spike!r}"
+            )
         self.trainer_factory = trainer_factory
         self.checkpoint_dir = checkpoint_dir
         self.checkpoint_interval = checkpoint_interval
         self.max_restarts = max_restarts
+        self.retry_policy = retry_policy
+        self.loss_guard = loss_guard
+        self.numeric_guard = numeric_guard
+        self.validate_checkpoints = validate_checkpoints
+        self.on_spike = on_spike
+        self.max_rollbacks = max_rollbacks
+        self.sleep = sleep
+        self.retry_stats = RetryStats()
+        #: Checkpoint steps found corrupt/unreadable and walked past.
+        self.discarded: List[int] = []
+        self._invalid: Set[int] = set()
         os.makedirs(checkpoint_dir, exist_ok=True)
 
     # -- checkpoint files ---------------------------------------------------
@@ -112,8 +204,8 @@ class ProductionRunner:
     def _path(self, step: int) -> str:
         return os.path.join(self.checkpoint_dir, f"step_{step:08d}.npz")
 
-    def latest_checkpoint(self) -> Optional[int]:
-        """Highest checkpointed step in the directory, or None."""
+    def checkpoint_steps(self) -> List[int]:
+        """All checkpointed steps on disk, ascending (``.tmp`` ignored)."""
         steps = []
         for name in os.listdir(self.checkpoint_dir):
             if name.startswith("step_") and name.endswith(".npz"):
@@ -121,7 +213,30 @@ class ProductionRunner:
                     steps.append(int(name[5:-4]))
                 except ValueError:
                     continue
-        return max(steps) if steps else None
+        return sorted(steps)
+
+    def latest_checkpoint(self) -> Optional[int]:
+        """Newest *valid* checkpointed step, or None.
+
+        Walks the chain newest-to-oldest, skipping checkpoints that
+        fail CRC-sidecar validation or cannot be read back (truncated
+        or bit-flipped archives); skipped steps land in
+        :attr:`discarded`.
+        """
+        for step in reversed(self.checkpoint_steps()):
+            if step in self._invalid:
+                continue
+            if not self.validate_checkpoints:
+                return step
+            if validate_checkpoint(self._path(step)):
+                return step
+            self._mark_invalid(step)
+        return None
+
+    def _mark_invalid(self, step: int) -> None:
+        if step not in self._invalid:
+            self._invalid.add(step)
+            self.discarded.append(step)
 
     def _save(self, trainer, step: int) -> None:
         state = trainer.state_dict()
@@ -129,48 +244,115 @@ class ProductionRunner:
         with open(tmp, "wb") as handle:
             np.savez(handle, **state)
         os.replace(tmp, self._path(step))
+        write_checkpoint_meta(self._path(step), step)
+        self._invalid.discard(step)
+        self._sweep_tmp_files()
+
+    def _sweep_tmp_files(self) -> None:
+        """Remove leftovers from writes that crashed mid-checkpoint."""
+        for name in os.listdir(self.checkpoint_dir):
+            if name.endswith(".npz.tmp") or name.endswith(".json.tmp"):
+                try:
+                    os.remove(os.path.join(self.checkpoint_dir, name))
+                except OSError:
+                    pass
 
     def _load(self, trainer, step: int) -> None:
         with np.load(self._path(step)) as data:
             trainer.load_state_dict({k: data[k] for k in data.files})
 
+    def _restore(self, trainer, metrics: Optional[MetricsLog] = None,
+                 ) -> int:
+        """Load the newest checkpoint that actually restores; returns
+        the resume step (0 when no usable checkpoint remains)."""
+        while True:
+            resume = self.latest_checkpoint()
+            if resume is None:
+                if metrics is not None:
+                    self._sync_invalid(metrics)
+                return 0
+            try:
+                self._load(trainer, resume)
+            except Exception:
+                # Validation passed but the load failed (e.g. raced
+                # corruption): drop this step and walk further back.
+                self._mark_invalid(resume)
+                continue
+            if metrics is not None:
+                self._sync_invalid(metrics)
+            return resume
+
+    def _sync_invalid(self, metrics: MetricsLog) -> None:
+        for step in self.discarded:
+            if step not in metrics.invalid_checkpoints:
+                metrics.invalid_checkpoints.append(step)
+
     # -- the loop ------------------------------------------------------------
+
+    def _attempt_step(self, trainer, batch):
+        if self.retry_policy is None:
+            return trainer.train_step(batch)
+        return retry_with_backoff(
+            lambda: trainer.train_step(batch),
+            self.retry_policy,
+            sleep=self.sleep,
+            stats=self.retry_stats,
+        )
 
     def run(self, batches: Sequence[np.ndarray],
             fault_injector: Optional[FaultInjector] = None,
             metrics: Optional[MetricsLog] = None) -> MetricsLog:
         """Train through ``batches`` with recovery; returns the log."""
         metrics = metrics or MetricsLog()
+        retries_before = self.retry_stats.retries
+        backoff_before = self.retry_stats.total_backoff
         trainer = self.trainer_factory()
 
-        resume = self.latest_checkpoint()
-        step = 0
-        if resume is not None:
-            self._load(trainer, resume)
-            step = resume
+        step = self._restore(trainer, metrics)
+        last_saved = step if step > 0 else None
 
         restarts = 0
+        rollbacks = 0
         while step < len(batches):
             try:
                 if fault_injector is not None:
                     fault_injector.check(step)
-                result = trainer.train_step(batches[step])
-                loss = getattr(result, "loss", result)
-                metrics.record(step, float(loss))
+                result = self._attempt_step(trainer, batches[step])
+                loss = float(getattr(result, "loss", result))
+                if fault_injector is not None:
+                    loss = fault_injector.perturb_loss(step, loss)
+                if self.numeric_guard is not None:
+                    self.numeric_guard.check(loss)
+                if self.loss_guard is not None:
+                    self.loss_guard.observe(step, loss)
+                metrics.record(step, loss)
                 step += 1
                 if step % self.checkpoint_interval == 0:
                     self._save(trainer, step)
                     metrics.checkpoints.append(step)
-            except SimulatedFault:
+                    last_saved = step
+            except LossSpike:
+                rollbacks += 1
+                if rollbacks > self.max_rollbacks:
+                    raise
+                metrics.rollbacks.append(step)
+                if self.on_spike == "skip":
+                    metrics.skipped.append(step)
+                    step += 1
+                    continue
+                trainer = self.trainer_factory()
+                step = self._restore(trainer, metrics)
+            except Fault:
                 restarts += 1
                 if restarts > self.max_restarts:
                     raise
                 metrics.restarts.append(step)
                 trainer = self.trainer_factory()
-                resume = self.latest_checkpoint()
-                step = resume if resume is not None else 0
-                if resume is not None:
-                    self._load(trainer, resume)
-        self._save(trainer, step)
-        metrics.checkpoints.append(step)
+                step = self._restore(trainer, metrics)
+        if last_saved != step:
+            self._save(trainer, step)
+            metrics.checkpoints.append(step)
+        metrics.retries += self.retry_stats.retries - retries_before
+        metrics.backoff_seconds += (self.retry_stats.total_backoff
+                                    - backoff_before)
         return metrics

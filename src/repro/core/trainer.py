@@ -15,7 +15,10 @@ The trainer composes with:
 * :class:`~repro.parallel.dp.DataParallelTrainer` for DP-level gradient
   sync with optional compression (Fig. 17),
 * checkpoints (:meth:`state_dict` / :meth:`load_state_dict`) for the
-  continued-training and restart experiments (Figs. 18, 19).
+  continued-training and restart experiments (Figs. 18, 19),
+* :class:`~repro.ft.health.HealthMonitor` for NaN/inf guards on step
+  results and per-collective straggler timings (the detection half of
+  the Fig. 19 restart machinery).
 """
 
 from __future__ import annotations
@@ -59,6 +62,7 @@ class MegaScaleTrainer:
         optimizer: Optional[AdamW] = None,
         policy: Optional[PrecisionPolicy] = None,
         vocab_parallel: bool = False,
+        health: Optional[object] = None,
     ):
         n = parallel.model_parallel_size
         if world.size != n:
@@ -67,6 +71,13 @@ class MegaScaleTrainer:
             )
         self.model = model
         self.world = world
+        #: Optional :class:`~repro.ft.health.HealthMonitor`: validates
+        #: every step result (NaN/inf guard) and, attached to the
+        #: world, receives per-collective timings for straggler
+        #: detection.
+        self.health = health
+        if health is not None:
+            world.attach_health_monitor(health)
         self.group: ProcessGroup = world.full_group()
         self.parallel = parallel
         self.train_cfg = train
@@ -170,13 +181,16 @@ class MegaScaleTrainer:
         if self.vocab_parallel:
             self._refresh_head_shards()
         self.step_count += 1
-        return TrainStepResult(
+        result = TrainStepResult(
             loss=total.item(),
             lm_loss=lm.item(),
             aux_loss=aux.item(),
             grad_norm=norm,
             tokens=int(np.prod(token_ids[:, 1:].shape)),
         )
+        if self.health is not None:
+            self.health.on_step_result(result)
+        return result
 
     def _sync_head_grads(self) -> None:
         """Assemble vocab-shard gradients onto the reference LM head."""

@@ -1,0 +1,198 @@
+"""Health monitoring: straggler detection and numeric guards.
+
+At production scale a single slow GPU (thermal throttling, a flaky
+NIC) drags every collective it participates in, and a single bad
+update (corrupt data, optimizer blow-up) shows up as a NaN or a loss
+spike long before anyone reads a log.  This module provides the
+detection half of the fault-tolerance story:
+
+* :class:`StragglerDetector` — per-rank rolling window of *relative*
+  collective durations; a rank whose windowed mean is a z-score
+  outlier across ranks (and materially slower in absolute terms) is
+  flagged.  Relative durations make ops of very different sizes
+  comparable, so the window can mix all-gathers with all-to-alls.
+* :class:`NumericGuard` — raises :class:`~repro.ft.faults.NumericFault`
+  on NaN/inf losses or gradient norms.
+* :class:`LossSpikeGuard` — raises :class:`~repro.ft.faults.LossSpike`
+  when a loss exceeds a multiple of its rolling median.
+* :class:`HealthMonitor` — bundles the above behind the two hook
+  points the rest of the stack calls: ``observe_collective`` (wired to
+  :class:`~repro.comm.group.ProcessGroup` via ``World.health``) and
+  ``on_step_result`` (called by ``MegaScaleTrainer.train_step``).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence
+
+from .faults import LossSpike, NumericFault
+
+__all__ = [
+    "StragglerDetector",
+    "NumericGuard",
+    "LossSpikeGuard",
+    "HealthMonitor",
+]
+
+
+class StragglerDetector:
+    """Flags ranks whose recent collective timings are outliers.
+
+    Args:
+        window: Rolling window length (number of collectives) per rank.
+        z_threshold: Minimum z-score of a rank's windowed mean relative
+            duration, across ranks, to flag it.  Note the z-score of a
+            single outlier among ``n`` ranks is bounded by
+            ``sqrt(n - 1)``, so thresholds above ~1.7 can never fire
+            for 4-rank groups.
+        rel_threshold: Minimum windowed mean relative duration (1.0 =
+            exactly average) to flag — guards against flagging noise
+            when all ranks are effectively identical.
+    """
+
+    def __init__(self, window: int = 8, z_threshold: float = 1.5,
+                 rel_threshold: float = 1.25):
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        self.window = int(window)
+        self.z_threshold = float(z_threshold)
+        self.rel_threshold = float(rel_threshold)
+        self._windows: Dict[int, Deque[float]] = {}
+
+    def observe(self, ranks: Sequence[int],
+                durations: Sequence[float]) -> None:
+        """Record one collective's per-rank durations (seconds)."""
+        if len(ranks) != len(durations):
+            raise ValueError(
+                f"{len(ranks)} ranks but {len(durations)} durations"
+            )
+        mean = sum(durations) / len(durations) if durations else 0.0
+        if mean <= 0.0:
+            return
+        for rank, duration in zip(ranks, durations):
+            window = self._windows.get(rank)
+            if window is None:
+                window = deque(maxlen=self.window)
+                self._windows[rank] = window
+            window.append(duration / mean)
+
+    def windowed_means(self) -> Dict[int, float]:
+        """Mean relative duration per rank with a full window."""
+        return {
+            rank: sum(window) / len(window)
+            for rank, window in self._windows.items()
+            if len(window) >= self.window
+        }
+
+    def flagged(self) -> List[int]:
+        """Ranks currently detected as stragglers (sorted)."""
+        means = self.windowed_means()
+        if len(means) < 2:
+            return []
+        values = list(means.values())
+        mu = sum(values) / len(values)
+        var = sum((v - mu) ** 2 for v in values) / len(values)
+        std = math.sqrt(var)
+        if std < 1e-9:
+            return []
+        return sorted(
+            rank for rank, value in means.items()
+            if (value - mu) / std > self.z_threshold
+            and value > self.rel_threshold
+        )
+
+
+class NumericGuard:
+    """Raises :class:`NumericFault` on non-finite training telemetry."""
+
+    def __init__(self):
+        self.checked = 0
+
+    def check(self, result) -> None:
+        """Validate a loss value or a ``TrainStepResult``-like object."""
+        self.checked += 1
+        loss = float(getattr(result, "loss", result))
+        if not math.isfinite(loss):
+            raise NumericFault(f"non-finite loss: {loss}")
+        grad_norm = getattr(result, "grad_norm", None)
+        if grad_norm is not None and not math.isfinite(float(grad_norm)):
+            raise NumericFault(f"non-finite grad norm: {grad_norm}")
+
+
+class LossSpikeGuard:
+    """Raises :class:`LossSpike` when a loss jumps above its history.
+
+    The threshold is ``factor`` times the rolling median of the last
+    ``window`` accepted losses; the median makes the guard robust to
+    the very spikes it is meant to catch.  Spiking losses are *not*
+    added to the history, so the post-rollback replay is judged
+    against clean statistics.
+    """
+
+    def __init__(self, window: int = 8, factor: float = 2.0,
+                 min_history: int = 4):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if factor <= 1.0:
+            raise ValueError(f"factor must be > 1, got {factor}")
+        self.window = int(window)
+        self.factor = float(factor)
+        self.min_history = int(min_history)
+        self._history: Deque[float] = deque(maxlen=window)
+
+    def rolling_median(self) -> Optional[float]:
+        """Median of the accepted-loss window (None while empty)."""
+        if not self._history:
+            return None
+        values = sorted(self._history)
+        mid = len(values) // 2
+        if len(values) % 2:
+            return values[mid]
+        return 0.5 * (values[mid - 1] + values[mid])
+
+    def observe(self, step: int, loss: float) -> None:
+        """Judge one loss; accepted values enter the rolling window."""
+        loss = float(loss)
+        if not math.isfinite(loss):
+            raise NumericFault(f"non-finite loss at step {step}: {loss}")
+        if len(self._history) >= self.min_history:
+            median = self.rolling_median()
+            if loss > self.factor * median:
+                raise LossSpike(
+                    f"loss {loss:.4g} at step {step} exceeds "
+                    f"{self.factor:g}x rolling median {median:.4g}"
+                )
+        self._history.append(loss)
+
+
+class HealthMonitor:
+    """Aggregates detectors behind the comm and trainer hook points.
+
+    Attach to a :class:`~repro.comm.group.World` (``world.health``) so
+    every collective feeds the straggler detector, and pass to
+    :class:`~repro.core.trainer.MegaScaleTrainer` so each step result
+    passes the numeric guard.
+    """
+
+    def __init__(self, straggler: Optional[StragglerDetector] = None,
+                 numeric: Optional[NumericGuard] = None):
+        self.straggler = straggler or StragglerDetector()
+        self.numeric = numeric or NumericGuard()
+        self.collectives_seen = 0
+
+    def observe_collective(self, op: str, ranks: Sequence[int],
+                           durations: Sequence[float],
+                           tag: str = "") -> None:
+        """Feed one collective's per-rank timings (from the comm layer)."""
+        self.collectives_seen += 1
+        self.straggler.observe(ranks, durations)
+
+    def on_step_result(self, result) -> None:
+        """Validate one training step's telemetry (from the trainer)."""
+        self.numeric.check(result)
+
+    def flagged_stragglers(self) -> List[int]:
+        """Ranks currently flagged by the straggler detector."""
+        return self.straggler.flagged()

@@ -1,0 +1,200 @@
+"""Recovery policies: retry with backoff and checkpoint integrity.
+
+Detection (:mod:`repro.ft.health`) and injection
+(:mod:`repro.ft.faults`) are only useful if something *acts* on them.
+This module supplies the action half:
+
+* :func:`retry_with_backoff` — bounded retry of a transient-faulting
+  callable with exponential backoff.  Backoff "sleeps" are simulated
+  by default (accumulated into :class:`RetryStats`, no wall-clock
+  delay), matching the repo-wide principle that time is modelled, not
+  spent.  When retries run out the last transient fault is escalated
+  as :class:`~repro.ft.faults.RetryExhausted`, which the
+  :class:`~repro.core.runner.ProductionRunner` turns into a restart.
+* checkpoint integrity — a CRC32 sidecar written next to every
+  ``.npz`` checkpoint and :func:`validate_checkpoint`, which rejects
+  truncated files, bit-flipped payloads, and unreadable archives.  The
+  runner walks the checkpoint chain newest-to-oldest and resumes from
+  the newest checkpoint that validates instead of crashing on a
+  corrupt latest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple, Type
+
+from .faults import RetryExhausted, TransientCommFault
+
+__all__ = [
+    "BackoffPolicy",
+    "RetryStats",
+    "retry_with_backoff",
+    "file_crc32",
+    "meta_path",
+    "write_checkpoint_meta",
+    "read_checkpoint_meta",
+    "validate_checkpoint",
+]
+
+META_FORMAT_VERSION = 1
+
+
+# -- retry with exponential backoff -----------------------------------------
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Bounded exponential backoff: ``base * multiplier**attempt``."""
+
+    max_retries: int = 3
+    base_delay: float = 0.5
+    multiplier: float = 2.0
+    max_delay: float = 30.0
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        return min(self.base_delay * self.multiplier ** attempt,
+                   self.max_delay)
+
+
+@dataclass
+class RetryStats:
+    """Telemetry accumulated across :func:`retry_with_backoff` calls."""
+
+    attempts: int = 0
+    retries: int = 0
+    exhausted: int = 0
+    total_backoff: float = 0.0
+    faults: List[str] = field(default_factory=list)
+
+
+def retry_with_backoff(
+    fn: Callable[[], object],
+    policy: Optional[BackoffPolicy] = None,
+    *,
+    retryable: Tuple[Type[BaseException], ...] = (TransientCommFault,),
+    sleep: Optional[Callable[[float], None]] = None,
+    stats: Optional[RetryStats] = None,
+):
+    """Call ``fn`` until it succeeds or retries are exhausted.
+
+    Only ``retryable`` exceptions are retried; anything else (e.g. a
+    :class:`~repro.ft.faults.RankCrash`) propagates immediately.  After
+    ``policy.max_retries`` failed retries the last fault is re-raised
+    wrapped in :class:`RetryExhausted`.
+    """
+    policy = policy or BackoffPolicy()
+    for attempt in range(policy.max_retries + 1):
+        if stats is not None:
+            stats.attempts += 1
+        try:
+            return fn()
+        except retryable as fault:
+            if stats is not None:
+                stats.faults.append(f"{type(fault).__name__}: {fault}")
+            if attempt == policy.max_retries:
+                if stats is not None:
+                    stats.exhausted += 1
+                raise RetryExhausted(
+                    f"gave up after {policy.max_retries} retries; last "
+                    f"fault: {fault}"
+                ) from fault
+            delay = policy.delay(attempt)
+            if stats is not None:
+                stats.retries += 1
+                stats.total_backoff += delay
+            if sleep is not None:
+                sleep(delay)
+
+
+# -- checkpoint integrity ----------------------------------------------------
+
+
+def file_crc32(path: str, chunk_size: int = 1 << 20) -> int:
+    """CRC32 of a file's bytes (streamed)."""
+    crc = 0
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(chunk_size)
+            if not chunk:
+                break
+            crc = zlib.crc32(chunk, crc)
+    return crc & 0xFFFFFFFF
+
+
+def meta_path(checkpoint_path: str) -> str:
+    """Path of the integrity sidecar next to a checkpoint file."""
+    return checkpoint_path + ".meta.json"
+
+
+def write_checkpoint_meta(checkpoint_path: str, step: int) -> dict:
+    """Write the CRC/size sidecar for an already-written checkpoint."""
+    meta = {
+        "format": META_FORMAT_VERSION,
+        "step": int(step),
+        "size": os.path.getsize(checkpoint_path),
+        "crc32": file_crc32(checkpoint_path),
+    }
+    tmp = meta_path(checkpoint_path) + ".tmp"
+    with open(tmp, "w") as handle:
+        json.dump(meta, handle)
+    os.replace(tmp, meta_path(checkpoint_path))
+    return meta
+
+
+def read_checkpoint_meta(checkpoint_path: str) -> Optional[dict]:
+    """The sidecar contents, or None when absent/unreadable."""
+    try:
+        with open(meta_path(checkpoint_path)) as handle:
+            meta = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    return meta if isinstance(meta, dict) else None
+
+
+def validate_checkpoint(checkpoint_path: str) -> bool:
+    """True when a checkpoint is present, uncorrupted, and loadable.
+
+    Checks, in order: the file exists; the CRC/size sidecar (when one
+    exists) matches the file bytes; and every array in the ``.npz``
+    archive decompresses cleanly (``zipfile`` verifies per-member CRCs
+    on read, so this also catches truncation and in-archive flips even
+    without a sidecar).
+    """
+    import numpy as np
+
+    if not os.path.isfile(checkpoint_path):
+        return False
+    meta = read_checkpoint_meta(checkpoint_path)
+    if meta is not None:
+        try:
+            if int(meta.get("size", -1)) != os.path.getsize(
+                    checkpoint_path):
+                return False
+            if int(meta.get("crc32", -1)) != file_crc32(checkpoint_path):
+                return False
+        except (TypeError, ValueError, OSError):
+            return False
+    try:
+        with np.load(checkpoint_path) as data:
+            for key in data.files:
+                _ = data[key]
+    except Exception:
+        return False
+    return True

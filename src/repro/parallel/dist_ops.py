@@ -25,6 +25,14 @@ Backward byte accounting assumes a *single* backward sweep (one
 Sweeping per-rank outputs separately re-traverses shared ancestors and
 multiplies the ``:bwd`` ledger entries; gradients themselves stay exact
 because contributions accumulate linearly.
+
+Fault injection: every forward collective consults the world's fault
+plan via :meth:`~repro.comm.group.ProcessGroup.pre_collective` before
+moving data (crash/timeout) and
+:meth:`~repro.comm.group.ProcessGroup.post_collective` on its delivered
+outputs (payload corruption — a silent bit-flip into the training
+numerics unless the plan verifies checksums); backward collectives
+consult ``pre_collective`` under the ``:bwd`` tag.
 """
 
 from __future__ import annotations
@@ -70,6 +78,7 @@ def dist_all_gather(
     full = np.concatenate(datas, axis=axis)
     sizes = [d.shape[axis] for d in datas]
     offsets = np.cumsum([0] + sizes)
+    group.pre_collective("all_gather", tag)
     group.record("all_gather", [d.size * eb * (n - 1) for d in datas], tag)
 
     outs = []
@@ -85,12 +94,14 @@ def dist_all_gather(
                 grads.append(piece)
                 if i != j:
                     wire += piece.size * eb
+            group.pre_collective("reduce_scatter", tag + ":bwd")
             group.record("reduce_scatter", _one_hot(n, j, wire),
                          tag + ":bwd")
             return tuple(grads)
 
         outs.append(Tensor.from_op(full.copy(), list(shards), backward,
                                    "dist_all_gather"))
+    group.post_collective("all_gather", [o.data for o in outs], tag)
     return outs
 
 
@@ -120,6 +131,7 @@ def dist_reduce_scatter(
     total = np.sum([t.data.astype(np.float64) for t in tensors], axis=0)
     pieces = np.split(total, n, axis=axis)
     shard_elems = first.size // n
+    group.pre_collective("reduce_scatter", tag)
     group.record("reduce_scatter", [shard_elems * eb * (n - 1)] * n, tag)
 
     width = first.shape[axis] // n
@@ -133,6 +145,7 @@ def dist_reduce_scatter(
             slicer = [slice(None)] * len(full_shape)
             slicer[axis] = slice(j * width, (j + 1) * width)
             grad[tuple(slicer)] = g
+            group.pre_collective("all_gather", tag + ":bwd")
             group.record("all_gather", _one_hot(n, j, g.size * eb * (n - 1)),
                          tag + ":bwd")
             return tuple(grad.copy() for _ in range(n))
@@ -140,6 +153,7 @@ def dist_reduce_scatter(
         outs.append(Tensor.from_op(pieces[j].astype(first.dtype),
                                    list(tensors), backward,
                                    "dist_reduce_scatter"))
+    group.post_collective("reduce_scatter", [o.data for o in outs], tag)
     return outs
 
 
@@ -172,6 +186,7 @@ def dist_all_to_all(
     chunks = [np.split(d, n, axis=split_axis) for d in datas]
     per_rank = [sum(chunks[i][j].size * eb for j in range(n) if j != i)
                 for i in range(n)]
+    group.pre_collective("all_to_all", tag)
     group.record("all_to_all", per_rank, tag)
 
     chunk_split = datas[0].shape[split_axis] // n
@@ -200,11 +215,13 @@ def dist_all_to_all(
                 grads.append(grad)
                 if i != j:
                     wire += piece.size * eb
+            group.pre_collective("all_to_all", tag + ":bwd")
             group.record("all_to_all", _one_hot(n, j, wire), tag + ":bwd")
             return tuple(grads)
 
         outs.append(Tensor.from_op(received, list(tensors), backward,
                                    "dist_all_to_all"))
+    group.post_collective("all_to_all", [o.data for o in outs], tag)
     return outs
 
 
@@ -243,6 +260,7 @@ def dist_all_to_all_uneven(
         * int(np.prod(tensors[i].data.shape[1:])) * eb
         for i in range(n)
     ]
+    group.pre_collective("all_to_all", tag)
     group.record("all_to_all", per_rank, tag)
 
     outs = []
@@ -264,11 +282,13 @@ def dist_all_to_all_uneven(
                 grads.append(grad)
                 if i != j:
                     wire += piece.size * eb
+            group.pre_collective("all_to_all", tag + ":bwd")
             group.record("all_to_all", _one_hot(n, j, wire), tag + ":bwd")
             return tuple(grads)
 
         outs.append(Tensor.from_op(received, list(tensors), backward,
                                    "dist_all_to_all_uneven"))
+    group.post_collective("all_to_all", [o.data for o in outs], tag)
     return outs
 
 
@@ -287,12 +307,14 @@ def dist_all_reduce(
     eb = _eb(tensors, elem_bytes)
     first = tensors[0].data
     total = np.sum([t.data.astype(np.float64) for t in tensors], axis=0)
+    group.pre_collective("all_reduce", tag)
     group.record("all_reduce",
                  [2.0 * first.size / n * eb * (n - 1)] * n, tag)
 
     outs = []
     for j in range(n):
         def backward(g, j=j):
+            group.pre_collective("all_reduce", tag + ":bwd")
             group.record(
                 "all_reduce",
                 _one_hot(n, j, 2.0 * g.size / n * eb * (n - 1)),
@@ -303,6 +325,7 @@ def dist_all_reduce(
         outs.append(Tensor.from_op(total.astype(first.dtype),
                                    list(tensors), backward,
                                    "dist_all_reduce"))
+    group.post_collective("all_reduce", [o.data for o in outs], tag)
     return outs
 
 

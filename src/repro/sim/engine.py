@@ -8,6 +8,13 @@ communication kernels on dedicated streams executing concurrently with
 independent computation (§4.1) — so the simulator turns a scheduled
 operator graph plus per-op durations into a makespan and an
 exposed-communication figure (the "Exposed Comm." bars of Fig. 12a).
+
+Fault modelling: :func:`simulate` optionally takes per-stream
+``slowdowns`` (a straggling rank stretches every kernel on its
+streams) and :class:`StreamFailure` downtime windows (a crashed or
+hung executor), so the makespan/exposed-comm impact of stragglers and
+failures is directly measurable — see
+``benchmarks/bench_fault_recovery.py``.
 """
 
 from __future__ import annotations
@@ -15,7 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["SimTask", "TaskRecord", "Timeline", "simulate"]
+__all__ = ["SimTask", "StreamFailure", "TaskRecord", "Timeline",
+           "simulate"]
 
 
 @dataclass(frozen=True)
@@ -40,6 +48,34 @@ class SimTask:
         if self.duration < 0:
             raise ValueError(
                 f"task {self.name!r} has negative duration {self.duration}"
+            )
+
+
+@dataclass(frozen=True)
+class StreamFailure:
+    """A downtime window during which one stream cannot execute.
+
+    Models a hung NIC, a paused executor, or a node swap: tasks cannot
+    *start* inside ``[at, at + downtime)`` (they are pushed to the
+    window's end), and a task already running when the window opens is
+    paused — its completion slips by ``downtime``.
+
+    Attributes:
+        stream: The affected stream.
+        at: Window start time (seconds).
+        downtime: Window length (seconds).
+    """
+
+    stream: str
+    at: float
+    downtime: float
+
+    def __post_init__(self):
+        if self.at < 0:
+            raise ValueError(f"failure time must be >= 0, got {self.at}")
+        if self.downtime < 0:
+            raise ValueError(
+                f"downtime must be >= 0, got {self.downtime}"
             )
 
 
@@ -107,13 +143,46 @@ class Timeline:
         raise KeyError(f"no task named {name!r}")
 
 
-def simulate(tasks: Sequence[SimTask]) -> Timeline:
+def _adjust_for_failures(start: float, duration: float,
+                         windows: Sequence[StreamFailure]):
+    """Push a task out of / pause it across downtime windows."""
+    for f in windows:
+        end = f.at + f.downtime
+        if start >= end:
+            continue
+        if start >= f.at:
+            start = end
+        elif start + duration > f.at:
+            duration += f.downtime
+    return start, duration
+
+
+def simulate(tasks: Sequence[SimTask], *,
+             slowdowns: Optional[Dict[str, float]] = None,
+             failures: Sequence[StreamFailure] = ()) -> Timeline:
     """Run tasks to completion; returns the :class:`Timeline`.
 
     Stream order is the order tasks appear in ``tasks`` (per stream).
     Raises ``ValueError`` on unknown dependencies or deadlock (circular
     waits across streams).
+
+    Args:
+        slowdowns: Per-stream duration multipliers (``>= 1``); a
+            straggling rank is modelled by slowing its streams.
+        failures: :class:`StreamFailure` downtime windows.
     """
+    slowdowns = slowdowns or {}
+    for stream, factor in slowdowns.items():
+        if factor < 1.0:
+            raise ValueError(
+                f"slowdown for stream {stream!r} must be >= 1, got "
+                f"{factor}"
+            )
+    fail_windows: Dict[str, List[StreamFailure]] = {}
+    for f in failures:
+        fail_windows.setdefault(f.stream, []).append(f)
+    for windows in fail_windows.values():
+        windows.sort(key=lambda f: f.at)
     by_name = {}
     for t in tasks:
         if t.name in by_name:
@@ -147,7 +216,10 @@ def simulate(tasks: Sequence[SimTask]) -> Timeline:
                 start = max(stream_free[s],
                             max((finish[d] for d in task.deps),
                                 default=0.0))
-                end = start + task.duration
+                duration = task.duration * slowdowns.get(s, 1.0)
+                start, duration = _adjust_for_failures(
+                    start, duration, fail_windows.get(s, ()))
+                end = start + duration
                 stream_free[s] = end
                 finish[task.name] = end
                 records.append(TaskRecord(task, start, end))

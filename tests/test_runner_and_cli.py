@@ -59,10 +59,13 @@ class TestProductionRunner:
         assert runner.latest_checkpoint() == 10
 
     def test_checkpoint_cadence(self, tmp_path):
+        """The final save is skipped when the last step already
+        checkpointed — no duplicate file or metrics entry."""
         runner = ProductionRunner(trainer_factory, str(tmp_path),
                                   checkpoint_interval=3)
         metrics = runner.run(make_batches(9))
-        assert metrics.checkpoints == [3, 6, 9, 9]
+        assert metrics.checkpoints == [3, 6, 9]
+        assert runner.checkpoint_steps() == [3, 6, 9]
 
     def test_recovers_from_faults(self, tmp_path):
         runner = ProductionRunner(trainer_factory, str(tmp_path),
@@ -132,6 +135,40 @@ class TestProductionRunner:
             ProductionRunner(trainer_factory, str(tmp_path),
                              checkpoint_interval=0)
 
+    def test_leftover_tmp_file_ignored_and_swept(self, tmp_path):
+        """A .npz.tmp left by a crash mid-write is never treated as a
+        checkpoint and is cleaned up by the next successful save."""
+        batches = make_batches(8)
+        first = ProductionRunner(trainer_factory, str(tmp_path),
+                                 checkpoint_interval=4)
+        first.run(batches[:4])
+        stale = os.path.join(str(tmp_path), "step_00000006.npz.tmp")
+        with open(stale, "wb") as handle:
+            handle.write(b"partial write from a crashed process")
+        second = ProductionRunner(trainer_factory, str(tmp_path),
+                                  checkpoint_interval=4)
+        assert second.latest_checkpoint() == 4
+        assert second.checkpoint_steps() == [4]
+        second.run(batches)
+        assert not os.path.exists(stale)
+        assert second.checkpoint_steps() == [4, 8]
+
+    def test_corrupt_latest_checkpoint_skipped_on_resume(self,
+                                                         tmp_path):
+        """Resume falls back past an unreadable newest checkpoint."""
+        batches = make_batches(8)
+        first = ProductionRunner(trainer_factory, str(tmp_path),
+                                 checkpoint_interval=4)
+        first.run(batches)
+        with open(first._path(8), "r+b") as handle:
+            handle.truncate(12)
+        second = ProductionRunner(trainer_factory, str(tmp_path),
+                                  checkpoint_interval=4)
+        metrics = second.run(batches)
+        assert second.discarded == [8]
+        assert metrics.steps == [4, 5, 6, 7]
+        assert metrics.invalid_checkpoints == [8]
+
 
 class TestCLI:
     def test_models(self, capsys):
@@ -158,6 +195,14 @@ class TestCLI:
         assert cli_main(["train-demo", "3"]) == 0
         out = capsys.readouterr().out
         assert out.count("\n") >= 4
+
+    def test_ft_demo(self, capsys, tmp_path):
+        assert cli_main(["ft-demo", "16", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "comm faults injected" in out
+        assert "timeout" in out and "corrupt" in out
+        assert "stragglers flagged   : [1]" in out
+        assert "rollbacks" in out
 
     def test_unknown_command(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,95 @@
+"""Tests for fault modelling in the execution simulator
+(repro.sim.engine: per-stream slowdowns + StreamFailure windows)."""
+
+import pytest
+
+from repro.sim import SimTask, StreamFailure, simulate
+
+
+def two_stream_tasks():
+    return [
+        SimTask("c0", 2.0, "compute"),
+        SimTask("a2a", 3.0, "comm", deps=("c0",), is_comm=True),
+        SimTask("c1", 2.0, "compute", deps=("c0",)),
+        SimTask("c2", 2.0, "compute", deps=("a2a", "c1")),
+    ]
+
+
+class TestSlowdowns:
+    def test_default_behavior_unchanged(self):
+        timeline = simulate(two_stream_tasks())
+        assert timeline.makespan == 7.0
+
+    def test_slow_stream_scales_its_durations(self):
+        timeline = simulate(two_stream_tasks(),
+                            slowdowns={"comm": 2.0})
+        # a2a stretches 3 -> 6: starts at 2, ends at 8; c2 ends at 10.
+        record = timeline.record_of("a2a")
+        assert (record.start, record.end) == (2.0, 8.0)
+        assert timeline.makespan == 10.0
+
+    def test_other_streams_unaffected(self):
+        timeline = simulate(two_stream_tasks(),
+                            slowdowns={"comm": 2.0})
+        assert timeline.record_of("c1").end == 4.0
+
+    def test_slowdown_increases_exposed_comm(self):
+        clean = simulate(two_stream_tasks())
+        slow = simulate(two_stream_tasks(), slowdowns={"comm": 3.0})
+        assert slow.exposed_comm > clean.exposed_comm
+
+    def test_slowdown_validation(self):
+        with pytest.raises(ValueError, match="slowdown"):
+            simulate(two_stream_tasks(), slowdowns={"comm": 0.5})
+
+
+class TestStreamFailures:
+    def test_start_inside_window_is_pushed_out(self):
+        # a2a would start at t=2, inside the [1, 6) downtime window.
+        timeline = simulate(
+            two_stream_tasks(),
+            failures=[StreamFailure("comm", at=1.0, downtime=5.0)])
+        record = timeline.record_of("a2a")
+        assert (record.start, record.end) == (6.0, 9.0)
+
+    def test_running_task_pauses_for_downtime(self):
+        # a2a runs [2, 5); a window opening at t=4 pauses it for 1s.
+        timeline = simulate(
+            two_stream_tasks(),
+            failures=[StreamFailure("comm", at=4.0, downtime=1.0)])
+        assert timeline.record_of("a2a").end == 6.0
+
+    def test_window_after_task_has_no_effect(self):
+        timeline = simulate(
+            two_stream_tasks(),
+            failures=[StreamFailure("comm", at=50.0, downtime=10.0)])
+        assert timeline.makespan == 7.0
+
+    def test_failure_only_affects_its_stream(self):
+        timeline = simulate(
+            two_stream_tasks(),
+            failures=[StreamFailure("comm", at=1.0, downtime=5.0)])
+        assert timeline.record_of("c1").end == 4.0
+
+    def test_downstream_tasks_slip_transitively(self):
+        timeline = simulate(
+            two_stream_tasks(),
+            failures=[StreamFailure("comm", at=1.0, downtime=5.0)])
+        # c2 waits on the delayed a2a.
+        assert timeline.record_of("c2").start == 9.0
+        assert timeline.makespan == 11.0
+
+    def test_multiple_windows_compound(self):
+        tasks = [SimTask("t", 1.0, "s")]
+        timeline = simulate(
+            tasks,
+            failures=[StreamFailure("s", at=0.0, downtime=2.0),
+                      StreamFailure("s", at=2.5, downtime=1.0)])
+        # Pushed to 2.0, then paused at 2.5 for 1s: ends at 4.0.
+        assert timeline.record_of("t").end == 4.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="failure time"):
+            StreamFailure("s", at=-1.0, downtime=1.0)
+        with pytest.raises(ValueError, match="downtime"):
+            StreamFailure("s", at=0.0, downtime=-1.0)
