@@ -13,23 +13,32 @@ sends, per collective, assuming the standard algorithm NCCL would use
 all-to-all).  Tests compare this ledger against the paper's closed-form
 communication-volume formulas (Eqs. 1-4).
 
-Fault-tolerance hooks
----------------------
-A :class:`World` optionally carries a fault plan and a health monitor
-(see :mod:`repro.ft`).  Both are duck-typed so this module stays
-ft-agnostic: the plan exposes ``before(op, tag)`` (may raise a fault
-before data moves), ``corrupt(op, tag, arrays)`` (bit-flips delivered
-payloads), and ``slow_factor(rank)`` (slow-link multipliers); the
-monitor exposes ``observe_collective(op, ranks, durations, tag)``.
-Collectives call :meth:`ProcessGroup.pre_collective` /
-:meth:`ProcessGroup.post_collective` around every transfer, and
-:meth:`ProcessGroup.record` feeds per-rank timings to the monitor.
+Fault-tolerance and observability hooks
+---------------------------------------
+A :class:`World` optionally carries a fault plan, a health monitor
+(see :mod:`repro.ft`), and a tracer (see :mod:`repro.obs`).  All are
+duck-typed so this module stays agnostic: the plan exposes
+``before(op, tag)`` (may raise a fault before data moves),
+``corrupt(op, tag, arrays)`` (bit-flips delivered payloads), and
+``slow_factor(rank)`` (slow-link multipliers); the monitor exposes
+``observe_collective(op, ranks, durations, tag)``; the tracer exposes
+the :class:`~repro.obs.tracer.Tracer` span API.  Collectives call
+:meth:`ProcessGroup.pre_collective` /
+:meth:`ProcessGroup.post_collective` around every transfer (opening and
+guarding a ``comm`` span), and :meth:`ProcessGroup.record` feeds bytes
+to the ledger, per-rank timings to the monitor, and byte annotations to
+the open span.
+
+Long production runs can bound ledger memory with
+``CommLedger(max_records=...)``: the newest records stay inspectable
+while rotated-out ones collapse into exact per-``(op, tag)`` aggregates,
+so byte totals and call counts never lose precision.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -68,27 +77,80 @@ class CommRecord:
 
 @dataclass
 class CommLedger:
-    """Accumulates :class:`CommRecord` entries for later inspection."""
+    """Accumulates :class:`CommRecord` entries for later inspection.
+
+    With ``max_records`` set the ledger rotates: only the newest
+    ``max_records`` entries are kept as full :class:`CommRecord` objects
+    (for per-call inspection), while older entries are folded into exact
+    per-``(op, tag)`` aggregates in :attr:`rolled`.  Byte totals, call
+    counts, and filtered queries stay exact across rotation, so
+    multi-thousand-step runs keep O(max_records) memory instead of
+    growing without bound.
+    """
 
     records: List[CommRecord] = field(default_factory=list)
     enabled: bool = True
+    #: Keep at most this many full records (None = unbounded).
+    max_records: Optional[int] = None
+    #: Records rotated out of :attr:`records`, by count.
+    dropped: int = 0
+    #: Exact aggregates of rotated records, keyed ``(op, tag)``.
+    rolled: Dict[Tuple[str, str], Dict[str, float]] = field(
+        default_factory=dict, repr=False)
+
+    def __post_init__(self):
+        if self.max_records is not None and self.max_records < 1:
+            raise ValueError(
+                f"max_records must be >= 1, got {self.max_records}"
+            )
 
     def record(self, record: CommRecord) -> None:
         """Append one collective record (no-op while disabled)."""
-        if self.enabled:
-            self.records.append(record)
+        if not self.enabled:
+            return
+        self.records.append(record)
+        if (self.max_records is not None
+                and len(self.records) > self.max_records):
+            excess = len(self.records) - self.max_records
+            for old in self.records[:excess]:
+                agg = self.rolled.setdefault(
+                    (old.op, old.tag),
+                    {"total_bytes": 0.0, "per_rank_bytes": 0.0,
+                     "count": 0.0},
+                )
+                agg["total_bytes"] += old.total_bytes
+                agg["per_rank_bytes"] += old.total_bytes / old.group_size
+                agg["count"] += 1.0
+            del self.records[:excess]
+            self.dropped += excess
 
     def clear(self) -> None:
-        """Drop all accumulated records."""
+        """Drop all accumulated records and rotation aggregates."""
         self.records.clear()
+        self.rolled.clear()
+        self.dropped = 0
+
+    @property
+    def record_count(self) -> int:
+        """Total records ever accepted (live + rotated)."""
+        return len(self.records) + self.dropped
+
+    def _rolled_matching(self, op: Optional[str],
+                         tag: Optional[str]) -> List[Dict[str, float]]:
+        return [
+            agg for (r_op, r_tag), agg in self.rolled.items()
+            if (op is None or r_op == op) and (tag is None or r_tag == tag)
+        ]
 
     def total_bytes(self, op: Optional[str] = None,
                     tag: Optional[str] = None) -> float:
         """Total bytes sent by all ranks, optionally filtered."""
-        return sum(
+        live = sum(
             r.total_bytes for r in self.records
             if (op is None or r.op == op) and (tag is None or r.tag == tag)
         )
+        return live + sum(agg["total_bytes"]
+                          for agg in self._rolled_matching(op, tag))
 
     def per_rank_bytes(self, op: Optional[str] = None,
                        tag: Optional[str] = None) -> float:
@@ -97,15 +159,19 @@ class CommLedger:
             r for r in self.records
             if (op is None or r.op == op) and (tag is None or r.tag == tag)
         ]
-        if not matching:
+        rolled = self._rolled_matching(op, tag)
+        if not matching and not rolled:
             return 0.0
-        return sum(r.total_bytes / r.group_size for r in matching)
+        return (sum(r.total_bytes / r.group_size for r in matching)
+                + sum(agg["per_rank_bytes"] for agg in rolled))
 
     def counts(self) -> Dict[str, int]:
         """Number of calls per collective op."""
         out: Dict[str, int] = {}
         for r in self.records:
             out[r.op] = out.get(r.op, 0) + 1
+        for (r_op, _), agg in self.rolled.items():
+            out[r_op] = out.get(r_op, 0) + int(agg["count"])
         return out
 
 
@@ -118,7 +184,8 @@ class World:
     ledger tags and the performance model do.
     """
 
-    def __init__(self, size: int, ranks_per_node: int = 8):
+    def __init__(self, size: int, ranks_per_node: int = 8,
+                 max_ledger_records: Optional[int] = None):
         if size < 1:
             raise ValueError(f"world size must be >= 1, got {size}")
         if ranks_per_node < 1:
@@ -127,11 +194,13 @@ class World:
             )
         self.size = size
         self.ranks_per_node = ranks_per_node
-        self.ledger = CommLedger()
+        self.ledger = CommLedger(max_records=max_ledger_records)
         #: Optional fault plan (see :class:`repro.ft.FaultPlan`).
-        self.fault_plan = None
+        self.fault_plan: Optional[Any] = None
         #: Optional health monitor (see :class:`repro.ft.HealthMonitor`).
-        self.health = None
+        self.health: Optional[Any] = None
+        #: Optional span tracer (see :class:`repro.obs.Tracer`).
+        self.tracer: Optional[Any] = None
         #: Nominal link bandwidth (bytes/s) used to turn ledger bytes
         #: into the per-rank durations the straggler detector consumes.
         self.nominal_bandwidth = 100e9
@@ -144,6 +213,11 @@ class World:
     def attach_health_monitor(self, monitor) -> "World":
         """Install a health monitor fed by every collective."""
         self.health = monitor
+        return self
+
+    def attach_tracer(self, tracer) -> "World":
+        """Install a tracer that receives a span per collective."""
+        self.tracer = tracer
         return self
 
     def node_of(self, rank: int) -> int:
@@ -211,6 +285,11 @@ class ProcessGroup:
         nodes = {self.world.node_of(r) for r in self.ranks}
         return len(nodes) == 1
 
+    @property
+    def comm_stream(self) -> str:
+        """Trace-stream name: NVLink-domain vs NIC traffic lane."""
+        return "comm/intra" if self.is_intra_node else "comm/inter"
+
     def record(self, op: str, send_bytes_per_rank: Sequence[float],
                tag: str = "") -> None:
         """Record one collective on this group into the world's ledger.
@@ -218,7 +297,10 @@ class ProcessGroup:
         Also feeds the health monitor, when one is attached: every
         rank's completion time for a collective is the max transfer
         over the nominal bandwidth, stretched by that rank's slow-link
-        factor from the fault plan.
+        factor from the fault plan.  When a tracer is attached, the
+        byte total lands on the ``comm`` span :meth:`pre_collective`
+        opened (closing it); unbracketed records — backward-hook duals
+        and fallback paths — emit a self-contained span instead.
         """
         self.world.ledger.record(CommRecord(
             op=op,
@@ -226,6 +308,19 @@ class ProcessGroup:
             send_bytes_per_rank=list(send_bytes_per_rank),
             tag=tag,
         ))
+        tracer = self.world.tracer
+        if tracer is not None:
+            total = float(sum(send_bytes_per_rank))
+            current = tracer.current()
+            if (current is not None and current.cat == "comm"
+                    and current.attrs.get("op") == op
+                    and current.attrs.get("tag") == tag):
+                tracer.end(current, bytes=total)
+            else:
+                span = tracer.begin(
+                    op, cat="comm", stream=self.comm_stream,
+                    op=op, tag=tag, group_size=self.size, bytes=total)
+                tracer.end(span)
         health = self.world.health
         if health is not None:
             base = max(send_bytes_per_rank, default=0.0)
@@ -243,22 +338,55 @@ class ProcessGroup:
     def pre_collective(self, op: str, tag: str = "") -> None:
         """Consult the fault plan before a collective moves data.
 
-        May raise a fault (rank crash, timeout) from the plan.
+        May raise a fault (rank crash, timeout) from the plan; faults
+        fire *before* the comm span opens (no data moved, no span), but
+        leave an instant ``fault`` event in the trace.  With a tracer
+        attached, opens the ``comm`` span that :meth:`record` closes.
         """
         plan = self.world.fault_plan
+        tracer = self.world.tracer
         if plan is not None:
-            plan.before(op, tag)
+            try:
+                plan.before(op, tag)
+            except Exception as exc:
+                if tracer is not None:
+                    tracer.instant(
+                        f"fault:{op}", cat="fault",
+                        stream=self.comm_stream, op=op, tag=tag,
+                        error=type(exc).__name__)
+                raise
+        if tracer is not None:
+            tracer.begin(
+                op, cat="comm", stream=self.comm_stream,
+                op=op, tag=tag, group_size=self.size)
 
     def post_collective(self, op: str, outputs, tag: str = "") -> None:
         """Consult the fault plan after a collective delivered data.
 
         ``outputs`` is the (possibly nested) list of delivered arrays;
         a scheduled corruption bit-flips one of them in place, or
-        raises a checksum fault when the plan verifies checksums.
+        raises a checksum fault when the plan verifies checksums.  The
+        comm span was already closed by :meth:`record` (defensively
+        closed here otherwise); checksum faults leave an instant event.
         """
+        tracer = self.world.tracer
+        if tracer is not None:
+            current = tracer.current()
+            if (current is not None and current.cat == "comm"
+                    and current.attrs.get("op") == op
+                    and current.attrs.get("tag") == tag):
+                tracer.end(current)
         plan = self.world.fault_plan
         if plan is not None:
-            plan.corrupt(op, tag, _flatten_arrays(outputs))
+            try:
+                plan.corrupt(op, tag, _flatten_arrays(outputs))
+            except Exception as exc:
+                if tracer is not None:
+                    tracer.instant(
+                        f"fault:{op}", cat="fault",
+                        stream=self.comm_stream, op=op, tag=tag,
+                        error=type(exc).__name__)
+                raise
 
     def check_shards(self, shards: Sequence[np.ndarray]) -> None:
         """Validate that a per-rank tensor list matches this group."""

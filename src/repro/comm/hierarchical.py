@@ -19,7 +19,7 @@ Fig. 14 bench can verify the equivalence.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
@@ -68,7 +68,7 @@ def hierarchical_sync(
 
     # Step 1: intra-node reduce-scatter (size P over n ranks).
     intra_groups = world.intra_node_groups()
-    shards: List[np.ndarray] = [None] * world.size
+    shards: Dict[int, np.ndarray] = {}
     for g in intra_groups:
         outs = reduce_scatter(
             g, [flats[r] for r in g.ranks], elem_bytes=elem_bytes,
@@ -107,7 +107,7 @@ def hierarchical_sync(
             shards[r] = fulls[local]
 
     # Step 4: intra-node all-gather back to size P on every rank.
-    results: List[np.ndarray] = [None] * world.size
+    results: Dict[int, np.ndarray] = {}
     for g in intra_groups:
         fulls = all_gather(
             g, [shards[r] for r in g.ranks], elem_bytes=elem_bytes,
@@ -116,7 +116,8 @@ def hierarchical_sync(
         for local, r in enumerate(g.ranks):
             results[r] = fulls[local]
 
-    return [r[:numel].reshape(shape) for r in results]
+    return [results[r][:numel].reshape(shape)
+            for r in range(world.size)]
 
 
 def flat_sync(
@@ -132,7 +133,7 @@ def flat_sync(
     """
     cross_groups = world.cross_node_groups()
     shape = np.asarray(grads[0]).shape
-    results: List[np.ndarray] = [None] * world.size
+    results: Dict[int, np.ndarray] = {}
     for g in cross_groups:
         d = g.size
         flats = [np.asarray(grads[r], dtype=np.float64).reshape(-1)
@@ -154,7 +155,7 @@ def flat_sync(
                 )
         for local, r in enumerate(g.ranks):
             results[r] = fulls[local].reshape(shape)
-    return results
+    return [results[r] for r in range(world.size)]
 
 
 def hierarchical_inter_node_volume(param_bytes: float, n: int,

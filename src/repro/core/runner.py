@@ -160,6 +160,11 @@ class ProductionRunner:
         max_rollbacks: Give up after this many loss-spike recoveries.
         sleep: Receives each backoff delay (None = simulated time,
             no real sleeping).
+        obs: Optional :class:`~repro.obs.Observability` bundle; the
+            runner marks checkpoints, restarts, and rollbacks as
+            instant trace events and counts them in the metrics
+            registry (the trainer-level spans come from passing the
+            same bundle to the trainer factory's trainer).
     """
 
     def __init__(self, trainer_factory: Callable[[], object],
@@ -171,7 +176,8 @@ class ProductionRunner:
                  validate_checkpoints: bool = True,
                  on_spike: str = "rollback",
                  max_rollbacks: int = 10,
-                 sleep: Optional[Callable[[float], None]] = None):
+                 sleep: Optional[Callable[[float], None]] = None,
+                 obs: Optional[object] = None):
         if checkpoint_interval < 1:
             raise ValueError(
                 f"checkpoint_interval must be >= 1, got "
@@ -193,6 +199,7 @@ class ProductionRunner:
         self.on_spike = on_spike
         self.max_rollbacks = max_rollbacks
         self.sleep = sleep
+        self.obs = obs
         self.retry_stats = RetryStats()
         #: Checkpoint steps found corrupt/unreadable and walked past.
         self.discarded: List[int] = []
@@ -287,6 +294,16 @@ class ProductionRunner:
             if step not in metrics.invalid_checkpoints:
                 metrics.invalid_checkpoints.append(step)
 
+    # -- observability -------------------------------------------------------
+
+    def _mark(self, name: str, **attrs) -> None:
+        """Instant trace event + matching counter, when observed."""
+        if self.obs is None:
+            return
+        self.obs.tracer.instant(name, cat="runner", stream="runner",
+                                **attrs)
+        self.obs.metrics.inc(f"runner.{name}")
+
     # -- the loop ------------------------------------------------------------
 
     def _attempt_step(self, trainer, batch):
@@ -330,6 +347,7 @@ class ProductionRunner:
                 if step % self.checkpoint_interval == 0:
                     self._save(trainer, step)
                     metrics.checkpoints.append(step)
+                    self._mark("checkpoint", step=step)
                     last_saved = step
             except LossSpike:
                 rollbacks += 1
@@ -338,21 +356,29 @@ class ProductionRunner:
                 metrics.rollbacks.append(step)
                 if self.on_spike == "skip":
                     metrics.skipped.append(step)
+                    self._mark("skip", step=step)
                     step += 1
                     continue
+                self._mark("rollback", step=step)
                 trainer = self.trainer_factory()
                 step = self._restore(trainer, metrics)
-            except Fault:
+            except Fault as fault:
                 restarts += 1
                 if restarts > self.max_restarts:
                     raise
                 metrics.restarts.append(step)
+                self._mark("restart", step=step,
+                           fault=type(fault).__name__)
                 trainer = self.trainer_factory()
                 step = self._restore(trainer, metrics)
         if last_saved != step:
             self._save(trainer, step)
             metrics.checkpoints.append(step)
-        metrics.retries += self.retry_stats.retries - retries_before
+            self._mark("checkpoint", step=step)
+        retries = self.retry_stats.retries - retries_before
+        metrics.retries += retries
         metrics.backoff_seconds += (self.retry_stats.total_backoff
                                     - backoff_before)
+        if self.obs is not None and retries:
+            self.obs.metrics.inc("runner.retries", retries)
         return metrics

@@ -18,13 +18,17 @@ The trainer composes with:
   continued-training and restart experiments (Figs. 18, 19),
 * :class:`~repro.ft.health.HealthMonitor` for NaN/inf guards on step
   results and per-collective straggler timings (the detection half of
-  the Fig. 19 restart machinery).
+  the Fig. 19 restart machinery),
+* :class:`~repro.obs.Observability` for span tracing (a ``train.step``
+  span nesting ``forward``/``backward``/``optimizer``, with every
+  collective a child ``comm`` span) and step/loss/byte metrics.
 """
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import ContextManager, Dict, Optional
 
 import numpy as np
 
@@ -63,6 +67,7 @@ class MegaScaleTrainer:
         policy: Optional[PrecisionPolicy] = None,
         vocab_parallel: bool = False,
         health: Optional[object] = None,
+        obs: Optional[object] = None,
     ):
         n = parallel.model_parallel_size
         if world.size != n:
@@ -78,6 +83,13 @@ class MegaScaleTrainer:
         self.health = health
         if health is not None:
             world.attach_health_monitor(health)
+        #: Optional :class:`~repro.obs.Observability` bundle: its
+        #: tracer is attached to the world (per-collective comm spans)
+        #: and wraps each step in nested phase spans; its metrics
+        #: registry accumulates step/loss/token/byte statistics.
+        self.obs = obs
+        if obs is not None:
+            world.attach_tracer(obs.tracer)
         self.group: ProcessGroup = world.full_group()
         self.parallel = parallel
         self.train_cfg = train
@@ -160,34 +172,54 @@ class MegaScaleTrainer:
             total = total + aux_total * self.train_cfg.aux_loss_coeff
         return total, lm_loss, aux_total
 
+    def _span(self, name: str, **attrs) -> ContextManager:
+        """A tracer span, or a no-op context when untraced."""
+        if self.obs is None:
+            return nullcontext()
+        return self.obs.tracer.span(name, cat="train", stream="main",
+                                    **attrs)
+
     def train_step(self, token_ids: np.ndarray) -> TrainStepResult:
         """One forward/backward/update over a token batch."""
-        self.model.zero_grad()
-        if self.policy is not None:
-            with self.policy:
-                total, lm, aux = self.loss(token_ids)
-        else:
-            total, lm, aux = self.loss(token_ids)
-        total.backward()
-        for engine in self.engines:
-            engine.sync_grads_to_reference()
-        if self.vocab_parallel:
-            self._sync_head_grads()
-        norm = clip_grad_norm(self.model.parameters(),
-                              self.train_cfg.grad_clip)
-        self.optimizer.step()
-        for engine in self.engines:
-            engine.refresh_shards()
-        if self.vocab_parallel:
-            self._refresh_head_shards()
-        self.step_count += 1
-        result = TrainStepResult(
-            loss=total.item(),
-            lm_loss=lm.item(),
-            aux_loss=aux.item(),
-            grad_norm=norm,
-            tokens=int(np.prod(token_ids[:, 1:].shape)),
-        )
+        with self._span("train.step", phase="step",
+                        step=self.step_count):
+            self.model.zero_grad()
+            with self._span("forward", phase="forward"):
+                if self.policy is not None:
+                    with self.policy:
+                        total, lm, aux = self.loss(token_ids)
+                else:
+                    total, lm, aux = self.loss(token_ids)
+            with self._span("backward", phase="backward"):
+                total.backward()
+                for engine in self.engines:
+                    engine.sync_grads_to_reference()
+                if self.vocab_parallel:
+                    self._sync_head_grads()
+            with self._span("optimizer", phase="optimizer"):
+                norm = clip_grad_norm(self.model.parameters(),
+                                      self.train_cfg.grad_clip)
+                self.optimizer.step()
+                for engine in self.engines:
+                    engine.refresh_shards()
+                if self.vocab_parallel:
+                    self._refresh_head_shards()
+            self.step_count += 1
+            result = TrainStepResult(
+                loss=total.item(),
+                lm_loss=lm.item(),
+                aux_loss=aux.item(),
+                grad_norm=norm,
+                tokens=int(np.prod(token_ids[:, 1:].shape)),
+            )
+        if self.obs is not None:
+            metrics = self.obs.metrics
+            metrics.inc("train.steps")
+            metrics.inc("train.tokens", result.tokens)
+            metrics.set("train.loss", result.loss)
+            metrics.set("train.grad_norm", result.grad_norm)
+            metrics.observe("train.step.loss", result.lm_loss)
+            metrics.ingest_ledger(self.world.ledger)
         if self.health is not None:
             self.health.on_step_result(result)
         return result

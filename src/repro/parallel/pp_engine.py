@@ -115,6 +115,11 @@ class PipelineParallelTrainer:
         self.world.ledger.record(CommRecord(
             op="p2p", group_size=self.world.size,
             send_bytes_per_rank=per_rank, tag=tag))
+        tracer = self.world.tracer
+        if tracer is not None:
+            tracer.instant(f"p2p:{tag}", cat="comm.p2p",
+                           stream=f"stage{src}", op="p2p", tag=tag,
+                           bytes=per_rank[src], src=src, dst=dst)
 
     def _stage_forward(self, stage: int, hidden, micro_ids):
         """Run one stage's layers; returns the boundary activation."""
@@ -226,6 +231,22 @@ class PipelineParallelTrainer:
 
     def _run_task(self, task, stage, micros, boundary, aux_carry,
                   losses) -> None:
+        """Execute one schedule slot, traced as a stage-boundary span."""
+        tracer = self.world.tracer
+        if tracer is None or task.phase != "F":
+            self._execute_task(task, stage, micros, boundary, aux_carry,
+                               losses)
+            return
+        with tracer.span(f"stage{stage}/F{task.micro_batch}",
+                         cat="pp.stage", stream=f"stage{stage}",
+                         phase="F", stage=stage,
+                         micro=task.micro_batch,
+                         layers=len(self.stages[stage])):
+            self._execute_task(task, stage, micros, boundary, aux_carry,
+                               losses)
+
+    def _execute_task(self, task, stage, micros, boundary, aux_carry,
+                      losses) -> None:
         m = task.micro_batch
         if task.phase != "F":
             return  # gradient work happens in the single backward sweep

@@ -159,7 +159,9 @@ def _adjust_for_failures(start: float, duration: float,
 
 def simulate(tasks: Sequence[SimTask], *,
              slowdowns: Optional[Dict[str, float]] = None,
-             failures: Sequence[StreamFailure] = ()) -> Timeline:
+             failures: Sequence[StreamFailure] = (),
+             tracer: Optional[object] = None,
+             trace_pid: str = "sim") -> Timeline:
     """Run tasks to completion; returns the :class:`Timeline`.
 
     Stream order is the order tasks appear in ``tasks`` (per stream).
@@ -170,6 +172,10 @@ def simulate(tasks: Sequence[SimTask], *,
         slowdowns: Per-stream duration multipliers (``>= 1``); a
             straggling rank is modelled by slowing its streams.
         failures: :class:`StreamFailure` downtime windows.
+        tracer: Optional :class:`~repro.obs.Tracer` (duck-typed via
+            ``ingest_timeline``); the finished timeline's task records
+            land as closed spans on the ``trace_pid`` process lane.
+        trace_pid: Trace process lane for the ingested spans.
     """
     slowdowns = slowdowns or {}
     for stream, factor in slowdowns.items():
@@ -237,4 +243,7 @@ def simulate(tasks: Sequence[SimTask], *,
 
     makespan = max((r.end for r in records), default=0.0)
     records.sort(key=lambda r: (r.start, r.task.stream))
-    return Timeline(records=records, makespan=makespan)
+    timeline = Timeline(records=records, makespan=makespan)
+    if tracer is not None:
+        tracer.ingest_timeline(timeline, pid=trace_pid)
+    return timeline

@@ -1,0 +1,285 @@
+"""End-to-end observability tests: traced training, 2D pipeline traces,
+runner events, the ``repro trace`` CLI, and the regression harness."""
+
+import importlib.util
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.comm import World
+from repro.core.config import ModelConfig, ParallelConfig, TrainConfig
+from repro.core.runner import FaultInjector, ProductionRunner
+from repro.core.trainer import MegaScaleTrainer
+from repro.data import MarkovCorpus, batch_iterator
+from repro.model import MoETransformer
+from repro.obs import (
+    Observability,
+    audit_comm_volumes,
+    crosscheck_tracer_ledger,
+)
+from repro.parallel.pp_engine import PipelineParallelTrainer
+from repro.precision.optimizer import AdamW
+
+CONFIG = ModelConfig("obs-e2e", n_layers=2, hidden_size=32, n_heads=8,
+                     gqa_ratio=2, ffn_hidden_size=48, n_experts=8,
+                     top_k=2, vocab_size=64, seq_len=16)
+TRAIN = TrainConfig(global_batch_size=2, micro_batch_size=2, seq_len=16,
+                    learning_rate=3e-3, aux_loss_coeff=0.01)
+
+
+def make_batches(n, batch=2, seq=16):
+    corpus = MarkovCorpus(vocab_size=64, seed=0)
+    return list(batch_iterator(corpus, batch, seq, seed=1, limit=n))
+
+
+def traced_step(ep_dispatch="ag_rs"):
+    """One observed 4-way SP+EP training step; returns (obs, world)."""
+    model = MoETransformer(CONFIG, seed=0, dtype=np.float64)
+    obs = Observability.create()
+    world = World(4, 4)
+    trainer = MegaScaleTrainer(
+        model, world,
+        ParallelConfig.megascale(4, ep_dispatch=ep_dispatch), TRAIN,
+        obs=obs)
+    trainer.train_step(make_batches(1)[0])
+    return obs, world
+
+
+class TestTracedTrainingStep:
+    def test_span_nesting(self):
+        obs, _ = traced_step()
+        tracer = obs.tracer
+        (step,) = [s for s in tracer.closed_spans(cat="train")
+                   if s.name == "train.step"]
+        phases = [s.name for s in tracer.children_of(step)]
+        assert phases == ["forward", "backward", "optimizer"]
+        # Comm spans hang off the phases, never off the root.
+        for span in tracer.closed_spans(cat="comm"):
+            assert span.parent_id is not None
+
+    def test_comm_spans_carry_stream_and_bytes(self):
+        obs, _ = traced_step()
+        comm = obs.tracer.closed_spans(cat="comm")
+        assert comm, "no comm spans traced"
+        for span in comm:
+            assert span.stream == "comm/intra"
+            assert span.attrs["bytes"] > 0
+            assert span.attrs["tag"]
+
+    def test_audit_ag_rs_within_one_percent(self):
+        obs, world = traced_step(ep_dispatch="ag_rs")
+        report = audit_comm_volumes(
+            world.ledger, b=2, s=16, h=32, n=4, m=2, k=2,
+            elem_bytes=8.0, passes=CONFIG.n_layers)
+        assert report.ok, report.render()
+        assert {e.mechanism for e in report.entries} == \
+            {"sp_attention", "ep_ffn_ag_rs"}
+        for entry in report.entries:
+            assert entry.rel_error <= 0.01
+
+    def test_audit_a2a_dispatch(self):
+        obs, world = traced_step(ep_dispatch="a2a")
+        report = audit_comm_volumes(
+            world.ledger, b=2, s=16, h=32, n=4, m=2, k=2,
+            elem_bytes=8.0, passes=CONFIG.n_layers)
+        entry = report.entry("ep_ffn_a2a")
+        assert not entry.exact
+        assert entry.within_bound
+        assert entry.ok, report.render()
+
+    def test_crosscheck_and_metrics(self):
+        obs, world = traced_step()
+        ok, traced, ledger_bytes = crosscheck_tracer_ledger(
+            obs.tracer, world.ledger)
+        assert ok and traced == ledger_bytes > 0
+        snap = obs.metrics.snapshot()
+        assert snap["train.steps"] == 1.0
+        assert snap["train.tokens"] == 2.0 * 16.0
+        assert snap["comm.bytes.total"] == ledger_bytes
+        assert snap["train.step.loss.count"] == 1.0
+
+
+class TestPipeline2DTrace:
+    def _run(self):
+        model = MoETransformer(CONFIG, seed=0, dtype=np.float64)
+        obs = Observability.create()
+        world = World(2, 2)       # two pipeline stages
+        mp_world = World(2, 2)    # SP+EP inside each stage
+        world.attach_tracer(obs.tracer)
+        mp_world.attach_tracer(obs.tracer)
+        trainer = PipelineParallelTrainer(
+            model, world, n_micro=2,
+            optimizer=AdamW(model.parameters(), lr=3e-3),
+            aux_loss_coeff=0.01, mp_world=mp_world,
+            mp_attention="sp", mp_ffn="ep")
+        result = trainer.train_step(make_batches(1)[0])
+        return obs, world, mp_world, result
+
+    def test_stage_spans_and_streams(self):
+        obs, _, _, result = self._run()
+        stages = obs.tracer.closed_spans(cat="pp.stage")
+        # 2 stages x 2 micro-batches, forward only.
+        assert len(stages) == 4
+        assert {s.stream for s in stages} == {"stage0", "stage1"}
+        assert all(s.phase == "F" for s in stages)
+        assert result.loss > 0.0
+
+    def test_comm_spans_nested_under_stages(self):
+        obs, _, _, _ = self._run()
+        tracer = obs.tracer
+        stage_ids = {s.span_id for s in
+                     tracer.closed_spans(cat="pp.stage")}
+        fwd_comm = [s for s in tracer.closed_spans(cat="comm")
+                    if not str(s.attrs.get("tag", "")).endswith(":bwd")]
+        assert fwd_comm
+        for span in fwd_comm:
+            assert span.parent_id in stage_ids
+
+    def test_p2p_instant_events(self):
+        obs, world, _, result = self._run()
+        p2p = [e for e in obs.tracer.events if e.cat == "comm.p2p"]
+        fwd = [e for e in p2p if e.attrs["tag"].startswith("pp_fwd")]
+        # Each of the 2 micro-batches crosses the single stage boundary.
+        assert len(fwd) == 2
+        # p2p_bytes counts forward *and* backward boundary crossings.
+        assert sum(e.attrs["bytes"] for e in p2p) == result.p2p_bytes
+        assert all(e.attrs["src"] == 0 and e.attrs["dst"] == 1
+                   for e in fwd)
+
+    def test_traced_bytes_cover_both_worlds(self):
+        obs, world, mp_world, _ = self._run()
+        traced = sum(
+            float(s.attrs.get("bytes", 0.0))
+            for s in obs.tracer.spans if s.cat.startswith("comm"))
+        traced += sum(
+            float(e.attrs.get("bytes", 0.0))
+            for e in obs.tracer.events if e.cat.startswith("comm"))
+        combined = world.ledger.total_bytes() + \
+            mp_world.ledger.total_bytes()
+        assert traced == pytest.approx(combined)
+        assert combined > 0
+
+
+class TestRunnerObservability:
+    def test_checkpoint_and_restart_events(self, tmp_path):
+        small = ModelConfig("obs-run", n_layers=1, hidden_size=16,
+                            n_heads=4, gqa_ratio=2, ffn_hidden_size=24,
+                            n_experts=4, top_k=2, vocab_size=32,
+                            seq_len=8)
+        train = TrainConfig(global_batch_size=2, micro_batch_size=2,
+                            seq_len=8, learning_rate=5e-3,
+                            aux_loss_coeff=0.01)
+        obs = Observability.create()
+
+        def factory():
+            model = MoETransformer(small, seed=0, dtype=np.float64)
+            return MegaScaleTrainer(
+                model, World(2, 2), ParallelConfig.megascale(2), train,
+                optimizer=AdamW(model.parameters(), lr=5e-3), obs=obs)
+
+        runner = ProductionRunner(factory, str(tmp_path),
+                                  checkpoint_interval=2, obs=obs)
+        corpus = MarkovCorpus(vocab_size=32, seed=0)
+        batches = list(batch_iterator(corpus, 2, 8, seed=1, limit=4))
+        metrics = runner.run(batches,
+                             fault_injector=FaultInjector([1]))
+
+        events = [e for e in obs.tracer.events if e.cat == "runner"]
+        names = [e.name for e in events]
+        assert names.count("restart") == 1
+        assert names.count("checkpoint") == len(metrics.checkpoints)
+        restart = next(e for e in events if e.name == "restart")
+        assert restart.attrs["fault"] == "SimulatedFault"
+        snap = obs.metrics.snapshot()
+        assert snap["runner.restart"] == 1.0
+        assert snap["runner.checkpoint"] == float(len(metrics.checkpoints))
+        # The trainer shared the bundle: step spans surround the events.
+        assert any(s.name == "train.step"
+                   for s in obs.tracer.closed_spans(cat="train"))
+
+
+class TestTraceCLI:
+    def test_trace_command(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "trace.json"
+        assert main(["trace", "1", "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "comm-volume audit" in stdout
+        assert "tracer/ledger bytes" in stdout and "match" in stdout
+
+        trace = json.loads(out.read_text())
+        events = trace["traceEvents"]
+        assert events and all(e["ph"] in ("X", "i") for e in events)
+        pids = {e["pid"] for e in events}
+        assert "sim" in pids  # simulated lane rides along
+        comm = [e for e in events if e.get("cat") == "comm"]
+        assert comm and all(e["args"]["bytes"] > 0 for e in comm)
+
+    def test_trace_rejects_bad_steps(self, tmp_path):
+        from repro.__main__ import main
+
+        out = tmp_path / "t.json"
+        assert main(["trace", "0", "--out", str(out)]) == 2
+        assert not out.exists()
+
+
+def load_regression_module():
+    """Import benchmarks/regression.py (benchmarks is not a package)."""
+    path = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "benchmarks", "regression.py")
+    spec = importlib.util.spec_from_file_location("bench_regression",
+                                                  path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestRegressionHarness:
+    def test_compare_directions(self):
+        reg = load_regression_module()
+        base = {"perf.iteration_time_s": 10.0, "perf.mfu": 0.5}
+        rows, regressions = reg.compare(
+            base, {"perf.iteration_time_s": 10.5, "perf.mfu": 0.5},
+            tolerance=0.10)
+        assert regressions == []
+        # +20% time is a regression; -20% MFU is a regression too.
+        _, regressions = reg.compare(
+            base, {"perf.iteration_time_s": 12.0, "perf.mfu": 0.5},
+            tolerance=0.10)
+        assert [name for name, _ in regressions] == \
+            ["perf.iteration_time_s"]
+        _, regressions = reg.compare(
+            base, {"perf.iteration_time_s": 10.0, "perf.mfu": 0.4},
+            tolerance=0.10)
+        assert [name for name, _ in regressions] == ["perf.mfu"]
+        # An *improvement* (higher MFU, lower time) never regresses.
+        _, regressions = reg.compare(
+            base, {"perf.iteration_time_s": 5.0, "perf.mfu": 0.9},
+            tolerance=0.10)
+        assert regressions == []
+
+    def test_disappeared_metric_is_regression(self):
+        reg = load_regression_module()
+        _, regressions = reg.compare({"a": 1.0}, {}, tolerance=0.10)
+        assert regressions == [("a", "metric disappeared")]
+
+    def test_tight_tolerance_on_comm_bytes(self):
+        reg = load_regression_module()
+        base = {"comm.total_bytes": 1000.0}
+        _, regressions = reg.compare(
+            base, {"comm.total_bytes": 1005.0}, tolerance=0.10)
+        # 0.5% growth breaches the 0.1% byte-accounting override even
+        # though it is inside the generic 10% tolerance.
+        assert [name for name, _ in regressions] == ["comm.total_bytes"]
+
+    def test_smoke_matches_committed_baseline(self, tmp_path):
+        reg = load_regression_module()
+        code = reg.main(["--smoke", "--out-dir", str(tmp_path)])
+        assert code == 0
+        out = json.loads(
+            (tmp_path / "BENCH_PR2.json").read_text())
+        assert out["smoke"] is True
+        assert out["metrics"]["comm.total_bytes"] > 0
