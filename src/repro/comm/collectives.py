@@ -28,6 +28,20 @@ an injected crash or timeout before any data moves) and
 bit-flip a delivered buffer, or raise a checksum fault).  Both are
 no-ops unless a fault plan is attached to the world; see
 :mod:`repro.ft.faults`.
+
+Zero-copy fast paths
+--------------------
+When **no fault plan** is attached, the delivery buffers are never
+mutated after the fact, so the per-rank "private copies" are pure
+overhead.  ``all_gather`` / ``all_reduce`` then return the *same*
+array object to every rank, ``reduce_scatter`` / ``all_to_all`` return
+slice views, and ``all_to_all_uneven`` assembles each destination into
+one preallocated buffer.  Consumers must treat delivered buffers as
+read-only (all engine code does — see ``docs/INTERNALS.md`` §8).  With
+a plan attached the private-copy path is kept, because
+``FaultPlan.corrupt`` bit-flips one delivered buffer in place and each
+rank must observe its own payload.  **Ledger byte accounting is
+identical on both paths** — bytes model the wire, not the allocator.
 """
 
 from __future__ import annotations
@@ -76,7 +90,10 @@ def all_gather(
     eb = _elem_bytes(shards, elem_bytes)
     per_rank = [s.size * eb * (n - 1) / 1.0 for s in shards]
     group.record("all_gather", per_rank, tag)
-    out = [full.copy() for _ in range(n)]
+    if group.world.fault_plan is None:
+        out = [full] * n  # zero-copy: one shared read-only delivery
+    else:
+        out = [full.copy() for _ in range(n)]
     group.post_collective("all_gather", out, tag)
     return out
 
@@ -110,7 +127,11 @@ def reduce_scatter(
     eb = _elem_bytes(tensors, elem_bytes)
     shard_elems = first.size // n
     group.record("reduce_scatter", [shard_elems * eb * (n - 1)] * n, tag)
-    out = [p.astype(first.dtype).copy() for p in pieces]
+    if group.world.fault_plan is None:
+        # Zero-copy: np.split pieces are views of the reduced tensor.
+        out = [p.astype(first.dtype, copy=False) for p in pieces]
+    else:
+        out = [p.astype(first.dtype).copy() for p in pieces]
     group.post_collective("reduce_scatter", out, tag)
     return out
 
@@ -130,7 +151,11 @@ def all_reduce(
     eb = _elem_bytes(tensors, elem_bytes)
     # Ring all-reduce = reduce-scatter + all-gather on 1/n shards.
     group.record("all_reduce", [2.0 * first.size / n * eb * (n - 1)] * n, tag)
-    out = [total.astype(first.dtype).copy() for _ in range(n)]
+    if group.world.fault_plan is None:
+        shared = total.astype(first.dtype, copy=False)
+        out = [shared] * n  # zero-copy: one shared read-only delivery
+    else:
+        out = [total.astype(first.dtype).copy() for _ in range(n)]
     group.post_collective("all_reduce", out, tag)
     return out
 
@@ -155,10 +180,17 @@ def all_to_all(
                 f"rank {i} provided {len(row)} chunks, expected {n}"
             )
     group.pre_collective("all_to_all", tag)
-    received: List[List[np.ndarray]] = [
-        [np.asarray(chunk_lists[i][j]).copy() for i in range(n)]
-        for j in range(n)
-    ]
+    if group.world.fault_plan is None:
+        # Zero-copy: deliver the sender's chunks (usually slice views).
+        received: List[List[np.ndarray]] = [
+            [np.asarray(chunk_lists[i][j]) for i in range(n)]
+            for j in range(n)
+        ]
+    else:
+        received = [
+            [np.asarray(chunk_lists[i][j]).copy() for i in range(n)]
+            for j in range(n)
+        ]
     eb = _elem_bytes([np.asarray(chunk_lists[0][0])], elem_bytes)
     per_rank = [
         sum(np.asarray(chunk_lists[i][j]).size * eb
@@ -186,7 +218,8 @@ def all_to_all_uneven(
     """
     group.check_shards(tensors)
     n = group.size
-    chunk_lists: List[List[np.ndarray]] = []
+    arrays: List[np.ndarray] = []
+    offset_table: List[np.ndarray] = []
     for i, (t, splits) in enumerate(zip(tensors, send_splits)):
         t = np.asarray(t)
         if len(splits) != n:
@@ -198,10 +231,45 @@ def all_to_all_uneven(
                 f"rank {i}: splits {list(splits)} do not cover "
                 f"{t.shape[0]} rows"
             )
-        offsets = np.cumsum([0] + list(splits))
-        chunk_lists.append(
-            [t[offsets[j]:offsets[j + 1]] for j in range(n)]
-        )
+        arrays.append(t)
+        offset_table.append(np.cumsum([0] + list(splits)))
+
+    if group.world.fault_plan is None:
+        # Fast path: assemble each destination into one preallocated
+        # buffer — no intermediate per-chunk copies, no np.concatenate
+        # temporaries.  Wire bytes recorded exactly as the general path.
+        group.pre_collective("all_to_all", tag)
+        eb = _elem_bytes([arrays[0]], elem_bytes)
+        row_elems = [
+            int(np.prod(a.shape[1:], dtype=np.int64)) for a in arrays
+        ]
+        per_rank = [
+            float(arrays[i].shape[0] - send_splits[i][i])
+            * row_elems[i] * eb
+            for i in range(n)
+        ]
+        group.record("all_to_all", per_rank, tag)
+        dtype = np.result_type(*[a.dtype for a in arrays])
+        trailing = arrays[0].shape[1:]
+        out: List[np.ndarray] = []
+        for j in range(n):
+            rows = int(sum(send_splits[i][j] for i in range(n)))
+            buf = np.empty((rows,) + trailing, dtype=dtype)
+            cursor = 0
+            for i in range(n):
+                cnt = int(send_splits[i][j])
+                off = offset_table[i]
+                buf[cursor:cursor + cnt] = arrays[i][off[j]:off[j + 1]]
+                cursor += cnt
+            out.append(buf)
+        group.post_collective("all_to_all", out, tag)
+        return out
+
+    chunk_lists: List[List[np.ndarray]] = [
+        [arrays[i][offset_table[i][j]:offset_table[i][j + 1]]
+         for j in range(n)]
+        for i in range(n)
+    ]
     received = all_to_all(group, chunk_lists, elem_bytes=elem_bytes, tag=tag)
     return [
         np.concatenate(chunks, axis=0) if chunks else np.empty((0,))

@@ -37,6 +37,7 @@ so byte totals and call counts never lose precision.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -45,14 +46,23 @@ import numpy as np
 __all__ = ["CommRecord", "CommLedger", "ProcessGroup", "World"]
 
 
-def _flatten_arrays(outputs) -> List[np.ndarray]:
-    """Flatten a possibly-nested list structure into its ndarrays."""
+def _flatten_arrays(outputs,
+                    into: Optional[List[np.ndarray]] = None
+                    ) -> List[np.ndarray]:
+    """Flatten a possibly-nested list structure into its ndarrays.
+
+    Appends into a single accumulator list instead of materializing an
+    intermediate list per nesting level (this runs on the hot path of
+    every fault-checked collective delivery).
+    """
+    if into is None:
+        into = []
     if isinstance(outputs, np.ndarray):
-        return [outputs]
-    flat: List[np.ndarray] = []
+        into.append(outputs)
+        return into
     for item in outputs:
-        flat.extend(_flatten_arrays(item))
-    return flat
+        _flatten_arrays(item, into)
+    return into
 
 
 @dataclass
@@ -97,6 +107,10 @@ class CommLedger:
     #: Exact aggregates of rotated records, keyed ``(op, tag)``.
     rolled: Dict[Tuple[str, str], Dict[str, float]] = field(
         default_factory=dict, repr=False)
+    #: Guards record/rotation when SPMD rank threads record concurrently
+    #: (reads snapshot ``records`` under the GIL and stay lock-free).
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def __post_init__(self):
         if self.max_records is not None and self.max_records < 1:
@@ -108,21 +122,23 @@ class CommLedger:
         """Append one collective record (no-op while disabled)."""
         if not self.enabled:
             return
-        self.records.append(record)
-        if (self.max_records is not None
-                and len(self.records) > self.max_records):
-            excess = len(self.records) - self.max_records
-            for old in self.records[:excess]:
-                agg = self.rolled.setdefault(
-                    (old.op, old.tag),
-                    {"total_bytes": 0.0, "per_rank_bytes": 0.0,
-                     "count": 0.0},
-                )
-                agg["total_bytes"] += old.total_bytes
-                agg["per_rank_bytes"] += old.total_bytes / old.group_size
-                agg["count"] += 1.0
-            del self.records[:excess]
-            self.dropped += excess
+        with self._lock:
+            self.records.append(record)
+            if (self.max_records is not None
+                    and len(self.records) > self.max_records):
+                excess = len(self.records) - self.max_records
+                for old in self.records[:excess]:
+                    agg = self.rolled.setdefault(
+                        (old.op, old.tag),
+                        {"total_bytes": 0.0, "per_rank_bytes": 0.0,
+                         "count": 0.0},
+                    )
+                    agg["total_bytes"] += old.total_bytes
+                    agg["per_rank_bytes"] += (old.total_bytes
+                                              / old.group_size)
+                    agg["count"] += 1.0
+                del self.records[:excess]
+                self.dropped += excess
 
     def clear(self) -> None:
         """Drop all accumulated records and rotation aggregates."""
@@ -302,12 +318,16 @@ class ProcessGroup:
         opened (closing it); unbracketed records — backward-hook duals
         and fallback paths — emit a self-contained span instead.
         """
-        self.world.ledger.record(CommRecord(
-            op=op,
-            group_size=self.size,
-            send_bytes_per_rank=list(send_bytes_per_rank),
-            tag=tag,
-        ))
+        ledger = self.world.ledger
+        if ledger.enabled:
+            # Only materialize the CommRecord (and its list copy) when
+            # the ledger will actually keep it.
+            ledger.record(CommRecord(
+                op=op,
+                group_size=self.size,
+                send_bytes_per_rank=list(send_bytes_per_rank),
+                tag=tag,
+            ))
         tracer = self.world.tracer
         if tracer is not None:
             total = float(sum(send_bytes_per_rank))
@@ -369,6 +389,8 @@ class ProcessGroup:
         comm span was already closed by :meth:`record` (defensively
         closed here otherwise); checksum faults leave an instant event.
         """
+        if self.world.tracer is None and self.world.fault_plan is None:
+            return  # hot path: nothing to guard, nothing to corrupt
         tracer = self.world.tracer
         if tracer is not None:
             current = tracer.current()

@@ -1,0 +1,119 @@
+"""Barrier rendezvous: the collective meeting point for concurrent ranks.
+
+The sequential collectives in :mod:`repro.comm.collectives` and
+:mod:`repro.parallel.dist_ops` are *whole-world* functions: one call
+receives every rank's payload and returns every rank's result.  When
+ranks run as real threads (:class:`repro.runtime.SpmdExecutor`), each
+rank arrives at a collective independently, exactly as NCCL ranks block
+on a communicator.  :class:`Rendezvous` bridges the two models:
+
+1. every rank deposits its payload into its exchange slot and blocks on
+   a shared :class:`threading.Barrier`;
+2. the barrier *action* (executed by exactly one thread, after all
+   ranks have arrived) runs the whole-world collective **once** over the
+   rank-ordered slot list;
+3. all ranks wake and read their share of the single result.
+
+Determinism contract
+--------------------
+Because the leader executes the identical whole-world function over the
+slots in rank order, the arithmetic — including the reduction order of
+sums — is *the same code on the same operands* as the sequential path.
+Threaded and sequential runs are therefore bitwise identical, and the
+byte ledger, fault plan, and tracer observe exactly one collective call.
+
+Error model
+-----------
+An exception raised by the collective (e.g. an injected
+:class:`~repro.ft.faults.CommTimeout`) is captured by the leader and
+re-raised *identically in every rank*, mirroring how a NCCL error
+surfaces on every participant.  A rank that fails *outside* a
+collective calls :meth:`Rendezvous.abort`; peers blocked on the barrier
+then observe :class:`SpmdAbort` and unwind quietly.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, List, Optional
+
+__all__ = ["Rendezvous", "SpmdAbort"]
+
+
+class SpmdAbort(BaseException):
+    """Raised in ranks whose rendezvous was torn down by a peer failure.
+
+    Derives from :class:`BaseException` so ordinary ``except Exception``
+    handlers inside rank functions cannot swallow the shutdown.
+    """
+
+
+class Rendezvous:
+    """One barrier + exchange-slot set shared by ``size`` rank threads.
+
+    A single instance serves any number of *successive* collectives: the
+    barrier's generation counter guarantees that no rank can enter
+    exchange ``k+1`` before every rank has read the result of exchange
+    ``k``, so the slots and result fields are safely reused.
+    """
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError(f"rendezvous size must be >= 1, got {size}")
+        self.size = size
+        self._slots: List[Any] = [None] * size
+        self._labels: List[Any] = [None] * size
+        self._fn: Optional[Callable[[List[Any]], Any]] = None
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+        self._barrier = threading.Barrier(size, action=self._leader)
+
+    def _leader(self) -> None:
+        """Barrier action: run the collective once over all slots.
+
+        Exceptions are stored, never raised — an escaping action
+        exception would permanently break the barrier.
+        """
+        try:
+            labels = {repr(label) for label in self._labels}
+            if len(labels) != 1:
+                raise RuntimeError(
+                    "collective mismatch across ranks: "
+                    f"{sorted(labels)}"
+                )
+            fn = self._fn
+            assert fn is not None
+            self._error = None
+            self._result = fn(list(self._slots))
+        except BaseException as exc:  # noqa: BLE001 - re-raised per rank
+            self._error = exc
+            self._result = None
+
+    def exchange(self, index: int, label: Any, payload: Any,
+                 fn: Callable[[List[Any]], Any]) -> Any:
+        """Deposit ``payload`` for rank ``index`` and run ``fn`` jointly.
+
+        All ranks must pass the same ``label`` (mismatch detection) and
+        an equivalent ``fn``; the one executed is arbitrary.  Returns
+        ``fn``'s result (shared by all ranks) or re-raises its error.
+        """
+        self._slots[index] = payload
+        self._labels[index] = label
+        self._fn = fn
+        try:
+            self._barrier.wait()
+        except threading.BrokenBarrierError:
+            raise SpmdAbort(
+                f"rendezvous aborted while rank {index} waited at "
+                f"{label!r}"
+            ) from None
+        finally:
+            self._slots[index] = None  # release payload references
+        error = self._error
+        if error is not None:
+            raise error
+        return self._result
+
+    def abort(self) -> None:
+        """Break the barrier; peers blocked in it raise :class:`SpmdAbort`."""
+        self._barrier.abort()

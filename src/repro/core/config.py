@@ -14,7 +14,7 @@ This module encodes the paper's evaluation setup:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict
+from typing import Dict, Optional
 
 __all__ = [
     "AttentionParallelism",
@@ -327,9 +327,19 @@ class TrainConfig:
     aux_loss_coeff: float = 0.01
     #: Token-drop capacity factor; 0 disables dropping (§3.2).
     capacity_factor: float = 0.0
+    #: Rank-execution engine: "sequential" (classic per-rank loops),
+    #: "threaded" (one thread per rank with rendezvous collectives —
+    #: bitwise-identical results), or None to defer to the
+    #: ``REPRO_EXECUTION`` environment variable.
+    execution: Optional[str] = None
 
     def __post_init__(self):
         if self.precision not in ("bf16", "fp8", "fp32"):
             raise ValueError(f"unknown precision {self.precision!r}")
         if self.global_batch_size < 1 or self.micro_batch_size < 1:
             raise ValueError("batch sizes must be >= 1")
+        if self.execution not in (None, "sequential", "threaded"):
+            raise ValueError(
+                f"unknown execution mode {self.execution!r}; expected "
+                "None, 'sequential', or 'threaded'"
+            )

@@ -37,6 +37,8 @@ from ..model.transformer import MoETransformer
 from ..parallel.block import ParallelBlockEngine
 from ..precision.optimizer import AdamW, clip_grad_norm
 from ..precision.policy import PrecisionPolicy
+from ..runtime import backward as runtime_backward
+from ..runtime import make_executor
 from ..tensor import Tensor, ops
 from .config import ParallelConfig, TrainConfig
 
@@ -93,6 +95,11 @@ class MegaScaleTrainer:
         self.group: ProcessGroup = world.full_group()
         self.parallel = parallel
         self.train_cfg = train
+        #: SPMD executor for ``execution="threaded"`` (None = classic
+        #: sequential rank loops); resolves config > ``REPRO_EXECUTION``
+        #: env var > sequential.  Threaded runs are bitwise-identical
+        #: to sequential ones (docs/INTERNALS.md §8).
+        self.executor = make_executor(train.execution)
         self.policy = policy
         self.optimizer = optimizer or AdamW(
             model.parameters(), lr=train.learning_rate,
@@ -144,7 +151,8 @@ class MegaScaleTrainer:
         ]
         aux_total: Optional[Tensor] = None
         for engine in self.engines:
-            shards, aux = engine.forward(shards, seq)
+            shards, aux = engine.forward(shards, seq,
+                                         executor=self.executor)
             aux_total = aux if aux_total is None else aux_total + aux
 
         if self.vocab_parallel:
@@ -191,7 +199,10 @@ class MegaScaleTrainer:
                 else:
                     total, lm, aux = self.loss(token_ids)
             with self._span("backward", phase="backward"):
-                total.backward()
+                runtime_backward(
+                    total, executor=self.executor,
+                    fault_plan=self.world.fault_plan,
+                    tracer=self.world.tracer)
                 for engine in self.engines:
                     engine.sync_grads_to_reference()
                 if self.vocab_parallel:

@@ -26,6 +26,7 @@ never imports this module.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -164,31 +165,37 @@ class FaultPlan:
         self.calls = 0
         self.fired: List[FaultEvent] = []
         self._corrupt_pending = False
+        # before()/corrupt() mutate the call counter, the RNG stream,
+        # and the pending list; threaded SPMD rank loops may consult
+        # the plan from several threads, so the hooks serialize.
+        self._lock = threading.Lock()
 
     # -- hooks used by repro.comm -------------------------------------------
 
     def before(self, op: str, tag: str) -> None:
         """Called before each collective moves data; may raise."""
-        index = self.calls
-        self.calls += 1
-        kind = self._scheduled_kind(index, op)
-        if kind is None and self.rate > 0.0:
-            if float(self.rng.random()) < self.rate:
-                kind = self.kinds[int(self.rng.integers(len(self.kinds)))]
-        if kind is None:
-            return
-        self.fired.append(FaultEvent(kind, op, tag, index))
-        if kind == "crash":
-            raise RankCrash(
-                f"injected rank crash during {op} (call {index})"
-            )
-        if kind == "timeout":
-            raise CommTimeout(
-                f"injected timeout: {op} (call {index}) exceeded "
-                f"{self.timeout_s:.0f}s deadline"
-            )
-        # "corrupt" fires on the payload after the data has moved.
-        self._corrupt_pending = True
+        with self._lock:
+            index = self.calls
+            self.calls += 1
+            kind = self._scheduled_kind(index, op)
+            if kind is None and self.rate > 0.0:
+                if float(self.rng.random()) < self.rate:
+                    kind = self.kinds[
+                        int(self.rng.integers(len(self.kinds)))]
+            if kind is None:
+                return
+            self.fired.append(FaultEvent(kind, op, tag, index))
+            if kind == "crash":
+                raise RankCrash(
+                    f"injected rank crash during {op} (call {index})"
+                )
+            if kind == "timeout":
+                raise CommTimeout(
+                    f"injected timeout: {op} (call {index}) exceeded "
+                    f"{self.timeout_s:.0f}s deadline"
+                )
+            # "corrupt" fires on the payload after the data has moved.
+            self._corrupt_pending = True
 
     def corrupt(self, op: str, tag: str,
                 arrays: Sequence[np.ndarray]) -> bool:
@@ -199,22 +206,23 @@ class FaultPlan:
         is on — the receiver detects the mismatch and discards the
         payload, exactly like a checksummed transport.
         """
-        if not self._corrupt_pending:
-            return False
-        self._corrupt_pending = False
-        targets = [a for a in arrays if a.size > 0]
-        if not targets:
-            return False
-        target = targets[int(self.rng.integers(len(targets)))]
-        raw = target.reshape(-1).view(np.uint8)
-        pos = int(self.rng.integers(raw.size))
-        raw[pos] ^= np.uint8(1 << int(self.rng.integers(8)))
-        if self.verify_checksums:
-            raise PayloadCorruption(
-                f"checksum mismatch on {op} payload (call "
-                f"{self.calls - 1})"
-            )
-        return True
+        with self._lock:
+            if not self._corrupt_pending:
+                return False
+            self._corrupt_pending = False
+            targets = [a for a in arrays if a.size > 0]
+            if not targets:
+                return False
+            target = targets[int(self.rng.integers(len(targets)))]
+            raw = target.reshape(-1).view(np.uint8)
+            pos = int(self.rng.integers(raw.size))
+            raw[pos] ^= np.uint8(1 << int(self.rng.integers(8)))
+            if self.verify_checksums:
+                raise PayloadCorruption(
+                    f"checksum mismatch on {op} payload (call "
+                    f"{self.calls - 1})"
+                )
+            return True
 
     def slow_factor(self, rank: int) -> float:
         """Link slowdown factor for ``rank`` (1.0 = nominal)."""

@@ -24,6 +24,7 @@ detection half of the fault-tolerance story:
 from __future__ import annotations
 
 import math
+import threading
 from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence
 
@@ -181,13 +182,17 @@ class HealthMonitor:
         self.straggler = straggler or StragglerDetector()
         self.numeric = numeric or NumericGuard()
         self.collectives_seen = 0
+        # Concurrent replicas/pipeline waves share one monitor; the
+        # counter bump and the straggler-window appends serialize.
+        self._lock = threading.Lock()
 
     def observe_collective(self, op: str, ranks: Sequence[int],
                            durations: Sequence[float],
                            tag: str = "") -> None:
         """Feed one collective's per-rank timings (from the comm layer)."""
-        self.collectives_seen += 1
-        self.straggler.observe(ranks, durations)
+        with self._lock:
+            self.collectives_seen += 1
+            self.straggler.observe(ranks, durations)
 
     def on_step_result(self, result) -> None:
         """Validate one training step's telemetry (from the trainer)."""

@@ -18,23 +18,49 @@ serialize straight into the regression harness's JSON.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
 
-@dataclass
 class Counter:
-    """A monotonically increasing total."""
+    """A monotonically increasing total, sharded per thread.
 
-    value: float = 0.0
+    ``inc`` writes only the calling thread's shard — a single dict-slot
+    update under the GIL, no lock — so concurrent SPMD rank threads
+    never contend.  ``value`` folds base + shards on read.
+    """
+
+    __slots__ = ("_base", "_shards")
+
+    def __init__(self, value: float = 0.0):
+        self._base = float(value)
+        self._shards: Dict[int, float] = {}
 
     def inc(self, amount: float = 1.0) -> None:
         """Add a non-negative ``amount`` to the total."""
         if amount < 0:
             raise ValueError(f"counter increments must be >= 0, got {amount}")
-        self.value += amount
+        tid = threading.get_ident()
+        shards = self._shards
+        shards[tid] = shards.get(tid, 0.0) + amount
+
+    @property
+    def value(self) -> float:
+        """The folded total across all thread shards."""
+        # list() snapshots the values atomically under the GIL, so a
+        # concurrent inc cannot resize the dict mid-sum.
+        return self._base + sum(list(self._shards.values()))
+
+    @value.setter
+    def value(self, new: float) -> None:
+        self._base = float(new)
+        self._shards = {}
+
+    def __repr__(self) -> str:
+        return f"Counter(value={self.value})"
 
 
 @dataclass
@@ -65,17 +91,22 @@ class Histogram:
     min: float = float("inf")
     max: float = float("-inf")
     _reservoir: List[float] = field(default_factory=list, repr=False)
+    #: observe() folds several fields, so concurrent threads serialize.
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def observe(self, value: float) -> None:
         """Fold one observation into the summary and reservoir."""
         value = float(value)
-        self.count += 1
-        self.total += value
-        self.min = min(self.min, value)
-        self.max = max(self.max, value)
-        self._reservoir.append(value)
-        if len(self._reservoir) > self.reservoir_size:
-            del self._reservoir[: len(self._reservoir) - self.reservoir_size]
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+            self._reservoir.append(value)
+            if len(self._reservoir) > self.reservoir_size:
+                del self._reservoir[
+                    : len(self._reservoir) - self.reservoir_size]
 
     @property
     def mean(self) -> float:

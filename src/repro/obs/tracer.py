@@ -24,14 +24,28 @@ GPU profiler would: one lane per stream, one process per clock domain.
 Wall-clock spans use ``time.perf_counter`` by default; tests inject a
 deterministic fake clock.  All timestamps are seconds (floats); the
 exporter converts to microseconds.
+
+Thread model
+------------
+One tracer serves all SPMD rank threads: each thread owns a private
+span *stack* (strict LIFO nesting is per thread, like call frames),
+while the ``spans``/``events`` lists and span-id allocation are shared
+under a lock.  A worker thread may adopt the spawning thread's
+innermost open span as its root parent via :meth:`Tracer.inherit_parent`
+so rank work nests under ``forward``/``backward`` in the export, and
+spans opened on an SPMD rank thread are auto-attributed to that rank
+(see :func:`repro.runtime.spmd.current_rank`).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from ..runtime.spmd import current_rank as _current_rank
 
 __all__ = ["Span", "Event", "Tracer"]
 
@@ -102,8 +116,34 @@ class Tracer:
         self.enabled = enabled
         self.spans: List[Span] = []
         self.events: List[Event] = []
-        self._stack: List[Span] = []
+        self._stacks: Dict[int, List[Span]] = {}
+        self._inherited: Dict[int, Span] = {}
         self._next_id = 1
+        self._lock = threading.Lock()
+
+    @property
+    def _stack(self) -> List[Span]:
+        """The calling thread's private span stack."""
+        tid = threading.get_ident()
+        stack = self._stacks.get(tid)
+        if stack is None:
+            stack = self._stacks[tid] = []
+        return stack
+
+    def inherit_parent(self, span: Optional[Span]) -> None:
+        """Adopt ``span`` as this thread's root parent (None to retire).
+
+        Called by SPMD worker threads with the spawning thread's
+        innermost open span, so thread-root spans parent under it.
+        Passing None also drops the thread's (now finished) stack, so
+        short-lived worker threads do not accumulate state.
+        """
+        tid = threading.get_ident()
+        if span is None:
+            self._inherited.pop(tid, None)
+            self._stacks.pop(tid, None)
+        else:
+            self._inherited[tid] = span
 
     # -- span lifecycle ----------------------------------------------------
 
@@ -120,7 +160,11 @@ class Tracer:
         """Open a nested span; returns it (or None while disabled)."""
         if not self.enabled:
             return None
-        parent = self._stack[-1] if self._stack else None
+        stack = self._stack
+        parent = (stack[-1] if stack
+                  else self._inherited.get(threading.get_ident()))
+        if rank is None:
+            rank = _current_rank()
         span = Span(
             name=name,
             cat=cat,
@@ -129,14 +173,15 @@ class Tracer:
             pid=pid,
             rank=rank,
             phase=phase,
-            span_id=self._next_id,
             parent_id=parent.span_id if parent is not None else None,
-            depth=len(self._stack),
+            depth=parent.depth + 1 if parent is not None else 0,
             attrs=dict(attrs),
         )
-        self._next_id += 1
-        self.spans.append(span)
-        self._stack.append(span)
+        with self._lock:
+            span.span_id = self._next_id
+            self._next_id += 1
+            self.spans.append(span)
+        stack.append(span)
         return span
 
     def end(self, span: Optional[Span] = None, **attrs: Any) -> Optional[Span]:
@@ -208,6 +253,8 @@ class Tracer:
         """Record an instantaneous event at the current clock time."""
         if not self.enabled:
             return None
+        if rank is None:
+            rank = _current_rank()
         event = Event(
             name=name,
             cat=cat,
@@ -217,7 +264,8 @@ class Tracer:
             rank=rank,
             attrs=dict(attrs),
         )
-        self.events.append(event)
+        with self._lock:
+            self.events.append(event)
         return event
 
     # -- simulator ingestion -----------------------------------------------
@@ -232,21 +280,23 @@ class Tracer:
         if not self.enabled:
             return []
         out: List[Span] = []
-        for record in timeline.records:
-            task = record.task
-            span = Span(
-                name=task.name,
-                cat="sim.comm" if task.is_comm else "sim.compute",
-                start=record.start,
-                end=record.end,
-                stream=task.stream,
-                pid=pid,
-                span_id=self._next_id,
-                attrs={"is_comm": task.is_comm, "deps": list(task.deps)},
-            )
-            self._next_id += 1
-            out.append(span)
-        self.spans.extend(out)
+        with self._lock:
+            for record in timeline.records:
+                task = record.task
+                span = Span(
+                    name=task.name,
+                    cat="sim.comm" if task.is_comm else "sim.compute",
+                    start=record.start,
+                    end=record.end,
+                    stream=task.stream,
+                    pid=pid,
+                    span_id=self._next_id,
+                    attrs={"is_comm": task.is_comm,
+                           "deps": list(task.deps)},
+                )
+                self._next_id += 1
+                out.append(span)
+            self.spans.extend(out)
         return out
 
     # -- queries -----------------------------------------------------------
@@ -269,6 +319,8 @@ class Tracer:
 
     def clear(self) -> None:
         """Drop all spans, events, and any open stack frames."""
-        self.spans.clear()
-        self.events.clear()
-        self._stack.clear()
+        with self._lock:
+            self.spans.clear()
+            self.events.clear()
+            self._stacks.clear()
+            self._inherited.clear()

@@ -73,16 +73,31 @@ class ParallelBlockEngine:
         self.attention = attention
         self.ffn = ffn
 
-    def forward(self, hidden_shards: List[Tensor],
-                seq_len: int) -> Tuple[List[Tensor], Tensor]:
-        """Map hidden shards through the block; returns (shards, aux)."""
+    def forward(self, hidden_shards: List[Tensor], seq_len: int,
+                executor: Optional[object] = None
+                ) -> Tuple[List[Tensor], Tensor]:
+        """Map hidden shards through the block; returns (shards, aux).
+
+        ``executor`` (an :class:`~repro.runtime.spmd.SpmdExecutor`) is
+        forwarded to the SP attention and EP FFN engines, which run
+        their per-rank compute on concurrent threads; the TP engines
+        and the per-token norms/residuals stay on the calling thread.
+        """
         block = self.block
         ln1_out = [block.ln1(h) for h in hidden_shards]
-        attn_out = self.attn_engine.forward(ln1_out, seq_len)
+        if executor is not None and self.attention == "sp":
+            attn_out = self.attn_engine.forward(ln1_out, seq_len,
+                                                executor=executor)
+        else:
+            attn_out = self.attn_engine.forward(ln1_out, seq_len)
         ln2_in = [h + a for h, a in zip(hidden_shards, attn_out)]
         ln2_out = [block.ln2(x) for x in ln2_in]
         if self.ffn == "ep":
-            result = self.ffn_engine.forward(ln2_out)
+            if executor is not None:
+                result = self.ffn_engine.forward(ln2_out,
+                                                 executor=executor)
+            else:
+                result = self.ffn_engine.forward(ln2_out)
             ffn_out, aux = result.output_shards, result.aux_loss
         else:
             ffn_out, aux = self.ffn_engine.forward(ln2_out)

@@ -81,6 +81,9 @@ def dist_all_gather(
     group.pre_collective("all_gather", tag)
     group.record("all_gather", [d.size * eb * (n - 1) for d in datas], tag)
 
+    # Zero-copy: with no fault plan the delivered buffers are read-only,
+    # so every rank can share the single gathered array.
+    plan_free = group.world.fault_plan is None
     outs = []
     for j in range(n):
         def backward(g, j=j):
@@ -99,7 +102,8 @@ def dist_all_gather(
                          tag + ":bwd")
             return tuple(grads)
 
-        outs.append(Tensor.from_op(full.copy(), list(shards), backward,
+        outs.append(Tensor.from_op(full if plan_free else full.copy(),
+                                   list(shards), backward,
                                    "dist_all_gather"))
     group.post_collective("all_gather", [o.data for o in outs], tag)
     return outs
@@ -148,11 +152,16 @@ def dist_reduce_scatter(
             group.pre_collective("all_gather", tag + ":bwd")
             group.record("all_gather", _one_hot(n, j, g.size * eb * (n - 1)),
                          tag + ":bwd")
+            if group.world.fault_plan is None:
+                # Zero-copy dual: grads accumulate out-of-place, so all
+                # input ranks may share the one gathered gradient.
+                return (grad,) * n
             return tuple(grad.copy() for _ in range(n))
 
-        outs.append(Tensor.from_op(pieces[j].astype(first.dtype),
-                                   list(tensors), backward,
-                                   "dist_reduce_scatter"))
+        outs.append(Tensor.from_op(
+            pieces[j].astype(first.dtype,
+                             copy=group.world.fault_plan is not None),
+            list(tensors), backward, "dist_reduce_scatter"))
     group.post_collective("reduce_scatter", [o.data for o in outs], tag)
     return outs
 
@@ -311,6 +320,8 @@ def dist_all_reduce(
     group.record("all_reduce",
                  [2.0 * first.size / n * eb * (n - 1)] * n, tag)
 
+    plan_free = group.world.fault_plan is None
+    shared = total.astype(first.dtype, copy=False) if plan_free else None
     outs = []
     for j in range(n):
         def backward(g, j=j):
@@ -320,11 +331,13 @@ def dist_all_reduce(
                 _one_hot(n, j, 2.0 * g.size / n * eb * (n - 1)),
                 tag + ":bwd",
             )
+            if group.world.fault_plan is None:
+                return (g,) * n  # zero-copy dual (see reduce_scatter)
             return tuple(g.copy() for _ in range(n))
 
-        outs.append(Tensor.from_op(total.astype(first.dtype),
-                                   list(tensors), backward,
-                                   "dist_all_reduce"))
+        outs.append(Tensor.from_op(
+            shared if plan_free else total.astype(first.dtype),
+            list(tensors), backward, "dist_all_reduce"))
     group.post_collective("all_reduce", [o.data for o in outs], tag)
     return outs
 

@@ -99,12 +99,45 @@ class EPFFNEngine:
                 flats.append(shard)
         return flats
 
-    def forward(self, hidden_shards: List[Tensor]) -> EPForwardResult:
-        """Map ``ln2_out`` shards to combined MoE-output shards."""
+    def forward(self, hidden_shards: List[Tensor],
+                executor: Optional[object] = None) -> EPForwardResult:
+        """Map ``ln2_out`` shards to combined MoE-output shards.
+
+        With an ``executor`` (:class:`~repro.runtime.spmd.SpmdExecutor`),
+        each rank runs on its own thread: routing metadata crosses rank
+        boundaries via an explicit gossip rendezvous instead of shared
+        Python lists, and the global aux loss is built exactly once at a
+        rendezvous so the gate gradient matches the sequential graph
+        bitwise.
+        """
         self.group.check_shards(hidden_shards)
+        if executor is not None:
+            return self._forward_spmd(hidden_shards, executor)
         if self.mode == "a2a":
             return self._forward_a2a(hidden_shards)
         return self._forward_ag_rs(hidden_shards)
+
+    def _forward_spmd(self, hidden_shards: List[Tensor],
+                      executor) -> EPForwardResult:
+        rank_fn = (self._a2a_rank if self.mode == "a2a"
+                   else self._ag_rs_rank)
+        results = executor.run(
+            self.group,
+            lambda comm: rank_fn(comm, hidden_shards[comm.index]))
+        outputs = [r[0] for r in results]
+        aux = results[0][1]
+        if self.mode == "a2a":
+            routings = [r[2] for r in results]
+            tokens = np.array([r[3] for r in results])
+        else:
+            routings = [results[0][2]]
+            tokens = np.asarray(results[0][3])
+        return EPForwardResult(
+            output_shards=outputs,
+            aux_loss=aux,
+            routing=routings,
+            tokens_per_rank=tokens,
+        )
 
     # -- A2A dispatch --------------------------------------------------------
 
@@ -292,6 +325,159 @@ class EPFFNEngine:
             routing=routings[:1],
             tokens_per_rank=np.asarray(t_locals),
         )
+
+    # -- SPMD per-rank paths -----------------------------------------------
+
+    def _a2a_rank(self, comm, shard: Tensor):
+        """One rank's slice of :meth:`_forward_a2a` under an executor.
+
+        Same arithmetic in the same order; peers' routing metadata
+        arrives via gossip (a rendezvous with no ledger bytes — the
+        sequential loop reads it from shared lists), and the global aux
+        loss is constructed once by the rendezvous leader so every rank
+        shares one graph, exactly like the sequential pass.
+        """
+        moe = self.moe
+        n = comm.size
+        rank = comm.index
+        flat = self._flatten([shard])[0]
+
+        # 1. Local routing; aux built once over every rank's (flat,
+        #    routing) at a rendezvous — one shared Tensor, one graph.
+        routing, weights, _ = moe.router(flat)
+        aux = comm.exchange(
+            ("ep_ffn", "aux"), (flat, routing),
+            lambda slots: self._global_aux_loss(
+                [s[0] for s in slots], [s[1] for s in slots]))
+
+        # 2. Sort kept (token, slot) pairs by destination rank.
+        pair_token = np.repeat(np.arange(routing.n_tokens), routing.top_k)
+        pair_slot = np.tile(np.arange(routing.top_k), routing.n_tokens)
+        pair_expert = routing.expert_index.reshape(-1)
+        kept = routing.kept.reshape(-1)
+        pos = np.nonzero(kept)[0]
+        dest = pair_expert[pos] // self.local_experts
+        order = np.lexsort((pos, pair_expert[pos], dest))
+        sel = pos[order]
+        send_rows = ops.take_rows(flat, pair_token[sel])
+        meta = {
+            "token": pair_token[sel],
+            "slot": pair_slot[sel],
+            "expert": pair_expert[sel],
+        }
+        splits = np.bincount(dest[order], minlength=n).tolist()
+
+        # Peers' metadata (expert ids per split, split sizes) — the
+        # sequential loop reads these straight out of shared lists.
+        shared = comm.gossip("ep_ffn:meta", (meta, splits))
+        metas = [s[0] for s in shared]
+        all_splits = [s[1] for s in shared]
+
+        # 3. Dispatch all-to-all.
+        received = comm.all_to_all_uneven(
+            send_rows, splits, elem_bytes=self.elem_bytes,
+            tag="ep_ffn:dispatch_a2a")
+
+        # 4. Sort received rows by (expert, source rank); GroupedGEMM.
+        j = rank
+        expert_ids = np.concatenate([
+            metas[i]["expert"][_split_slice(all_splits[i], j)]
+            for i in range(n)
+        ]) if received.shape[0] else np.zeros(0, dtype=np.int64)
+        source_rank = np.concatenate([
+            np.full(all_splits[i][j], i) for i in range(n)
+        ]) if received.shape[0] else np.zeros(0, dtype=np.int64)
+        order = np.lexsort((np.arange(expert_ids.shape[0]),
+                            source_rank, expert_ids))
+        sorted_rows = ops.take_rows(received, order)
+        counts = np.bincount(expert_ids - j * self.local_experts,
+                             minlength=self.local_experts)
+        fc2_out = _grouped_forward_by_counts(
+            moe.experts[j * self.local_experts:
+                        (j + 1) * self.local_experts],
+            sorted_rows, counts)
+        inverse = np.argsort(order)
+        returned = ops.take_rows(fc2_out, inverse)
+
+        # 5. Combine all-to-all: transposed split matrix.
+        back_splits = [all_splits[i][j] for i in range(n)]
+        rows = comm.all_to_all_uneven(
+            returned, back_splits, elem_bytes=self.elem_bytes,
+            tag="ep_ffn:combine_a2a")
+
+        # 6. Weighted sum on the source rank.
+        w_rows = weights[meta["token"], meta["slot"]]
+        scaled = rows * w_rows.reshape(-1, 1)
+        combined = ops.put_rows(scaled, meta["token"], flat.shape[0])
+        output = combined.reshape(*shard.shape)
+        return output, aux, routing, routing.kept.sum()
+
+    def _ag_rs_rank(self, comm, shard: Tensor):
+        """One rank's slice of :meth:`_forward_ag_rs` under an executor.
+
+        The all-gather delivers the same zero-copy full batch to every
+        rank, each rank routes it locally (identical decisions), and
+        only rank 0's aux-loss graph is kept — exactly the sequential
+        accounting.
+        """
+        moe = self.moe
+        j = comm.index
+        flat = self._flatten([shard])[0]
+        t_locals = comm.gossip("ep_ffn:t_local", flat.shape[0])
+        t_total = sum(t_locals)
+
+        # 1. All-gather the token shards.
+        if self.fp8_comm:
+            from .dist_ops_fp8 import dist_all_gather_fp8
+            full = comm.collective(dist_all_gather_fp8, flat,
+                                   tag="ep_ffn:dispatch_ag")
+        else:
+            full = comm.all_gather(flat, axis=0,
+                                   elem_bytes=self.elem_bytes,
+                                   tag="ep_ffn:dispatch_ag")
+
+        source_rank = np.concatenate([
+            np.full(t, i) for i, t in enumerate(t_locals)])
+
+        # 2. Route the full batch locally.
+        routing, weights, aux = moe.router(full)
+
+        # 3. Local scatter to this rank's experts.
+        local_lo = j * self.local_experts
+        local_hi = local_lo + self.local_experts
+        masked = RoutingResult(
+            expert_index=routing.expert_index,
+            gate_weight=routing.gate_weight,
+            kept=routing.kept
+            & (routing.expert_index >= local_lo)
+            & (routing.expert_index < local_hi),
+        )
+        plan = build_dispatch_plan(masked, moe.n_experts,
+                                   source_rank_of_token=source_rank)
+        ffn_in = ops.take_rows(full, plan.token_of_row)
+
+        # 4. Local experts' GroupedGEMM.
+        fc2_out = grouped_expert_forward(
+            moe.experts[local_lo:local_hi], ffn_in, plan,
+            expert_offset=local_lo)
+
+        # 5. Full-size weighted contribution.
+        w_rows = weights[plan.token_of_row, plan.slot_of_row]
+        scaled = fc2_out * w_rows.reshape(-1, 1)
+        contribution = ops.put_rows(scaled, plan.token_of_row, t_total)
+
+        # 6. Reduce-scatter back to sequence shards.
+        if self.fp8_comm:
+            from .dist_ops_fp8 import dist_reduce_scatter_fp8
+            out_flat = comm.collective(dist_reduce_scatter_fp8,
+                                       contribution,
+                                       tag="ep_ffn:combine_rs")
+        else:
+            out_flat = comm.reduce_scatter(contribution, axis=0,
+                                           elem_bytes=self.elem_bytes,
+                                           tag="ep_ffn:combine_rs")
+        output = out_flat.reshape(*shard.shape)
+        return output, aux, routing, list(t_locals)
 
     # -- aux loss --------------------------------------------------------
 

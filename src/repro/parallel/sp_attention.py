@@ -51,18 +51,33 @@ class SPAttentionEngine:
         self.attn = attn
         self.elem_bytes = elem_bytes
 
-    def forward(self, hidden_shards: List[Tensor],
-                seq_len: int) -> List[Tensor]:
+    def forward(self, hidden_shards: List[Tensor], seq_len: int,
+                executor: Optional[object] = None) -> List[Tensor]:
         """Map ``ln1_out`` shards to ``attn_out`` shards.
 
         Args:
             hidden_shards: Per-rank ``[b, s/n, h]`` normalized activations.
             seq_len: Full sequence length ``s`` (for RoPE positions).
+            executor: Optional :class:`~repro.runtime.spmd.SpmdExecutor`;
+                when given, each rank's compute runs on its own thread
+                with rendezvous collectives (bitwise-identical results).
         """
         group, attn = self.group, self.attn
         group.check_shards(hidden_shards)
         n = group.size
         local_s = seq_len // n
+
+        if executor is not None:
+            for rank, shard in enumerate(hidden_shards):
+                if shard.shape[1] != local_s:
+                    raise ValueError(
+                        f"rank {rank} shard has seq {shard.shape[1]}, "
+                        f"expected {local_s}"
+                    )
+            return executor.run(
+                group,
+                lambda comm: self._forward_rank(
+                    comm, hidden_shards[comm.index], local_s))
 
         qs, ks, vs = [], [], []
         for rank, shard in enumerate(hidden_shards):
@@ -116,3 +131,45 @@ class SPAttentionEngine:
             flat = shard.reshape(b, s_local, attn.hidden_size)
             outs.append(attn.out_proj(flat))
         return outs
+
+    def _forward_rank(self, comm, shard: Tensor, local_s: int) -> Tensor:
+        """One rank's slice of :meth:`forward` under an SPMD executor.
+
+        Runs the identical per-rank arithmetic; the two all-to-alls
+        rendezvous with the peer threads and execute the same
+        whole-world collective, so results match the sequential loop
+        bitwise.
+        """
+        from ..tensor import ops
+        attn = self.attn
+        rank = comm.index
+        b, s_local, _ = shard.shape
+        qkv = attn.qkv_proj(shard)
+        q, k, v = attn.split_qkv(qkv, b, s_local)
+        positions = np.arange(rank * local_s, (rank + 1) * local_s)
+        q = ops.rope_rotate(q, attn.rope_base, positions)
+        k = ops.rope_rotate(k, attn.rope_base, positions)
+
+        q_full = comm.all_to_all(q, split_axis=2, concat_axis=1,
+                                 elem_bytes=self.elem_bytes,
+                                 tag="sp_attn:qkv_a2a")
+        k_full = comm.all_to_all(k, split_axis=2, concat_axis=1,
+                                 elem_bytes=self.elem_bytes,
+                                 tag="sp_attn:qkv_a2a")
+        v_full = comm.all_to_all(v, split_axis=2, concat_axis=1,
+                                 elem_bytes=self.elem_bytes,
+                                 tag="sp_attn:qkv_a2a")
+
+        out = ops.scaled_dot_product_attention(
+            q_full.transpose(0, 2, 1, 3),
+            k_full.transpose(0, 2, 1, 3),
+            v_full.transpose(0, 2, 1, 3),
+            causal=True,
+        ).transpose(0, 2, 1, 3)
+
+        attn_shard = comm.all_to_all(out, split_axis=1, concat_axis=2,
+                                     elem_bytes=self.elem_bytes,
+                                     tag="sp_attn:attn_a2a")
+        b, s_local = attn_shard.shape[0], attn_shard.shape[1]
+        flat = attn_shard.reshape(b, s_local, attn.hidden_size)
+        return attn.out_proj(flat)

@@ -1,0 +1,26 @@
+"""SPMD runtime: thread-per-rank execution with rendezvous collectives.
+
+See ``docs/INTERNALS.md`` §8 for the execution model, the determinism
+contract, and the zero-copy rules the engines rely on.
+"""
+
+from .backward import backward, parallel_backward
+from .spmd import (
+    EXECUTION_MODES,
+    RankComm,
+    SpmdExecutor,
+    current_rank,
+    make_executor,
+    resolve_execution,
+)
+
+__all__ = [
+    "EXECUTION_MODES",
+    "RankComm",
+    "SpmdExecutor",
+    "backward",
+    "current_rank",
+    "make_executor",
+    "parallel_backward",
+    "resolve_execution",
+]

@@ -90,18 +90,61 @@ class TaskRecord:
 
 @dataclass
 class Timeline:
-    """Result of a simulation run."""
+    """Result of a simulation run.
+
+    A timeline is sealed once :func:`simulate` returns it, so the
+    per-``(stream, is_comm)`` busy aggregates and the compute-interval
+    union behind :attr:`exposed_comm` are precomputed — repeated queries
+    (the regression harness and benchmarks poll these per scenario) stop
+    rescanning the full record list.  The caches key on the record count
+    and rebuild if a test mutates ``records`` after construction.
+    """
 
     records: List[TaskRecord]
     makespan: float
+
+    def __post_init__(self):
+        self._seal()
+
+    def _seal(self) -> None:
+        """Precompute query aggregates from the current records."""
+        busy: Dict[Tuple[str, bool], float] = {}
+        for r in self.records:
+            key = (r.task.stream, r.task.is_comm)
+            busy[key] = busy.get(key, 0.0) + (r.end - r.start)
+        self._busy_by = busy
+        self._compute_union = self._interval_union(
+            sorted((r.start, r.end) for r in self.records
+                   if not r.task.is_comm))
+        self._sealed_count = len(self.records)
+
+    @staticmethod
+    def _interval_union(intervals: List[Tuple[float, float]]) -> float:
+        covered = 0.0
+        cur_start, cur_end = None, None
+        for start, end in intervals:
+            if cur_end is None or start > cur_end:
+                if cur_end is not None:
+                    covered += cur_end - cur_start
+                cur_start, cur_end = start, end
+            else:
+                cur_end = max(cur_end, end)
+        if cur_end is not None:
+            covered += cur_end - cur_start
+        return covered
+
+    def _aggregates(self) -> Dict[Tuple[str, bool], float]:
+        if self._sealed_count != len(self.records):
+            self._seal()
+        return self._busy_by
 
     def busy_time(self, stream: Optional[str] = None,
                   comm: Optional[bool] = None) -> float:
         """Total occupied seconds, optionally filtered by stream/kind."""
         return sum(
-            r.end - r.start for r in self.records
-            if (stream is None or r.task.stream == stream)
-            and (comm is None or r.task.is_comm == comm)
+            total for (s, c), total in self._aggregates().items()
+            if (stream is None or s == stream)
+            and (comm is None or c == comm)
         )
 
     @property
@@ -119,21 +162,8 @@ class Timeline:
         Computed from the union of compute-task intervals, so overlapping
         compute streams are not double-counted.
         """
-        intervals = sorted(
-            (r.start, r.end) for r in self.records if not r.task.is_comm
-        )
-        covered = 0.0
-        cur_start, cur_end = None, None
-        for start, end in intervals:
-            if cur_end is None or start > cur_end:
-                if cur_end is not None:
-                    covered += cur_end - cur_start
-                cur_start, cur_end = start, end
-            else:
-                cur_end = max(cur_end, end)
-        if cur_end is not None:
-            covered += cur_end - cur_start
-        return self.makespan - covered
+        self._aggregates()  # refresh if records changed
+        return self.makespan - self._compute_union
 
     def record_of(self, name: str) -> TaskRecord:
         """The execution record of one task by name."""

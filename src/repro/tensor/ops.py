@@ -10,6 +10,7 @@ backward as separately reorderable units.
 
 from __future__ import annotations
 
+import functools
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -256,13 +257,34 @@ def dropout(t: Tensor, p: float, rng: np.random.Generator,
     return Tensor.from_op(t.data * mask, [t], backward, "dropout")
 
 
+@functools.lru_cache(maxsize=64)
+def _rope_tables(seq_len: int, head_dim: int, base: float
+                 ) -> Tuple[np.ndarray, np.ndarray]:
+    """Memoized cos/sin tables for the default ``0..seq_len-1`` positions.
+
+    Every layer and step re-derives identical tables, so this is a hot
+    allocation in deep models.  The cached arrays are marked read-only —
+    callers broadcast against them but must never write.  Thread-safe
+    (``lru_cache`` takes its own lock).
+    """
+    half = head_dim // 2
+    inv_freq = base ** (-np.arange(0, half, dtype=np.float64) / half)
+    positions = np.arange(seq_len, dtype=np.float64)
+    angles = np.outer(positions, inv_freq)  # [s, half]
+    cos, sin = np.cos(angles), np.sin(angles)
+    cos.setflags(write=False)
+    sin.setflags(write=False)
+    return cos, sin
+
+
 def _rope_cache(seq_len: int, head_dim: int, base: float,
                 positions: Optional[np.ndarray]) -> Tuple[np.ndarray,
                                                           np.ndarray]:
+    if positions is None:
+        # The common full-sequence case hits the memo table.
+        return _rope_tables(int(seq_len), int(head_dim), float(base))
     half = head_dim // 2
     inv_freq = base ** (-np.arange(0, half, dtype=np.float64) / half)
-    if positions is None:
-        positions = np.arange(seq_len, dtype=np.float64)
     angles = np.outer(positions, inv_freq)  # [s, half]
     return np.cos(angles), np.sin(angles)
 

@@ -37,7 +37,27 @@ class TestAllGather:
         outs = all_gather(g, shards, axis=1)
         assert outs[0].shape == (2, 12)
 
-    def test_outputs_independent(self, rng, world4):
+    def test_outputs_shared_zero_copy(self, rng, world4):
+        # With no fault plan, delivery is zero-copy: every rank gets the
+        # same (read-only by contract) gathered array.
+        g = world4.full_group()
+        outs = all_gather(g, make_shards(rng, 4, (2,)))
+        assert all(out is outs[0] for out in outs[1:])
+
+    def test_outputs_independent_under_fault_plan(self, rng, world4):
+        # A fault plan may corrupt one rank's delivery in place, so each
+        # rank must own a private buffer.
+        class _PassivePlan:
+            def before(self, op, tag):
+                return None
+
+            def corrupt(self, op, tag, arrays):
+                return False
+
+            def slow_factor(self, rank):
+                return 1.0
+
+        world4.attach_fault_plan(_PassivePlan())
         g = world4.full_group()
         outs = all_gather(g, make_shards(rng, 4, (2,)))
         outs[0][0] = 999.0
