@@ -14,6 +14,9 @@ Commands:
   subsystem: per-collective spans, an Eq. 1–4 comm-volume audit, a
   simulated overlap timeline, and a Chrome-trace JSON you can open in
   Perfetto / ``chrome://tracing``.
+* ``verify [--smoke | --fuzz N] [--seed S]`` — differential
+  conformance: run parallel plans against the single-rank golden model
+  and print the cases × invariants matrix (exit 1 on any violation).
 * ``models`` / ``gpus`` — list the Table 2 zoo and Table 4 hardware.
 """
 
@@ -290,6 +293,38 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    from .verify import run_matrix, smoke_matrix
+    from .verify.fuzz import fuzz
+
+    def progress(result) -> None:
+        mark = "ok" if result.ok else "FAIL"
+        print(f"  {result.case.case_id:48s} {mark}", flush=True)
+
+    if args.fuzz > 0:
+        print(f"fuzzing {args.fuzz} random cases (seed {args.seed})")
+        report = fuzz(args.fuzz, seed=args.seed, progress=progress)
+    else:
+        cases = smoke_matrix(seed=args.seed)
+        print(f"running the smoke matrix ({len(cases)} cases, "
+              f"seed {args.seed})")
+        report = run_matrix(cases, progress=progress)
+    print()
+    print(report.render())
+    if not report.ok and args.shrink:
+        from .verify.fuzz import shrink
+
+        def fails(case) -> bool:
+            from .verify import run_case
+            return not run_case(case).ok
+
+        for failing in report.failures():
+            minimal = shrink(failing.case, fails)
+            print(f"shrunk {failing.case.case_id} -> "
+                  f"{minimal.case_id}")
+    return 0 if report.ok else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -326,6 +361,18 @@ def main(argv=None) -> int:
     trace.add_argument("--out", default="trace.json",
                        help="Chrome-trace output path")
 
+    verify = sub.add_parser(
+        "verify",
+        help="differential conformance matrix vs the golden model")
+    verify.add_argument("--smoke", action="store_true",
+                        help="run the seeded CI smoke matrix (default)")
+    verify.add_argument("--fuzz", type=int, default=0, metavar="N",
+                        help="run N random fuzzed cases instead")
+    verify.add_argument("--seed", type=int, default=0)
+    verify.add_argument("--shrink", action="store_true",
+                        help="shrink failing cases to minimal "
+                             "reproducers")
+
     args = parser.parse_args(argv)
     handlers = {
         "models": cmd_models,
@@ -335,6 +382,7 @@ def main(argv=None) -> int:
         "train-demo": cmd_train_demo,
         "ft-demo": cmd_ft_demo,
         "trace": cmd_trace,
+        "verify": cmd_verify,
     }
     return handlers[args.command](args)
 

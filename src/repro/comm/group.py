@@ -107,6 +107,13 @@ class CommLedger:
     #: Exact aggregates of rotated records, keyed ``(op, tag)``.
     rolled: Dict[Tuple[str, str], Dict[str, float]] = field(
         default_factory=dict, repr=False)
+    #: Never-rotated cumulative totals keyed ``(op, tag)``.  Every
+    #: record bumps these at accept time, so byte/count queries are
+    #: O(distinct tags) and immune to rotation — consumers that need
+    #: lifetime totals (the Eq. 1-4 auditor, hybrid-2D sync deltas)
+    #: must read these, never the bounded :attr:`records` list.
+    cumulative: Dict[Tuple[str, str], Dict[str, float]] = field(
+        default_factory=dict, repr=False)
     #: Guards record/rotation when SPMD rank threads record concurrently
     #: (reads snapshot ``records`` under the GIL and stay lock-free).
     _lock: threading.Lock = field(default_factory=threading.Lock,
@@ -123,6 +130,13 @@ class CommLedger:
         if not self.enabled:
             return
         with self._lock:
+            agg = self.cumulative.setdefault(
+                (record.op, record.tag),
+                {"total_bytes": 0.0, "per_rank_bytes": 0.0, "count": 0.0},
+            )
+            agg["total_bytes"] += record.total_bytes
+            agg["per_rank_bytes"] += record.total_bytes / record.group_size
+            agg["count"] += 1.0
             self.records.append(record)
             if (self.max_records is not None
                     and len(self.records) > self.max_records):
@@ -141,9 +155,10 @@ class CommLedger:
                 self.dropped += excess
 
     def clear(self) -> None:
-        """Drop all accumulated records and rotation aggregates."""
+        """Drop all accumulated records, aggregates, and counters."""
         self.records.clear()
         self.rolled.clear()
+        self.cumulative.clear()
         self.dropped = 0
 
     @property
@@ -151,43 +166,49 @@ class CommLedger:
         """Total records ever accepted (live + rotated)."""
         return len(self.records) + self.dropped
 
-    def _rolled_matching(self, op: Optional[str],
-                         tag: Optional[str]) -> List[Dict[str, float]]:
+    def _cumulative_matching(self, op: Optional[str],
+                             tag: Optional[str]
+                             ) -> List[Dict[str, float]]:
         return [
-            agg for (r_op, r_tag), agg in self.rolled.items()
+            agg for (r_op, r_tag), agg in self.cumulative.items()
             if (op is None or r_op == op) and (tag is None or r_tag == tag)
         ]
 
     def total_bytes(self, op: Optional[str] = None,
                     tag: Optional[str] = None) -> float:
-        """Total bytes sent by all ranks, optionally filtered."""
-        live = sum(
-            r.total_bytes for r in self.records
-            if (op is None or r.op == op) and (tag is None or r.tag == tag)
-        )
-        return live + sum(agg["total_bytes"]
-                          for agg in self._rolled_matching(op, tag))
+        """Total bytes sent by all ranks, optionally filtered.
+
+        Reads the cumulative counters, so the answer covers every
+        record ever accepted regardless of ``max_records`` rotation.
+        """
+        return float(sum(agg["total_bytes"]
+                         for agg in self._cumulative_matching(op, tag)))
 
     def per_rank_bytes(self, op: Optional[str] = None,
                        tag: Optional[str] = None) -> float:
         """Average per-rank bytes sent, optionally filtered."""
-        matching = [
-            r for r in self.records
-            if (op is None or r.op == op) and (tag is None or r.tag == tag)
-        ]
-        rolled = self._rolled_matching(op, tag)
-        if not matching and not rolled:
-            return 0.0
-        return (sum(r.total_bytes / r.group_size for r in matching)
-                + sum(agg["per_rank_bytes"] for agg in rolled))
+        return float(sum(agg["per_rank_bytes"]
+                         for agg in self._cumulative_matching(op, tag)))
 
     def counts(self) -> Dict[str, int]:
-        """Number of calls per collective op."""
+        """Number of calls per collective op (lifetime, rotation-proof)."""
         out: Dict[str, int] = {}
-        for r in self.records:
-            out[r.op] = out.get(r.op, 0) + 1
-        for (r_op, _), agg in self.rolled.items():
+        for (r_op, _), agg in self.cumulative.items():
             out[r_op] = out.get(r_op, 0) + int(agg["count"])
+        return out
+
+    def bytes_by_tag(self) -> Dict[str, float]:
+        """Lifetime total bytes per tag, summed across ops.
+
+        The rotation-proof query surface for consumers that bucket
+        traffic by tag (the Eq. 1-4 comm auditor, hybrid-2D sync
+        accounting): derived from :attr:`cumulative`, never from the
+        bounded :attr:`records` list.
+        """
+        out: Dict[str, float] = {}
+        with self._lock:
+            for (_, r_tag), agg in self.cumulative.items():
+                out[r_tag] = out.get(r_tag, 0.0) + agg["total_bytes"]
         return out
 
 

@@ -20,13 +20,57 @@ from ..core.config import ModelConfig
 from ..model.layers import Module
 from ..precision.optimizer import AdamW
 
-__all__ = ["save_checkpoint", "load_checkpoint", "CheckpointError"]
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "atomic_write",
+    "CheckpointError",
+]
 
 FORMAT_VERSION = 1
 
 
 class CheckpointError(RuntimeError):
     """Raised when a checkpoint is missing, corrupt, or mismatched."""
+
+
+def _fsync_directory(path: str) -> None:
+    """Best-effort fsync of a file's parent directory.
+
+    ``os.replace`` makes the rename atomic but not durable: on a crash
+    the directory entry may still point at the old file.  Syncing the
+    directory pins the rename; platforms that cannot fsync a directory
+    (some network filesystems) degrade gracefully.
+    """
+    parent = os.path.dirname(os.path.abspath(path)) or "."
+    try:
+        dirfd = os.open(parent, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dirfd)
+    except OSError:
+        pass
+    finally:
+        os.close(dirfd)
+
+
+def atomic_write(path: str, write_payload, text: bool = False) -> None:
+    """Write ``path`` atomically: tmp file → flush → fsync → rename.
+
+    ``write_payload(handle)`` receives the open tmp-file handle.  The
+    data is fsynced *before* the rename, so a crash at any point leaves
+    either the previous complete file or a stray ``*.tmp`` — never a
+    truncated file at the final name (a truncated "latest" checkpoint
+    would otherwise poison every recovery until swept by hand).
+    """
+    tmp = path + ".tmp"
+    with open(tmp, "w" if text else "wb") as handle:
+        write_payload(handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    _fsync_directory(path)
 
 
 def _fingerprint(config: ModelConfig) -> str:
@@ -46,7 +90,7 @@ def _fingerprint(config: ModelConfig) -> str:
 def save_checkpoint(path: str, model: Module, config: ModelConfig,
                     optimizer: Optional[AdamW] = None,
                     step: int = 0) -> None:
-    """Write a checkpoint atomically (tmp file + rename)."""
+    """Write a checkpoint atomically (tmp file + fsync + rename)."""
     payload = {
         "__meta__": np.frombuffer(
             json.dumps({
@@ -64,10 +108,7 @@ def save_checkpoint(path: str, model: Module, config: ModelConfig,
             payload[f"opt/m/{i}"] = m
             payload[f"opt/v/{i}"] = v
 
-    tmp = path + ".tmp"
-    with open(tmp, "wb") as handle:
-        np.savez(handle, **payload)
-    os.replace(tmp, path)
+    atomic_write(path, lambda handle: np.savez(handle, **payload))
 
 
 def load_checkpoint(path: str, model: Module, config: ModelConfig,

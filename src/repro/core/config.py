@@ -332,6 +332,13 @@ class TrainConfig:
     #: bitwise-identical results), or None to defer to the
     #: ``REPRO_EXECUTION`` environment variable.
     execution: Optional[str] = None
+    #: Attention-output dropout probability (0 disables).  Randomness
+    #: comes from per-rank child streams spawned off ``dropout_seed``
+    #: (:class:`~repro.runtime.rng.RankRngPool`), so sequential and
+    #: threaded execution stay bitwise-identical with dropout on.
+    dropout: float = 0.0
+    #: Seed for the per-rank dropout streams.
+    dropout_seed: int = 1234
 
     def __post_init__(self):
         if self.precision not in ("bf16", "fp8", "fp32"):
@@ -342,4 +349,8 @@ class TrainConfig:
             raise ValueError(
                 f"unknown execution mode {self.execution!r}; expected "
                 "None, 'sequential', or 'threaded'"
+            )
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError(
+                f"dropout must be in [0, 1), got {self.dropout}"
             )

@@ -23,7 +23,7 @@ that loop for any trainer exposing ``train_step`` /
      roll back to the last checkpoint and replay, or skip the
      offending batch (``on_spike="skip"``).
 
-  Checkpoints are written atomically (tmp file + rename) with a CRC32
+  Checkpoints are written atomically (tmp file + fsync + rename) with a CRC32
   sidecar; leftover ``.tmp`` files from crashed writes are ignored and
   swept on the next successful save.
 * :class:`FaultInjector` — deterministic step-level fault/loss-spike
@@ -42,6 +42,7 @@ from typing import Callable, List, Optional, Sequence, Set
 
 import numpy as np
 
+from ..core.checkpoint import atomic_write
 from ..ft.faults import Fault, LossSpike
 from ..ft.health import LossSpikeGuard, NumericGuard
 from ..ft.recovery import (
@@ -247,10 +248,8 @@ class ProductionRunner:
 
     def _save(self, trainer, step: int) -> None:
         state = trainer.state_dict()
-        tmp = self._path(step) + ".tmp"
-        with open(tmp, "wb") as handle:
-            np.savez(handle, **state)
-        os.replace(tmp, self._path(step))
+        atomic_write(self._path(step),
+                     lambda handle: np.savez(handle, **state))
         write_checkpoint_meta(self._path(step), step)
         self._invalid.discard(step)
         self._sweep_tmp_files()

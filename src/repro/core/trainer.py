@@ -109,10 +109,19 @@ class MegaScaleTrainer:
         # FP8 training turns on §5's communication compression on the
         # FFN collectives (per-token forward, grouped-channel backward).
         fp8_comm = train.precision == "fp8"
+        # Dropout randomness: one child stream per rank, spawned from a
+        # single seed, so threaded rank threads never share a generator
+        # and both execution modes draw identical per-rank masks.
+        self.rng_pool = None
+        if train.dropout > 0.0:
+            from ..runtime.rng import RankRngPool
+            self.rng_pool = RankRngPool(train.dropout_seed, n)
         self.engines = [
             ParallelBlockEngine(self.group, block, parallel.attention,
                                 parallel.ffn, parallel.ep_dispatch,
-                                fp8_comm=fp8_comm)
+                                fp8_comm=fp8_comm,
+                                dropout=train.dropout,
+                                rng_pool=self.rng_pool)
             for block in model.blocks
         ]
         #: Shard the LM head columns across the group and compute the
@@ -253,14 +262,23 @@ class MegaScaleTrainer:
             shard.grad = None
 
     def eval_loss(self, token_ids: np.ndarray) -> float:
-        """LM loss without gradient tracking or updates."""
+        """LM loss without gradient tracking, updates, or dropout."""
         from ..tensor import no_grad
-        with no_grad():
-            if self.policy is not None:
-                with self.policy:
+        attn_engines = [e.attn_engine for e in self.engines
+                        if hasattr(e.attn_engine, "training")]
+        previous = [a.training for a in attn_engines]
+        for a in attn_engines:
+            a.training = False
+        try:
+            with no_grad():
+                if self.policy is not None:
+                    with self.policy:
+                        _, lm, _ = self.loss(token_ids)
+                else:
                     _, lm, _ = self.loss(token_ids)
-            else:
-                _, lm, _ = self.loss(token_ids)
+        finally:
+            for a, prev in zip(attn_engines, previous):
+                a.training = prev
         return lm.item()
 
     # -- checkpointing -----------------------------------------------------

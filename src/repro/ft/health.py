@@ -69,8 +69,15 @@ class StragglerDetector:
             raise ValueError(
                 f"{len(ranks)} ranks but {len(durations)} durations"
             )
+        # Non-finite or negative timings (a clock glitch, a poisoned
+        # perf counter, an inf slow-factor) would permanently blind the
+        # detector: one NaN in any window makes that rank's mean NaN,
+        # which drags the cross-rank mean/std to NaN and flagged()
+        # never fires again.  Drop the whole observation instead.
+        if any(not math.isfinite(d) or d < 0.0 for d in durations):
+            return
         mean = sum(durations) / len(durations) if durations else 0.0
-        if mean <= 0.0:
+        if not math.isfinite(mean) or mean <= 0.0:
             return
         for rank, duration in zip(ranks, durations):
             window = self._windows.get(rank)
@@ -96,7 +103,9 @@ class StragglerDetector:
         mu = sum(values) / len(values)
         var = sum((v - mu) ** 2 for v in values) / len(values)
         std = math.sqrt(var)
-        if std < 1e-9:
+        # Zero-variance (all ranks identical) and degenerate windows
+        # produce no outliers by definition; never divide by ~0/NaN.
+        if not math.isfinite(std) or std < 1e-9:
             return []
         return sorted(
             rank for rank, value in means.items()

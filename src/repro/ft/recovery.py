@@ -145,16 +145,16 @@ def meta_path(checkpoint_path: str) -> str:
 
 def write_checkpoint_meta(checkpoint_path: str, step: int) -> dict:
     """Write the CRC/size sidecar for an already-written checkpoint."""
+    from ..core.checkpoint import atomic_write
+
     meta = {
         "format": META_FORMAT_VERSION,
         "step": int(step),
         "size": os.path.getsize(checkpoint_path),
         "crc32": file_crc32(checkpoint_path),
     }
-    tmp = meta_path(checkpoint_path) + ".tmp"
-    with open(tmp, "w") as handle:
-        json.dump(meta, handle)
-    os.replace(tmp, meta_path(checkpoint_path))
+    atomic_write(meta_path(checkpoint_path),
+                 lambda handle: json.dump(meta, handle), text=True)
     return meta
 
 

@@ -186,6 +186,21 @@ def _tag_matches(tag: str, prefixes: Tuple[str, ...]) -> bool:
 def _measured_from_ledger(
     ledger: Any, prefixes: Tuple[str, ...], include_backward: bool
 ) -> float:
+    # Prefer the never-rotated cumulative tag counters: a bounded
+    # CommLedger(max_records=...) drops old records, and live records +
+    # rolled aggregates would drift out from under a long audit window.
+    bytes_by_tag = getattr(ledger, "bytes_by_tag", None)
+    if callable(bytes_by_tag):
+        total = 0.0
+        for tag, tag_bytes in bytes_by_tag().items():
+            if not _tag_matches(tag, prefixes):
+                continue
+            if not include_backward and tag.endswith(":bwd"):
+                continue
+            total += tag_bytes
+        return total
+    # Duck-typed sources without counters: live records plus the
+    # per-(op, tag) aggregates of anything rotated out.
     total = 0.0
     for record in ledger.records:
         if not _tag_matches(record.tag, prefixes):
@@ -193,7 +208,6 @@ def _measured_from_ledger(
         if not include_backward and record.tag.endswith(":bwd"):
             continue
         total += record.total_bytes
-    # Rotated-out records survive as per-(op, tag) aggregates.
     for (_op, tag), rolled in getattr(ledger, "rolled", {}).items():
         if not _tag_matches(tag, prefixes):
             continue

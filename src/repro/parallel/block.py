@@ -51,13 +51,20 @@ class ParallelBlockEngine:
                  attention: str = "sp", ffn: str = "ep",
                  ep_mode: str = "adaptive",
                  elem_bytes: Optional[float] = None,
-                 fp8_comm: bool = False):
+                 fp8_comm: bool = False,
+                 dropout: float = 0.0, rng_pool=None):
         self.group = group
         self.block = block
         if attention == "sp":
             self.attn_engine = SPAttentionEngine(group, block.attn,
-                                                 elem_bytes)
+                                                 elem_bytes,
+                                                 dropout=dropout,
+                                                 rng_pool=rng_pool)
         elif attention == "tp":
+            if dropout > 0.0:
+                raise ValueError(
+                    "dropout is only wired into SP attention"
+                )
             self.attn_engine = TPAttentionEngine(group, block.attn,
                                                  elem_bytes)
         else:

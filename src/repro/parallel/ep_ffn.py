@@ -87,6 +87,11 @@ class EPFFNEngine:
         #: §5 FP8 communication compression (AG/RS dispatch mode only:
         #: the A2A path already carries selected rows).
         self.fp8_comm = fp8_comm
+        #: Conservation telemetry from the most recent forward pass
+        #: (consumed by ``repro.verify``'s token-conservation and
+        #: router-mass invariants); None until the first forward.
+        self.last_telemetry: Optional[dict] = None
+        self._last_send_splits: Optional[List[List[int]]] = None
 
     # -- shared helpers ----------------------------------------------------
 
@@ -111,11 +116,35 @@ class EPFFNEngine:
         bitwise.
         """
         self.group.check_shards(hidden_shards)
+        self._last_send_splits = None
         if executor is not None:
-            return self._forward_spmd(hidden_shards, executor)
-        if self.mode == "a2a":
-            return self._forward_a2a(hidden_shards)
-        return self._forward_ag_rs(hidden_shards)
+            result = self._forward_spmd(hidden_shards, executor)
+        elif self.mode == "a2a":
+            result = self._forward_a2a(hidden_shards)
+        else:
+            result = self._forward_ag_rs(hidden_shards)
+        # Small plain-number snapshot of what dispatch/combine moved;
+        # the verify invariants check conservation laws against it.
+        self.last_telemetry = {
+            "mode": self.mode,
+            "top_k": self.moe.top_k,
+            "tokens_in": [int(np.prod(s.shape[:-1]))
+                          for s in hidden_shards],
+            "tokens_per_rank": np.asarray(
+                result.tokens_per_rank).tolist(),
+            "kept_pairs": [int(r.kept.sum()) for r in result.routing],
+            "gate_mass": [
+                np.asarray((r.gate_weight * r.kept).sum(axis=1))
+                for r in result.routing
+            ],
+            "fully_kept": [np.asarray(r.kept.all(axis=1))
+                           for r in result.routing],
+            "input_shapes": [tuple(s.shape) for s in hidden_shards],
+            "output_shapes": [tuple(s.shape)
+                              for s in result.output_shards],
+            "send_splits": self._last_send_splits,
+        }
+        return result
 
     def _forward_spmd(self, hidden_shards: List[Tensor],
                       executor) -> EPForwardResult:
@@ -186,6 +215,7 @@ class EPFFNEngine:
                                .tolist())
 
         # 3. Dispatch all-to-all.
+        self._last_send_splits = [list(s) for s in send_splits]
         received = dist_all_to_all_uneven(
             group, send_rows, send_splits, elem_bytes=self.elem_bytes,
             tag="ep_ffn:dispatch_a2a",

@@ -191,8 +191,13 @@ class Hybrid2DTrainer:
         return synced
 
     def _ledger_bytes(self, marker: str) -> float:
-        return sum(r.total_bytes for r in self.world.ledger.records
-                   if marker in r.tag)
+        # Cumulative tag counters, not ledger.records: a bounded ledger
+        # rotates old records out mid-run, and the before/after deltas
+        # taken around _sync_gradients would silently under-count.
+        return sum(tag_bytes
+                   for tag, tag_bytes in
+                   self.world.ledger.bytes_by_tag().items()
+                   if marker in tag)
 
     def eval_loss(self, token_ids: np.ndarray) -> float:
         """LM loss on replica 0 without updates."""

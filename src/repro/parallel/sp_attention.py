@@ -37,7 +37,8 @@ class SPAttentionEngine:
     """Runs a replicated :class:`SelfAttention` over sequence shards."""
 
     def __init__(self, group: ProcessGroup, attn: SelfAttention,
-                 elem_bytes: Optional[float] = None):
+                 elem_bytes: Optional[float] = None,
+                 dropout: float = 0.0, rng_pool=None):
         n = group.size
         if attn.n_heads % n != 0:
             raise ValueError(
@@ -47,9 +48,32 @@ class SPAttentionEngine:
             raise ValueError(
                 f"n_kv_heads={attn.n_kv_heads} not divisible by SP size {n}"
             )
+        if dropout > 0.0 and rng_pool is None:
+            raise ValueError("dropout > 0 requires a rng_pool")
+        if rng_pool is not None and len(rng_pool) != n:
+            raise ValueError(
+                f"rng_pool has {len(rng_pool)} streams for {n} ranks"
+            )
         self.group = group
         self.attn = attn
         self.elem_bytes = elem_bytes
+        #: Attention-output dropout probability; draws come from
+        #: ``rng_pool[rank]`` — one private stream per rank, so the
+        #: sequential loop and the thread-per-rank executor consume
+        #: identical randomness in identical per-rank order (a shared
+        #: generator would race across rank threads AND make the draw
+        #: order schedule-dependent).
+        self.dropout = float(dropout)
+        self.rng_pool = rng_pool
+        #: Toggled off by the trainer around eval passes.
+        self.training = True
+
+    def _maybe_dropout(self, out: Tensor, rank: int) -> Tensor:
+        if self.dropout <= 0.0 or not self.training:
+            return out
+        from ..tensor import ops
+        return ops.dropout(out, self.dropout, self.rng_pool[rank],
+                           training=True)
 
     def forward(self, hidden_shards: List[Tensor], seq_len: int,
                 executor: Optional[object] = None) -> List[Tensor]:
@@ -126,10 +150,10 @@ class SPAttentionEngine:
                                       tag="sp_attn:attn_a2a")
 
         outs = []
-        for shard in attn_shards:
+        for rank, shard in enumerate(attn_shards):
             b, s_local = shard.shape[0], shard.shape[1]
             flat = shard.reshape(b, s_local, attn.hidden_size)
-            outs.append(attn.out_proj(flat))
+            outs.append(self._maybe_dropout(attn.out_proj(flat), rank))
         return outs
 
     def _forward_rank(self, comm, shard: Tensor, local_s: int) -> Tensor:
@@ -172,4 +196,4 @@ class SPAttentionEngine:
                                      tag="sp_attn:attn_a2a")
         b, s_local = attn_shard.shape[0], attn_shard.shape[1]
         flat = attn_shard.reshape(b, s_local, attn.hidden_size)
-        return attn.out_proj(flat)
+        return self._maybe_dropout(attn.out_proj(flat), rank)

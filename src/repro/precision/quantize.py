@@ -40,6 +40,11 @@ __all__ = [
 # Scales are chosen so the block max maps to the format max; a block of all
 # zeros would produce scale 0, so we floor it at a tiny positive value.
 _MIN_SCALE = 1e-30
+# Scales are transmitted as FP32, so they must stay finite in float32:
+# a block max near the float32 ceiling (or inf/NaN from an upstream
+# blow-up) would otherwise overflow the scale to inf, turning the whole
+# block — zeros included — into NaN through payload = x / scale.
+_MAX_SCALE = float(np.finfo(np.float32).max)
 
 
 @dataclass
@@ -77,8 +82,21 @@ class QuantizedTensor:
 
 
 def _scale_for(block_max: np.ndarray, fmt: FloatFormat) -> np.ndarray:
-    """Scale mapping ``block_max`` onto the format's max magnitude."""
-    return np.maximum(block_max / fmt.max_value, _MIN_SCALE).astype(np.float32)
+    """Scale mapping ``block_max`` onto the format's max magnitude.
+
+    Degenerate blocks are guarded so no scale is ever 0, inf, or NaN:
+
+    * all-zero blocks keep the ``_MIN_SCALE`` floor (payload is exact
+      zeros, dequantize returns exact zeros);
+    * non-finite block maxima (an inf/NaN activation upstream) and
+      maxima that would overflow the FP32 scale are clamped to
+      ``_MAX_SCALE`` — the payload then saturates through
+      :func:`round_to_format` like a hardware FP8 cast instead of
+      poisoning every element of the block with NaN.
+    """
+    ratio = np.asarray(block_max, dtype=np.float64) / fmt.max_value
+    ratio = np.where(np.isfinite(ratio), ratio, _MAX_SCALE)
+    return np.clip(ratio, _MIN_SCALE, _MAX_SCALE).astype(np.float32)
 
 
 def _quantize_with_scales(

@@ -5,6 +5,7 @@ contract, and the zero-copy rules the engines rely on.
 """
 
 from .backward import backward, parallel_backward
+from .rng import RankRngPool
 from .spmd import (
     EXECUTION_MODES,
     RankComm,
@@ -17,6 +18,7 @@ from .spmd import (
 __all__ = [
     "EXECUTION_MODES",
     "RankComm",
+    "RankRngPool",
     "SpmdExecutor",
     "backward",
     "current_rank",

@@ -1,0 +1,59 @@
+"""Per-rank random streams for stochastic ops under SPMD execution.
+
+A single shared :class:`numpy.random.Generator` breaks the SPMD
+engine's bitwise-identity contract twice over: rank threads racing on
+one bit-generator state are not thread-safe, and even with a lock the
+draw *order* would depend on thread scheduling, so a threaded run could
+never reproduce the sequential rank loop.  The fix is the standard
+counter-based recipe: spawn one independent child stream per rank from
+a single :class:`numpy.random.SeedSequence`, so
+
+* each rank thread owns its generator exclusively (no races), and
+* a rank's stream advances only with that rank's own draws, making the
+  cross-rank interleaving irrelevant — sequential and threaded
+  execution consume identical per-rank randomness, bitwise.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+__all__ = ["RankRngPool"]
+
+
+class RankRngPool:
+    """``n_ranks`` independent child generators spawned from one seed.
+
+    ``pool[rank]`` is rank's private :class:`numpy.random.Generator`.
+    Two pools built from the same ``(seed, n_ranks)`` yield identical
+    streams, which is what makes dropout reproducible across restarts
+    and across execution modes.
+    """
+
+    def __init__(self, seed: int, n_ranks: int):
+        if n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+        self.seed = int(seed)
+        self.n_ranks = int(n_ranks)
+        children = np.random.SeedSequence(self.seed).spawn(self.n_ranks)
+        self._generators: List[np.random.Generator] = [
+            np.random.default_rng(child) for child in children
+        ]
+
+    def __getitem__(self, rank: int) -> np.random.Generator:
+        return self._generators[rank]
+
+    def __len__(self) -> int:
+        return self.n_ranks
+
+    def __iter__(self) -> Iterator[np.random.Generator]:
+        return iter(self._generators)
+
+    def reset(self) -> None:
+        """Rewind every rank stream to its initial state."""
+        children = np.random.SeedSequence(self.seed).spawn(self.n_ranks)
+        self._generators = [
+            np.random.default_rng(child) for child in children
+        ]

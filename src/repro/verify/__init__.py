@@ -1,0 +1,57 @@
+"""Differential verification: cross-strategy conformance checking.
+
+Every parallel plan in this repo claims to compute the same model as
+the single-rank reference.  This package makes that claim executable:
+
+- :mod:`~repro.verify.cases` — frozen :class:`VerifyCase` configs and
+  the seeded CI :func:`smoke_matrix`;
+- :mod:`~repro.verify.invariants` — the registry of conformance
+  invariants (golden closeness with per-format tolerance bands,
+  threaded bitwise identity, token/router conservation, Eq. 1–4 comm
+  audit, finiteness);
+- :mod:`~repro.verify.engine` — runs a case differentially (case run,
+  golden run, sequential twin) and evaluates the registry;
+- :mod:`~repro.verify.fuzz` — random case sampling plus a greedy
+  shrinker that reduces failing configs to minimal reproducers.
+
+Entry point: ``python -m repro verify --smoke``.
+"""
+
+from .cases import VerifyCase, smoke_matrix
+from .engine import (
+    CaseResult,
+    ConformanceReport,
+    GoldenArtifacts,
+    RunArtifacts,
+    run_case,
+    run_matrix,
+)
+from .fuzz import fuzz, sample_case, shrink
+from .invariants import (
+    Invariant,
+    InvariantResult,
+    ToleranceBand,
+    register_invariant,
+    registered_invariants,
+    tolerance_for_precision,
+)
+
+__all__ = [
+    "VerifyCase",
+    "smoke_matrix",
+    "CaseResult",
+    "ConformanceReport",
+    "GoldenArtifacts",
+    "RunArtifacts",
+    "run_case",
+    "run_matrix",
+    "fuzz",
+    "sample_case",
+    "shrink",
+    "Invariant",
+    "InvariantResult",
+    "ToleranceBand",
+    "register_invariant",
+    "registered_invariants",
+    "tolerance_for_precision",
+]

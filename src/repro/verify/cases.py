@@ -1,0 +1,165 @@
+"""Verification cases: one (model, plan, precision, execution) tuple.
+
+A :class:`VerifyCase` pins everything a differential run needs — model
+dimensions, rank count, parallel strategies, EP dispatch mode, comm
+precision, execution engine, dropout, step count, and the data seed —
+as a frozen, hashable value.  The conformance engine
+(:mod:`repro.verify.engine`) turns a case into three runs (the case
+itself, its single-rank golden reference, and — for threaded cases —
+its sequential twin) and the fuzzer (:mod:`repro.verify.fuzz`) samples
+and shrinks cases, which is why immutability and cheap equality
+matter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..core.config import ModelConfig, ParallelConfig, TrainConfig
+
+__all__ = ["VerifyCase", "smoke_matrix"]
+
+#: Execution modes × EP dispatch × comm precision of the CI smoke grid.
+SMOKE_EXECUTIONS = ("sequential", "threaded")
+SMOKE_DISPATCHES = ("a2a", "ag_rs")
+SMOKE_PRECISIONS = ("fp32", "fp8")
+
+
+@dataclass(frozen=True)
+class VerifyCase:
+    """One fully-specified differential verification run."""
+
+    ranks: int = 4
+    layers: int = 2
+    hidden: int = 32
+    heads: int = 8
+    gqa_ratio: int = 2
+    ffn_hidden: int = 48
+    experts: int = 8
+    top_k: int = 2
+    vocab: int = 64
+    batch: int = 2
+    seq: int = 16
+    attention: str = "sp"
+    ffn: str = "ep"
+    ep_dispatch: str = "a2a"
+    precision: str = "fp32"
+    execution: str = "sequential"
+    dropout: float = 0.0
+    steps: int = 2
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.ranks < 1:
+            raise ValueError(f"ranks must be >= 1, got {self.ranks}")
+        if self.heads % self.ranks != 0:
+            raise ValueError(
+                f"heads={self.heads} not divisible by ranks={self.ranks}"
+            )
+        if self.heads % self.gqa_ratio != 0:
+            raise ValueError(
+                f"heads={self.heads} not divisible by "
+                f"gqa_ratio={self.gqa_ratio}"
+            )
+        if (self.heads // self.gqa_ratio) % self.ranks != 0:
+            raise ValueError(
+                f"kv heads={self.heads // self.gqa_ratio} not divisible "
+                f"by ranks={self.ranks}"
+            )
+        if self.hidden % self.heads != 0:
+            raise ValueError(
+                f"hidden={self.hidden} not divisible by "
+                f"heads={self.heads}"
+            )
+        if self.ffn == "ep" and self.experts % self.ranks != 0:
+            raise ValueError(
+                f"experts={self.experts} not divisible by "
+                f"ranks={self.ranks}"
+            )
+        if self.top_k > self.experts:
+            raise ValueError(
+                f"top_k={self.top_k} > experts={self.experts}"
+            )
+        if self.seq % self.ranks != 0:
+            raise ValueError(
+                f"seq={self.seq} not divisible by ranks={self.ranks}"
+            )
+        if self.ep_dispatch not in ("a2a", "ag_rs", "adaptive"):
+            raise ValueError(f"unknown ep_dispatch {self.ep_dispatch!r}")
+        if self.precision not in ("fp32", "bf16", "fp8"):
+            raise ValueError(f"unknown precision {self.precision!r}")
+        if self.execution not in ("sequential", "threaded"):
+            raise ValueError(f"unknown execution {self.execution!r}")
+        if self.steps < 1:
+            raise ValueError(f"steps must be >= 1, got {self.steps}")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError(f"dropout must be in [0, 1), got "
+                             f"{self.dropout}")
+
+    @property
+    def case_id(self) -> str:
+        """Compact stable identifier used in the conformance matrix."""
+        parts = [
+            self.attention, self.ffn, self.ep_dispatch, self.precision,
+            "thr" if self.execution == "threaded" else "seq",
+            f"r{self.ranks}", f"l{self.layers}", f"b{self.batch}",
+            f"s{self.seq}", f"e{self.experts}", f"k{self.top_k}",
+            f"st{self.steps}",
+        ]
+        if self.dropout > 0.0:
+            parts.append(f"do{self.dropout:g}")
+        if self.seed != 0:
+            parts.append(f"sd{self.seed}")
+        return "-".join(parts)
+
+    # -- config builders -----------------------------------------------------
+
+    def model_config(self) -> ModelConfig:
+        """The case's model dimensions as a ModelConfig."""
+        return ModelConfig(
+            f"verify-{self.case_id}", self.layers, self.hidden,
+            self.heads, self.gqa_ratio, self.ffn_hidden, self.experts,
+            self.top_k, vocab_size=self.vocab, seq_len=self.seq,
+        )
+
+    def parallel_config(self) -> ParallelConfig:
+        """The case's parallel plan as a ParallelConfig."""
+        return ParallelConfig(
+            self.ranks, attention=self.attention, ffn=self.ffn,
+            ep_dispatch=self.ep_dispatch,
+        )
+
+    def train_config(self) -> TrainConfig:
+        """The case's training schedule as a TrainConfig."""
+        return TrainConfig(
+            global_batch_size=self.batch, micro_batch_size=self.batch,
+            seq_len=self.seq, learning_rate=1e-2,
+            aux_loss_coeff=0.01, precision=self.precision,
+            execution=self.execution, dropout=self.dropout,
+            dropout_seed=self.seed + 1,
+        )
+
+    def replace(self, **changes) -> "VerifyCase":
+        """A copy with fields replaced (validation re-runs)."""
+        return dataclasses.replace(self, **changes)
+
+    def twin_sequential(self) -> "VerifyCase":
+        """The sequential twin of a threaded case."""
+        return self.replace(execution="sequential")
+
+
+def smoke_matrix(seed: int = 0) -> List[VerifyCase]:
+    """The seeded CI grid: execution × EP dispatch × precision."""
+
+    def cases() -> Iterator[VerifyCase]:
+        for execution in SMOKE_EXECUTIONS:
+            for dispatch in SMOKE_DISPATCHES:
+                for precision in SMOKE_PRECISIONS:
+                    yield VerifyCase(
+                        ep_dispatch=dispatch, precision=precision,
+                        execution=execution, seed=seed,
+                    )
+
+    return list(cases())

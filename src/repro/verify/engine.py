@@ -1,0 +1,288 @@
+"""The differential conformance engine: run a case, check every claim.
+
+For one :class:`~repro.verify.cases.VerifyCase` the engine runs up to
+three trainings from identical seeds —
+
+1. the **case run**: the parallel plan under its configured execution
+   engine and comm precision (optionally with an injected fault plan,
+   which is how tests prove the invariants catch real perturbations);
+2. the **golden run**: the plain single-rank
+   :meth:`~repro.model.transformer.MoETransformer.language_model_loss`
+   model with the same optimizer schedule (skipped when dropout > 0 —
+   a full-sequence model cannot reproduce per-rank dropout masks);
+3. the **sequential twin** (threaded cases only): the identical plan
+   under the sequential rank loop, for the bitwise-identity contract —
+
+then evaluates every registered invariant and folds the outcomes into
+a :class:`CaseResult`.  :func:`run_matrix` maps this over a case list
+and renders the conformance matrix `repro verify` prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..comm.group import World
+from ..core.trainer import MegaScaleTrainer
+from ..model.transformer import MoETransformer
+from ..precision.optimizer import AdamW, clip_grad_norm
+from .cases import VerifyCase
+from .invariants import InvariantResult, registered_invariants
+
+__all__ = [
+    "GoldenArtifacts",
+    "RunArtifacts",
+    "CaseResult",
+    "ConformanceReport",
+    "run_case",
+    "run_matrix",
+]
+
+#: Learning-rate / clip schedule shared by the case and golden runs.
+_LEARNING_RATE = 1e-2
+_GRAD_CLIP = 1.0
+_AUX_COEFF = 0.01
+
+
+def _batches(case: VerifyCase) -> List[np.ndarray]:
+    """The case's deterministic token batches (seeded, one per step)."""
+    rng = np.random.default_rng(case.seed)
+    return [
+        rng.integers(0, case.vocab, size=(case.batch, case.seq + 1))
+        for _ in range(case.steps)
+    ]
+
+
+@dataclass
+class GoldenArtifacts:
+    """What the single-rank reference run produced."""
+
+    losses: List[float]
+    first_step_grads: Dict[str, np.ndarray]
+    final_grads: Dict[str, Optional[np.ndarray]]
+    params: Dict[str, np.ndarray]
+
+
+@dataclass
+class RunArtifacts:
+    """Everything the invariants inspect about one case run."""
+
+    case: VerifyCase
+    losses: List[float]
+    lm_losses: List[float]
+    aux_losses: List[float]
+    grad_norms: List[float]
+    first_step_grads: Dict[str, np.ndarray]
+    final_grads: Dict[str, Optional[np.ndarray]]
+    params: Dict[str, np.ndarray]
+    ledger: object
+    ledger_total_bytes: float
+    ledger_counts: Dict[str, int]
+    #: Per-layer EP dispatch telemetry (None for non-EP layers).
+    telemetry: List[Optional[dict]] = field(default_factory=list)
+    golden: Optional[GoldenArtifacts] = None
+    twin: Optional["RunArtifacts"] = None
+
+
+@dataclass
+class CaseResult:
+    """One case's conformance outcome across all invariants."""
+
+    case: VerifyCase
+    outcomes: List[InvariantResult]
+
+    @property
+    def ok(self) -> bool:
+        return all(o.ok for o in self.outcomes)
+
+    def failures(self) -> List[InvariantResult]:
+        """The invariant outcomes that failed for this case."""
+        return [o for o in self.outcomes if o.status == "fail"]
+
+    def outcome(self, name: str) -> InvariantResult:
+        """This case's outcome for one invariant name."""
+        for o in self.outcomes:
+            if o.name == name:
+                return o
+        raise KeyError(f"no invariant {name!r} in this result")
+
+
+@dataclass
+class ConformanceReport:
+    """The conformance matrix over a list of cases."""
+
+    results: List[CaseResult]
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    def failures(self) -> List[CaseResult]:
+        """The cases with at least one failing invariant."""
+        return [r for r in self.results if not r.ok]
+
+    def render(self) -> str:
+        """Cases × invariants matrix (pass/FAIL/skip) for terminals."""
+        if not self.results:
+            return "(no cases run)"
+        names = [o.name for o in self.results[0].outcomes]
+        id_width = max(len("case"),
+                       max(len(r.case.case_id) for r in self.results))
+        col_widths = [max(len(n), 4) for n in names]
+        lines = ["=== conformance matrix ==="]
+        header = f"{'case':{id_width}s}"
+        for name, width in zip(names, col_widths):
+            header += f" {name:>{width}s}"
+        lines.append(header)
+        marks = {"pass": "pass", "fail": "FAIL", "skip": "-"}
+        for result in self.results:
+            row = f"{result.case.case_id:{id_width}s}"
+            for outcome, width in zip(result.outcomes, col_widths):
+                row += f" {marks[outcome.status]:>{width}s}"
+            lines.append(row)
+        lines.append(
+            f"{len(self.results)} cases, "
+            f"{sum(1 for r in self.results if r.ok)} conformant, "
+            f"{len(self.failures())} failing"
+        )
+        for result in self.failures():
+            for outcome in result.failures():
+                lines.append(
+                    f"FAIL {result.case.case_id} :: {outcome.name}: "
+                    f"{outcome.detail}"
+                )
+        return "\n".join(lines)
+
+
+def _snapshot_grads(model) -> Dict[str, Optional[np.ndarray]]:
+    return {
+        name: (None if p.grad is None else p.grad.copy())
+        for name, p in model.named_parameters()
+    }
+
+
+def _snapshot_params(model) -> Dict[str, np.ndarray]:
+    return {name: p.data.copy() for name, p in model.named_parameters()}
+
+
+def _run_parallel(case: VerifyCase,
+                  world_setup: Optional[Callable[[World], None]] = None
+                  ) -> RunArtifacts:
+    """Run the case's parallel plan and capture artifacts."""
+    model = MoETransformer(case.model_config(), seed=case.seed,
+                           dtype=np.float64)
+    world = World(case.ranks, case.ranks)
+    if world_setup is not None:
+        world_setup(world)
+    train = case.train_config()
+    trainer = MegaScaleTrainer(
+        model, world, case.parallel_config(), train,
+        optimizer=AdamW(model.parameters(), lr=_LEARNING_RATE),
+    )
+    losses: List[float] = []
+    lm_losses: List[float] = []
+    aux_losses: List[float] = []
+    grad_norms: List[float] = []
+    first_grads: Dict[str, np.ndarray] = {}
+    for step, batch in enumerate(_batches(case)):
+        result = trainer.train_step(batch)
+        losses.append(result.loss)
+        lm_losses.append(result.lm_loss)
+        aux_losses.append(result.aux_loss)
+        grad_norms.append(result.grad_norm)
+        if step == 0:
+            first_grads = {
+                name: grad for name, grad
+                in _snapshot_grads(model).items() if grad is not None
+            }
+    telemetry = [
+        getattr(engine.ffn_engine, "last_telemetry", None)
+        for engine in trainer.engines
+    ]
+    return RunArtifacts(
+        case=case,
+        losses=losses,
+        lm_losses=lm_losses,
+        aux_losses=aux_losses,
+        grad_norms=grad_norms,
+        first_step_grads=first_grads,
+        final_grads=_snapshot_grads(model),
+        params=_snapshot_params(model),
+        ledger=world.ledger,
+        ledger_total_bytes=world.ledger.total_bytes(),
+        ledger_counts=world.ledger.counts(),
+        telemetry=telemetry,
+    )
+
+
+def _run_golden(case: VerifyCase) -> GoldenArtifacts:
+    """The single-rank reference: same seeds, same optimizer schedule."""
+    model = MoETransformer(case.model_config(), seed=case.seed,
+                           dtype=np.float64)
+    optimizer = AdamW(model.parameters(), lr=_LEARNING_RATE)
+    losses: List[float] = []
+    first_grads: Dict[str, np.ndarray] = {}
+    for step, batch in enumerate(_batches(case)):
+        model.zero_grad()
+        loss = model.language_model_loss(batch, aux_coeff=_AUX_COEFF)
+        loss.backward()
+        clip_grad_norm(model.parameters(), _GRAD_CLIP)
+        if step == 0:
+            first_grads = {
+                name: grad for name, grad
+                in _snapshot_grads(model).items() if grad is not None
+            }
+        optimizer.step()
+        losses.append(loss.item())
+    return GoldenArtifacts(
+        losses=losses,
+        first_step_grads=first_grads,
+        final_grads=_snapshot_grads(model),
+        params=_snapshot_params(model),
+    )
+
+
+def run_case(case: VerifyCase,
+             world_setup: Optional[Callable[[World], None]] = None,
+             ) -> CaseResult:
+    """Run one case differentially and evaluate every invariant.
+
+    ``world_setup`` (e.g. attaching a
+    :class:`~repro.ft.faults.FaultPlan`) applies to the case run only —
+    the golden run has no world and the sequential twin stays clean, so
+    an injected perturbation must be *caught* by the invariants rather
+    than silently reproduced on both sides of the diff.
+    """
+    artifacts = _run_parallel(case, world_setup)
+    if case.dropout == 0.0:
+        artifacts.golden = _run_golden(case)
+    if case.execution == "threaded":
+        artifacts.twin = _run_parallel(case.twin_sequential())
+    outcomes: List[InvariantResult] = []
+    for invariant in registered_invariants():
+        if not invariant.applies(case):
+            outcomes.append(InvariantResult(invariant.name, "skip"))
+            continue
+        violations = invariant.check(artifacts)
+        if violations:
+            outcomes.append(InvariantResult(
+                invariant.name, "fail", "; ".join(violations)))
+        else:
+            outcomes.append(InvariantResult(invariant.name, "pass"))
+    return CaseResult(case=case, outcomes=outcomes)
+
+
+def run_matrix(cases: Sequence[VerifyCase],
+               progress: Optional[Callable[[CaseResult], None]] = None,
+               ) -> ConformanceReport:
+    """Run every case; ``progress`` receives each result as it lands."""
+    results = []
+    for case in cases:
+        result = run_case(case)
+        if progress is not None:
+            progress(result)
+        results.append(result)
+    return ConformanceReport(results=results)

@@ -1,0 +1,173 @@
+"""Config fuzzer + shrinker for the conformance engine.
+
+Random (model, plan, precision, execution) tuples catch interaction
+bugs no hand-written matrix covers; when a case fails, the raw config
+is rarely the story you want to debug.  :func:`shrink` greedily
+minimizes a failing case — fewer ranks, layers, steps, tokens, experts
+— while re-running the failure predicate, returning the smallest
+configuration that still violates an invariant (the property-testing
+"minimal reproducer" discipline, applied to parallel-training plans).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+import numpy as np
+
+from .cases import VerifyCase
+from .engine import ConformanceReport, run_case, run_matrix
+
+__all__ = [
+    "sample_case",
+    "fuzz",
+    "shrink",
+    "corrupting_world_setup",
+    "shrink_seeded_violation",
+]
+
+
+def sample_case(rng: np.random.Generator) -> VerifyCase:
+    """One random valid case from the constrained config space."""
+    ranks = int(rng.choice([2, 4]))
+    gqa = int(rng.choice([1, 2]))
+    heads = ranks * gqa * int(rng.choice([1, 2]))
+    hidden = heads * int(rng.choice([2, 4]))
+    experts = ranks * int(rng.choice([1, 2]))
+    return VerifyCase(
+        ranks=ranks,
+        layers=int(rng.choice([1, 2])),
+        hidden=hidden,
+        heads=heads,
+        gqa_ratio=gqa,
+        ffn_hidden=int(rng.choice([16, 32, 48])),
+        experts=experts,
+        top_k=int(rng.choice([1, min(2, experts)])),
+        vocab=int(rng.choice([32, 64])),
+        batch=int(rng.choice([1, 2])),
+        seq=ranks * int(rng.choice([2, 4])),
+        ep_dispatch=str(rng.choice(["a2a", "ag_rs"])),
+        precision=str(rng.choice(["fp32", "fp8"])),
+        execution=str(rng.choice(["sequential", "threaded"])),
+        # Dropout cases exercise the per-rank RNG contract (threaded
+        # bitwise identity); golden closeness is skipped for them.
+        dropout=float(rng.choice([0.0, 0.0, 0.0, 0.1])),
+        steps=int(rng.choice([1, 2])),
+        seed=int(rng.integers(0, 1_000_000)),
+    )
+
+
+def fuzz(n_cases: int, seed: int = 0,
+         progress: Optional[Callable] = None) -> ConformanceReport:
+    """Sample and run ``n_cases`` random cases from one fuzzer seed."""
+    rng = np.random.default_rng(seed)
+    cases = [sample_case(rng) for _ in range(n_cases)]
+    return run_matrix(cases, progress=progress)
+
+
+def _shrink_candidates(case: VerifyCase) -> Iterator[VerifyCase]:
+    """Strictly-smaller neighbor configs, most aggressive first.
+
+    Invalid combinations (divisibility violations) are filtered by the
+    :class:`VerifyCase` validator at construction time.
+    """
+
+    def attempt(**changes) -> Optional[VerifyCase]:
+        try:
+            return case.replace(**changes)
+        except ValueError:
+            return None
+
+    if case.ranks > 1:
+        yield from filter(None, [attempt(ranks=case.ranks // 2)])
+    if case.layers > 1:
+        yield from filter(None, [attempt(layers=1)])
+    if case.steps > 1:
+        yield from filter(None, [attempt(steps=1)])
+    if case.batch > 1:
+        yield from filter(None, [attempt(batch=1)])
+    if case.seq > case.ranks:
+        yield from filter(None, [attempt(seq=case.seq // 2)])
+    if case.experts > case.ranks:
+        yield from filter(None, [attempt(experts=case.ranks,
+                                         top_k=min(case.top_k,
+                                                   case.ranks))])
+    min_heads = case.ranks * case.gqa_ratio
+    if case.heads > min_heads:
+        head_dim = case.hidden // case.heads
+        yield from filter(None, [attempt(heads=min_heads,
+                                         hidden=min_heads * head_dim)])
+    if case.ffn_hidden > 16:
+        yield from filter(None, [attempt(ffn_hidden=16)])
+    if case.top_k > 1:
+        yield from filter(None, [attempt(top_k=1)])
+    if case.vocab > 32:
+        yield from filter(None, [attempt(vocab=32)])
+    if case.dropout > 0.0:
+        yield from filter(None, [attempt(dropout=0.0)])
+
+
+def shrink(case: VerifyCase,
+           fails: Callable[[VerifyCase], bool],
+           max_evals: int = 64) -> VerifyCase:
+    """Greedily minimize ``case`` while ``fails`` stays True.
+
+    ``fails`` must be True for ``case`` itself (the caller found a
+    failure); the returned case is a local minimum — no single
+    candidate reduction still fails — reached within ``max_evals``
+    predicate evaluations.
+    """
+    evals = 0
+    current = case
+    improved = True
+    while improved and evals < max_evals:
+        improved = False
+        for candidate in _shrink_candidates(current):
+            evals += 1
+            if fails(candidate):
+                current = candidate
+                improved = True
+                break
+            if evals >= max_evals:
+                break
+    return current
+
+
+def corrupting_world_setup(seed: int = 0, at_call: int = 0):
+    """A world hook injecting one bit-flip corruption (for tests/demo).
+
+    Attach via ``run_case(case, world_setup=...)``: the perturbation
+    hits only the case run, so the conformance engine must *catch* it
+    against the golden model or the clean sequential twin.
+    """
+    from ..ft.faults import FaultPlan, FaultSpec
+
+    def setup(world) -> None:
+        # verify_checksums=False delivers the corrupted payload
+        # silently — the point is that the *invariants* must flag it.
+        world.attach_fault_plan(
+            FaultPlan([FaultSpec("corrupt", at_call=at_call)],
+                      seed=seed, verify_checksums=False))
+
+    return setup
+
+
+def shrink_seeded_violation(seed: int = 0):
+    """End-to-end demo: inject a bit-flip, catch it, shrink it.
+
+    Returns ``(original, minimal, result)`` — the starting threaded
+    case, the shrunk minimal reproducer, and the minimal case's
+    :class:`~repro.verify.engine.CaseResult` (which still fails).
+    """
+    original = VerifyCase(execution="threaded", ep_dispatch="a2a",
+                          seed=seed)
+
+    def fails(case: VerifyCase) -> bool:
+        return not run_case(
+            case, world_setup=corrupting_world_setup(seed)).ok
+
+    if not fails(original):  # pragma: no cover - seeded determinism
+        raise RuntimeError("seeded corruption was not caught")
+    minimal = shrink(original, fails)
+    result = run_case(minimal, world_setup=corrupting_world_setup(seed))
+    return original, minimal, result

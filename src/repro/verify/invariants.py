@@ -1,0 +1,458 @@
+"""The invariant registry: what "numerically equivalent" means, checked.
+
+Every parallel plan in this repo claims some equivalence to the plain
+single-rank model — bitwise where the design promises it (threaded vs
+sequential execution, PR 3's contract), tolerance-banded where comm is
+compressed (§5 FP8), and always subject to conservation laws (tokens
+through dispatch/combine, router probability mass, ledger bytes vs the
+Eq. 1–4 closed forms) and finiteness.  This module encodes each claim
+as a named :class:`Invariant` with an ``applies`` predicate and a
+``check`` that returns violations; the engine evaluates every
+registered invariant against a case's :class:`~repro.verify.engine.
+RunArtifacts`.
+
+Tolerance policy (per precision format)
+---------------------------------------
+Bands derive from :mod:`repro.precision.formats`:
+
+* uncompressed comm (``fp32``/``bf16`` cases move float64 on the wire):
+  collectives are arithmetic identities, so losses/grads/params must
+  match the golden model to near machine precision
+  (``rtol = 1e-9 .. 1e-8``).
+* ``fp8`` compressed comm: per-token E4M3 quantization carries at most
+  ``epsilon/2`` relative error per element (``epsilon = 2^-3``).  The
+  per-step loss must stay within ``rtol = epsilon``; the first step's
+  gradients (taken before trajectories diverge) within
+  ``rtol = 4 * epsilon`` of the per-tensor golden max — the factor 4
+  covers error accumulation through layers and the backward dual
+  (measured headroom is ~4x on the smoke models).  Beyond the first
+  step the *trajectory* legitimately diverges (Adam amplifies
+  direction changes), so param/grad closeness is only enforced for
+  uncompressed cases.
+
+Adding an invariant: build an :class:`Invariant` and pass it to
+:func:`register_invariant`; see docs/INTERNALS.md §9.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List
+
+import numpy as np
+
+from ..obs.audit import audit_comm_volumes
+from ..precision.formats import FP8_E4M3
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .cases import VerifyCase
+    from .engine import RunArtifacts
+
+__all__ = [
+    "ToleranceBand",
+    "tolerance_for_precision",
+    "Invariant",
+    "InvariantResult",
+    "register_invariant",
+    "registered_invariants",
+    "default_registry",
+]
+
+
+@dataclass(frozen=True)
+class ToleranceBand:
+    """``|a - b| <= atol + rtol * scale`` closeness band."""
+
+    rtol: float
+    atol: float
+
+    def close(self, a: float, b: float, scale: float) -> bool:
+        """Whether a and b agree within the band at this scale."""
+        return abs(a - b) <= self.atol + self.rtol * abs(scale)
+
+
+#: Per-precision bands for (per-step loss, first-step grads, final
+#: params).  fp32/bf16 cases move uncompressed float64 on the wire;
+#: fp8 bands scale with the E4M3 format epsilon (see module docstring).
+_EPS8 = FP8_E4M3.epsilon
+_BANDS: Dict[str, Dict[str, ToleranceBand]] = {
+    "fp32": {
+        "loss": ToleranceBand(rtol=1e-9, atol=1e-12),
+        "grads": ToleranceBand(rtol=1e-8, atol=1e-12),
+        "params": ToleranceBand(rtol=1e-8, atol=1e-12),
+    },
+    "bf16": {
+        "loss": ToleranceBand(rtol=1e-9, atol=1e-12),
+        "grads": ToleranceBand(rtol=1e-8, atol=1e-12),
+        "params": ToleranceBand(rtol=1e-8, atol=1e-12),
+    },
+    "fp8": {
+        "loss": ToleranceBand(rtol=_EPS8, atol=1e-12),
+        "grads": ToleranceBand(rtol=4.0 * _EPS8, atol=1e-12),
+        "params": ToleranceBand(rtol=4.0 * _EPS8, atol=1e-12),
+    },
+}
+
+
+def tolerance_for_precision(precision: str, kind: str) -> ToleranceBand:
+    """The closeness band for one precision and comparison kind."""
+    try:
+        return _BANDS[precision][kind]
+    except KeyError:
+        raise KeyError(
+            f"no tolerance band for precision={precision!r} "
+            f"kind={kind!r}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """One named equivalence/conservation claim.
+
+    ``applies(case)`` gates the check (inapplicable invariants report
+    ``skip`` in the matrix); ``check(artifacts)`` returns a list of
+    human-readable violation strings — empty means the claim held.
+    """
+
+    name: str
+    description: str
+    applies: Callable[["VerifyCase"], bool]
+    check: Callable[["RunArtifacts"], List[str]]
+
+
+@dataclass(frozen=True)
+class InvariantResult:
+    """One invariant's outcome for one case."""
+
+    name: str
+    status: str  # "pass" | "fail" | "skip"
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status != "fail"
+
+
+_REGISTRY: Dict[str, Invariant] = {}
+
+
+def register_invariant(invariant: Invariant) -> Invariant:
+    """Add (or replace) an invariant in the global registry."""
+    _REGISTRY[invariant.name] = invariant
+    return invariant
+
+
+def registered_invariants() -> List[Invariant]:
+    """All registered invariants, in registration order."""
+    return list(_REGISTRY.values())
+
+
+# -- built-in checks ---------------------------------------------------------
+
+
+def _check_finiteness(art: "RunArtifacts") -> List[str]:
+    violations = []
+    for step, loss in enumerate(art.losses):
+        if not math.isfinite(loss):
+            violations.append(f"step {step} loss is {loss}")
+    for step, norm in enumerate(art.grad_norms):
+        if not math.isfinite(norm):
+            violations.append(f"step {step} grad norm is {norm}")
+    for name, value in art.params.items():
+        if not np.isfinite(value).all():
+            violations.append(f"param {name} has non-finite entries")
+    for name, grad in art.final_grads.items():
+        if grad is not None and not np.isfinite(grad).all():
+            violations.append(f"grad {name} has non-finite entries")
+    return violations
+
+
+def _check_golden_loss(art: "RunArtifacts") -> List[str]:
+    band = tolerance_for_precision(art.case.precision, "loss")
+    violations = []
+    for step, (got, want) in enumerate(zip(art.losses,
+                                           art.golden.losses)):
+        if not band.close(got, want, want):
+            violations.append(
+                f"step {step} loss {got:.10g} vs golden {want:.10g} "
+                f"(rel err {abs(got - want) / max(abs(want), 1e-300):.3g}"
+                f" > rtol {band.rtol:g})"
+            )
+    return violations
+
+
+def _check_golden_grads(art: "RunArtifacts") -> List[str]:
+    band = tolerance_for_precision(art.case.precision, "grads")
+    # FP8 comm noise is absolute, set by the quantized *activation*
+    # scale — a tensor whose own gradients happen to be tiny still
+    # receives noise at the global gradient scale, so the band must be
+    # anchored to the largest golden gradient, not each tensor's own.
+    global_scale = max(
+        (float(np.abs(g).max()) for g
+         in art.golden.first_step_grads.values() if g.size),
+        default=0.0,
+    )
+    per_tensor_scale = art.case.precision != "fp8"
+    violations = []
+    for name, want in art.golden.first_step_grads.items():
+        got = art.first_step_grads.get(name)
+        if got is None:
+            violations.append(f"first-step grad {name} missing")
+            continue
+        if per_tensor_scale:
+            scale = float(np.abs(want).max()) if want.size else 0.0
+        else:
+            scale = global_scale
+        err = float(np.abs(got - want).max()) if want.size else 0.0
+        if err > band.atol + band.rtol * scale:
+            violations.append(
+                f"first-step grad {name}: max |Δ| {err:.3g} > "
+                f"{band.atol:g} + {band.rtol:g} * max|golden| {scale:.3g}"
+            )
+    return violations
+
+
+def _check_golden_params(art: "RunArtifacts") -> List[str]:
+    band = tolerance_for_precision(art.case.precision, "params")
+    violations = []
+    for name, want in art.golden.params.items():
+        got = art.params.get(name)
+        if got is None:
+            violations.append(f"param {name} missing")
+            continue
+        scale = float(np.abs(want).max()) if want.size else 0.0
+        err = float(np.abs(got - want).max()) if want.size else 0.0
+        if err > band.atol + band.rtol * scale:
+            violations.append(
+                f"final param {name}: max |Δ| {err:.3g} > "
+                f"{band.atol:g} + {band.rtol:g} * max|golden| {scale:.3g}"
+            )
+    return violations
+
+
+def _check_threaded_bitwise(art: "RunArtifacts") -> List[str]:
+    twin = art.twin
+    violations = []
+    if art.losses != twin.losses:
+        violations.append(
+            f"per-step losses differ: {art.losses} vs {twin.losses}"
+        )
+    for name, want in twin.params.items():
+        got = art.params.get(name)
+        if got is None or not np.array_equal(got, want):
+            violations.append(f"param {name} not bitwise-equal to the "
+                              "sequential twin")
+    if art.ledger_total_bytes != twin.ledger_total_bytes:
+        violations.append(
+            f"ledger bytes differ: {art.ledger_total_bytes} vs "
+            f"{twin.ledger_total_bytes}"
+        )
+    if art.ledger_counts != twin.ledger_counts:
+        violations.append(
+            f"collective counts differ: {art.ledger_counts} vs "
+            f"{twin.ledger_counts}"
+        )
+    return violations
+
+
+def _check_token_conservation(art: "RunArtifacts") -> List[str]:
+    violations = []
+    for layer, tele in enumerate(art.telemetry):
+        if tele is None:
+            continue
+        if tele["input_shapes"] != tele["output_shapes"]:
+            violations.append(
+                f"layer {layer}: combine returned shapes "
+                f"{tele['output_shapes']} != dispatched "
+                f"{tele['input_shapes']}"
+            )
+        total_in = sum(tele["tokens_in"])
+        total_kept = sum(tele["kept_pairs"])
+        if total_kept > total_in * tele["top_k"]:
+            violations.append(
+                f"layer {layer}: {total_kept} kept (token, slot) pairs "
+                f"exceed {total_in} tokens x top_k={tele['top_k']}"
+            )
+        if tele["mode"] == "a2a":
+            # tokens_per_rank is each rank's kept pair count; dispatch
+            # must move exactly those rows and combine must return them.
+            for rank, (sent, kept) in enumerate(
+                    zip(tele["tokens_per_rank"], tele["kept_pairs"])):
+                if sent != kept:
+                    violations.append(
+                        f"layer {layer} rank {rank}: dispatched {sent} "
+                        f"rows but routing kept {kept} pairs"
+                    )
+            splits = tele["send_splits"]
+            if splits is not None:
+                for rank, row in enumerate(splits):
+                    if sum(row) != tele["kept_pairs"][rank]:
+                        violations.append(
+                            f"layer {layer} rank {rank}: send splits "
+                            f"{row} sum to {sum(row)}, expected "
+                            f"{tele['kept_pairs'][rank]} kept pairs"
+                        )
+        else:  # ag_rs: every rank contributes its full token shard
+            if tele["tokens_per_rank"] != tele["tokens_in"]:
+                violations.append(
+                    f"layer {layer}: AG/RS shard sizes "
+                    f"{tele['tokens_per_rank']} != input token counts "
+                    f"{tele['tokens_in']}"
+                )
+    return violations
+
+
+def _check_router_mass(art: "RunArtifacts") -> List[str]:
+    violations = []
+    for layer, tele in enumerate(art.telemetry):
+        if tele is None:
+            continue
+        for rank, (mass, full) in enumerate(zip(tele["gate_mass"],
+                                                tele["fully_kept"])):
+            if mass.size == 0:
+                continue
+            if float(mass.min()) < -1e-12 or float(mass.max()) > 1.0 + 1e-9:
+                violations.append(
+                    f"layer {layer} routing[{rank}]: combine-weight "
+                    f"mass outside [0, 1] "
+                    f"(min {mass.min():.3g}, max {mass.max():.3g})"
+                )
+            kept_mass = mass[full]
+            if kept_mass.size and (np.abs(kept_mass - 1.0) > 1e-9).any():
+                violations.append(
+                    f"layer {layer} routing[{rank}]: fully-kept tokens "
+                    f"have combine mass != 1 (worst "
+                    f"{kept_mass[np.abs(kept_mass - 1.0).argmax()]:.12g})"
+                )
+    return violations
+
+
+def _check_comm_audit(art: "RunArtifacts") -> List[str]:
+    case = art.case
+    report = audit_comm_volumes(
+        art.ledger, b=case.batch, s=case.seq, h=case.hidden,
+        n=case.ranks, m=case.gqa_ratio, k=case.top_k,
+        elem_bytes=8.0, passes=case.layers * case.steps,
+    )
+    violations = []
+    for entry in report.entries:
+        if case.precision == "fp8" and entry.mechanism == "ep_ffn_ag_rs":
+            # FP8 comm ships 1-byte payloads + FP32 scales on the
+            # AG/RS FFN collectives (the A2A path stays uncompressed);
+            # the float64 closed forms only bound the uncompressed
+            # volume.  Still enforce the bound direction: compressed
+            # must never exceed the uncompressed prediction.
+            if entry.measured_bytes > entry.expected_bytes * (1 + 1e-9):
+                violations.append(
+                    f"{entry.mechanism}: compressed bytes "
+                    f"{entry.measured_bytes:.0f} exceed the "
+                    f"uncompressed {entry.equation} volume "
+                    f"{entry.expected_bytes:.0f}"
+                )
+            continue
+        tolerance = entry.tolerance
+        if entry.hard_bound_bytes is not None:
+            # The A2A volume is a binomial sum over routed (token,
+            # slot) pairs, each remote with p = (n-1)/n; widen the
+            # expectation band to 4 standard errors so small fuzzed
+            # cases don't trip on routing noise.  The all-remote hard
+            # bound stays exact at any size (``entry.within_bound``).
+            pairs = (case.batch * case.seq * case.top_k
+                     * case.layers * case.steps)
+            p_remote = (case.ranks - 1) / case.ranks
+            rel_std = math.sqrt(
+                (1.0 - p_remote) / (p_remote * max(pairs, 1)))
+            tolerance = max(tolerance, 4.0 * rel_std)
+            if not entry.within_bound:
+                violations.append(
+                    f"{entry.mechanism}: measured "
+                    f"{entry.measured_bytes:.0f} B exceed the "
+                    f"all-remote hard bound "
+                    f"{entry.hard_bound_bytes:.0f} B"
+                )
+                continue
+        if entry.rel_error > tolerance:
+            violations.append(
+                f"{entry.mechanism} ({entry.equation}): measured "
+                f"{entry.measured_bytes:.0f} B vs expected "
+                f"{entry.expected_bytes:.0f} B "
+                f"(rel err {entry.rel_error:.4f} > {tolerance:g})"
+            )
+    if not report.entries:
+        violations.append("no audited mechanisms found in the ledger")
+    return violations
+
+
+def default_registry() -> List[Invariant]:
+    """(Re)register and return the built-in invariants."""
+    builtins = [
+        Invariant(
+            name="finiteness",
+            description="every loss, grad norm, parameter, and "
+                        "gradient is finite",
+            applies=lambda case: True,
+            check=_check_finiteness,
+        ),
+        Invariant(
+            name="golden_loss",
+            description="per-step loss matches the single-rank golden "
+                        "model within the precision band",
+            applies=lambda case: case.dropout == 0.0,
+            check=_check_golden_loss,
+        ),
+        Invariant(
+            name="golden_grads",
+            description="first-step gradients match golden within the "
+                        "precision band",
+            applies=lambda case: case.dropout == 0.0,
+            check=_check_golden_grads,
+        ),
+        Invariant(
+            name="golden_params",
+            description="final parameters match golden (uncompressed "
+                        "comm only: FP8 trajectories legitimately "
+                        "diverge)",
+            applies=lambda case: (case.dropout == 0.0
+                                  and case.precision != "fp8"),
+            check=_check_golden_params,
+        ),
+        Invariant(
+            name="threaded_bitwise",
+            description="threaded execution is bitwise-identical to "
+                        "the sequential twin (losses, params, ledger)",
+            applies=lambda case: case.execution == "threaded",
+            check=_check_threaded_bitwise,
+        ),
+        Invariant(
+            name="token_conservation",
+            description="token counts are conserved through EP "
+                        "dispatch and combine",
+            applies=lambda case: case.ffn == "ep",
+            check=_check_token_conservation,
+        ),
+        Invariant(
+            name="router_mass",
+            description="router combine-weight mass is in [0, 1] and "
+                        "exactly 1 for fully-kept tokens",
+            applies=lambda case: case.ffn == "ep",
+            check=_check_router_mass,
+        ),
+        Invariant(
+            name="comm_audit",
+            description="CommLedger bytes match the Eq. 1-4 closed "
+                        "forms",
+            # Eq. 1-4 describe inter-rank traffic: at world size 1
+            # every closed form is zero and the ledger is empty.
+            applies=lambda case: (case.attention == "sp"
+                                  and case.ffn == "ep"
+                                  and case.ranks > 1),
+            check=_check_comm_audit,
+        ),
+    ]
+    for invariant in builtins:
+        register_invariant(invariant)
+    return builtins
+
+
+default_registry()

@@ -56,6 +56,29 @@ class TestStragglerDetector:
         with pytest.raises(ValueError, match="durations"):
             det.observe([0, 1], [1.0])
 
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -1.0])
+    def test_non_finite_observation_dropped(self, bad):
+        """One NaN/inf/negative sample must not blind the detector:
+        the poisoned observation is dropped and detection continues."""
+        det = StragglerDetector(window=8, z_threshold=1.5)
+        det.observe([0, 1, 2, 3], [1.0, 1.0, bad, 1.0])
+        for _ in range(8):
+            det.observe([0, 1, 2, 3], [1.0, 1.0, 2.0, 1.0])
+        assert det.flagged() == [2]
+
+    def test_zero_mean_observation_dropped(self):
+        det = StragglerDetector(window=4)
+        det.observe([0, 1, 2, 3], [0.0, 0.0, 0.0, 0.0])
+        for _ in range(4):
+            det.observe([0, 1, 2, 3], [1.0, 1.0, 1.0, 1.0])
+        assert det.flagged() == []
+
+    def test_zero_variance_window_never_divides_by_zero(self):
+        det = StragglerDetector(window=2)
+        for _ in range(2):
+            det.observe([0, 1], [1.0, 1.0])
+        assert det.flagged() == []  # identical means, std == 0
+
 
 class TestNumericGuard:
     def test_finite_passes(self):

@@ -77,6 +77,31 @@ class TestHybrid2DTrainer:
         assert result.intra_node_sync_bytes > 0
         assert result.inter_node_sync_bytes > 0
 
+    def test_sync_bytes_exact_under_ledger_rotation(self):
+        """Traffic deltas come from cumulative tag counters: a bounded
+        ledger rotating records between the before/after snapshots must
+        not under-count the sync traffic."""
+        batches = make_batches(2)
+
+        def run(max_records):
+            world = World(8, ranks_per_node=4,
+                          max_ledger_records=max_records)
+            h2d = Hybrid2DTrainer(CONFIG, world,
+                                  ParallelConfig.megascale(4), TRAIN,
+                                  seed=0)
+            results = [h2d.train_step(batches[i:i + 2])
+                       for i in range(0, 4, 2)]
+            return world, results
+
+        bounded_world, bounded = run(4)
+        _, unbounded = run(None)
+        assert bounded_world.ledger.dropped > 0
+        for b_res, u_res in zip(bounded, unbounded):
+            assert b_res.intra_node_sync_bytes == \
+                u_res.intra_node_sync_bytes > 0
+            assert b_res.inter_node_sync_bytes == \
+                u_res.inter_node_sync_bytes > 0
+
     def test_intra_traffic_is_replicated_params_only(self):
         """Expert parameters never touch the intra-node sync path."""
         batches = make_batches(1)

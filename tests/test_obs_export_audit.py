@@ -161,13 +161,41 @@ class TestAudit:
 
     def test_tampered_ledger_detected(self):
         world = run_engine("sp_attn")
-        for record in world.ledger.records:
-            record.send_bytes_per_rank = [
-                v * 1.5 for v in record.send_bytes_per_rank]
+        # The auditor reads the rotation-proof cumulative counters, so
+        # that is where a byte-accounting bug would surface.
+        for agg in world.ledger.cumulative.values():
+            agg["total_bytes"] *= 1.5
         report = audit_comm_volumes(world.ledger, b=B, s=S, h=H, n=N,
                                     m=M, k=K)
         assert not report.ok
         assert [e.mechanism for e in report.failed()] == ["sp_attention"]
+
+    def test_audit_exact_across_ledger_rotation(self):
+        """The auditor reads the never-rotated cumulative counters, so
+        a bounded ledger that rotates records mid-window must audit
+        byte-identically to an unbounded one."""
+        passes = 3
+
+        def run(max_records):
+            world = World(N, N, max_ledger_records=max_records)
+            attn = SelfAttention(np.random.default_rng(0), H, 8, M,
+                                 dtype=np.float64)
+            engine = SPAttentionEngine(world.full_group(), attn)
+            x = np.random.default_rng(1).standard_normal((B, S, H))
+            for _ in range(passes):
+                engine.forward(shard(x, N), S)
+            return world
+
+        bounded, unbounded = run(2), run(None)
+        assert bounded.ledger.dropped > 0  # rotation actually happened
+        kwargs = dict(b=B, s=S, h=H, n=N, m=M, k=K, passes=passes)
+        rb = audit_comm_volumes(bounded.ledger, **kwargs)
+        ru = audit_comm_volumes(unbounded.ledger, **kwargs)
+        assert rb.ok and ru.ok
+        assert rb.entry("sp_attention").measured_bytes == \
+            ru.entry("sp_attention").measured_bytes
+        assert bounded.ledger.bytes_by_tag() == \
+            unbounded.ledger.bytes_by_tag()
 
     def test_span_source_matches_ledger_source(self):
         tracer = Tracer(clock=FakeClock())

@@ -240,6 +240,62 @@ class TestCheckpoint:
         assert not os.path.exists(path + ".tmp")
 
 
+class TestAtomicWrite:
+    """Checkpoint writes go tmp -> fsync -> rename: an interrupted
+    write must never leave a partial file at the final path."""
+
+    def test_success_leaves_no_tmp(self, tmp_path):
+        from repro.core.checkpoint import atomic_write
+        path = os.path.join(tmp_path, "out.bin")
+        atomic_write(path, lambda handle: handle.write(b"payload"))
+        assert os.listdir(tmp_path) == ["out.bin"]
+        with open(path, "rb") as handle:
+            assert handle.read() == b"payload"
+
+    def test_crash_mid_write_preserves_previous_file(self, tmp_path):
+        from repro.core.checkpoint import atomic_write
+        path = os.path.join(tmp_path, "out.bin")
+        atomic_write(path, lambda handle: handle.write(b"good"))
+
+        def interrupted(handle):
+            handle.write(b"partial garbage")
+            raise OSError("disk full")
+
+        with pytest.raises(OSError, match="disk full"):
+            atomic_write(path, interrupted)
+        with open(path, "rb") as handle:
+            assert handle.read() == b"good"
+
+    def test_text_mode(self, tmp_path):
+        from repro.core.checkpoint import atomic_write
+        path = os.path.join(tmp_path, "meta.json")
+        atomic_write(path, lambda handle: handle.write('{"a": 1}'),
+                     text=True)
+        with open(path) as handle:
+            assert handle.read() == '{"a": 1}'
+
+    def test_save_checkpoint_is_atomic(self, tmp_path, monkeypatch):
+        """A save that dies mid-serialization leaves the previous
+        checkpoint loadable, not a truncated npz."""
+        model = MoETransformer(CONFIG, seed=0, dtype=np.float64)
+        path = os.path.join(tmp_path, "ckpt.npz")
+        save_checkpoint(path, model, CONFIG, None, step=1)
+
+        real_savez = np.savez
+
+        def dying_savez(handle, **payload):
+            real_savez(handle, **payload)  # bytes hit the tmp file
+            raise OSError("killed mid-write")
+
+        monkeypatch.setattr(np, "savez", dying_savez)
+        with pytest.raises(OSError, match="killed mid-write"):
+            save_checkpoint(path, model, CONFIG, None, step=2)
+        monkeypatch.undo()
+
+        fresh = MoETransformer(CONFIG, seed=99, dtype=np.float64)
+        assert load_checkpoint(path, fresh, CONFIG) == 1
+
+
 class TestAutoScheduler:
     def graph_and_durations(self):
         graph = build_backward_graph(MODEL_ZOO["mixtral-8x7b"],

@@ -157,3 +157,66 @@ class TestFormats:
                        quantize_per_channel):
             restored = dequantize(scheme(x))
             assert np.isfinite(restored).all()
+
+
+class TestDegenerateInputs:
+    """Zero, huge, and non-finite blocks must never poison the scales.
+
+    Regression guards for the ``_scale_for`` clamps: an all-zero token
+    once produced a 0 scale (0/0 -> NaN on dequantize) and a token
+    above ``float32 max / fmt.max_value`` overflowed the scale to inf.
+    """
+
+    SCHEMES = (quantize_per_tensor, quantize_per_token,
+               quantize_per_channel)
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_all_zero_input_roundtrips_exactly(self, scheme):
+        x = np.zeros((8, 16))
+        q = scheme(x)
+        assert np.isfinite(q.scales).all() and (q.scales > 0).all()
+        np.testing.assert_array_equal(dequantize(q), x)
+
+    def test_zero_token_next_to_normal_token(self, rng):
+        x = rng.standard_normal((4, 16))
+        x[2] = 0.0
+        q = quantize_per_token(x)
+        restored = dequantize(q)
+        assert np.isfinite(restored).all()
+        np.testing.assert_array_equal(restored[2], 0.0)
+        assert rel_err(x[:2], restored[:2]) <= FP8_E4M3.epsilon
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_huge_values_roundtrip_finite(self, scheme):
+        x = np.full((4, 8), 1e30)  # far above fmt.max, within float32
+        restored = dequantize(scheme(x))
+        assert np.isfinite(restored).all()
+        assert rel_err(x, restored) <= FP8_E4M3.epsilon
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_beyond_float32_saturates_without_nan(self, scheme):
+        # 1e305 cannot traverse an 8-bit + f32-scale wire at all; the
+        # contract is a clamped finite scale and inf (never NaN) after
+        # dequantize, so the finiteness invariant can flag it.
+        x = np.full((4, 8), 1e305)
+        q = scheme(x)
+        assert np.isfinite(q.scales).all()
+        with np.errstate(over="ignore"):
+            assert not np.isnan(dequantize(q)).any()
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_inf_input_keeps_scales_finite(self, scheme):
+        x = np.ones((4, 8))
+        x[1, 3] = np.inf
+        q = scheme(x)
+        assert np.isfinite(q.scales).all()
+        with np.errstate(over="ignore"):
+            assert not np.isnan(dequantize(q)).any()
+
+    def test_grouped_zero_group(self, rng):
+        x = rng.standard_normal((8, 16))
+        x[0:4] = 0.0
+        q = quantize_grouped(x, group_size=4)
+        restored = dequantize(q)
+        assert np.isfinite(restored).all()
+        np.testing.assert_array_equal(restored[0:4], 0.0)

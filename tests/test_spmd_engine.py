@@ -178,7 +178,7 @@ def rng_fixed(seed, shape):
 # -- end-to-end bitwise identity ---------------------------------------------
 
 
-def run_trainer(execution, ep_mode, plan=None, steps=2):
+def run_trainer(execution, ep_mode, plan=None, steps=2, **train_kw):
     model = MoETransformer(CONFIG, seed=0, dtype=np.float64)
     world = World(4, ranks_per_node=4)
     if plan is not None:
@@ -186,7 +186,7 @@ def run_trainer(execution, ep_mode, plan=None, steps=2):
     parallel = ParallelConfig(model_parallel_size=4, attention="sp",
                               ffn="ep", ep_dispatch=ep_mode)
     trainer = MegaScaleTrainer(model, world, parallel,
-                               make_train(execution))
+                               make_train(execution, **train_kw))
     rng = np.random.default_rng(7)
     results = []
     for _ in range(steps):
@@ -223,6 +223,32 @@ class TestBitwiseIdentity:
             np.testing.assert_array_equal(p_seq[name], p_thr[name],
                                           err_msg=name)
         assert led_seq.total_bytes() == led_thr.total_bytes()
+
+    @pytest.mark.parametrize("ep_mode", ["a2a", "ag_rs"])
+    def test_sp_ep_trainer_with_dropout(self, ep_mode):
+        """Per-rank RNG streams make each dropout mask a pure function
+        of (dropout_seed, rank): thread interleaving cannot perturb
+        another rank's stream, so identity holds with dropout on."""
+        seq, p_seq, led_seq = run_trainer("sequential", ep_mode,
+                                          dropout=0.2, dropout_seed=11)
+        thr, p_thr, led_thr = run_trainer("threaded", ep_mode,
+                                          dropout=0.2, dropout_seed=11)
+        assert seq == thr
+        for name in p_seq:
+            np.testing.assert_array_equal(p_seq[name], p_thr[name],
+                                          err_msg=name)
+        assert led_seq.total_bytes() == led_thr.total_bytes()
+        assert led_seq.counts() == led_thr.counts()
+        # ... and dropout genuinely participated in the math.
+        base, _, _ = run_trainer("sequential", ep_mode)
+        assert seq != base
+
+    def test_dropout_seed_changes_masks(self):
+        a, _, _ = run_trainer("sequential", "a2a", steps=1,
+                              dropout=0.2, dropout_seed=11)
+        b, _, _ = run_trainer("sequential", "a2a", steps=1,
+                              dropout=0.2, dropout_seed=12)
+        assert a != b
 
     def test_plan_sees_identical_call_count(self):
         plan_seq, plan_thr = slow_link_plan(), slow_link_plan()

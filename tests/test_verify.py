@@ -1,0 +1,315 @@
+"""Differential verification subsystem (repro.verify) tests.
+
+Three layers of coverage: the case/registry plumbing, the conformance
+engine on known-good plans, and — most importantly — proof that the
+invariants *catch* injected bugs: a bit-flipped collective payload is
+flagged and shrunk to a minimal reproducer, and each invariant detects
+a hand-tampered artifact of its bug class.
+"""
+
+import numpy as np
+import pytest
+
+from repro.verify import (
+    ConformanceReport,
+    VerifyCase,
+    registered_invariants,
+    run_case,
+    run_matrix,
+    shrink,
+    smoke_matrix,
+    tolerance_for_precision,
+)
+from repro.verify import invariants as inv
+from repro.verify.engine import _run_golden, _run_parallel
+from repro.verify.fuzz import (
+    _shrink_candidates,
+    corrupting_world_setup,
+    sample_case,
+)
+
+#: A deliberately tiny config so each differential run stays cheap.
+SMALL = dict(ranks=2, layers=1, hidden=16, heads=4, gqa_ratio=2,
+             ffn_hidden=16, experts=2, top_k=1, vocab=32, batch=1,
+             seq=4, steps=1)
+
+
+def small_case(**kw):
+    return VerifyCase(**{**SMALL, **kw})
+
+
+class TestVerifyCase:
+    def test_defaults_valid(self):
+        case = VerifyCase()
+        assert case.ranks == 4
+        assert case.case_id.startswith("sp-ep-a2a-fp32-seq")
+
+    @pytest.mark.parametrize("changes", [
+        dict(heads=6),            # not divisible by ranks=4
+        dict(experts=6),          # not divisible by ranks=4
+        dict(seq=10),             # not divisible by ranks=4
+        dict(hidden=36),          # not divisible by heads=8
+        dict(top_k=9),            # > experts
+        dict(ep_dispatch="ring"),
+        dict(precision="fp4"),
+        dict(execution="mpi"),
+        dict(dropout=1.0),
+        dict(steps=0),
+    ])
+    def test_validation_rejects(self, changes):
+        with pytest.raises(ValueError):
+            VerifyCase(**changes)
+
+    def test_replace_revalidates(self):
+        case = VerifyCase()
+        with pytest.raises(ValueError):
+            case.replace(ranks=3)
+
+    def test_twin_sequential(self):
+        case = VerifyCase(execution="threaded")
+        twin = case.twin_sequential()
+        assert twin.execution == "sequential"
+        assert twin.replace(execution="threaded") == case
+
+    def test_case_id_distinguishes_fields(self):
+        ids = {
+            VerifyCase().case_id,
+            VerifyCase(execution="threaded").case_id,
+            VerifyCase(precision="fp8").case_id,
+            VerifyCase(ep_dispatch="ag_rs").case_id,
+            VerifyCase(seed=9).case_id,
+            VerifyCase(dropout=0.1).case_id,
+        }
+        assert len(ids) == 6
+
+    def test_smoke_matrix_covers_grid(self):
+        cases = smoke_matrix()
+        assert len(cases) == 8
+        assert {c.execution for c in cases} == {"sequential", "threaded"}
+        assert {c.ep_dispatch for c in cases} == {"a2a", "ag_rs"}
+        assert {c.precision for c in cases} == {"fp32", "fp8"}
+        assert len({c.case_id for c in cases}) == 8
+
+
+class TestRegistry:
+    def test_builtin_invariants_present(self):
+        names = [i.name for i in registered_invariants()]
+        for expected in ("finiteness", "golden_loss", "golden_grads",
+                         "golden_params", "threaded_bitwise",
+                         "token_conservation", "router_mass",
+                         "comm_audit"):
+            assert expected in names
+
+    def test_fp8_bands_looser_than_fp32(self):
+        for kind in ("loss", "grads", "params"):
+            assert (tolerance_for_precision("fp8", kind).rtol
+                    > tolerance_for_precision("fp32", kind).rtol)
+
+    def test_unknown_band_raises(self):
+        with pytest.raises(KeyError):
+            tolerance_for_precision("fp32", "perplexity")
+
+    def test_register_custom_invariant(self):
+        custom = inv.Invariant(
+            name="always_green", description="test-only",
+            applies=lambda case: True, check=lambda art: [])
+        try:
+            inv.register_invariant(custom)
+            assert custom in registered_invariants()
+            result = run_case(small_case())
+            assert result.outcome("always_green").status == "pass"
+        finally:
+            del inv._REGISTRY["always_green"]
+
+    def test_applies_gates_to_skip(self):
+        result = run_case(small_case())  # sequential
+        assert result.outcome("threaded_bitwise").status == "skip"
+        # fp8-only skip: golden params checked for uncompressed comm
+        assert result.outcome("golden_params").status == "pass"
+        fp8 = run_case(small_case(precision="fp8",
+                                  ep_dispatch="ag_rs"))
+        assert fp8.outcome("golden_params").status == "skip"
+
+
+class TestConformance:
+    @pytest.mark.parametrize("execution", ["sequential", "threaded"])
+    @pytest.mark.parametrize("dispatch", ["a2a", "ag_rs"])
+    def test_known_good_plans_conform(self, execution, dispatch):
+        result = run_case(small_case(execution=execution,
+                                     ep_dispatch=dispatch))
+        assert result.ok, [f.detail for f in result.failures()]
+        assert result.outcome("golden_loss").status == "pass"
+        if execution == "threaded":
+            assert result.outcome("threaded_bitwise").status == "pass"
+
+    def test_single_rank_case_conforms(self):
+        result = run_case(small_case(ranks=1, experts=1, seq=4))
+        assert result.ok, [f.detail for f in result.failures()]
+        # Eq. 1-4 describe inter-rank traffic; skipped at world size 1.
+        assert result.outcome("comm_audit").status == "skip"
+
+    def test_dropout_case_skips_golden_but_stays_bitwise(self):
+        result = run_case(small_case(execution="threaded", dropout=0.2,
+                                     steps=2))
+        assert result.ok, [f.detail for f in result.failures()]
+        assert result.outcome("golden_loss").status == "skip"
+        assert result.outcome("threaded_bitwise").status == "pass"
+
+    def test_report_render(self):
+        report = run_matrix([small_case(), small_case(seed=3)])
+        text = report.render()
+        assert "conformance matrix" in text
+        assert small_case().case_id in text
+        assert "2 cases, 2 conformant, 0 failing" in text
+
+    def test_empty_report(self):
+        assert ConformanceReport(results=[]).render() == "(no cases run)"
+
+
+class TestInjectedViolations:
+    """Reverting a bugfix / injecting a perturbation must be *caught*."""
+
+    def test_bitflip_breaks_threaded_identity(self):
+        case = small_case(execution="threaded")
+        clean = run_case(case)
+        assert clean.ok
+        hurt = run_case(case, world_setup=corrupting_world_setup(seed=0))
+        assert not hurt.ok
+        failing = {f.name for f in hurt.failures()}
+        assert "threaded_bitwise" in failing
+
+    def test_bitflip_caught_by_golden_on_sequential(self):
+        hurt = run_case(small_case(),
+                        world_setup=corrupting_world_setup(seed=0))
+        assert not hurt.ok
+        failing = {f.name for f in hurt.failures()}
+        assert failing & {"golden_loss", "golden_grads",
+                          "golden_params"}
+
+    def test_shrink_finds_minimal_reproducer(self):
+        original = small_case(execution="threaded", layers=2, steps=2,
+                              batch=2, seq=8, experts=4, top_k=2)
+
+        def fails(case):
+            return not run_case(
+                case, world_setup=corrupting_world_setup(seed=0)).ok
+
+        assert fails(original)
+        minimal = shrink(original, fails)
+        assert fails(minimal)
+        # Strictly smaller, and a local minimum: no candidate
+        # reduction of the minimal case still fails.
+        size = lambda c: (c.ranks, c.layers, c.steps, c.batch, c.seq,
+                          c.experts, c.top_k)
+        assert size(minimal) != size(original)
+        assert all(a <= b for a, b in zip(size(minimal),
+                                          size(original)))
+        assert all(not fails(c) for c in _shrink_candidates(minimal))
+
+    def test_shrink_respects_eval_budget(self):
+        calls = []
+
+        def fails(case):
+            calls.append(case)
+            return True  # everything "fails": shrink to the floor
+
+        shrink(small_case(execution="threaded", layers=2, steps=2),
+               fails, max_evals=3)
+        assert len(calls) <= 3
+
+
+class TestInvariantChecks:
+    """Each check flags a hand-tampered artifact of its bug class."""
+
+    @pytest.fixture()
+    def artifacts(self):
+        art = _run_parallel(small_case())
+        art.golden = _run_golden(small_case())
+        return art
+
+    def test_clean_artifacts_pass(self, artifacts):
+        assert inv._check_finiteness(artifacts) == []
+        assert inv._check_golden_loss(artifacts) == []
+        assert inv._check_token_conservation(artifacts) == []
+        assert inv._check_router_mass(artifacts) == []
+        assert inv._check_comm_audit(artifacts) == []
+
+    def test_finiteness_flags_nan_param(self, artifacts):
+        name = next(iter(artifacts.params))
+        artifacts.params[name].flat[0] = np.nan
+        assert any(name in v for v in
+                   inv._check_finiteness(artifacts))
+
+    def test_golden_loss_flags_drift(self, artifacts):
+        artifacts.losses[0] *= 1.01
+        assert inv._check_golden_loss(artifacts)
+
+    def test_token_conservation_flags_lost_rows(self, artifacts):
+        tele = next(t for t in artifacts.telemetry if t is not None)
+        tele["tokens_per_rank"][0] -= 1
+        assert inv._check_token_conservation(artifacts)
+
+    def test_token_conservation_flags_bad_splits(self, artifacts):
+        tele = next(t for t in artifacts.telemetry if t is not None)
+        assert tele["mode"] == "a2a" and tele["send_splits"]
+        tele["send_splits"][0][0] += 1
+        assert inv._check_token_conservation(artifacts)
+
+    def test_router_mass_flags_overweight(self, artifacts):
+        tele = next(t for t in artifacts.telemetry if t is not None)
+        tele["gate_mass"][0] = tele["gate_mass"][0] + 0.5
+        assert inv._check_router_mass(artifacts)
+
+    def test_comm_audit_flags_tampered_counters(self, artifacts):
+        for agg in artifacts.ledger.cumulative.values():
+            agg["total_bytes"] *= 1.5
+        assert inv._check_comm_audit(artifacts)
+
+
+class TestFuzzer:
+    def test_sampled_cases_are_valid_and_diverse(self):
+        rng = np.random.default_rng(0)
+        cases = [sample_case(rng) for _ in range(40)]
+        # Construction already validated; check the space is covered.
+        assert {c.ep_dispatch for c in cases} == {"a2a", "ag_rs"}
+        assert {c.precision for c in cases} == {"fp32", "fp8"}
+        assert {c.execution for c in cases} == {"sequential",
+                                                "threaded"}
+        assert len({c.case_id for c in cases}) > 20
+
+    def test_sampling_is_deterministic(self):
+        a = [sample_case(np.random.default_rng(7)) for _ in range(10)]
+        b = [sample_case(np.random.default_rng(7)) for _ in range(10)]
+        assert a == b
+
+    def test_shrink_candidates_are_strictly_smaller(self):
+        case = VerifyCase(execution="threaded")
+        for candidate in _shrink_candidates(case):
+            assert candidate != case
+
+
+class TestCli:
+    def test_verify_smoke_exit_codes(self, monkeypatch, capsys):
+        import repro.__main__ as cli
+        import repro.verify as verify
+
+        monkeypatch.setattr(verify, "smoke_matrix",
+                            lambda seed=0: [small_case(seed=seed)])
+        assert cli.main(["verify", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "conformance matrix" in out
+        assert "1 cases, 1 conformant, 0 failing" in out
+
+    def test_verify_failure_exits_nonzero(self, monkeypatch, capsys):
+        import repro.__main__ as cli
+        import repro.verify as verify
+
+        bad = inv.InvariantResult("golden_loss", "fail", "synthetic")
+        from repro.verify.engine import CaseResult
+
+        monkeypatch.setattr(
+            verify, "run_matrix",
+            lambda cases, progress=None: ConformanceReport(
+                [CaseResult(case=cases[0], outcomes=[bad])]))
+        assert cli.main(["verify", "--smoke"]) == 1
+        assert "FAIL" in capsys.readouterr().out
