@@ -112,7 +112,7 @@ def cmd_train_demo(args) -> int:
     model = MoETransformer(config, seed=0, dtype=np.float64)
     train = TrainConfig(global_batch_size=4, micro_batch_size=4,
                         seq_len=16, learning_rate=3e-3,
-                        aux_loss_coeff=0.01)
+                        aux_loss_coeff=0.01, backend=args.backend)
     trainer = MegaScaleTrainer(
         model, World(4, 4), ParallelConfig.megascale(4), train,
         optimizer=AdamW(model.parameters(), lr=3e-3))
@@ -306,8 +306,11 @@ def cmd_verify(args) -> int:
         report = fuzz(args.fuzz, seed=args.seed, progress=progress)
     else:
         cases = smoke_matrix(seed=args.seed)
+        if args.backend != "engine":
+            cases = [case.replace(backend=args.backend)
+                     for case in cases]
         print(f"running the smoke matrix ({len(cases)} cases, "
-              f"seed {args.seed})")
+              f"seed {args.seed}, backend {args.backend})")
         report = run_matrix(cases, progress=progress)
     print()
     print(report.render())
@@ -346,6 +349,11 @@ def main(argv=None) -> int:
     demo = sub.add_parser("train-demo",
                           help="train a miniature MoE on one node")
     demo.add_argument("steps", nargs="?", type=int, default=10)
+    demo.add_argument("--backend", default=None,
+                      choices=["engine", "dag"],
+                      help="numeric backend: legacy engines or the "
+                           "schedule-ordered DAG executor (bitwise-"
+                           "identical losses)")
 
     ft = sub.add_parser(
         "ft-demo",
@@ -369,6 +377,11 @@ def main(argv=None) -> int:
     verify.add_argument("--fuzz", type=int, default=0, metavar="N",
                         help="run N random fuzzed cases instead")
     verify.add_argument("--seed", type=int, default=0)
+    verify.add_argument("--backend", default="engine",
+                        choices=["engine", "dag"],
+                        help="numeric backend for the smoke matrix "
+                             "(dag adds bitwise + schedule-conformance "
+                             "checks against the engine path)")
     verify.add_argument("--shrink", action="store_true",
                         help="shrink failing cases to minimal "
                              "reproducers")

@@ -332,6 +332,11 @@ class TrainConfig:
     #: bitwise-identical results), or None to defer to the
     #: ``REPRO_EXECUTION`` environment variable.
     execution: Optional[str] = None
+    #: Numeric backend: "engine" (classic per-engine call chains),
+    #: "dag" (the schedule-ordered DAG executor — bitwise-identical
+    #: results), or None to defer to the ``REPRO_BACKEND`` environment
+    #: variable.
+    backend: Optional[str] = None
     #: Attention-output dropout probability (0 disables).  Randomness
     #: comes from per-rank child streams spawned off ``dropout_seed``
     #: (:class:`~repro.runtime.rng.RankRngPool`), so sequential and
@@ -349,6 +354,11 @@ class TrainConfig:
             raise ValueError(
                 f"unknown execution mode {self.execution!r}; expected "
                 "None, 'sequential', or 'threaded'"
+            )
+        if self.backend not in (None, "engine", "dag"):
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected None, "
+                "'engine', or 'dag'"
             )
         if not 0.0 <= self.dropout < 1.0:
             raise ValueError(

@@ -1,0 +1,567 @@
+"""Bindings from the operator IR to numeric execution.
+
+One :class:`~repro.core.operators.OpGraph` drives three things in this
+repo: the overlap schedule (:mod:`repro.core.schedule`), the event
+simulation (:mod:`repro.sim`), and — through this module — the actual
+numeric forward pass.  Each :class:`OpBinding` attaches a numeric
+handler to one forward-graph op (or a small *covers* group of ops that
+one engine method computes together, e.g. the grouped-GEMM chain
+``fc1``/``fc3``/``swiglu``/``fc2``), in two flavors:
+
+* ``seq`` — the whole-world callable used by the sequential backend:
+  it sees every rank's activations and issues the classic ``dist_*``
+  collectives;
+* ``rank`` — the per-rank callable used by the thread-per-rank backend:
+  it sees one rank's activations and a
+  :class:`~repro.runtime.spmd.RankComm` whose collectives rendezvous
+  with the peer threads.
+
+Both flavors call the *same* per-op engine methods
+(``SPAttentionEngine.op_qkv``, ``EPFFNEngine.op_scatter_a2a``, …), so
+the autograd tape they build is structurally identical to the legacy
+engine path — which is why ``repro verify`` can demand bitwise equality
+between the two.
+
+:func:`layer_program` closes the loop with the scheduler: it builds the
+forward graph, prices it with the :class:`~repro.perf.KernelModel`,
+runs the :class:`~repro.core.schedule.HolisticScheduler`, and flattens
+the task list (expanding ``fused:`` kernels back to member ops in graph
+order) into the op-level execution order the
+:class:`~repro.runtime.dag_executor.DagExecutor` follows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .config import GPU_SPECS, ModelConfig, ParallelConfig
+from .operators import OpGraph, build_forward_graph
+from .schedule import HolisticScheduler, OverlapConfig
+
+__all__ = [
+    "LayerProgram",
+    "OpBinding",
+    "build_layer_bindings",
+    "expand_task",
+    "layer_program",
+    "per_rank",
+    "unit_map",
+]
+
+
+def _dist_ops():
+    # Imported lazily: repro.parallel builds on repro.core.
+    from ..parallel import dist_ops
+    return dist_ops
+
+
+# ---------------------------------------------------------------------------
+# Binding model
+# ---------------------------------------------------------------------------
+
+class _SeqCtx:
+    """Whole-world view for the sequential backend."""
+
+    __slots__ = ("group", "env")
+
+    def __init__(self, group: Any, env: Dict[str, List[Any]]):
+        self.group = group
+        #: anchor name -> per-rank value list.
+        self.env = env
+
+
+class _RankCtx:
+    """One rank's view for the thread-per-rank backend."""
+
+    __slots__ = ("comm", "env")
+
+    def __init__(self, comm: Any, env: Dict[str, Any]):
+        self.comm = comm
+        #: anchor name -> this rank's value.
+        self.env = env
+
+    def get(self, name: str) -> Any:
+        return self.env[name]
+
+
+@dataclass(frozen=True)
+class OpBinding:
+    """Numeric handler for one forward-graph op (or covers group).
+
+    Attributes:
+        op: Anchor op name — the binding executes when the DAG
+            executor's order reaches the first op in ``covers``.
+        covers: Graph ops this handler computes in one call.  Covers
+            groups exist where one engine method spans several IR ops
+            (the grouped-GEMM experts chain); every graph op must be
+            covered by exactly one binding.
+        reads: Anchor names (or layer inputs) whose values the handler
+            consumes.  Must all be produced earlier in any valid
+            topological execution order — the executor checks this.
+        seq: Whole-world handler; returns the per-rank value list.
+        rank: Per-rank handler; returns this rank's value.
+    """
+
+    op: str
+    covers: Tuple[str, ...]
+    reads: Tuple[str, ...]
+    seq: Callable[[_SeqCtx], List[Any]]
+    rank: Callable[[_RankCtx], Any]
+
+
+def per_rank(op: str, reads: Sequence[str],
+             fn: Callable[[int, Callable[[str], Any]], Any],
+             covers: Optional[Sequence[str]] = None) -> OpBinding:
+    """Lift one per-rank function into both backend flavors.
+
+    ``fn(r, get)`` computes rank ``r``'s value from ``get(name)`` — the
+    rank's slice of an earlier anchor's value.  The sequential backend
+    loops ranks in order; the threaded backend calls it once per rank
+    thread.  Only valid for ops with no communication.
+    """
+    covers_t = tuple(covers) if covers is not None else (op,)
+
+    def seq(ctx: _SeqCtx) -> List[Any]:
+        out = []
+        for r in range(ctx.group.size):
+            def get(name: str, _r: int = r) -> Any:
+                return ctx.env[name][_r]
+            out.append(fn(r, get))
+        return out
+
+    def rank(ctx: _RankCtx) -> Any:
+        return fn(ctx.comm.index, ctx.get)
+
+    return OpBinding(op, covers_t, tuple(reads), seq, rank)
+
+
+# ---------------------------------------------------------------------------
+# Strategy binding factories
+# ---------------------------------------------------------------------------
+
+def _sp_attention_bindings(engine: Any, seq_len: int) -> List[OpBinding]:
+    """SP (Ulysses) attention: qkv_proj → rope → A2A → attn → A2A →
+    out_proj, replicated weights (§3.1, Fig. 20)."""
+    eng = engine.attn_engine
+    group = engine.group
+    local_s = seq_len // group.size
+    eb = eng.elem_bytes
+
+    def seq_qkv_a2a(ctx: _SeqCtx) -> List[Any]:
+        d = _dist_ops()
+        triples = ctx.env["rope"]
+        q_full = d.dist_all_to_all(group, [t[0] for t in triples],
+                                   split_axis=2, concat_axis=1,
+                                   elem_bytes=eb, tag="sp_attn:qkv_a2a")
+        k_full = d.dist_all_to_all(group, [t[1] for t in triples],
+                                   split_axis=2, concat_axis=1,
+                                   elem_bytes=eb, tag="sp_attn:qkv_a2a")
+        v_full = d.dist_all_to_all(group, [t[2] for t in triples],
+                                   split_axis=2, concat_axis=1,
+                                   elem_bytes=eb, tag="sp_attn:qkv_a2a")
+        return list(zip(q_full, k_full, v_full))
+
+    def rank_qkv_a2a(ctx: _RankCtx) -> Any:
+        q, k, v = ctx.get("rope")
+        comm = ctx.comm
+        q_full = comm.all_to_all(q, split_axis=2, concat_axis=1,
+                                 elem_bytes=eb, tag="sp_attn:qkv_a2a")
+        k_full = comm.all_to_all(k, split_axis=2, concat_axis=1,
+                                 elem_bytes=eb, tag="sp_attn:qkv_a2a")
+        v_full = comm.all_to_all(v, split_axis=2, concat_axis=1,
+                                 elem_bytes=eb, tag="sp_attn:qkv_a2a")
+        return q_full, k_full, v_full
+
+    def seq_attn_a2a(ctx: _SeqCtx) -> List[Any]:
+        return _dist_ops().dist_all_to_all(
+            group, ctx.env["attention"], split_axis=1, concat_axis=2,
+            elem_bytes=eb, tag="sp_attn:attn_a2a")
+
+    def rank_attn_a2a(ctx: _RankCtx) -> Any:
+        return ctx.comm.all_to_all(
+            ctx.get("attention"), split_axis=1, concat_axis=2,
+            elem_bytes=eb, tag="sp_attn:attn_a2a")
+
+    return [
+        per_rank("qkv_proj", ("ln1",),
+                 lambda r, get: eng.op_qkv(get("ln1"))),
+        per_rank("rope", ("qkv_proj",),
+                 lambda r, get: eng.op_rope(get("qkv_proj"), r, local_s)),
+        OpBinding("qkv_a2a", ("qkv_a2a",), ("rope",),
+                  seq_qkv_a2a, rank_qkv_a2a),
+        per_rank("attention", ("qkv_a2a",),
+                 lambda r, get: eng.op_attention(get("qkv_a2a"))),
+        OpBinding("attn_a2a", ("attn_a2a",), ("attention",),
+                  seq_attn_a2a, rank_attn_a2a),
+        per_rank("out_proj", ("attn_a2a",),
+                 lambda r, get: eng.op_out_proj(get("attn_a2a"), r)),
+    ]
+
+
+def _tp_attention_bindings(engine: Any) -> List[OpBinding]:
+    """TP (Megatron) attention: AG in, head-sharded compute, RS out."""
+    eng = engine.attn_engine
+    group = engine.group
+    eb = eng.elem_bytes
+
+    def seq_ag(ctx: _SeqCtx) -> List[Any]:
+        return _dist_ops().dist_all_gather(
+            group, ctx.env["ln1"], axis=1, elem_bytes=eb,
+            tag="tp_attn:ag")
+
+    def rank_ag(ctx: _RankCtx) -> Any:
+        return ctx.comm.all_gather(ctx.get("ln1"), axis=1,
+                                   elem_bytes=eb, tag="tp_attn:ag")
+
+    def seq_rs(ctx: _SeqCtx) -> List[Any]:
+        return _dist_ops().dist_reduce_scatter(
+            group, ctx.env["out_proj"], axis=1, elem_bytes=eb,
+            tag="tp_attn:rs")
+
+    def rank_rs(ctx: _RankCtx) -> Any:
+        return ctx.comm.reduce_scatter(ctx.get("out_proj"), axis=1,
+                                       elem_bytes=eb, tag="tp_attn:rs")
+
+    return [
+        OpBinding("attn_ag", ("attn_ag",), ("ln1",), seq_ag, rank_ag),
+        per_rank("qkv_proj", ("attn_ag",),
+                 lambda r, get: eng.op_qkv(get("attn_ag"), r)),
+        per_rank("rope", ("qkv_proj",),
+                 lambda r, get: eng.op_rope(get("qkv_proj"))),
+        per_rank("attention", ("rope",),
+                 lambda r, get: eng.op_attention(get("rope"))),
+        per_rank("out_proj", ("attention",),
+                 lambda r, get: eng.op_out_proj(get("attention"), r)),
+        OpBinding("attn_rs", ("attn_rs",), ("out_proj",),
+                  seq_rs, rank_rs),
+    ]
+
+
+def _ep_a2a_bindings(engine: Any) -> List[OpBinding]:
+    """EP FFN with A2A dispatch (§3.2 Eq. 3): route local tokens, send
+    kept rows to their experts' ranks, return and gate-combine."""
+    ffn = engine.ffn_engine
+    group = engine.group
+    n = group.size
+    eb = ffn.elem_bytes
+
+    def seq_router(ctx: _SeqCtx) -> List[Any]:
+        flats = ffn._flatten(ctx.env["ln2"])
+        routings, weight_ts = [], []
+        for flat in flats:
+            routing, weights = ffn.op_route(flat)
+            routings.append(routing)
+            weight_ts.append(weights)
+        aux = ffn._global_aux_loss(flats, routings)
+        return [(flat, routing, weights, aux)
+                for flat, routing, weights
+                in zip(flats, routings, weight_ts)]
+
+    def rank_router(ctx: _RankCtx) -> Any:
+        flat = ffn._flatten([ctx.get("ln2")])[0]
+        routing, weights = ffn.op_route(flat)
+        aux = ctx.comm.exchange(
+            ("ep_ffn", "aux"), (flat, routing),
+            lambda slots: ffn._global_aux_loss(
+                [s[0] for s in slots], [s[1] for s in slots]))
+        return flat, routing, weights, aux
+
+    def seq_scatter(ctx: _SeqCtx) -> List[Any]:
+        return [ffn.op_scatter_a2a(flat, routing)
+                for flat, routing, _, _ in ctx.env["router"]]
+
+    def rank_scatter(ctx: _RankCtx) -> Any:
+        flat, routing, _, _ = ctx.get("router")
+        rows, meta, splits = ffn.op_scatter_a2a(flat, routing)
+        # Peers' metadata — the sequential backend reads it straight
+        # out of the whole-world scatter values.
+        shared = ctx.comm.gossip("ep_ffn:meta", (meta, splits))
+        metas = [s[0] for s in shared]
+        all_splits = [s[1] for s in shared]
+        return rows, meta, splits, metas, all_splits
+
+    def seq_dispatch(ctx: _SeqCtx) -> List[Any]:
+        send_rows = [v[0] for v in ctx.env["scatter"]]
+        send_splits = [v[2] for v in ctx.env["scatter"]]
+        ffn._last_send_splits = [list(s) for s in send_splits]
+        return _dist_ops().dist_all_to_all_uneven(
+            group, send_rows, send_splits, elem_bytes=eb,
+            tag="ep_ffn:dispatch_a2a")
+
+    def rank_dispatch(ctx: _RankCtx) -> Any:
+        rows, _, splits = ctx.get("scatter")[:3]
+        return ctx.comm.all_to_all_uneven(
+            rows, splits, elem_bytes=eb, tag="ep_ffn:dispatch_a2a")
+
+    def seq_experts(ctx: _SeqCtx) -> List[Any]:
+        metas = [v[1] for v in ctx.env["scatter"]]
+        all_splits = [v[2] for v in ctx.env["scatter"]]
+        return [
+            ffn.op_experts_a2a(ctx.env["dispatch_a2a"][j], metas,
+                               all_splits, j)
+            for j in range(n)
+        ]
+
+    def rank_experts(ctx: _RankCtx) -> Any:
+        metas, all_splits = ctx.get("scatter")[3:5]
+        return ffn.op_experts_a2a(ctx.get("dispatch_a2a"), metas,
+                                  all_splits, ctx.comm.index)
+
+    def seq_combine(ctx: _SeqCtx) -> List[Any]:
+        all_splits = [v[2] for v in ctx.env["scatter"]]
+        back_splits = [[all_splits[i][j] for i in range(n)]
+                       for j in range(n)]
+        return _dist_ops().dist_all_to_all_uneven(
+            group, ctx.env["fc1"], back_splits, elem_bytes=eb,
+            tag="ep_ffn:combine_a2a")
+
+    def rank_combine(ctx: _RankCtx) -> Any:
+        all_splits = ctx.get("scatter")[4]
+        j = ctx.comm.index
+        back_splits = [all_splits[i][j] for i in range(n)]
+        return ctx.comm.all_to_all_uneven(
+            ctx.get("fc1"), back_splits, elem_bytes=eb,
+            tag="ep_ffn:combine_a2a")
+
+    def weighted(r: int, get: Callable[[str], Any]) -> Any:
+        flat, _, weights, _ = get("router")
+        meta = get("scatter")[1]
+        return ffn.op_combine_weighted(get("combine_a2a"), meta,
+                                       weights, flat.shape[0],
+                                       get("ln2").shape)
+
+    return [
+        OpBinding("router", ("router",), ("ln2",),
+                  seq_router, rank_router),
+        OpBinding("scatter", ("scatter",), ("ln2", "router"),
+                  seq_scatter, rank_scatter),
+        OpBinding("dispatch_a2a", ("dispatch_a2a",), ("scatter",),
+                  seq_dispatch, rank_dispatch),
+        OpBinding("fc1", ("fc1", "fc3", "swiglu", "fc2"),
+                  ("dispatch_a2a", "scatter"),
+                  seq_experts, rank_experts),
+        OpBinding("combine_a2a", ("combine_a2a",), ("fc1", "scatter"),
+                  seq_combine, rank_combine),
+        per_rank("weighted_sum",
+                 ("combine_a2a", "scatter", "router", "ln2"), weighted),
+    ]
+
+
+def _ag_ffn_bindings(engine: Any, flavor: str) -> List[OpBinding]:
+    """The two AG-based FFN paths share one shape (§3.2 Eq. 4):
+    all-gather tokens, route the full batch, local scatter + experts,
+    weighted full-size contribution, reduce-scatter.
+
+    ``flavor`` is ``"ep"`` (AG/RS expert dispatch — whole experts per
+    rank) or ``"tp"`` (Megatron FFN — every expert's intermediate dim
+    sharded); they differ only in tags and the expert handler.
+    """
+    ffn = engine.ffn_engine
+    group = engine.group
+    eb = ffn.elem_bytes
+    if flavor == "ep":
+        ag_tag, rs_tag = "ep_ffn:dispatch_ag", "ep_ffn:combine_rs"
+        gossip_label = "ep_ffn:t_local"
+    else:
+        ag_tag, rs_tag = "tp_ffn:ag", "tp_ffn:rs"
+        gossip_label = "tp_ffn:t_local"
+
+    def seq_ag(ctx: _SeqCtx) -> List[Any]:
+        if flavor == "ep":
+            flats = ffn._flatten(ctx.env["ln2"])
+        else:
+            flats = [s.reshape(-1, s.shape[-1]) if s.ndim == 3 else s
+                     for s in ctx.env["ln2"]]
+        t_locals = [f.shape[0] for f in flats]
+        if ffn.fp8_comm:
+            from ..parallel.dist_ops_fp8 import dist_all_gather_fp8
+            fulls = dist_all_gather_fp8(group, flats, tag=ag_tag)
+        else:
+            fulls = _dist_ops().dist_all_gather(
+                group, flats, axis=0, elem_bytes=eb, tag=ag_tag)
+        return [(full, t_locals) for full in fulls]
+
+    def rank_ag(ctx: _RankCtx) -> Any:
+        shard = ctx.get("ln2")
+        flat = shard.reshape(-1, shard.shape[-1]) if shard.ndim == 3 \
+            else shard
+        t_locals = ctx.comm.gossip(gossip_label, flat.shape[0])
+        if ffn.fp8_comm:
+            from ..parallel.dist_ops_fp8 import dist_all_gather_fp8
+            full = ctx.comm.collective(dist_all_gather_fp8, flat,
+                                       tag=ag_tag)
+        else:
+            full = ctx.comm.all_gather(flat, axis=0, elem_bytes=eb,
+                                       tag=ag_tag)
+        return full, t_locals
+
+    def route(r: int, get: Callable[[str], Any]) -> Any:
+        return ffn.op_route_full(get("ffn_ag")[0])
+
+    def scatter(r: int, get: Callable[[str], Any]) -> Any:
+        full, t_locals = get("ffn_ag")
+        routing = get("router")[0]
+        if flavor == "ep":
+            source_rank = np.concatenate([
+                np.full(t, i) for i, t in enumerate(t_locals)])
+            return ffn.op_scatter_ag(full, routing, r, source_rank)
+        return ffn.op_scatter(full, routing)
+
+    def experts(r: int, get: Callable[[str], Any]) -> Any:
+        plan, ffn_in = get("scatter")
+        if flavor == "ep":
+            return ffn.op_experts_ag(ffn_in, plan, r)
+        return ffn.op_experts(ffn_in, plan, r)
+
+    def gather(r: int, get: Callable[[str], Any]) -> Any:
+        plan = get("scatter")[0]
+        weights = get("router")[1]
+        t_total = sum(get("ffn_ag")[1])
+        if flavor == "ep":
+            return ffn.op_gather_ag(get("fc1"), plan, weights, t_total)
+        return ffn.op_gather(get("fc1"), plan, weights, t_total)
+
+    def seq_rs(ctx: _SeqCtx) -> List[Any]:
+        if ffn.fp8_comm:
+            from ..parallel.dist_ops_fp8 import dist_reduce_scatter_fp8
+            out_flats = dist_reduce_scatter_fp8(
+                group, ctx.env["gather"], tag=rs_tag)
+        else:
+            out_flats = _dist_ops().dist_reduce_scatter(
+                group, ctx.env["gather"], axis=0, elem_bytes=eb,
+                tag=rs_tag)
+        return [flat.reshape(*shard.shape)
+                for flat, shard in zip(out_flats, ctx.env["ln2"])]
+
+    def rank_rs(ctx: _RankCtx) -> Any:
+        if ffn.fp8_comm:
+            from ..parallel.dist_ops_fp8 import dist_reduce_scatter_fp8
+            out_flat = ctx.comm.collective(dist_reduce_scatter_fp8,
+                                           ctx.get("gather"),
+                                           tag=rs_tag)
+        else:
+            out_flat = ctx.comm.reduce_scatter(
+                ctx.get("gather"), axis=0, elem_bytes=eb, tag=rs_tag)
+        return out_flat.reshape(*ctx.get("ln2").shape)
+
+    return [
+        OpBinding("ffn_ag", ("ffn_ag",), ("ln2",), seq_ag, rank_ag),
+        per_rank("router", ("ffn_ag",), route),
+        per_rank("scatter", ("ffn_ag", "router"), scatter),
+        per_rank("fc1", ("scatter",), experts,
+                 covers=("fc1", "fc3", "swiglu", "fc2")),
+        per_rank("gather", ("fc1", "scatter", "router", "ffn_ag"),
+                 gather),
+        OpBinding("ffn_rs", ("ffn_rs",), ("gather", "ln2"),
+                  seq_rs, rank_rs),
+    ]
+
+
+def build_layer_bindings(engine: Any, seq_len: int) -> List[OpBinding]:
+    """All bindings for one :class:`ParallelBlockEngine` layer.
+
+    The set matches the forward graph that
+    :func:`~repro.core.operators.build_forward_graph` emits for the
+    engine's strategy combination — the DAG executor validates the
+    covers partition against the graph at construction time.
+    """
+    block = engine.block
+    bindings = [
+        per_rank("ln1", ("hidden",),
+                 lambda r, get: block.ln1(get("hidden"))),
+    ]
+    if engine.attention == "sp":
+        bindings += _sp_attention_bindings(engine, seq_len)
+        attn_out = "out_proj"
+    else:
+        bindings += _tp_attention_bindings(engine)
+        attn_out = "attn_rs"
+    bindings += [
+        per_rank("residual1", ("hidden", attn_out),
+                 lambda r, get, _a=attn_out: get("hidden") + get(_a)),
+        per_rank("ln2", ("residual1",),
+                 lambda r, get: block.ln2(get("residual1"))),
+    ]
+    if engine.ffn == "ep" and engine.ffn_engine.mode == "a2a":
+        bindings += _ep_a2a_bindings(engine)
+        ffn_out = "weighted_sum"
+    elif engine.ffn == "ep":
+        bindings += _ag_ffn_bindings(engine, "ep")
+        ffn_out = "ffn_rs"
+    else:
+        bindings += _ag_ffn_bindings(engine, "tp")
+        ffn_out = "ffn_rs"
+    bindings.append(
+        per_rank("residual2", ("residual1", ffn_out),
+                 lambda r, get, _f=ffn_out: get("residual1") + get(_f)))
+    return bindings
+
+
+# ---------------------------------------------------------------------------
+# Schedule → execution order
+# ---------------------------------------------------------------------------
+
+def expand_task(graph: OpGraph, task_name: str) -> List[str]:
+    """Member op names of one scheduled task, in graph order.
+
+    A ``fused:<group>/<phase>`` task expands to every graph op with
+    that fuse group and phase; a plain task is its own single member.
+    """
+    if task_name.startswith("fused:"):
+        key = task_name[len("fused:"):]
+        fuse_group, phase = key.rsplit("/", 1)
+        return [op.name for op in graph
+                if op.fuse_group == fuse_group and op.phase == phase]
+    return [task_name]
+
+
+def unit_map(graph: OpGraph, tasks: Sequence[Any]) -> Dict[str, str]:
+    """Map each graph op name to the scheduled task (unit) running it."""
+    mapping: Dict[str, str] = {}
+    for task in tasks:
+        for name in expand_task(graph, task.name):
+            mapping[name] = task.name
+    return mapping
+
+
+@dataclass
+class LayerProgram:
+    """One layer's IR, its overlap schedule, and the flattened order.
+
+    ``order`` is the op-level execution order the numeric DAG executor
+    follows: the scheduler's task list with fused kernels expanded back
+    to member ops in graph order.  Because the task list is
+    topologically ordered over task dependencies and fused members are
+    contiguous, ``order`` is a valid topological order of the op graph
+    — the executor re-validates this on construction.
+    """
+
+    graph: OpGraph
+    tasks: List[Any]
+    order: List[str]
+    durations: Dict[str, float] = field(default_factory=dict)
+
+    def task_of(self) -> Dict[str, str]:
+        """Op name → scheduled unit name."""
+        return unit_map(self.graph, self.tasks)
+
+
+def layer_program(model: ModelConfig, parallel: ParallelConfig,
+                  micro_batch: int, seq_len: int,
+                  gpu: str = "h800",
+                  overlap: Optional[OverlapConfig] = None
+                  ) -> LayerProgram:
+    """Build the graph → price it → schedule it → flatten the order."""
+    from ..perf.estimator import KernelModel
+    graph = build_forward_graph(model, parallel, micro_batch,
+                                seq_len=seq_len)
+    durations = KernelModel(GPU_SPECS[gpu]).durations(graph)
+    scheduler = HolisticScheduler(overlap or OverlapConfig.full())
+    tasks = scheduler.schedule(graph, durations)
+    order = [name for task in tasks
+             for name in expand_task(graph, task.name)]
+    return LayerProgram(graph=graph, tasks=tasks, order=order,
+                        durations=durations)

@@ -21,7 +21,7 @@ Element sizes default to BF16 (2 bytes) as in the paper's training.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .config import ModelConfig, ParallelConfig
@@ -72,6 +72,18 @@ class OpGraph:
     def __init__(self, ops: Sequence[Op]):
         self.ops: List[Op] = list(ops)
         self._by_name: Dict[str, Op] = {}
+        self.validate()
+
+    def validate(self) -> None:
+        """Check the op list is a well-formed DAG in topological order.
+
+        Raises :class:`ValueError` on duplicate op names, dependencies
+        on unknown ops, dependency cycles, and list orderings that
+        place an op before one of its dependencies — in that check
+        order, so the most specific diagnosis wins (a cycle is reported
+        as a cycle, not as a misordering).
+        """
+        self._by_name = {}
         for op in self.ops:
             if op.name in self._by_name:
                 raise ValueError(f"duplicate op name {op.name!r}")
@@ -82,7 +94,30 @@ class OpGraph:
                     raise ValueError(
                         f"op {op.name!r} depends on unknown op {dep!r}"
                     )
+        self._check_acyclic()
         self._check_topological()
+
+    def _check_acyclic(self) -> None:
+        """Kahn's algorithm; any op never reaching in-degree 0 is cyclic."""
+        indegree = {op.name: len(op.deps) for op in self.ops}
+        consumers: Dict[str, List[str]] = {op.name: [] for op in self.ops}
+        for op in self.ops:
+            for dep in op.deps:
+                consumers[dep].append(op.name)
+        ready = [name for name, deg in indegree.items() if deg == 0]
+        resolved = 0
+        while ready:
+            name = ready.pop()
+            resolved += 1
+            for consumer in consumers[name]:
+                indegree[consumer] -= 1
+                if indegree[consumer] == 0:
+                    ready.append(consumer)
+        if resolved != len(self.ops):
+            stuck = sorted(n for n, deg in indegree.items() if deg > 0)
+            raise ValueError(
+                f"dependency cycle involving ops {stuck}"
+            )
 
     def _check_topological(self) -> None:
         seen = set()
@@ -142,7 +177,9 @@ def build_forward_graph(
     ops: List[Op] = []
     ops += _attention_forward(dims)
     ops += _ffn_forward(dims)
-    return OpGraph(ops)
+    graph = OpGraph(ops)
+    graph.validate()
+    return graph
 
 
 class _Dims:
@@ -272,14 +309,14 @@ def _ffn_forward(d: _Dims) -> List[Op]:
         Op("ln2", "memory",
            mem_bytes=2 * d.local_tokens * d.h * d.eb,
            deps=("residual1",), produces=("ln2_out",)),
-        Op("router", "gemm",
-           flops=2 * d.local_tokens * d.h * d.E,
-           mem_bytes=d.local_tokens * (d.h + d.E) * d.eb,
-           deps=("ln2",), produces=("routing",),
-           gemm_shape=(d.local_tokens, d.h, d.E)),
     ]
     routed = d.total_tokens * d.k / d.n  # rows per rank after dispatch
 
+    # In A2A mode the router gates this rank's local tokens before
+    # dispatch; in the AG-based modes every rank routes the *gathered*
+    # batch (the gate is replicated, so decisions are identical), so the
+    # router joins the fused AG+scatter kernel and depends on the AG —
+    # the IR mirrors what the numeric executor actually runs.
     if d.parallel.ffn == "ep" and d.ep_mode == "ag_rs":
         ops += [
             Op("ffn_ag", "comm",
@@ -287,6 +324,12 @@ def _ffn_forward(d: _Dims) -> List[Op]:
                comm_pattern="ag",
                deps=("ln2",), produces=("ln2_out_ag",),
                fuse_group="ag+scatter+ggemm"),
+            Op("router", "gemm",
+               flops=2 * d.total_tokens * d.h * d.E,
+               mem_bytes=d.total_tokens * (d.h + d.E) * d.eb,
+               deps=("ffn_ag",), produces=("routing",),
+               fuse_group="ag+scatter+ggemm",
+               gemm_shape=(d.total_tokens, d.h, d.E)),
             Op("scatter", "memory",
                mem_bytes=(d.total_tokens * d.h + routed * d.h) * d.eb,
                deps=("ffn_ag", "router"), produces=("ffn_in",),
@@ -295,6 +338,11 @@ def _ffn_forward(d: _Dims) -> List[Op]:
         gemm_dep = "scatter"
     elif d.parallel.ffn == "ep":  # a2a dispatch
         ops += [
+            Op("router", "gemm",
+               flops=2 * d.local_tokens * d.h * d.E,
+               mem_bytes=d.local_tokens * (d.h + d.E) * d.eb,
+               deps=("ln2",), produces=("routing",),
+               gemm_shape=(d.local_tokens, d.h, d.E)),
             Op("scatter", "memory",
                mem_bytes=2 * d.local_tokens * d.k * d.h * d.eb,
                deps=("ln2", "router"), produces=("send_rows",)),
@@ -312,6 +360,12 @@ def _ffn_forward(d: _Dims) -> List[Op]:
                comm_pattern="ag",
                deps=("ln2",), produces=("ln2_out_ag",),
                fuse_group="tp_ffn_ag+gemm"),
+            Op("router", "gemm",
+               flops=2 * d.total_tokens * d.h * d.E,
+               mem_bytes=d.total_tokens * (d.h + d.E) * d.eb,
+               deps=("ffn_ag",), produces=("routing",),
+               fuse_group="tp_ffn_ag+gemm",
+               gemm_shape=(d.total_tokens, d.h, d.E)),
             Op("scatter", "memory",
                mem_bytes=(d.total_tokens * d.h
                           + d.total_tokens * d.k * d.h) * d.eb,
@@ -412,6 +466,7 @@ def build_backward_graph(
     elem_bytes: float = 2.0,
     seq_len: Optional[int] = None,
     selective_remat: bool = True,
+    remat_plan: Optional[object] = None,
 ) -> OpGraph:
     """Operator DAG for one MoE layer's backward pass on one rank.
 
@@ -419,7 +474,9 @@ def build_backward_graph(
     a wgrad GEMM (same FLOPs each), every collective becomes its dual,
     memory ops double their traffic.  With ``selective_remat`` the
     recompute/re-communicate ops of Fig. 8b are inserted (phase
-    ``"remat"``) with dependencies that let the scheduler overlap them.
+    ``"remat"``) with dependencies that let the scheduler overlap them;
+    ``remat_plan`` (a :class:`~repro.core.remat.RematPlan`) selects
+    which activations are recreated, defaulting to the paper's plan.
     """
     fwd = build_forward_graph(model, parallel, micro_batch, elem_bytes,
                               seq_len)
@@ -466,70 +523,11 @@ def build_backward_graph(
             prev_name = bwd.name
 
     if selective_remat:
-        ops = _insert_remat_ops(fwd, ops)
-    return OpGraph(ops)
-
-
-def _insert_remat_ops(fwd: OpGraph, bwd_ops: List[Op]) -> List[Op]:
-    """Insert Fig. 8b rematerialization ops before their consumers.
-
-    Recomputed/re-communicated activations (everything except the
-    retained set {hidden, qkv_a2a, attn_a2a, ln2_in, fc1_out, fc3_out})
-    show up as ``remat.*`` ops: re-run RMSNorm2, re-all-gather the FFN
-    input, and re-apply SwiGLU to recover ``fc2_in``.  Each carries no
-    ordering dependency on the backward chain, so the scheduler is free
-    to hide it under communication.
-    """
-    by_name = {op.name: op for op in bwd_ops}
-    out: List[Op] = []
-    inserted = set()
-
-    def remat_for(consumer: str) -> List[Op]:
-        extra: List[Op] = []
-        if consumer == "fc2.dgrad" and "swiglu" in fwd:
-            src = fwd["swiglu"]
-            extra.append(Op("remat.swiglu", "memory",
-                            mem_bytes=src.mem_bytes,
-                            produces=("fc2_in",), phase="remat"))
-        if consumer in ("fc1.dgrad", "fc1.wgrad") and "ln2" in fwd:
-            src = fwd["ln2"]
-            extra.append(Op("remat.ln2", "memory",
-                            mem_bytes=src.mem_bytes,
-                            produces=("ln2_out",), phase="remat"))
-            if "ffn_ag" in fwd:
-                ag = fwd["ffn_ag"]
-                extra.append(Op("remat.ffn_ag", "comm",
-                                comm_bytes=ag.comm_bytes,
-                                comm_pattern="ag",
-                                comm_scope=ag.comm_scope,
-                                deps=("remat.ln2",),
-                                produces=("ln2_out_ag",), phase="remat"))
-            if "scatter" in fwd:
-                sc = fwd["scatter"]
-                extra.append(Op("remat.scatter", "memory",
-                                mem_bytes=sc.mem_bytes,
-                                deps=("remat.ffn_ag",)
-                                if "ffn_ag" in fwd else ("remat.ln2",),
-                                produces=("ffn_in",), phase="remat"))
-        if consumer == "qkv_proj.wgrad" and "ln1" in fwd:
-            extra.append(Op("remat.ln1", "memory",
-                            mem_bytes=fwd["ln1"].mem_bytes,
-                            produces=("ln1_out",), phase="remat"))
-        return [e for e in extra if e.name not in inserted]
-
-    for op in bwd_ops:
-        for extra in remat_for(op.name):
-            out.append(extra)
-            inserted.add(extra.name)
-        if op.name in ("fc2.dgrad", "fc2.wgrad") and \
-                "remat.swiglu" in inserted:
-            op = replace(op, deps=op.deps + ("remat.swiglu",))
-        if op.name in ("fc1.dgrad", "fc1.wgrad", "fc3.dgrad",
-                       "fc3.wgrad") and "remat.scatter" in inserted:
-            op = replace(op, deps=op.deps + ("remat.scatter",))
-        elif op.name in ("fc1.dgrad", "fc1.wgrad", "fc3.dgrad",
-                         "fc3.wgrad") and "remat.ln2" in inserted \
-                and "remat.scatter" not in inserted:
-            op = replace(op, deps=op.deps + ("remat.ln2",))
-        out.append(op)
-    return out
+        # The remat transform lives in core.remat so the sim schedule
+        # and the numeric DAG executor share one RematPlan semantics
+        # (lazy import: remat imports Op from this module).
+        from .remat import insert_remat_ops
+        ops = insert_remat_ops(fwd, ops, remat_plan)
+    graph = OpGraph(ops)
+    graph.validate()
+    return graph

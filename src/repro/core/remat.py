@@ -13,16 +13,20 @@ hiding the re-work under independent communication.  This module holds:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import FrozenSet, List
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, FrozenSet, List, Optional
 
 from .config import ModelConfig, ParallelConfig
+
+if TYPE_CHECKING:  # lazy at runtime: operators lazily imports us back
+    from .operators import Op, OpGraph
 
 __all__ = [
     "ActivationSpec",
     "activation_table",
     "RematPlan",
     "default_remat_plan",
+    "insert_remat_ops",
     "no_remat_plan",
 ]
 
@@ -169,3 +173,98 @@ def default_remat_plan() -> RematPlan:
 def no_remat_plan() -> RematPlan:
     """Store every Fig. 20 activation: the ``(2n+2k+3kf+12+5/m)`` total."""
     return RematPlan(frozenset(_SHARES))
+
+
+# ---------------------------------------------------------------------------
+# Graph transform
+# ---------------------------------------------------------------------------
+
+def insert_remat_ops(fwd: "OpGraph", bwd_ops: List["Op"],
+                     plan: Optional[RematPlan] = None) -> List["Op"]:
+    """Insert Fig. 8b rematerialization ops before their consumers.
+
+    The one remat transform shared by the sim schedule
+    (:func:`~repro.core.operators.build_backward_graph`) and the numeric
+    DAG executor (:meth:`~repro.runtime.dag_executor.DagRunResult.apply_remat`):
+    every activation the ``plan`` does *not* retain and that backward
+    consumes shows up as a ``remat.*`` op — re-run RMSNorm1/RMSNorm2,
+    re-all-gather the FFN input, re-apply SwiGLU to recover ``fc2_in``.
+    Each carries no ordering dependency on the backward chain, so the
+    scheduler is free to hide it under communication.  With the default
+    (paper) plan this reproduces the Fig. 8b op set exactly; a plan that
+    retains everything inserts nothing.
+    """
+    from .operators import Op
+
+    if plan is None:
+        plan = default_remat_plan()
+
+    def recreates(name: str) -> bool:
+        """Whether activation ``name`` must be rebuilt under ``plan``."""
+        return name in _SHARES and name not in plan.retained
+
+    out: List[Op] = []
+    inserted = set()
+
+    def remat_for(consumer: str) -> List[Op]:
+        extra: List[Op] = []
+        if consumer == "fc2.dgrad" and "swiglu" in fwd \
+                and recreates("fc2_in"):
+            src = fwd["swiglu"]
+            extra.append(Op("remat.swiglu", "memory",
+                            mem_bytes=src.mem_bytes,
+                            produces=("fc2_in",), phase="remat"))
+        if consumer in ("fc1.dgrad", "fc1.wgrad") and "ln2" in fwd:
+            if recreates("ln2_out"):
+                src = fwd["ln2"]
+                extra.append(Op("remat.ln2", "memory",
+                                mem_bytes=src.mem_bytes,
+                                produces=("ln2_out",), phase="remat"))
+            if "ffn_ag" in fwd and recreates("ln2_out_ag"):
+                ag = fwd["ffn_ag"]
+                extra.append(Op("remat.ffn_ag", "comm",
+                                comm_bytes=ag.comm_bytes,
+                                comm_pattern="ag",
+                                comm_scope=ag.comm_scope,
+                                deps=("remat.ln2",)
+                                if recreates("ln2_out") else (),
+                                produces=("ln2_out_ag",), phase="remat"))
+            if "scatter" in fwd and recreates("ffn_in"):
+                sc = fwd["scatter"]
+                if "ffn_ag" in fwd and recreates("ln2_out_ag"):
+                    deps = ("remat.ffn_ag",)
+                elif recreates("ln2_out"):
+                    deps = ("remat.ln2",)
+                else:
+                    deps = ()
+                extra.append(Op("remat.scatter", "memory",
+                                mem_bytes=sc.mem_bytes,
+                                deps=deps,
+                                produces=("ffn_in",), phase="remat"))
+        if consumer == "qkv_proj.wgrad" and "ln1" in fwd \
+                and recreates("ln1_out"):
+            extra.append(Op("remat.ln1", "memory",
+                            mem_bytes=fwd["ln1"].mem_bytes,
+                            produces=("ln1_out",), phase="remat"))
+        return [e for e in extra if e.name not in inserted]
+
+    for op in bwd_ops:
+        for extra in remat_for(op.name):
+            out.append(extra)
+            inserted.add(extra.name)
+        if op.name in ("fc2.dgrad", "fc2.wgrad") and \
+                "remat.swiglu" in inserted:
+            op = replace(op, deps=op.deps + ("remat.swiglu",))
+        if op.name in ("fc1.dgrad", "fc1.wgrad", "fc3.dgrad",
+                       "fc3.wgrad") and "remat.scatter" in inserted:
+            op = replace(op, deps=op.deps + ("remat.scatter",))
+        elif op.name in ("fc1.dgrad", "fc1.wgrad", "fc3.dgrad",
+                         "fc3.wgrad") and "remat.ln2" in inserted \
+                and "remat.scatter" not in inserted:
+            op = replace(op, deps=op.deps + ("remat.ln2",))
+        # remat.ln1 recreates qkv_proj's GEMM input; wgrad is its one
+        # consumer, so it needs the edge or the op dangles unconsumed.
+        if op.name == "qkv_proj.wgrad" and "remat.ln1" in inserted:
+            op = replace(op, deps=op.deps + ("remat.ln1",))
+        out.append(op)
+    return out

@@ -38,7 +38,7 @@ from ..parallel.block import ParallelBlockEngine
 from ..precision.optimizer import AdamW, clip_grad_norm
 from ..precision.policy import PrecisionPolicy
 from ..runtime import backward as runtime_backward
-from ..runtime import make_executor
+from ..runtime import make_executor, resolve_backend
 from ..tensor import Tensor, ops
 from .config import ParallelConfig, TrainConfig
 
@@ -100,6 +100,16 @@ class MegaScaleTrainer:
         #: env var > sequential.  Threaded runs are bitwise-identical
         #: to sequential ones (docs/INTERNALS.md §8).
         self.executor = make_executor(train.execution)
+        #: Numeric backend (config > ``REPRO_BACKEND`` env > "engine").
+        #: "dag" compiles one LayerProgram — forward IR + overlap
+        #: schedule — and runs every layer through the DagExecutor in
+        #: schedule order, bitwise-identical to the engine path.
+        self.backend = resolve_backend(train.backend)
+        self._dag_programs: Dict[int, object] = {}
+        self.remat_plan = None
+        if self.backend == "dag" and train.selective_remat:
+            from .remat import default_remat_plan
+            self.remat_plan = default_remat_plan()
         self.policy = policy
         self.optimizer = optimizer or AdamW(
             model.parameters(), lr=train.learning_rate,
@@ -136,6 +146,21 @@ class MegaScaleTrainer:
 
     # -- forward/backward --------------------------------------------------
 
+    def dag_program_for(self, seq_len: int):
+        """The layer's compiled IR + overlap schedule for one seq_len.
+
+        One program serves every layer (identical shapes); cached so
+        the scheduler runs once per distinct sequence length.
+        """
+        program = self._dag_programs.get(seq_len)
+        if program is None:
+            from .executor_bindings import layer_program
+            program = layer_program(
+                self.model.config, self.parallel,
+                self.train_cfg.micro_batch_size, seq_len)
+            self._dag_programs[seq_len] = program
+        return program
+
     def loss(self, token_ids: np.ndarray) -> tuple:
         """Distributed forward; returns (total, lm, aux) loss Tensors.
 
@@ -158,10 +183,14 @@ class MegaScaleTrainer:
                           inputs[:, r * width:(r + 1) * width])
             for r in range(n)
         ]
+        dag_program = (self.dag_program_for(seq)
+                       if self.backend == "dag" else None)
         aux_total: Optional[Tensor] = None
         for engine in self.engines:
             shards, aux = engine.forward(shards, seq,
-                                         executor=self.executor)
+                                         executor=self.executor,
+                                         dag_program=dag_program,
+                                         remat_plan=self.remat_plan)
             aux_total = aux if aux_total is None else aux_total + aux
 
         if self.vocab_parallel:

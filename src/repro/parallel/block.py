@@ -79,9 +79,16 @@ class ParallelBlockEngine:
             raise ValueError(f"unknown ffn strategy {ffn!r}")
         self.attention = attention
         self.ffn = ffn
+        #: DAG-backend state: compiled executors keyed by (seq_len,
+        #: program identity), plus introspection from the last DAG run.
+        self._dag_cache: dict = {}
+        self.last_executed_ops: Optional[List[str]] = None
+        self.last_remat_report: Optional[dict] = None
 
     def forward(self, hidden_shards: List[Tensor], seq_len: int,
-                executor: Optional[object] = None
+                executor: Optional[object] = None,
+                dag_program: Optional[object] = None,
+                remat_plan: Optional[object] = None
                 ) -> Tuple[List[Tensor], Tensor]:
         """Map hidden shards through the block; returns (shards, aux).
 
@@ -89,7 +96,18 @@ class ParallelBlockEngine:
         forwarded to the SP attention and EP FFN engines, which run
         their per-rank compute on concurrent threads; the TP engines
         and the per-token norms/residuals stay on the calling thread.
+
+        With a ``dag_program`` (a
+        :class:`~repro.core.executor_bindings.LayerProgram`), the layer
+        instead runs through the
+        :class:`~repro.runtime.dag_executor.DagExecutor` in the
+        program's schedule order — bitwise-identical to this path; an
+        ``executor`` then threads *every* op per-rank, and a
+        ``remat_plan`` drops unretained activations afterwards.
         """
+        if dag_program is not None:
+            return self._dag_forward(hidden_shards, seq_len, executor,
+                                     dag_program, remat_plan)
         block = self.block
         ln1_out = [block.ln1(h) for h in hidden_shards]
         if executor is not None and self.attention == "sp":
@@ -109,6 +127,56 @@ class ParallelBlockEngine:
         else:
             ffn_out, aux = self.ffn_engine.forward(ln2_out)
         return [x + f for x, f in zip(ln2_in, ffn_out)], aux
+
+    def _dag_forward(self, hidden_shards: List[Tensor], seq_len: int,
+                     executor: Optional[object], program,
+                     remat_plan) -> Tuple[List[Tensor], Tensor]:
+        """Run the layer through the schedule-ordered DAG executor."""
+        from ..core.executor_bindings import build_layer_bindings
+        from ..runtime.dag_executor import DagExecutor
+
+        key = (seq_len, id(program))
+        dag = self._dag_cache.get(key)
+        if dag is None:
+            bindings = build_layer_bindings(self, seq_len)
+            dag = DagExecutor(program, bindings, self.group)
+            self._dag_cache[key] = dag
+
+        if self.ffn == "ep":
+            self.ffn_engine._last_send_splits = None
+        tracer = getattr(getattr(self.group, "world", None),
+                         "tracer", None)
+        result = dag.run({"hidden": hidden_shards}, executor=executor,
+                         tracer=tracer)
+        self.last_executed_ops = list(result.executed)
+
+        outputs = result.per_rank("residual2")
+        router_vals = result.per_rank("router")
+        if self.ffn == "ep":
+            from .ep_ffn import EPForwardResult
+            if self.ffn_engine.mode == "a2a":
+                aux = router_vals[0][3]
+                routings = [v[1] for v in router_vals]
+                tokens = np.array([int(v[1].kept.sum())
+                                   for v in router_vals])
+                ffn_out = result.per_rank("weighted_sum")
+            else:
+                aux = router_vals[0][2]
+                routings = [router_vals[0][0]]
+                tokens = np.asarray(result.per_rank("ffn_ag")[0][1])
+                ffn_out = result.per_rank("ffn_rs")
+            ep_result = EPForwardResult(
+                output_shards=ffn_out, aux_loss=aux, routing=routings,
+                tokens_per_rank=tokens)
+            self.ffn_engine.record_telemetry(result.per_rank("ln2"),
+                                             ep_result)
+        else:
+            aux = router_vals[0][2]
+
+        self.last_remat_report = (
+            result.apply_remat(remat_plan)
+            if remat_plan is not None else None)
+        return outputs, aux
 
     def sync_grads_to_reference(self) -> None:
         """Fold any TP weight-shard gradients back onto the reference

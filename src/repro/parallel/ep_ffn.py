@@ -104,6 +104,108 @@ class EPFFNEngine:
                 flats.append(shard)
         return flats
 
+    # -- per-op handlers (graph-node granularity) --------------------------
+    #
+    # One method per forward-graph op, shared verbatim by the legacy
+    # call chains below and the DAG executor's bindings, so both paths
+    # build the identical autograd tape.
+
+    def op_route(self, flat: Tensor):
+        """``router`` (A2A mode): replicated gate over local tokens."""
+        routing, weights, _ = self.moe.router(flat)
+        return routing, weights
+
+    def op_scatter_a2a(self, flat: Tensor, routing: RoutingResult):
+        """``scatter`` (A2A mode): sort kept (token, slot) pairs by
+        destination rank, then expert, then token order."""
+        n = self.group.size
+        pair_token = np.repeat(np.arange(routing.n_tokens),
+                               routing.top_k)
+        pair_slot = np.tile(np.arange(routing.top_k), routing.n_tokens)
+        pair_expert = routing.expert_index.reshape(-1)
+        kept = routing.kept.reshape(-1)
+        pos = np.nonzero(kept)[0]
+        dest = pair_expert[pos] // self.local_experts
+        order = np.lexsort((pos, pair_expert[pos], dest))
+        sel = pos[order]
+        send_rows = ops.take_rows(flat, pair_token[sel])
+        meta = {
+            "token": pair_token[sel],
+            "slot": pair_slot[sel],
+            "expert": pair_expert[sel],
+        }
+        splits = np.bincount(dest[order], minlength=n).tolist()
+        return send_rows, meta, splits
+
+    def op_experts_a2a(self, received: Tensor, metas, all_splits,
+                       j: int) -> Tensor:
+        """``fc1``–``fc2`` (A2A mode): sort received rows by (expert,
+        source rank), GroupedGEMM, un-sort back to arrival order."""
+        n = self.group.size
+        expert_ids = np.concatenate([
+            metas[i]["expert"][_split_slice(all_splits[i], j)]
+            for i in range(n)
+        ]) if received.shape[0] else np.zeros(0, dtype=np.int64)
+        source_rank = np.concatenate([
+            np.full(all_splits[i][j], i) for i in range(n)
+        ]) if received.shape[0] else np.zeros(0, dtype=np.int64)
+        order = np.lexsort((np.arange(expert_ids.shape[0]),
+                            source_rank, expert_ids))
+        sorted_rows = ops.take_rows(received, order)
+        counts = np.bincount(expert_ids - j * self.local_experts,
+                             minlength=self.local_experts)
+        fc2_out = _grouped_forward_by_counts(
+            self.moe.experts[j * self.local_experts:
+                             (j + 1) * self.local_experts],
+            sorted_rows, counts)
+        inverse = np.argsort(order)
+        return ops.take_rows(fc2_out, inverse)
+
+    def op_combine_weighted(self, rows: Tensor, meta, weights: Tensor,
+                            t_local: int, out_shape) -> Tensor:
+        """``weighted_sum`` (A2A mode): gate-weight returned rows and
+        scatter-add them back into token order (§4.1)."""
+        w_rows = weights[meta["token"], meta["slot"]]
+        scaled = rows * w_rows.reshape(-1, 1)
+        combined = ops.put_rows(scaled, meta["token"], t_local)
+        return combined.reshape(*out_shape)
+
+    def op_route_full(self, full: Tensor):
+        """``router`` (AG/RS mode): replicated gate over all tokens."""
+        return self.moe.router(full)
+
+    def op_scatter_ag(self, full: Tensor, routing: RoutingResult,
+                      j: int, source_rank: np.ndarray):
+        """``scatter`` (AG/RS mode): keep rows routed to rank ``j``'s
+        experts, sorted by (expert, source rank)."""
+        local_lo = j * self.local_experts
+        local_hi = local_lo + self.local_experts
+        masked = RoutingResult(
+            expert_index=routing.expert_index,
+            gate_weight=routing.gate_weight,
+            kept=routing.kept
+            & (routing.expert_index >= local_lo)
+            & (routing.expert_index < local_hi),
+        )
+        plan = build_dispatch_plan(masked, self.moe.n_experts,
+                                   source_rank_of_token=source_rank)
+        ffn_in = ops.take_rows(full, plan.token_of_row)
+        return plan, ffn_in
+
+    def op_experts_ag(self, ffn_in: Tensor, plan, j: int) -> Tensor:
+        """``fc1``–``fc2`` (AG/RS mode): local GroupedGEMM."""
+        local_lo = j * self.local_experts
+        return grouped_expert_forward(
+            self.moe.experts[local_lo:local_lo + self.local_experts],
+            ffn_in, plan, expert_offset=local_lo)
+
+    def op_gather_ag(self, fc2_out: Tensor, plan, weights: Tensor,
+                     t_total: int) -> Tensor:
+        """``gather`` (AG/RS mode): weighted full-size contribution."""
+        w_rows = weights[plan.token_of_row, plan.slot_of_row]
+        scaled = fc2_out * w_rows.reshape(-1, 1)
+        return ops.put_rows(scaled, plan.token_of_row, t_total)
+
     def forward(self, hidden_shards: List[Tensor],
                 executor: Optional[object] = None) -> EPForwardResult:
         """Map ``ln2_out`` shards to combined MoE-output shards.
@@ -123,8 +225,17 @@ class EPFFNEngine:
             result = self._forward_a2a(hidden_shards)
         else:
             result = self._forward_ag_rs(hidden_shards)
-        # Small plain-number snapshot of what dispatch/combine moved;
-        # the verify invariants check conservation laws against it.
+        self.record_telemetry(hidden_shards, result)
+        return result
+
+    def record_telemetry(self, hidden_shards: Sequence[Tensor],
+                         result: EPForwardResult) -> None:
+        """Snapshot what dispatch/combine moved, as plain numbers.
+
+        The verify invariants check conservation laws against this; the
+        DAG executor calls it too so both backends expose the same
+        telemetry surface.
+        """
         self.last_telemetry = {
             "mode": self.mode,
             "top_k": self.moe.top_k,
@@ -144,7 +255,6 @@ class EPFFNEngine:
                               for s in result.output_shards],
             "send_splits": self._last_send_splits,
         }
-        return result
 
     def _forward_spmd(self, hidden_shards: List[Tensor],
                       executor) -> EPForwardResult:
@@ -171,7 +281,7 @@ class EPFFNEngine:
     # -- A2A dispatch --------------------------------------------------------
 
     def _forward_a2a(self, hidden_shards: List[Tensor]) -> EPForwardResult:
-        group, moe = self.group, self.moe
+        group = self.group
         n = group.size
         flats = self._flatten(hidden_shards)
 
@@ -179,15 +289,10 @@ class EPFFNEngine:
         #    decisions the reference model makes for those tokens).
         routings: List[RoutingResult] = []
         weight_tensors: List[Tensor] = []
-        prob_tensors: List[Tensor] = []
         for flat in flats:
-            routing, weights, _ = moe.router(flat)
+            routing, weights = self.op_route(flat)
             routings.append(routing)
             weight_tensors.append(weights)
-            # Re-deriving P for the global aux loss needs the probs; the
-            # router recomputes them internally, so fetch via gate+softmax
-            # once more would duplicate graph. Instead reuse weights only
-            # for combine; aux is computed below from a fresh local pass.
         aux = self._global_aux_loss(flats, routings)
 
         # 2. Sort each rank's kept (token, slot) pairs by destination
@@ -195,24 +300,11 @@ class EPFFNEngine:
         send_rows: List[Tensor] = []
         send_meta = []
         send_splits = []
-        for rank, (flat, routing) in enumerate(zip(flats, routings)):
-            pair_token = np.repeat(np.arange(routing.n_tokens),
-                                   routing.top_k)
-            pair_slot = np.tile(np.arange(routing.top_k), routing.n_tokens)
-            pair_expert = routing.expert_index.reshape(-1)
-            kept = routing.kept.reshape(-1)
-            pos = np.nonzero(kept)[0]
-            dest = pair_expert[pos] // self.local_experts
-            order = np.lexsort((pos, pair_expert[pos], dest))
-            sel = pos[order]
-            send_rows.append(ops.take_rows(flat, pair_token[sel]))
-            send_meta.append({
-                "token": pair_token[sel],
-                "slot": pair_slot[sel],
-                "expert": pair_expert[sel],
-            })
-            send_splits.append(np.bincount(dest[order], minlength=n)
-                               .tolist())
+        for flat, routing in zip(flats, routings):
+            rows, meta, splits = self.op_scatter_a2a(flat, routing)
+            send_rows.append(rows)
+            send_meta.append(meta)
+            send_splits.append(splits)
 
         # 3. Dispatch all-to-all.
         self._last_send_splits = [list(s) for s in send_splits]
@@ -223,30 +315,10 @@ class EPFFNEngine:
 
         # 4. On each expert rank: sort received rows by (expert, source
         #    rank) and run the local experts' GroupedGEMM.
-        returned: List[Tensor] = []
-        recv_perms = []
-        for j in range(n):
-            expert_ids = np.concatenate([
-                send_meta[i]["expert"][
-                    _split_slice(send_splits[i], j)]
-                for i in range(n)
-            ]) if received[j].shape[0] else np.zeros(0, dtype=np.int64)
-            source_rank = np.concatenate([
-                np.full(send_splits[i][j], i) for i in range(n)
-            ]) if received[j].shape[0] else np.zeros(0, dtype=np.int64)
-            order = np.lexsort((np.arange(expert_ids.shape[0]),
-                                source_rank, expert_ids))
-            recv_perms.append(order)
-            sorted_rows = ops.take_rows(received[j], order)
-            counts = np.bincount(expert_ids - j * self.local_experts,
-                                 minlength=self.local_experts)
-            fc2_out = _grouped_forward_by_counts(
-                moe.experts[j * self.local_experts:
-                            (j + 1) * self.local_experts],
-                sorted_rows, counts)
-            # Undo the sort so rows leave in arrival order.
-            inverse = np.argsort(order)
-            returned.append(ops.take_rows(fc2_out, inverse))
+        returned = [
+            self.op_experts_a2a(received[j], send_meta, send_splits, j)
+            for j in range(n)
+        ]
 
         # 5. Combine all-to-all: transpose the split matrix.
         back_splits = [[send_splits[i][j] for i in range(n)]
@@ -258,15 +330,12 @@ class EPFFNEngine:
 
         # 6. Weighted sum on the source rank (gate weight applied after
         #    FC2, §4.1).
-        outputs = []
-        for rank, rows in enumerate(combined_rows):
-            meta = send_meta[rank]
-            # Rows come back grouped by expert rank, i.e. in send order.
-            w_rows = weight_tensors[rank][meta["token"], meta["slot"]]
-            scaled = rows * w_rows.reshape(-1, 1)
-            t_local = flats[rank].shape[0]
-            combined = ops.put_rows(scaled, meta["token"], t_local)
-            outputs.append(combined.reshape(*hidden_shards[rank].shape))
+        outputs = [
+            self.op_combine_weighted(
+                rows, send_meta[rank], weight_tensors[rank],
+                flats[rank].shape[0], hidden_shards[rank].shape)
+            for rank, rows in enumerate(combined_rows)
+        ]
 
         return EPForwardResult(
             output_shards=outputs,
@@ -279,7 +348,7 @@ class EPFFNEngine:
     # -- AG/RS dispatch ------------------------------------------------------
 
     def _forward_ag_rs(self, hidden_shards: List[Tensor]) -> EPForwardResult:
-        group, moe = self.group, self.moe
+        group = self.group
         n = group.size
         flats = self._flatten(hidden_shards)
         t_locals = [f.shape[0] for f in flats]
@@ -306,36 +375,22 @@ class EPFFNEngine:
             # 2. Route the full batch locally (identical on every rank);
             #    only rank j's expert rows are used downstream, so the
             #    shared gate accumulates exactly the reference gradient.
-            routing, weights, aux_j = moe.router(fulls[j])
+            routing, weights, aux_j = self.op_route_full(fulls[j])
             routings.append(routing)
             if j == 0:
                 aux = aux_j  # identical across ranks; count once
 
             # 3. Local scatter: keep only rows routed to local experts,
             #    sorted by (expert, source rank).
-            local_lo = j * self.local_experts
-            local_hi = local_lo + self.local_experts
-            masked = RoutingResult(
-                expert_index=routing.expert_index,
-                gate_weight=routing.gate_weight,
-                kept=routing.kept
-                & (routing.expert_index >= local_lo)
-                & (routing.expert_index < local_hi),
-            )
-            plan = build_dispatch_plan(masked, moe.n_experts,
-                                       source_rank_of_token=source_rank)
-            ffn_in = ops.take_rows(fulls[j], plan.token_of_row)
+            plan, ffn_in = self.op_scatter_ag(fulls[j], routing, j,
+                                              source_rank)
 
             # 4. Local experts' GroupedGEMM.
-            fc2_out = grouped_expert_forward(
-                moe.experts[local_lo:local_hi], ffn_in, plan,
-                expert_offset=local_lo)
+            fc2_out = self.op_experts_ag(ffn_in, plan, j)
 
             # 5. Gather: weighted rows assembled into a full-size tensor.
-            w_rows = weights[plan.token_of_row, plan.slot_of_row]
-            scaled = fc2_out * w_rows.reshape(-1, 1)
             contributions.append(
-                ops.put_rows(scaled, plan.token_of_row, t_total))
+                self.op_gather_ag(fc2_out, plan, weights, t_total))
 
         # 6. Reduce-scatter the contributions back to sequence shards.
         if self.fp8_comm:
@@ -367,35 +422,20 @@ class EPFFNEngine:
         loss is constructed once by the rendezvous leader so every rank
         shares one graph, exactly like the sequential pass.
         """
-        moe = self.moe
         n = comm.size
         rank = comm.index
         flat = self._flatten([shard])[0]
 
         # 1. Local routing; aux built once over every rank's (flat,
         #    routing) at a rendezvous — one shared Tensor, one graph.
-        routing, weights, _ = moe.router(flat)
+        routing, weights = self.op_route(flat)
         aux = comm.exchange(
             ("ep_ffn", "aux"), (flat, routing),
             lambda slots: self._global_aux_loss(
                 [s[0] for s in slots], [s[1] for s in slots]))
 
         # 2. Sort kept (token, slot) pairs by destination rank.
-        pair_token = np.repeat(np.arange(routing.n_tokens), routing.top_k)
-        pair_slot = np.tile(np.arange(routing.top_k), routing.n_tokens)
-        pair_expert = routing.expert_index.reshape(-1)
-        kept = routing.kept.reshape(-1)
-        pos = np.nonzero(kept)[0]
-        dest = pair_expert[pos] // self.local_experts
-        order = np.lexsort((pos, pair_expert[pos], dest))
-        sel = pos[order]
-        send_rows = ops.take_rows(flat, pair_token[sel])
-        meta = {
-            "token": pair_token[sel],
-            "slot": pair_slot[sel],
-            "expert": pair_expert[sel],
-        }
-        splits = np.bincount(dest[order], minlength=n).tolist()
+        send_rows, meta, splits = self.op_scatter_a2a(flat, routing)
 
         # Peers' metadata (expert ids per split, split sizes) — the
         # sequential loop reads these straight out of shared lists.
@@ -409,37 +449,17 @@ class EPFFNEngine:
             tag="ep_ffn:dispatch_a2a")
 
         # 4. Sort received rows by (expert, source rank); GroupedGEMM.
-        j = rank
-        expert_ids = np.concatenate([
-            metas[i]["expert"][_split_slice(all_splits[i], j)]
-            for i in range(n)
-        ]) if received.shape[0] else np.zeros(0, dtype=np.int64)
-        source_rank = np.concatenate([
-            np.full(all_splits[i][j], i) for i in range(n)
-        ]) if received.shape[0] else np.zeros(0, dtype=np.int64)
-        order = np.lexsort((np.arange(expert_ids.shape[0]),
-                            source_rank, expert_ids))
-        sorted_rows = ops.take_rows(received, order)
-        counts = np.bincount(expert_ids - j * self.local_experts,
-                             minlength=self.local_experts)
-        fc2_out = _grouped_forward_by_counts(
-            moe.experts[j * self.local_experts:
-                        (j + 1) * self.local_experts],
-            sorted_rows, counts)
-        inverse = np.argsort(order)
-        returned = ops.take_rows(fc2_out, inverse)
+        returned = self.op_experts_a2a(received, metas, all_splits, rank)
 
         # 5. Combine all-to-all: transposed split matrix.
-        back_splits = [all_splits[i][j] for i in range(n)]
+        back_splits = [all_splits[i][rank] for i in range(n)]
         rows = comm.all_to_all_uneven(
             returned, back_splits, elem_bytes=self.elem_bytes,
             tag="ep_ffn:combine_a2a")
 
         # 6. Weighted sum on the source rank.
-        w_rows = weights[meta["token"], meta["slot"]]
-        scaled = rows * w_rows.reshape(-1, 1)
-        combined = ops.put_rows(scaled, meta["token"], flat.shape[0])
-        output = combined.reshape(*shard.shape)
+        output = self.op_combine_weighted(rows, meta, weights,
+                                          flat.shape[0], shard.shape)
         return output, aux, routing, routing.kept.sum()
 
     def _ag_rs_rank(self, comm, shard: Tensor):
@@ -450,7 +470,6 @@ class EPFFNEngine:
         only rank 0's aux-loss graph is kept — exactly the sequential
         accounting.
         """
-        moe = self.moe
         j = comm.index
         flat = self._flatten([shard])[0]
         t_locals = comm.gossip("ep_ffn:t_local", flat.shape[0])
@@ -470,31 +489,16 @@ class EPFFNEngine:
             np.full(t, i) for i, t in enumerate(t_locals)])
 
         # 2. Route the full batch locally.
-        routing, weights, aux = moe.router(full)
+        routing, weights, aux = self.op_route_full(full)
 
         # 3. Local scatter to this rank's experts.
-        local_lo = j * self.local_experts
-        local_hi = local_lo + self.local_experts
-        masked = RoutingResult(
-            expert_index=routing.expert_index,
-            gate_weight=routing.gate_weight,
-            kept=routing.kept
-            & (routing.expert_index >= local_lo)
-            & (routing.expert_index < local_hi),
-        )
-        plan = build_dispatch_plan(masked, moe.n_experts,
-                                   source_rank_of_token=source_rank)
-        ffn_in = ops.take_rows(full, plan.token_of_row)
+        plan, ffn_in = self.op_scatter_ag(full, routing, j, source_rank)
 
         # 4. Local experts' GroupedGEMM.
-        fc2_out = grouped_expert_forward(
-            moe.experts[local_lo:local_hi], ffn_in, plan,
-            expert_offset=local_lo)
+        fc2_out = self.op_experts_ag(ffn_in, plan, j)
 
         # 5. Full-size weighted contribution.
-        w_rows = weights[plan.token_of_row, plan.slot_of_row]
-        scaled = fc2_out * w_rows.reshape(-1, 1)
-        contribution = ops.put_rows(scaled, plan.token_of_row, t_total)
+        contribution = self.op_gather_ag(fc2_out, plan, weights, t_total)
 
         # 6. Reduce-scatter back to sequence shards.
         if self.fp8_comm:

@@ -75,6 +75,45 @@ class SPAttentionEngine:
         return ops.dropout(out, self.dropout, self.rng_pool[rank],
                            training=True)
 
+    # -- per-op handlers (graph-node granularity) --------------------------
+    #
+    # One method per forward-graph op, shared verbatim by the legacy
+    # call chains below and the DAG executor's bindings, so both paths
+    # build the identical autograd tape.
+
+    def op_qkv(self, shard: Tensor):
+        """``qkv_proj``: fused projection split into (q, k, v)."""
+        b, s_local, _ = shard.shape
+        qkv = self.attn.qkv_proj(shard)
+        return self.attn.split_qkv(qkv, b, s_local)
+
+    def op_rope(self, qkv, rank: int, local_s: int):
+        """``rope``: rotate q/k with this rank's global positions."""
+        from ..tensor import ops
+        q, k, v = qkv
+        positions = np.arange(rank * local_s, (rank + 1) * local_s)
+        return (ops.rope_rotate(q, self.attn.rope_base, positions),
+                ops.rope_rotate(k, self.attn.rope_base, positions),
+                v)
+
+    def op_attention(self, qkv_full):
+        """``attention``: causal SDPA over the full sequence."""
+        from ..tensor import ops
+        q_full, k_full, v_full = qkv_full
+        out = ops.scaled_dot_product_attention(
+            q_full.transpose(0, 2, 1, 3),
+            k_full.transpose(0, 2, 1, 3),
+            v_full.transpose(0, 2, 1, 3),
+            causal=True,
+        )
+        return out.transpose(0, 2, 1, 3)
+
+    def op_out_proj(self, attn_shard: Tensor, rank: int) -> Tensor:
+        """``out_proj``: flatten heads, project, maybe dropout."""
+        b, s_local = attn_shard.shape[0], attn_shard.shape[1]
+        flat = attn_shard.reshape(b, s_local, self.attn.hidden_size)
+        return self._maybe_dropout(self.attn.out_proj(flat), rank)
+
     def forward(self, hidden_shards: List[Tensor], seq_len: int,
                 executor: Optional[object] = None) -> List[Tensor]:
         """Map ``ln1_out`` shards to ``attn_out`` shards.
@@ -105,18 +144,15 @@ class SPAttentionEngine:
 
         qs, ks, vs = [], [], []
         for rank, shard in enumerate(hidden_shards):
-            b, s_local, _ = shard.shape
+            s_local = shard.shape[1]
             if s_local != local_s:
                 raise ValueError(
                     f"rank {rank} shard has seq {s_local}, expected "
                     f"{local_s}"
                 )
-            qkv = attn.qkv_proj(shard)
-            q, k, v = attn.split_qkv(qkv, b, s_local)
-            positions = np.arange(rank * local_s, (rank + 1) * local_s)
-            from ..tensor import ops
-            qs.append(ops.rope_rotate(q, attn.rope_base, positions))
-            ks.append(ops.rope_rotate(k, attn.rope_base, positions))
+            q, k, v = self.op_rope(self.op_qkv(shard), rank, local_s)
+            qs.append(q)
+            ks.append(k)
             vs.append(v)
 
         # All-to-all: split the head axis (2), gather the sequence axis
@@ -132,16 +168,10 @@ class SPAttentionEngine:
                                  elem_bytes=self.elem_bytes,
                                  tag="sp_attn:qkv_a2a")
 
-        attn_heads = []
-        from ..tensor import ops
-        for rank in range(n):
-            out = ops.scaled_dot_product_attention(
-                q_full[rank].transpose(0, 2, 1, 3),
-                k_full[rank].transpose(0, 2, 1, 3),
-                v_full[rank].transpose(0, 2, 1, 3),
-                causal=True,
-            )
-            attn_heads.append(out.transpose(0, 2, 1, 3))
+        attn_heads = [
+            self.op_attention((q_full[rank], k_full[rank], v_full[rank]))
+            for rank in range(n)
+        ]
 
         # All-to-all back: split sequence (1), gather heads (2).
         attn_shards = dist_all_to_all(group, attn_heads, split_axis=1,
@@ -149,12 +179,8 @@ class SPAttentionEngine:
                                       elem_bytes=self.elem_bytes,
                                       tag="sp_attn:attn_a2a")
 
-        outs = []
-        for rank, shard in enumerate(attn_shards):
-            b, s_local = shard.shape[0], shard.shape[1]
-            flat = shard.reshape(b, s_local, attn.hidden_size)
-            outs.append(self._maybe_dropout(attn.out_proj(flat), rank))
-        return outs
+        return [self.op_out_proj(shard, rank)
+                for rank, shard in enumerate(attn_shards)]
 
     def _forward_rank(self, comm, shard: Tensor, local_s: int) -> Tensor:
         """One rank's slice of :meth:`forward` under an SPMD executor.
@@ -164,15 +190,8 @@ class SPAttentionEngine:
         whole-world collective, so results match the sequential loop
         bitwise.
         """
-        from ..tensor import ops
-        attn = self.attn
         rank = comm.index
-        b, s_local, _ = shard.shape
-        qkv = attn.qkv_proj(shard)
-        q, k, v = attn.split_qkv(qkv, b, s_local)
-        positions = np.arange(rank * local_s, (rank + 1) * local_s)
-        q = ops.rope_rotate(q, attn.rope_base, positions)
-        k = ops.rope_rotate(k, attn.rope_base, positions)
+        q, k, v = self.op_rope(self.op_qkv(shard), rank, local_s)
 
         q_full = comm.all_to_all(q, split_axis=2, concat_axis=1,
                                  elem_bytes=self.elem_bytes,
@@ -184,16 +203,9 @@ class SPAttentionEngine:
                                  elem_bytes=self.elem_bytes,
                                  tag="sp_attn:qkv_a2a")
 
-        out = ops.scaled_dot_product_attention(
-            q_full.transpose(0, 2, 1, 3),
-            k_full.transpose(0, 2, 1, 3),
-            v_full.transpose(0, 2, 1, 3),
-            causal=True,
-        ).transpose(0, 2, 1, 3)
+        out = self.op_attention((q_full, k_full, v_full))
 
         attn_shard = comm.all_to_all(out, split_axis=1, concat_axis=2,
                                      elem_bytes=self.elem_bytes,
                                      tag="sp_attn:attn_a2a")
-        b, s_local = attn_shard.shape[0], attn_shard.shape[1]
-        flat = attn_shard.reshape(b, s_local, attn.hidden_size)
-        return self._maybe_dropout(attn.out_proj(flat), rank)
+        return self.op_out_proj(attn_shard, rank)

@@ -76,15 +76,54 @@ class TPAttentionEngine:
                 out_w[r * q_cols:(r + 1) * q_cols, :].copy(),
                 requires_grad=True, name=f"out_shard_{r}"))
 
-    def forward(self, hidden_shards: List[Tensor],
-                seq_len: int) -> List[Tensor]:
-        """Map ``ln1_out`` sequence shards to ``attn_out`` shards."""
-        group, attn = self.group, self.attn
-        group.check_shards(hidden_shards)
-        n = group.size
+    # -- per-op handlers (graph-node granularity) --------------------------
+    #
+    # One method per forward-graph op, shared by the legacy call chain
+    # below and the DAG executor's bindings.
+
+    def op_qkv(self, x: Tensor, r: int):
+        """``qkv_proj``: this rank's head-shard projection of the full
+        sequence, split into 4-D (q, k, v)."""
+        attn, n = self.attn, self.group.size
         heads_local = attn.n_heads // n
         kv_local = attn.n_kv_heads // n
         hd = attn.head_dim
+        b, s, _ = x.shape
+        qkv = x @ self.qkv_weights[r]
+        q_width = heads_local * hd
+        kv_width = kv_local * hd
+        q = qkv[:, :, :q_width].reshape(b, s, heads_local, hd)
+        k = qkv[:, :, q_width:q_width + kv_width].reshape(
+            b, s, kv_local, hd)
+        v = qkv[:, :, q_width + kv_width:].reshape(b, s, kv_local, hd)
+        return q, k, v
+
+    def op_rope(self, qkv):
+        """``rope``: full-sequence rotation (positions implicit)."""
+        q, k, v = qkv
+        return (ops.rope_rotate(q, self.attn.rope_base),
+                ops.rope_rotate(k, self.attn.rope_base), v)
+
+    def op_attention(self, qkv):
+        """``attention``: causal SDPA, heads re-flattened."""
+        q, k, v = qkv
+        b, s = q.shape[0], q.shape[1]
+        q_width = q.shape[2] * q.shape[3]
+        out = ops.scaled_dot_product_attention(
+            q.transpose(0, 2, 1, 3), k.transpose(0, 2, 1, 3),
+            v.transpose(0, 2, 1, 3), causal=True)
+        return out.transpose(0, 2, 1, 3).reshape(b, s, q_width)
+
+    def op_out_proj(self, out: Tensor, r: int) -> Tensor:
+        """``out_proj``: row-sharded partial product."""
+        return out @ self.out_weights[r]
+
+    def forward(self, hidden_shards: List[Tensor],
+                seq_len: int) -> List[Tensor]:
+        """Map ``ln1_out`` sequence shards to ``attn_out`` shards."""
+        group = self.group
+        group.check_shards(hidden_shards)
+        n = group.size
 
         # All-gather the sequence so each rank sees the full input.
         full_inputs = dist_all_gather(group, hidden_shards, axis=1,
@@ -93,22 +132,8 @@ class TPAttentionEngine:
 
         partials = []
         for r in range(n):
-            x = full_inputs[r]
-            b, s, _ = x.shape
-            qkv = x @ self.qkv_weights[r]
-            q_width = heads_local * hd
-            kv_width = kv_local * hd
-            q = qkv[:, :, :q_width].reshape(b, s, heads_local, hd)
-            k = qkv[:, :, q_width:q_width + kv_width].reshape(
-                b, s, kv_local, hd)
-            v = qkv[:, :, q_width + kv_width:].reshape(b, s, kv_local, hd)
-            q = ops.rope_rotate(q, attn.rope_base)
-            k = ops.rope_rotate(k, attn.rope_base)
-            out = ops.scaled_dot_product_attention(
-                q.transpose(0, 2, 1, 3), k.transpose(0, 2, 1, 3),
-                v.transpose(0, 2, 1, 3), causal=True)
-            out = out.transpose(0, 2, 1, 3).reshape(b, s, q_width)
-            partials.append(out @ self.out_weights[r])
+            qkv = self.op_rope(self.op_qkv(full_inputs[r], r))
+            partials.append(self.op_out_proj(self.op_attention(qkv), r))
 
         # Partial products sum across ranks; scatter back to seq shards.
         return dist_reduce_scatter(group, partials, axis=1,

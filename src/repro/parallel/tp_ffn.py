@@ -62,12 +62,48 @@ class TPFFNEngine:
                                   requires_grad=True),
                 })
 
+    # -- per-op handlers (graph-node granularity) --------------------------
+    #
+    # One method per forward-graph op, shared by the legacy forward below
+    # and the DAG executor's bindings.
+
+    def op_route_full(self, full: Tensor):
+        """``router``: replicated gate over all gathered tokens."""
+        return self.moe.router(full)
+
+    def op_scatter(self, full: Tensor, routing):
+        """``scatter``: expert-sort all kept rows (every rank keeps
+        everything — TP shards weights, not tokens)."""
+        plan = build_dispatch_plan(routing, self.moe.n_experts)
+        ffn_in = ops.take_rows(full, plan.token_of_row)
+        return plan, ffn_in
+
+    def op_experts(self, ffn_in: Tensor, plan, r: int) -> Tensor:
+        """``fc1``–``fc2``: thin GEMM shards over every routed token."""
+        pieces = []
+        for expert_id, start, end in plan.expert_slices():
+            shard = self.shards[r][expert_id]
+            x = ffn_in[start:end]
+            gate_in = x @ shard["fc1"]
+            lin_in = x @ shard["fc3"]
+            pieces.append((gate_in.silu() * lin_in) @ shard["fc2"])
+        return (ops.concat(pieces, axis=0) if pieces else
+                Tensor(np.zeros((0, ffn_in.shape[-1]),
+                                dtype=ffn_in.dtype)))
+
+    def op_gather(self, fc2_partial: Tensor, plan, weights: Tensor,
+                  t_total: int) -> Tensor:
+        """``gather``: weighted full-size partial contribution."""
+        w_rows = weights[plan.token_of_row, plan.slot_of_row]
+        scaled = fc2_partial * w_rows.reshape(-1, 1)
+        return ops.put_rows(scaled, plan.token_of_row, t_total)
+
     def forward(self, hidden_shards: List[Tensor]) -> tuple:
         """Map ``ln2_out`` seq shards to combined output shards.
 
         Returns ``(output_shards, aux_loss)``.
         """
-        group, moe = self.group, self.moe
+        group = self.group
         group.check_shards(hidden_shards)
         n = group.size
         flats = [s.reshape(-1, s.shape[-1]) if s.ndim == 3 else s
@@ -85,27 +121,13 @@ class TPFFNEngine:
         partials = []
         aux = None
         for r in range(n):
-            routing, weights, aux_r = moe.router(fulls[r])
+            routing, weights, aux_r = self.op_route_full(fulls[r])
             if r == 0:
                 aux = aux_r
-            plan = build_dispatch_plan(routing, moe.n_experts)
-            ffn_in = ops.take_rows(fulls[r], plan.token_of_row)
-
-            pieces = []
-            for expert_id, start, end in plan.expert_slices():
-                shard = self.shards[r][expert_id]
-                x = ffn_in[start:end]
-                gate_in = x @ shard["fc1"]
-                lin_in = x @ shard["fc3"]
-                pieces.append((gate_in.silu() * lin_in) @ shard["fc2"])
-            fc2_partial = (ops.concat(pieces, axis=0) if pieces else
-                           Tensor(np.zeros((0, flats[0].shape[-1]),
-                                           dtype=flats[0].dtype)))
-
-            w_rows = weights[plan.token_of_row, plan.slot_of_row]
-            scaled = fc2_partial * w_rows.reshape(-1, 1)
-            partials.append(ops.put_rows(scaled, plan.token_of_row,
-                                         t_total))
+            plan, ffn_in = self.op_scatter(fulls[r], routing)
+            fc2_partial = self.op_experts(ffn_in, plan, r)
+            partials.append(self.op_gather(fc2_partial, plan, weights,
+                                           t_total))
 
         if self.fp8_comm:
             from .dist_ops_fp8 import dist_reduce_scatter_fp8

@@ -1,6 +1,12 @@
 """Performance model: kernel timing, system models, MFU accounting."""
 
-from .estimator import KernelModel
+from .estimator import (
+    AnchorCalibration,
+    CalibrationReport,
+    KernelModel,
+    calibrate_from_spans,
+    calibrated_durations,
+)
 from .mfu import days_for_tokens, mfu, tokens_per_second
 from .sm_allocation import (
     SMAllocation,
@@ -16,6 +22,10 @@ from .systems import (
 
 __all__ = [
     "KernelModel",
+    "AnchorCalibration",
+    "CalibrationReport",
+    "calibrate_from_spans",
+    "calibrated_durations",
     "SMAllocation",
     "fused_kernel_time",
     "optimal_sm_fraction",

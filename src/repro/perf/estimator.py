@@ -18,14 +18,21 @@ Times every :class:`~repro.core.operators.Op` on a given
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Tuple
 
 from ..comm.cost import LinkSpec
 from ..core.config import GPUSpec
 from ..core.operators import Op, OpGraph
 
-__all__ = ["KernelModel"]
+__all__ = [
+    "KernelModel",
+    "AnchorCalibration",
+    "CalibrationReport",
+    "calibrate_from_spans",
+    "calibrated_durations",
+]
 
 
 @dataclass
@@ -127,3 +134,112 @@ class KernelModel:
         roof = intensity * self.gpu.memory_bandwidth / self.gpu.peak_flops
         return min(self.gemm_max_eff * self._shape_factor(
             (rows, k_dim, n_dim)), roof)
+
+
+# -- span-driven calibration --------------------------------------------------
+#
+# The DAG executor emits one tracer span per binding ("dag.op:<anchor>"
+# with an ``ops`` attribute listing the graph ops the binding covers).
+# These spans measure what actually ran, so they can pull the roofline
+# model toward reality: per-anchor measured/predicted ratios become
+# multiplicative corrections on the modeled durations the scheduler and
+# simulator consume.  On this numpy testbed the "measured" times are
+# wall-clock of the simulation itself — the value here is the closed
+# loop (execute → trace → calibrate → re-simulate), which is exactly
+# how the real system would be tuned against profiler output.
+
+#: Span-name prefix the DAG executor uses for per-binding spans.
+DAG_SPAN_PREFIX = "dag.op:"
+
+
+@dataclass(frozen=True)
+class AnchorCalibration:
+    """Measured-vs-modeled timing for one executed binding anchor."""
+
+    anchor: str
+    ops: Tuple[str, ...]
+    samples: int
+    measured: float  #: mean measured seconds per occurrence
+    predicted: float  #: modeled seconds summed over the covered ops
+
+    @property
+    def scale(self) -> float:
+        """Multiplicative correction measured/predicted (1.0 if
+        the model predicts zero time)."""
+        if self.predicted <= 0.0:
+            return 1.0
+        return self.measured / self.predicted
+
+
+@dataclass
+class CalibrationReport:
+    """Per-anchor corrections derived from one traced DAG run."""
+
+    anchors: Dict[str, AnchorCalibration] = field(default_factory=dict)
+    #: op name -> owning anchor (ops never traced fall back to the
+    #: median scale across anchors).
+    op_anchor: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def default_scale(self) -> float:
+        """Median anchor scale — the fallback for untraced ops."""
+        scales = [a.scale for a in self.anchors.values()]
+        return statistics.median(scales) if scales else 1.0
+
+    def scale_for(self, op_name: str) -> float:
+        """The correction factor to apply to one op's modeled time."""
+        anchor = self.op_anchor.get(op_name)
+        if anchor is None:
+            return self.default_scale
+        return self.anchors[anchor].scale
+
+
+def calibrate_from_spans(model: KernelModel, graph: OpGraph,
+                         spans: Iterable,
+                         prefix: str = DAG_SPAN_PREFIX
+                         ) -> CalibrationReport:
+    """Fit per-anchor corrections from DAG-executor tracer spans.
+
+    ``spans`` is any iterable of closed
+    :class:`~repro.obs.tracer.Span`-like objects (``name``,
+    ``duration``, ``attrs``); spans whose name does not start with
+    ``prefix`` are ignored, so the whole ``tracer.spans`` list can be
+    passed directly.  Multiple occurrences of one anchor (layers,
+    steps) average into a single measurement.
+    """
+    measured: Dict[str, list] = {}
+    covered: Dict[str, Tuple[str, ...]] = {}
+    for span in spans:
+        name = getattr(span, "name", "")
+        if not name.startswith(prefix) or not getattr(span, "closed",
+                                                     True):
+            continue
+        anchor = name[len(prefix):]
+        measured.setdefault(anchor, []).append(float(span.duration))
+        ops = tuple(
+            o for o in str(span.attrs.get("ops", anchor)).split(",")
+            if o in graph
+        )
+        covered[anchor] = ops or covered.get(anchor, ())
+    report = CalibrationReport()
+    for anchor, durations in sorted(measured.items()):
+        ops = covered.get(anchor, ())
+        predicted = sum(model.op_duration(graph[o]) for o in ops)
+        report.anchors[anchor] = AnchorCalibration(
+            anchor=anchor, ops=ops, samples=len(durations),
+            measured=sum(durations) / len(durations),
+            predicted=predicted,
+        )
+        for op_name in ops:
+            report.op_anchor[op_name] = anchor
+    return report
+
+
+def calibrated_durations(model: KernelModel, graph: OpGraph,
+                         report: CalibrationReport) -> Dict[str, float]:
+    """:meth:`KernelModel.durations` with per-anchor corrections
+    applied — drop-in for the scheduler/simulator duration map."""
+    return {
+        op.name: model.op_duration(op) * report.scale_for(op.name)
+        for op in graph
+    }

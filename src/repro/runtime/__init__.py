@@ -5,6 +5,13 @@ contract, and the zero-copy rules the engines rely on.
 """
 
 from .backward import backward, parallel_backward
+from .dag_executor import (
+    BACKENDS,
+    DagExecutor,
+    DagRunResult,
+    resolve_backend,
+    schedule_conformance_problems,
+)
 from .rng import RankRngPool
 from .spmd import (
     EXECUTION_MODES,
@@ -16,7 +23,10 @@ from .spmd import (
 )
 
 __all__ = [
+    "BACKENDS",
     "EXECUTION_MODES",
+    "DagExecutor",
+    "DagRunResult",
     "RankComm",
     "RankRngPool",
     "SpmdExecutor",
@@ -24,5 +34,7 @@ __all__ = [
     "current_rank",
     "make_executor",
     "parallel_backward",
+    "resolve_backend",
     "resolve_execution",
+    "schedule_conformance_problems",
 ]

@@ -1,0 +1,327 @@
+"""Numeric execution of a scheduled operator DAG.
+
+:class:`DagExecutor` takes one layer's :class:`~repro.core.executor_bindings.LayerProgram`
+(the IR, its overlap schedule, and the flattened op order) plus the
+:class:`~repro.core.executor_bindings.OpBinding` list that maps graph
+ops to engine handlers, and runs the layer **in schedule order** — the
+same order the simulator scores.  Two backends:
+
+* **sequential** — one thread walks the order; each binding's ``seq``
+  handler sees all ranks and issues the classic ``dist_*`` collectives;
+* **threaded** — one :class:`~repro.runtime.spmd.SpmdExecutor` thread
+  per rank walks the *same* order calling the ``rank`` handlers, whose
+  collectives rendezvous across threads.
+
+Because every handler performs the identical Tensor arithmetic as the
+legacy engine path, both backends are bitwise-identical to it — the
+``dag_bitwise`` invariant in :mod:`repro.verify` enforces this.
+
+Construction validates the whole contract up front: the bindings'
+``covers`` partition the graph, the flattened order is a permutation of
+the graph in valid topological order, and every binding's reads resolve
+before it runs.  :func:`schedule_conformance_problems` re-checks an
+*executed* sequence against the program after the fact — the
+``dag_schedule_conformance`` invariant.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "BACKENDS",
+    "DagExecutor",
+    "DagRunResult",
+    "resolve_backend",
+    "schedule_conformance_problems",
+]
+
+#: Numeric backends the trainer can run a layer through: the legacy
+#: per-engine call chain, or the schedule-ordered DAG executor.
+BACKENDS = ("engine", "dag")
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Pick the numeric backend: explicit config > env > default."""
+    if backend is None:
+        backend = os.environ.get("REPRO_BACKEND") or "engine"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return backend
+
+
+@dataclass
+class DagRunResult:
+    """What one DAG-executed layer produced.
+
+    ``env`` maps each binding anchor (plus the layer inputs) to its
+    per-rank value list; ``executed`` is the op-level order actually
+    followed — by construction the program's flattened schedule order,
+    recorded so ``repro.verify`` can check conformance independently.
+    """
+
+    executed: List[str]
+    env: Dict[str, List[Any]]
+    covers: Dict[str, Tuple[str, ...]]
+    graph: Any = None
+    remat_report: Optional[dict] = field(default=None)
+
+    def per_rank(self, name: str) -> List[Any]:
+        """All ranks' values for one anchor (or input) name."""
+        return self.env[name]
+
+    def apply_remat(self, plan=None,
+                    keep: Sequence[str] = ("residual2",)) -> dict:
+        """Drop activations a :class:`~repro.core.remat.RematPlan`
+        does not retain — the numeric half of the shared remat
+        transform (the schedule half is
+        :func:`~repro.core.remat.insert_remat_ops`).
+
+        An anchor is dropped when its covered ops' ``produces``
+        activations all fall in the plan's Fig. 20 decision set and
+        none is in ``plan.retained``; activations outside that set,
+        layer inputs, and ``keep`` anchors (the layer output) are
+        conservatively kept.  Returns a report with the kept/dropped
+        anchor lists.
+        """
+        from ..core.remat import activation_table, default_remat_plan
+        if plan is None:
+            plan = default_remat_plan()
+        universe = {spec.name for spec in activation_table()}
+        kept: List[str] = []
+        dropped: List[str] = []
+        for anchor in list(self.env):
+            if anchor not in self.covers or anchor in keep:
+                kept.append(anchor)
+                continue
+            produced = set()
+            for op_name in self.covers[anchor]:
+                produced.update(self.graph[op_name].produces)
+            decided = produced & universe
+            if decided == produced and produced \
+                    and not (produced & plan.retained):
+                del self.env[anchor]
+                dropped.append(anchor)
+            else:
+                kept.append(anchor)
+        self.remat_report = {
+            "retained_activations": sorted(plan.retained),
+            "kept": kept,
+            "dropped": dropped,
+        }
+        return self.remat_report
+
+
+class DagExecutor:
+    """Runs one layer's bindings in the program's schedule order."""
+
+    def __init__(self, program, bindings, group,
+                 inputs: Sequence[str] = ("hidden",)):
+        self.program = program
+        self.group = group
+        self.inputs = tuple(inputs)
+        graph_names = [op.name for op in program.graph]
+        self._validate_order(program, graph_names)
+        self._bindings_in_order = self._validate_bindings(
+            program, bindings, graph_names)
+
+    # -- construction-time validation ----------------------------------
+
+    @staticmethod
+    def _validate_order(program, graph_names: List[str]) -> None:
+        """The flattened order must be a topologically valid permutation
+        of the graph — this is where a bad scheduler change surfaces."""
+        if sorted(program.order) != sorted(graph_names):
+            missing = set(graph_names) - set(program.order)
+            extra = set(program.order) - set(graph_names)
+            raise ValueError(
+                f"program order is not a permutation of the graph "
+                f"(missing={sorted(missing)}, extra={sorted(extra)})"
+            )
+        seen = set()
+        for name in program.order:
+            for dep in program.graph[name].deps:
+                if dep not in seen:
+                    raise ValueError(
+                        f"program order runs {name!r} before its "
+                        f"dependency {dep!r}"
+                    )
+            seen.add(name)
+
+    def _validate_bindings(self, program, bindings,
+                           graph_names: List[str]):
+        owner: Dict[str, Any] = {}
+        for b in bindings:
+            if b.op not in b.covers:
+                raise ValueError(
+                    f"binding {b.op!r} does not cover its own op"
+                )
+            for name in b.covers:
+                if name not in program.graph:
+                    raise ValueError(
+                        f"binding {b.op!r} covers unknown op {name!r}"
+                    )
+                if name in owner:
+                    raise ValueError(
+                        f"op {name!r} covered by both "
+                        f"{owner[name].op!r} and {b.op!r}"
+                    )
+                owner[name] = b
+        uncovered = [n for n in graph_names if n not in owner]
+        if uncovered:
+            raise ValueError(f"ops not covered by any binding: "
+                             f"{uncovered}")
+
+        # A binding triggers at the first covered member the order
+        # reaches; its reads must already be available there.
+        available = set(self.inputs)
+        triggered = set()
+        in_order = []
+        for name in self.program.order:
+            b = owner[name]
+            if b.op in triggered:
+                continue
+            for read in b.reads:
+                if read not in available:
+                    raise ValueError(
+                        f"binding {b.op!r} reads {read!r} before it is "
+                        f"produced in the program order"
+                    )
+            triggered.add(b.op)
+            available.add(b.op)
+            in_order.append(b)
+        return in_order
+
+    # -- execution -----------------------------------------------------
+
+    def _span(self, tracer, binding):
+        if tracer is None:
+            return contextlib.nullcontext()
+        op = self.program.graph[binding.op]
+        return tracer.span(
+            f"dag.op:{binding.op}", cat="dag", stream="compute",
+            phase=op.phase, kind=op.kind,
+            ops=",".join(binding.covers),
+        )
+
+    def run(self, inputs: Dict[str, List[Any]],
+            executor: Optional[object] = None,
+            tracer: Optional[object] = None) -> DagRunResult:
+        """Execute the layer; returns every anchor's per-rank values.
+
+        Args:
+            inputs: Per-rank value lists for the declared layer inputs
+                (``{"hidden": hidden_shards}``).
+            executor: Optional :class:`~repro.runtime.spmd.SpmdExecutor`
+                — when given, all bindings run per-rank on its threads.
+            tracer: Optional :class:`~repro.obs.Tracer`; each binding
+                runs inside a ``dag.op:<anchor>`` span whose measured
+                duration can calibrate the perf model
+                (:func:`~repro.perf.estimator.calibrate_from_spans`).
+        """
+        missing = [name for name in self.inputs if name not in inputs]
+        if missing:
+            raise ValueError(f"missing layer inputs: {missing}")
+        if executor is not None:
+            env = self._run_threaded(inputs, executor, tracer)
+        else:
+            env = self._run_sequential(inputs, tracer)
+        covers = {b.op: b.covers for b in self._bindings_in_order}
+        return DagRunResult(executed=list(self.program.order), env=env,
+                            covers=covers, graph=self.program.graph)
+
+    def _run_sequential(self, inputs, tracer) -> Dict[str, List[Any]]:
+        from ..core.executor_bindings import _SeqCtx
+        env: Dict[str, List[Any]] = {name: list(vals)
+                                     for name, vals in inputs.items()}
+        ctx = _SeqCtx(self.group, env)
+        for b in self._bindings_in_order:
+            with self._span(tracer, b):
+                env[b.op] = b.seq(ctx)
+        return env
+
+    def _run_threaded(self, inputs, executor,
+                      tracer) -> Dict[str, List[Any]]:
+        from ..core.executor_bindings import _RankCtx
+        bindings = self._bindings_in_order
+
+        def rank_fn(comm):
+            renv = {name: vals[comm.index]
+                    for name, vals in inputs.items()}
+            ctx = _RankCtx(comm, renv)
+            # Spans on rank 0 only: one measurement per op, and the
+            # tracer's span stack stays single-threaded per rank.
+            rank_tracer = tracer if comm.index == 0 else None
+            for b in bindings:
+                with self._span(rank_tracer, b):
+                    renv[b.op] = b.rank(ctx)
+            return renv
+
+        renvs = executor.run(self.group, rank_fn)
+        env: Dict[str, List[Any]] = {name: list(vals)
+                                     for name, vals in inputs.items()}
+        for b in bindings:
+            env[b.op] = [renv[b.op] for renv in renvs]
+        return env
+
+
+def schedule_conformance_problems(program,
+                                  executed: Sequence[str]) -> List[str]:
+    """Check an executed op sequence against its layer program.
+
+    Three conditions (the ``dag_schedule_conformance`` invariant):
+
+    1. the sequence is a permutation of the graph's ops;
+    2. it is a valid topological order of the op-level dependencies;
+    3. collapsing ops to their scheduled units (first occurrence) gives
+       a valid topological order of the scheduler's task dependencies —
+       i.e. the numeric path really followed the overlap schedule.
+
+    Returns human-readable problem strings; empty means conformant.
+    """
+    problems: List[str] = []
+    graph = program.graph
+    graph_names = [op.name for op in graph]
+    if sorted(executed) != sorted(graph_names):
+        missing = set(graph_names) - set(executed)
+        extra = set(executed) - set(graph_names)
+        problems.append(
+            f"executed ops are not a permutation of the graph "
+            f"(missing={sorted(missing)}, extra={sorted(extra)})"
+        )
+        return problems
+
+    seen = set()
+    for name in executed:
+        for dep in graph[name].deps:
+            if dep not in seen:
+                problems.append(
+                    f"op {name!r} executed before its dependency "
+                    f"{dep!r}"
+                )
+        seen.add(name)
+
+    unit_of = program.task_of()
+    unit_sequence: List[str] = []
+    seen_units = set()
+    for name in executed:
+        unit = unit_of[name]
+        if unit not in seen_units:
+            seen_units.add(unit)
+            unit_sequence.append(unit)
+    tasks = {t.name: t for t in program.tasks}
+    done = set()
+    for unit in unit_sequence:
+        for dep in tasks[unit].deps:
+            if dep not in done:
+                problems.append(
+                    f"unit {unit!r} started before its scheduled "
+                    f"dependency {dep!r}"
+                )
+        done.add(unit)
+    return problems

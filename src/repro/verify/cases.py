@@ -47,6 +47,9 @@ class VerifyCase:
     ep_dispatch: str = "a2a"
     precision: str = "fp32"
     execution: str = "sequential"
+    #: Numeric backend: "engine" (legacy per-engine call chains) or
+    #: "dag" (schedule-ordered DAG executor).
+    backend: str = "engine"
     dropout: float = 0.0
     steps: int = 2
     seed: int = 0
@@ -92,6 +95,8 @@ class VerifyCase:
             raise ValueError(f"unknown precision {self.precision!r}")
         if self.execution not in ("sequential", "threaded"):
             raise ValueError(f"unknown execution {self.execution!r}")
+        if self.backend not in ("engine", "dag"):
+            raise ValueError(f"unknown backend {self.backend!r}")
         if self.steps < 1:
             raise ValueError(f"steps must be >= 1, got {self.steps}")
         if not 0.0 <= self.dropout < 1.0:
@@ -108,6 +113,8 @@ class VerifyCase:
             f"s{self.seq}", f"e{self.experts}", f"k{self.top_k}",
             f"st{self.steps}",
         ]
+        if self.backend != "engine":
+            parts.append(self.backend)
         if self.dropout > 0.0:
             parts.append(f"do{self.dropout:g}")
         if self.seed != 0:
@@ -137,7 +144,8 @@ class VerifyCase:
             global_batch_size=self.batch, micro_batch_size=self.batch,
             seq_len=self.seq, learning_rate=1e-2,
             aux_loss_coeff=0.01, precision=self.precision,
-            execution=self.execution, dropout=self.dropout,
+            execution=self.execution, backend=self.backend,
+            dropout=self.dropout,
             dropout_seed=self.seed + 1,
         )
 
@@ -148,6 +156,10 @@ class VerifyCase:
     def twin_sequential(self) -> "VerifyCase":
         """The sequential twin of a threaded case."""
         return self.replace(execution="sequential")
+
+    def twin_engine(self) -> "VerifyCase":
+        """The legacy-backend twin of a DAG-backend case."""
+        return self.replace(backend="engine")
 
 
 def smoke_matrix(seed: int = 0) -> List[VerifyCase]:

@@ -83,8 +83,14 @@ class RunArtifacts:
     ledger_counts: Dict[str, int]
     #: Per-layer EP dispatch telemetry (None for non-EP layers).
     telemetry: List[Optional[dict]] = field(default_factory=list)
+    #: Per-layer op execution order from the DAG backend (empty for
+    #: engine-backend runs) — checked against the overlap schedule by
+    #: the ``dag_schedule_conformance`` invariant.
+    executed_ops: List[List[str]] = field(default_factory=list)
     golden: Optional[GoldenArtifacts] = None
     twin: Optional["RunArtifacts"] = None
+    #: The legacy-backend twin of a DAG-backend case run.
+    engine_twin: Optional["RunArtifacts"] = None
 
 
 @dataclass
@@ -202,6 +208,11 @@ def _run_parallel(case: VerifyCase,
         getattr(engine.ffn_engine, "last_telemetry", None)
         for engine in trainer.engines
     ]
+    executed_ops = [
+        list(engine.last_executed_ops)
+        for engine in trainer.engines
+        if getattr(engine, "last_executed_ops", None)
+    ]
     return RunArtifacts(
         case=case,
         losses=losses,
@@ -215,6 +226,7 @@ def _run_parallel(case: VerifyCase,
         ledger_total_bytes=world.ledger.total_bytes(),
         ledger_counts=world.ledger.counts(),
         telemetry=telemetry,
+        executed_ops=executed_ops,
     )
 
 
@@ -261,6 +273,8 @@ def run_case(case: VerifyCase,
         artifacts.golden = _run_golden(case)
     if case.execution == "threaded":
         artifacts.twin = _run_parallel(case.twin_sequential())
+    if case.backend == "dag":
+        artifacts.engine_twin = _run_parallel(case.twin_engine())
     outcomes: List[InvariantResult] = []
     for invariant in registered_invariants():
         if not invariant.applies(case):

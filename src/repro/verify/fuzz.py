@@ -49,6 +49,7 @@ def sample_case(rng: np.random.Generator) -> VerifyCase:
         ep_dispatch=str(rng.choice(["a2a", "ag_rs"])),
         precision=str(rng.choice(["fp32", "fp8"])),
         execution=str(rng.choice(["sequential", "threaded"])),
+        backend=str(rng.choice(["engine", "engine", "dag"])),
         # Dropout cases exercise the per-rank RNG contract (threaded
         # bitwise identity); golden closeness is skipped for them.
         dropout=float(rng.choice([0.0, 0.0, 0.0, 0.1])),
@@ -105,6 +106,8 @@ def _shrink_candidates(case: VerifyCase) -> Iterator[VerifyCase]:
         yield from filter(None, [attempt(vocab=32)])
     if case.dropout > 0.0:
         yield from filter(None, [attempt(dropout=0.0)])
+    if case.backend != "engine":
+        yield from filter(None, [attempt(backend="engine")])
 
 
 def shrink(case: VerifyCase,

@@ -256,6 +256,52 @@ def _check_threaded_bitwise(art: "RunArtifacts") -> List[str]:
     return violations
 
 
+def _check_dag_bitwise(art: "RunArtifacts") -> List[str]:
+    """DAG-executed results must be bitwise-identical to the legacy
+    engine path (same execution mode, same seeds)."""
+    twin = art.engine_twin
+    violations = []
+    if art.losses != twin.losses:
+        violations.append(
+            f"per-step losses differ: {art.losses} vs {twin.losses}"
+        )
+    for name, want in twin.params.items():
+        got = art.params.get(name)
+        if got is None or not np.array_equal(got, want):
+            violations.append(f"param {name} not bitwise-equal to the "
+                              "engine-backend twin")
+    if art.ledger_total_bytes != twin.ledger_total_bytes:
+        violations.append(
+            f"ledger bytes differ: {art.ledger_total_bytes} vs "
+            f"{twin.ledger_total_bytes}"
+        )
+    if art.ledger_counts != twin.ledger_counts:
+        violations.append(
+            f"collective counts differ: {art.ledger_counts} vs "
+            f"{twin.ledger_counts}"
+        )
+    return violations
+
+
+def _check_dag_conformance(art: "RunArtifacts") -> List[str]:
+    """The executed op sequence must be a valid topological order of
+    both the op graph and the overlap schedule's task list."""
+    from ..core.executor_bindings import layer_program
+    from ..runtime.dag_executor import schedule_conformance_problems
+
+    case = art.case
+    if not art.executed_ops:
+        return ["no executed op sequences recorded for a DAG-backend "
+                "run"]
+    program = layer_program(case.model_config(), case.parallel_config(),
+                            case.batch, case.seq)
+    violations = []
+    for layer, executed in enumerate(art.executed_ops):
+        for problem in schedule_conformance_problems(program, executed):
+            violations.append(f"layer {layer}: {problem}")
+    return violations
+
+
 def _check_token_conservation(art: "RunArtifacts") -> List[str]:
     violations = []
     for layer, tele in enumerate(art.telemetry):
@@ -423,6 +469,22 @@ def default_registry() -> List[Invariant]:
                         "the sequential twin (losses, params, ledger)",
             applies=lambda case: case.execution == "threaded",
             check=_check_threaded_bitwise,
+        ),
+        Invariant(
+            name="dag_bitwise",
+            description="DAG-executed results are bitwise-identical "
+                        "to the legacy engine path (losses, params, "
+                        "ledger)",
+            applies=lambda case: case.backend == "dag",
+            check=_check_dag_bitwise,
+        ),
+        Invariant(
+            name="dag_schedule_conformance",
+            description="the DAG backend's executed op sequence is a "
+                        "valid topological order of both the op graph "
+                        "and the overlap schedule",
+            applies=lambda case: case.backend == "dag",
+            check=_check_dag_conformance,
         ),
         Invariant(
             name="token_conservation",

@@ -1,0 +1,402 @@
+"""DAG executor: schedule-ordered numeric execution of the operator IR.
+
+The contract under test is the tentpole invariant: running a layer
+through :class:`~repro.runtime.dag_executor.DagExecutor` — in the
+overlap schedule's flattened order, sequential or thread-per-rank —
+must be *bitwise identical* to the legacy engine call chains, and the
+executed op sequence must be a valid topological order of both the op
+graph and the scheduled task list.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.comm import World
+from repro.core import MegaScaleTrainer, ParallelConfig, TrainConfig
+from repro.core.config import GPU_SPECS
+from repro.core.executor_bindings import (
+    LayerProgram,
+    build_layer_bindings,
+    expand_task,
+    layer_program,
+)
+from repro.core.remat import default_remat_plan, no_remat_plan
+from repro.model import MoETransformer
+from repro.model.transformer import TransformerBlock
+from repro.obs import Observability
+from repro.parallel import ParallelBlockEngine, shard_sequence
+from repro.perf.estimator import (
+    KernelModel,
+    calibrate_from_spans,
+    calibrated_durations,
+)
+from repro.runtime import (
+    DagExecutor,
+    SpmdExecutor,
+    resolve_backend,
+    schedule_conformance_problems,
+)
+
+RANKS = 4
+SEQ = 8
+
+COMBOS = [
+    ("sp", "ep", "a2a"),
+    ("sp", "ep", "ag_rs"),
+    ("tp", "ep", "a2a"),
+    ("sp", "tp", "a2a"),
+    ("tp", "tp", "a2a"),
+]
+
+
+def make_engine(tiny_config, attn, ffn, dispatch, fp8=False):
+    block = TransformerBlock(np.random.default_rng(0), tiny_config,
+                             dtype=np.float64)
+    world = World(RANKS, RANKS)
+    engine = ParallelBlockEngine(world.full_group(), block, attn, ffn,
+                                 ep_mode=dispatch, fp8_comm=fp8)
+    return world, engine
+
+
+def make_program(tiny_config, attn, ffn, dispatch, batch=2, seq=SEQ):
+    parallel = ParallelConfig(RANKS, attention=attn, ffn=ffn,
+                              ep_dispatch=dispatch)
+    return layer_program(tiny_config, parallel, batch, seq)
+
+
+@pytest.fixture
+def layer_input(rng, tiny_config):
+    return rng.standard_normal((2, SEQ, tiny_config.hidden_size))
+
+
+class TestDagMatchesEngine:
+    @pytest.mark.parametrize("attn,ffn,dispatch", COMBOS)
+    def test_forward_bitwise(self, tiny_config, layer_input, attn, ffn,
+                             dispatch):
+        _, legacy = make_engine(tiny_config, attn, ffn, dispatch)
+        outs_ref, aux_ref = legacy.forward(
+            shard_sequence(layer_input, RANKS), SEQ)
+
+        _, engine = make_engine(tiny_config, attn, ffn, dispatch)
+        program = make_program(tiny_config, attn, ffn, dispatch)
+        outs, aux = engine.forward(shard_sequence(layer_input, RANKS),
+                                   SEQ, dag_program=program)
+        for a, b in zip(outs, outs_ref):
+            np.testing.assert_array_equal(a.data, b.data)
+        assert aux.item() == aux_ref.item()
+
+    @pytest.mark.parametrize("attn,ffn,dispatch", [
+        ("sp", "ep", "ag_rs"), ("sp", "tp", "a2a"),
+    ])
+    def test_forward_bitwise_fp8(self, tiny_config, layer_input, attn,
+                                 ffn, dispatch):
+        _, legacy = make_engine(tiny_config, attn, ffn, dispatch,
+                                fp8=True)
+        outs_ref, _ = legacy.forward(
+            shard_sequence(layer_input, RANKS), SEQ)
+
+        _, engine = make_engine(tiny_config, attn, ffn, dispatch,
+                                fp8=True)
+        program = make_program(tiny_config, attn, ffn, dispatch)
+        outs, _ = engine.forward(shard_sequence(layer_input, RANKS),
+                                 SEQ, dag_program=program)
+        for a, b in zip(outs, outs_ref):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_threaded_dag_matches_sequential_dag(self, tiny_config,
+                                                 layer_input):
+        _, seq_engine = make_engine(tiny_config, "sp", "ep", "a2a")
+        program = make_program(tiny_config, "sp", "ep", "a2a")
+        outs_ref, aux_ref = seq_engine.forward(
+            shard_sequence(layer_input, RANKS), SEQ,
+            dag_program=program)
+
+        _, thr_engine = make_engine(tiny_config, "sp", "ep", "a2a")
+        executor = SpmdExecutor()
+        outs, aux = thr_engine.forward(
+            shard_sequence(layer_input, RANKS), SEQ, executor=executor,
+            dag_program=program)
+        for a, b in zip(outs, outs_ref):
+            np.testing.assert_array_equal(a.data, b.data)
+        assert aux.item() == aux_ref.item()
+
+    def test_shuffled_valid_topo_order_is_bitwise_identical(
+            self, tiny_config, layer_input):
+        """Any valid topological order must produce the same bits —
+        op results depend on the graph structure, not the schedule."""
+        program = make_program(tiny_config, "sp", "ep", "a2a")
+        _, engine = make_engine(tiny_config, "sp", "ep", "a2a")
+        outs_ref, _ = engine.forward(shard_sequence(layer_input, RANKS),
+                                     SEQ, dag_program=program)
+
+        rng = np.random.default_rng(7)
+        order = _random_topo_order(program.graph, rng)
+        assert order != program.order  # actually a different order
+        shuffled = LayerProgram(graph=program.graph,
+                                tasks=program.tasks, order=order,
+                                durations=program.durations)
+        _, engine2 = make_engine(tiny_config, "sp", "ep", "a2a")
+        outs, _ = engine2.forward(shard_sequence(layer_input, RANKS),
+                                  SEQ, dag_program=shuffled)
+        for a, b in zip(outs, outs_ref):
+            np.testing.assert_array_equal(a.data, b.data)
+
+
+def _random_topo_order(graph, rng):
+    """A random valid topological order via seeded Kahn's algorithm."""
+    remaining = {op.name: set(op.deps) for op in graph}
+    order = []
+    while remaining:
+        ready = sorted(n for n, deps in remaining.items() if not deps)
+        pick = ready[int(rng.integers(len(ready)))]
+        order.append(pick)
+        del remaining[pick]
+        for deps in remaining.values():
+            deps.discard(pick)
+    return order
+
+
+class TestScheduleConformance:
+    def test_executed_order_conforms(self, tiny_config, layer_input):
+        program = make_program(tiny_config, "sp", "ep", "a2a")
+        _, engine = make_engine(tiny_config, "sp", "ep", "a2a")
+        engine.forward(shard_sequence(layer_input, RANKS), SEQ,
+                       dag_program=program)
+        assert engine.last_executed_ops is not None
+        problems = schedule_conformance_problems(
+            program, engine.last_executed_ops)
+        assert problems == []
+
+    def test_detects_missing_op(self, tiny_config):
+        program = make_program(tiny_config, "sp", "ep", "a2a")
+        problems = schedule_conformance_problems(program,
+                                                 program.order[:-1])
+        assert any("not a permutation" in p for p in problems)
+
+    def test_detects_dependency_violation(self, tiny_config):
+        program = make_program(tiny_config, "sp", "ep", "a2a")
+        problems = schedule_conformance_problems(
+            program, list(reversed(program.order)))
+        assert any("before its dependency" in p for p in problems)
+
+    def test_random_topo_orders_conform(self, tiny_config):
+        """Today's task deps are exactly the member ops' data deps, so
+        every graph-valid order also respects the unit schedule."""
+        program = make_program(tiny_config, "sp", "ep", "ag_rs")
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            order = _random_topo_order(program.graph, rng)
+            assert schedule_conformance_problems(program, order) == []
+
+    def test_detects_unit_order_violation(self):
+        """The unit-level check is defense-in-depth: it catches a
+        scheduler-added edge (e.g. comm-stream serialization) that the
+        op graph alone does not imply."""
+        from repro.core.operators import Op, OpGraph
+        from repro.sim.engine import SimTask
+        graph = OpGraph([
+            Op("a", "memory", mem_bytes=1.0),
+            Op("b", "memory", mem_bytes=1.0),
+            Op("c", "memory", mem_bytes=1.0, deps=("a", "b")),
+        ])
+        tasks = [
+            SimTask("a", 1.0, "main"),
+            SimTask("b", 1.0, "main", deps=("a",)),  # non-data edge
+            SimTask("c", 1.0, "main", deps=("a", "b")),
+        ]
+        program = LayerProgram(graph=graph, tasks=tasks,
+                               order=["a", "b", "c"])
+        assert schedule_conformance_problems(
+            program, ["a", "b", "c"]) == []
+        problems = schedule_conformance_problems(program,
+                                                 ["b", "a", "c"])
+        assert any("scheduled dependency" in p for p in problems)
+
+
+class TestExecutorValidation:
+    @pytest.fixture
+    def pieces(self, tiny_config):
+        program = make_program(tiny_config, "sp", "ep", "a2a")
+        world, engine = make_engine(tiny_config, "sp", "ep", "a2a")
+        bindings = build_layer_bindings(engine, SEQ)
+        return program, bindings, world.full_group()
+
+    def test_valid_construction(self, pieces):
+        program, bindings, group = pieces
+        DagExecutor(program, bindings, group)
+
+    def test_order_must_be_permutation(self, pieces):
+        program, bindings, group = pieces
+        bad = dataclasses.replace(program, order=program.order[:-1])
+        with pytest.raises(ValueError, match="not a permutation"):
+            DagExecutor(bad, bindings, group)
+
+    def test_order_must_be_topological(self, pieces):
+        program, bindings, group = pieces
+        bad = dataclasses.replace(
+            program, order=program.order[1:] + program.order[:1])
+        with pytest.raises(ValueError, match="before its dependency"):
+            DagExecutor(bad, bindings, group)
+
+    def test_every_op_needs_a_binding(self, pieces):
+        program, bindings, group = pieces
+        with pytest.raises(ValueError, match="not covered"):
+            DagExecutor(program, bindings[:-1], group)
+
+    def test_no_double_coverage(self, pieces):
+        program, bindings, group = pieces
+        with pytest.raises(ValueError, match="covered by both"):
+            DagExecutor(program, bindings + [bindings[0]], group)
+
+    def test_reads_must_resolve(self, pieces):
+        program, bindings, group = pieces
+        broken = [dataclasses.replace(b, reads=b.reads + ("ghost",))
+                  if b.op == "ln2" else b for b in bindings]
+        with pytest.raises(ValueError, match="reads 'ghost'"):
+            DagExecutor(program, broken, group)
+
+    def test_run_requires_inputs(self, pieces):
+        program, bindings, group = pieces
+        dag = DagExecutor(program, bindings, group)
+        with pytest.raises(ValueError, match="missing layer inputs"):
+            dag.run({})
+
+    def test_expand_task_roundtrip(self, pieces):
+        program = pieces[0]
+        expanded = [name for task in program.tasks
+                    for name in expand_task(program.graph, task.name)]
+        assert expanded == program.order
+        assert sorted(expanded) == sorted(
+            op.name for op in program.graph)
+
+
+class TestRematTransform:
+    def test_default_plan_drops_recomputed_anchors(self, tiny_config,
+                                                   layer_input):
+        program = make_program(tiny_config, "sp", "ep", "a2a")
+        _, engine = make_engine(tiny_config, "sp", "ep", "a2a")
+        engine.forward(shard_sequence(layer_input, RANKS), SEQ,
+                       dag_program=program,
+                       remat_plan=default_remat_plan())
+        report = engine.last_remat_report
+        assert report is not None
+        # ln1 produces only ln1_out, which the paper's plan recomputes.
+        assert "ln1" in report["dropped"]
+        # The layer output and the residual feeding ln2_in survive.
+        assert "residual2" in report["kept"]
+        assert "residual1" in report["kept"]
+
+    def test_retain_everything_drops_nothing(self, tiny_config,
+                                             layer_input):
+        program = make_program(tiny_config, "sp", "ep", "a2a")
+        _, engine = make_engine(tiny_config, "sp", "ep", "a2a")
+        engine.forward(shard_sequence(layer_input, RANKS), SEQ,
+                       dag_program=program, remat_plan=no_remat_plan())
+        assert engine.last_remat_report["dropped"] == []
+
+    def test_no_plan_no_report(self, tiny_config, layer_input):
+        program = make_program(tiny_config, "sp", "ep", "a2a")
+        _, engine = make_engine(tiny_config, "sp", "ep", "a2a")
+        engine.forward(shard_sequence(layer_input, RANKS), SEQ,
+                       dag_program=program)
+        assert engine.last_remat_report is None
+
+
+class TestSpanCalibration:
+    def test_traced_run_calibrates_estimator(self, tiny_config,
+                                             layer_input):
+        obs = Observability.create()
+        world, engine = make_engine(tiny_config, "sp", "ep", "a2a")
+        world.attach_tracer(obs.tracer)
+        program = make_program(tiny_config, "sp", "ep", "a2a")
+        engine.forward(shard_sequence(layer_input, RANKS), SEQ,
+                       dag_program=program)
+
+        model = KernelModel(GPU_SPECS["h800"])
+        report = calibrate_from_spans(model, program.graph,
+                                      obs.tracer.spans)
+        anchors = report.anchors
+        assert anchors  # the dag.op:* spans were found
+        assert all(a.samples >= 1 for a in anchors.values())
+        assert all(a.predicted > 0.0 for a in anchors.values())
+        # Every graph op maps to a traced anchor (covers partition).
+        assert set(report.op_anchor) == {op.name
+                                         for op in program.graph}
+
+        durations = calibrated_durations(model, program.graph, report)
+        assert set(durations) == {op.name for op in program.graph}
+        assert all(d >= 0.0 for d in durations.values())
+        # Scaling is exact per anchor: measured == scale * predicted.
+        for cal in anchors.values():
+            assert cal.scale * cal.predicted == pytest.approx(
+                cal.measured)
+
+
+class TestBackendResolution:
+    def test_default_is_engine(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert resolve_backend() == "engine"
+
+    def test_env_selects_dag(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "dag")
+        assert resolve_backend() == "dag"
+
+    def test_config_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "dag")
+        assert resolve_backend("engine") == "engine"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("cuda-graphs")
+
+    def test_train_config_validates_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            TrainConfig(global_batch_size=2, micro_batch_size=2,
+                        seq_len=SEQ, backend="cuda-graphs")
+
+
+class TestTrainerBackend:
+    def run_steps(self, tiny_config, backend, execution="sequential"):
+        model = MoETransformer(tiny_config, seed=0, dtype=np.float64)
+        world = World(RANKS, RANKS)
+        train = TrainConfig(global_batch_size=2, micro_batch_size=2,
+                            seq_len=tiny_config.seq_len,
+                            learning_rate=1e-2, backend=backend,
+                            execution=execution)
+        trainer = MegaScaleTrainer(model, world,
+                                   ParallelConfig.megascale(RANKS),
+                                   train)
+        rng = np.random.default_rng(0)
+        losses = []
+        for _ in range(2):
+            batch = rng.integers(
+                0, tiny_config.vocab_size,
+                size=(2, tiny_config.seq_len + 1))
+            losses.append(trainer.train_step(batch).loss)
+        params = {name: p.data.copy()
+                  for name, p in model.named_parameters()}
+        return losses, params, trainer
+
+    def test_dag_backend_trains_bitwise_identically(self, tiny_config):
+        ref_losses, ref_params, _ = self.run_steps(tiny_config,
+                                                   "engine")
+        losses, params, trainer = self.run_steps(tiny_config, "dag")
+        assert losses == ref_losses
+        for name in ref_params:
+            np.testing.assert_array_equal(params[name],
+                                          ref_params[name])
+        assert trainer.backend == "dag"
+        for engine in trainer.engines:
+            assert engine.last_executed_ops is not None
+
+    def test_threaded_dag_backend_bitwise(self, tiny_config):
+        ref_losses, ref_params, _ = self.run_steps(tiny_config,
+                                                   "engine")
+        losses, params, _ = self.run_steps(tiny_config, "dag",
+                                           execution="threaded")
+        assert losses == ref_losses
+        for name in ref_params:
+            np.testing.assert_array_equal(params[name],
+                                          ref_params[name])

@@ -8,9 +8,15 @@ from repro.core.config import (
     ParallelConfig,
     TrainConfig,
 )
-from repro.core.operators import Op, build_forward_graph
+from repro.core.operators import Op, OpGraph, build_forward_graph
 from repro.core.schedule import OverlapConfig
-from repro.perf.estimator import KernelModel
+from repro.obs.tracer import Span
+from repro.perf.estimator import (
+    CalibrationReport,
+    KernelModel,
+    calibrate_from_spans,
+    calibrated_durations,
+)
 from repro.perf.mfu import days_for_tokens, mfu, tokens_per_second
 from repro.perf.systems import (
     MegaScalePerfModel,
@@ -73,6 +79,68 @@ class TestKernelModel:
         d = km.durations(graph)
         assert set(d) == {op.name for op in graph}
         assert all(v > 0 for v in d.values())
+
+
+class TestSpanCalibration:
+    def graph(self):
+        return OpGraph([
+            Op("a", "memory", mem_bytes=1e6),
+            Op("b", "memory", mem_bytes=2e6, deps=("a",)),
+            Op("c", "memory", mem_bytes=4e6, deps=("b",)),
+        ])
+
+    def span(self, anchor, duration, ops=None):
+        return Span(name=f"dag.op:{anchor}", start=0.0, end=duration,
+                    attrs={"ops": ops or anchor})
+
+    def test_scales_match_measured_over_predicted(self):
+        km = KernelModel(H800)
+        graph = self.graph()
+        predicted_a = km.op_duration(graph["a"])
+        report = calibrate_from_spans(km, graph, [
+            self.span("a", 3 * predicted_a),
+            self.span("a", 5 * predicted_a),  # averages to 4x
+        ])
+        assert report.anchors["a"].samples == 2
+        assert report.anchors["a"].scale == pytest.approx(4.0)
+
+    def test_covers_group_sums_predictions(self):
+        km = KernelModel(H800)
+        graph = self.graph()
+        predicted = (km.op_duration(graph["b"])
+                     + km.op_duration(graph["c"]))
+        report = calibrate_from_spans(km, graph, [
+            self.span("b", 2 * predicted, ops="b,c"),
+        ])
+        assert report.anchors["b"].scale == pytest.approx(2.0)
+        assert report.scale_for("c") == report.scale_for("b")
+
+    def test_untraced_ops_use_median_scale(self):
+        km = KernelModel(H800)
+        graph = self.graph()
+        report = calibrate_from_spans(km, graph, [
+            self.span("a", 2 * km.op_duration(graph["a"])),
+        ])
+        assert report.scale_for("c") == pytest.approx(
+            report.default_scale)
+        durations = calibrated_durations(km, graph, report)
+        assert durations["a"] == pytest.approx(
+            2 * km.op_duration(graph["a"]))
+
+    def test_non_dag_spans_ignored(self):
+        km = KernelModel(H800)
+        graph = self.graph()
+        other = Span(name="collective:ag", start=0.0, end=1.0)
+        report = calibrate_from_spans(km, graph, [other])
+        assert report.anchors == {}
+        assert report.default_scale == 1.0
+
+    def test_empty_report_is_identity(self):
+        km = KernelModel(H800)
+        graph = self.graph()
+        durations = calibrated_durations(km, graph,
+                                         CalibrationReport())
+        assert durations == km.durations(graph)
 
 
 class TestMFUHelpers:

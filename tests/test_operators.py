@@ -16,6 +16,12 @@ from repro.core.operators import (
     build_backward_graph,
     build_forward_graph,
 )
+from repro.core.remat import (
+    PAPER_RETAINED,
+    RematPlan,
+    default_remat_plan,
+    no_remat_plan,
+)
 
 MODEL = MODEL_ZOO["mixtral-8x7b"]
 STRATEGIES = [
@@ -50,6 +56,13 @@ class TestOpValidation:
         a = Op("a", "memory", deps=("b",))
         b = Op("b", "memory")
         with pytest.raises(ValueError, match="before its dependency"):
+            OpGraph([a, b])
+
+    def test_graph_rejects_cycle(self):
+        a = Op("a", "memory", deps=("b",))
+        b = Op("b", "memory", deps=("a",))
+        with pytest.raises(ValueError,
+                           match="dependency cycle involving ops"):
             OpGraph([a, b])
 
 
@@ -210,3 +223,43 @@ class TestBackwardGraphs:
             MODEL, ParallelConfig.megascale(8), 1, selective_remat=False)
         assert with_remat.total("flops", kind="gemm") == pytest.approx(
             without.total("flops", kind="gemm"))
+
+    def test_retain_everything_plan_inserts_nothing(self):
+        """The remat transform is plan-parametric: keeping every
+        activation must be equivalent to disabling remat."""
+        bwd = build_backward_graph(
+            MODEL, ParallelConfig.megascale(8, ep_dispatch="ag_rs"), 1,
+            selective_remat=True, remat_plan=no_remat_plan())
+        assert not [op for op in bwd if op.phase == "remat"]
+
+    def test_plan_controls_which_ops_appear(self):
+        """Retaining one extra activation removes exactly its remat op."""
+        plan = RematPlan(PAPER_RETAINED | {"fc2_in"})
+        bwd = build_backward_graph(
+            MODEL, ParallelConfig.megascale(8, ep_dispatch="ag_rs"), 1,
+            selective_remat=True, remat_plan=plan)
+        names = [op.name for op in bwd]
+        assert "remat.swiglu" not in names  # fc2_in now stored
+        assert "remat.ln2" in names  # ln2_out still recomputed
+
+    @pytest.mark.parametrize("parallel", STRATEGIES,
+                             ids=lambda p: f"{p.strategy_name}-"
+                             f"{p.ep_dispatch}")
+    def test_every_forward_activation_consumed_or_output(self, parallel):
+        """No dead ops: everything the forward graph produces is
+        either consumed by a downstream op or is the layer output."""
+        fwd = build_forward_graph(MODEL, parallel, 1)
+        consumed = {dep for op in fwd for dep in op.deps}
+        for op in fwd:
+            assert op.name in consumed or op.name == "residual2", \
+                f"op {op.name} is produced but never consumed"
+
+    def test_paper_retained_set_matches_produced_activations(self):
+        """The retention decision set stays in sync with the IR: every
+        activation the paper's plan stores is actually produced by the
+        MegaScale forward graph (or is the layer input)."""
+        fwd = build_forward_graph(MODEL, ParallelConfig.megascale(
+            8, ep_dispatch="a2a"), 1)
+        produced = {name for op in fwd for name in op.produces}
+        produced.add("hidden")  # the layer input
+        assert default_remat_plan().retained <= produced
