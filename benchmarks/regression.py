@@ -44,6 +44,9 @@ TOLERANCES = {
     # Exact byte accounting: any drift is a real comm-volume change.
     "comm.fwd_bytes_per_layer_pass": 0.001,
     "comm.total_bytes": 0.001,
+    # Reshard accounting is exact interval arithmetic.
+    "elastic.reshard_bytes": 0.001,
+    "elastic.reshard_seconds_modelled": 0.001,
 }
 
 
@@ -150,12 +153,78 @@ def traced_run_metrics(smoke, out_dir=None):
     }
 
 
+def elastic_metrics():
+    """Elastic resize vs cold restart on a fixed-seed run.
+
+    Replay counts and reshard bytes are exact (interval arithmetic on
+    the ZeRO-1 shard grids + contiguous-block expert placement), so
+    any drift is a real change in the elastic subsystem's behaviour.
+    """
+    import shutil
+    import tempfile
+
+    import numpy as np
+
+    from repro.comm import World
+    from repro.core.config import ModelConfig, ParallelConfig, TrainConfig
+    from repro.core.runner import FaultInjector, ProductionRunner
+    from repro.core.trainer import MegaScaleTrainer
+    from repro.elastic import ElasticRunner, ParallelLayout
+    from repro.model import MoETransformer
+    from repro.precision.optimizer import AdamW
+
+    config = ModelConfig("bench-elastic", 2, 32, 8, 2, 48, 8, 2,
+                         vocab_size=64, seq_len=16)
+    train = TrainConfig(global_batch_size=2, micro_batch_size=2,
+                        seq_len=16, learning_rate=1e-2,
+                        aux_loss_coeff=0.01)
+
+    def layout_at(n):
+        return ParallelLayout.from_parallel_config(
+            ParallelConfig.megascale(n))
+
+    def factory(layout=layout_at(4)):
+        n = layout.world_size
+        model = MoETransformer(config, seed=0, dtype=np.float64)
+        return MegaScaleTrainer(
+            model, World(n, n), ParallelConfig.megascale(n), train,
+            optimizer=AdamW(model.parameters(), lr=1e-2))
+
+    rng = np.random.default_rng(0)
+    batches = [rng.integers(0, 64, size=(2, 17)) for _ in range(8)]
+
+    tmpdir = tempfile.mkdtemp(prefix="repro-bench-elastic-")
+    try:
+        cold = ProductionRunner(factory, os.path.join(tmpdir, "cold"),
+                                checkpoint_interval=4)
+        cold_metrics = cold.run(batches, FaultInjector(fault_steps=[6]))
+
+        elastic = ElasticRunner(factory, layout_at(4),
+                                os.path.join(tmpdir, "elastic"),
+                                checkpoint_interval=4)
+        elastic_metrics_log = elastic.run(
+            batches, FaultInjector(resize_steps={6: layout_at(2)}))
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+    return {
+        "elastic.cold_restart_replayed_steps":
+            float(cold_metrics.replayed_steps),
+        "elastic.resize_replayed_steps":
+            float(elastic_metrics_log.replayed_steps),
+        "elastic.reshard_bytes": elastic_metrics_log.reshard_bytes,
+        "elastic.reshard_seconds_modelled":
+            elastic_metrics_log.reshard_seconds,
+    }
+
+
 def collect(smoke, out_dir=None):
     """All regression metrics as one flat name→value dict."""
     metrics = {}
     metrics.update(perf_model_metrics())
     metrics.update(sim_metrics())
     metrics.update(traced_run_metrics(smoke, out_dir))
+    metrics.update(elastic_metrics())
     return metrics
 
 

@@ -14,9 +14,13 @@ Commands:
   subsystem: per-collective spans, an Eq. 1–4 comm-volume audit, a
   simulated overlap timeline, and a Chrome-trace JSON you can open in
   Perfetto / ``chrome://tracing``.
-* ``verify [--smoke | --fuzz N] [--seed S]`` — differential
-  conformance: run parallel plans against the single-rank golden model
-  and print the cases × invariants matrix (exit 1 on any violation).
+* ``verify [--smoke | --elastic | --fuzz N] [--seed S]`` —
+  differential conformance: run parallel plans against the single-rank
+  golden model and print the cases × invariants matrix (exit 1 on any
+  violation).  ``--elastic`` runs the resize conformance grid instead.
+* ``elastic-demo [STEPS]`` — shrink the world mid-run and grow it
+  back via checkpoint–reshard–resume, then diff the loss trajectory
+  against the fixed-size run.
 * ``models`` / ``gpus`` — list the Table 2 zoo and Table 4 hardware.
 """
 
@@ -293,8 +297,112 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_elastic_demo(args) -> int:
+    import tempfile
+
+    import numpy as np
+
+    from .comm import World
+    from .core.config import ModelConfig, ParallelConfig, TrainConfig
+    from .core.runner import FaultInjector
+    from .core.trainer import MegaScaleTrainer
+    from .elastic import ElasticRunner, ParallelLayout
+    from .model import MoETransformer
+    from .precision.optimizer import AdamW
+    from .verify.invariants import tolerance_for_precision
+
+    steps = args.steps
+    shrink_at = args.shrink_at if args.shrink_at is not None \
+        else max(1, steps // 3)
+    grow_at = args.grow_at if args.grow_at is not None \
+        else max(shrink_at + 1, (2 * steps) // 3)
+    if not 1 <= shrink_at < grow_at < steps:
+        print(f"need 1 <= shrink ({shrink_at}) < grow ({grow_at}) < "
+              f"steps ({steps})", file=sys.stderr)
+        return 2
+
+    config = ModelConfig("elastic-demo", 2, 32, 8, 2, 48, 8, 2,
+                         vocab_size=64, seq_len=16)
+    train = TrainConfig(global_batch_size=2, micro_batch_size=2,
+                        seq_len=16, learning_rate=1e-2,
+                        aux_loss_coeff=0.01)
+    rng = np.random.default_rng(0)
+    batches = [rng.integers(0, 64, size=(2, 17)) for _ in range(steps)]
+
+    def layout_at(n: int) -> ParallelLayout:
+        return ParallelLayout.from_parallel_config(
+            ParallelConfig.megascale(n))
+
+    def factory(layout: ParallelLayout):
+        n = layout.world_size
+        model = MoETransformer(config, seed=0, dtype=np.float64)
+        return MegaScaleTrainer(
+            model, World(n, n), ParallelConfig.megascale(n), train,
+            optimizer=AdamW(model.parameters(), lr=1e-2))
+
+    # The fixed-size golden: the same batches at world size 4 all the
+    # way through.
+    fixed = factory(layout_at(4))
+    fixed_losses = [float(fixed.train_step(b).loss) for b in batches]
+
+    ckpt_dir = args.dir or tempfile.mkdtemp(prefix="repro-elastic-")
+    runner = ElasticRunner(factory, layout_at(4), ckpt_dir,
+                           checkpoint_interval=4)
+    injector = FaultInjector(resize_steps={shrink_at: layout_at(2),
+                                           grow_at: layout_at(4)})
+    metrics = runner.run(batches, injector)
+
+    final = {}
+    for step, loss in zip(metrics.steps, metrics.losses):
+        final[step] = loss
+    band = tolerance_for_precision("fp32", "loss")
+
+    print(f"elastic run: world 4 -> 2 at step {shrink_at} -> 4 at "
+          f"step {grow_at} ({steps} batches)")
+    print(f"{'step':>4s} {'world':>5s} {'elastic':>12s} "
+          f"{'fixed-size':>12s} {'rel err':>9s}")
+    world = 4
+    ok = True
+    for step in range(steps):
+        if step == shrink_at:
+            world = 2
+        elif step == grow_at:
+            world = 4
+        got, want = final[step], fixed_losses[step]
+        rel = abs(got - want) / max(abs(want), 1e-300)
+        within = band.close(got, want, want)
+        ok = ok and within
+        mark = "" if within else "  OUT OF BAND"
+        print(f"{step:4d} {world:5d} {got:12.8f} {want:12.8f} "
+              f"{rel:9.2e}{mark}")
+    print(f"resizes absorbed     : {metrics.resizes} "
+          f"(restarts: {metrics.restart_count})")
+    for report in runner.reshard_reports:
+        print(f"reshard              : [{report.old_layout.describe()}]"
+              f" -> [{report.new_layout.describe()}]")
+        print(f"  zero1 shards       : {report.zero_elements_moved} of "
+              f"{report.numel} elements changed ranks "
+              f"({report.zero_bytes / 1024:.1f} KiB)")
+        print(f"  experts            : {report.n_experts_moved} moved "
+              f"({report.expert_bytes / 1024:.1f} KiB)")
+        print(f"  dp rings re-formed : {len(report.dp_rings)}")
+        print(f"  modelled cost      : {report.seconds() * 1e6:.2f} us "
+              f"at reshard link bandwidth")
+    print(f"reshard total        : {metrics.reshard_bytes / 1024:.1f} "
+          f"KiB moved, {metrics.reshard_seconds * 1e6:.2f} us modelled")
+    print(f"checkpoint dir       : {ckpt_dir}")
+    if ok:
+        print(f"trajectory match     : all {steps} steps within the "
+              f"fp32 band (rtol {band.rtol:g})")
+        return 0
+    print("trajectory match     : FAILED (see OUT OF BAND rows)",
+          file=sys.stderr)
+    return 1
+
+
 def cmd_verify(args) -> int:
     from .verify import run_matrix, smoke_matrix
+    from .verify.cases import elastic_matrix
     from .verify.fuzz import fuzz
 
     def progress(result) -> None:
@@ -305,11 +413,16 @@ def cmd_verify(args) -> int:
         print(f"fuzzing {args.fuzz} random cases (seed {args.seed})")
         report = fuzz(args.fuzz, seed=args.seed, progress=progress)
     else:
-        cases = smoke_matrix(seed=args.seed)
+        if args.elastic:
+            cases = elastic_matrix(seed=args.seed)
+            label = "elastic (resize) matrix"
+        else:
+            cases = smoke_matrix(seed=args.seed)
+            label = "smoke matrix"
         if args.backend != "engine":
             cases = [case.replace(backend=args.backend)
                      for case in cases]
-        print(f"running the smoke matrix ({len(cases)} cases, "
+        print(f"running the {label} ({len(cases)} cases, "
               f"seed {args.seed}, backend {args.backend})")
         report = run_matrix(cases, progress=progress)
     print()
@@ -369,11 +482,29 @@ def main(argv=None) -> int:
     trace.add_argument("--out", default="trace.json",
                        help="Chrome-trace output path")
 
+    elastic = sub.add_parser(
+        "elastic-demo",
+        help="shrink and grow the world mid-run via "
+             "checkpoint-reshard-resume")
+    elastic.add_argument("steps", nargs="?", type=int, default=9)
+    elastic.add_argument("--shrink-at", type=int, default=None,
+                         help="step at which the world shrinks to 2 "
+                              "ranks (default: steps // 3)")
+    elastic.add_argument("--grow-at", type=int, default=None,
+                         help="step at which the world grows back to "
+                              "4 ranks (default: 2 * steps // 3)")
+    elastic.add_argument("--dir", default=None,
+                         help="checkpoint directory (default: temp "
+                              "dir)")
+
     verify = sub.add_parser(
         "verify",
         help="differential conformance matrix vs the golden model")
     verify.add_argument("--smoke", action="store_true",
                         help="run the seeded CI smoke matrix (default)")
+    verify.add_argument("--elastic", action="store_true",
+                        help="run the resize conformance grid (shrink "
+                             "at step 1, grow back at step 2) instead")
     verify.add_argument("--fuzz", type=int, default=0, metavar="N",
                         help="run N random fuzzed cases instead")
     verify.add_argument("--seed", type=int, default=0)
@@ -395,6 +526,7 @@ def main(argv=None) -> int:
         "train-demo": cmd_train_demo,
         "ft-demo": cmd_ft_demo,
         "trace": cmd_trace,
+        "elastic-demo": cmd_elastic_demo,
         "verify": cmd_verify,
     }
     return handlers[args.command](args)

@@ -43,11 +43,13 @@ from typing import Callable, List, Optional, Sequence, Set
 import numpy as np
 
 from ..core.checkpoint import atomic_write
-from ..ft.faults import Fault, LossSpike
+from ..ft.faults import Fault, LossSpike, ResizeEvent
 from ..ft.health import LossSpikeGuard, NumericGuard
 from ..ft.recovery import (
     BackoffPolicy,
+    LayoutMismatch,
     RetryStats,
+    read_checkpoint_meta,
     retry_with_backoff,
     validate_checkpoint,
     write_checkpoint_meta,
@@ -69,19 +71,31 @@ class FaultInjector:
     ``spike_steps`` additionally perturb the *reported* loss once per
     scheduled step by ``spike_factor`` — modelling a transient loss
     blow-up for the spike-rollback path without touching the weights.
+    ``resize_steps`` maps ``{step: target_layout}`` and raises a
+    :class:`~repro.ft.faults.ResizeEvent` once per scheduled step —
+    the fleet shrinking or growing mid-run, which only an elastic
+    runner can absorb.
     """
 
     def __init__(self, fault_steps: Sequence[int] = (),
                  spike_steps: Sequence[int] = (),
-                 spike_factor: float = 100.0):
+                 spike_factor: float = 100.0,
+                 resize_steps: Optional[dict] = None):
         self.pending = set(int(s) for s in fault_steps)
         self.fired: List[int] = []
         self.spike_pending = set(int(s) for s in spike_steps)
         self.spiked: List[int] = []
         self.spike_factor = float(spike_factor)
+        self.resize_pending = {int(s): layout for s, layout
+                               in (resize_steps or {}).items()}
+        self.resized: List[int] = []
 
     def check(self, step: int) -> None:
         """Raise :class:`SimulatedFault` if ``step`` is scheduled to fail."""
+        if step in self.resize_pending:
+            layout = self.resize_pending.pop(step)
+            self.resized.append(step)
+            raise ResizeEvent(step, layout)
         if step in self.pending:
             self.pending.discard(step)
             self.fired.append(step)
@@ -114,6 +128,12 @@ class MetricsLog:
     retries: int = 0
     #: Total simulated backoff delay across those retries.
     backoff_seconds: float = 0.0
+    #: Steps at which an elastic runner absorbed a cluster resize.
+    resizes: List[int] = field(default_factory=list)
+    #: State bytes that changed ranks across those resizes.
+    reshard_bytes: float = 0.0
+    #: Modelled wall time spent resharding.
+    reshard_seconds: float = 0.0
 
     def record(self, step: int, loss: float) -> None:
         """Append one training step."""
@@ -206,6 +226,9 @@ class ProductionRunner:
         self.discarded: List[int] = []
         self._invalid: Set[int] = set()
         os.makedirs(checkpoint_dir, exist_ok=True)
+        # A crash before the first save of a resumed run must not leave
+        # its .tmp leftovers behind until that save happens.
+        self._sweep_tmp_files()
 
     # -- checkpoint files ---------------------------------------------------
 
@@ -246,11 +269,20 @@ class ProductionRunner:
             self._invalid.add(step)
             self.discarded.append(step)
 
+    @staticmethod
+    def _trainer_layout(trainer):
+        """The trainer's :class:`ParallelLayout`, or None for
+        layout-less toy trainers (which opt out of layout checks)."""
+        from ..elastic.layout import ParallelLayout
+
+        return ParallelLayout.from_trainer(trainer)
+
     def _save(self, trainer, step: int) -> None:
         state = trainer.state_dict()
         atomic_write(self._path(step),
                      lambda handle: np.savez(handle, **state))
-        write_checkpoint_meta(self._path(step), step)
+        write_checkpoint_meta(self._path(step), step,
+                              layout=self._trainer_layout(trainer))
         self._invalid.discard(step)
         self._sweep_tmp_files()
 
@@ -265,12 +297,45 @@ class ProductionRunner:
 
     def _load(self, trainer, step: int) -> None:
         with np.load(self._path(step)) as data:
-            trainer.load_state_dict({k: data[k] for k in data.files})
+            state = {k: data[k] for k in data.files}
+        saved, current = self._saved_layout(step), \
+            self._trainer_layout(trainer)
+        if saved is not None and current is not None \
+                and saved != current:
+            state = self._resolve_layout_mismatch(
+                state, saved, current, step)
+        trainer.load_state_dict(state)
+
+    def _saved_layout(self, step: int):
+        """The layout recorded in a checkpoint's sidecar, or None."""
+        from ..elastic.layout import ParallelLayout
+
+        meta = read_checkpoint_meta(self._path(step)) or {}
+        layout = meta.get("layout")
+        if not isinstance(layout, dict):
+            return None
+        try:
+            return ParallelLayout.from_dict(layout)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def _resolve_layout_mismatch(self, state, saved, current,
+                                 step: int):
+        """Hook for layout-changing loads.  The fixed-size runner
+        refuses — restoring wrong-shaped shards silently corrupts the
+        run; :class:`~repro.elastic.runner.ElasticRunner` overrides
+        this to reshard ``state`` from ``saved`` to ``current``."""
+        raise LayoutMismatch(
+            f"checkpoint step {step} was written under "
+            f"[{saved.describe()}] but the trainer runs "
+            f"[{current.describe()}]; use an elastic runner to "
+            f"reshard", saved=saved, current=current)
 
     def _restore(self, trainer, metrics: Optional[MetricsLog] = None,
                  ) -> int:
         """Load the newest checkpoint that actually restores; returns
         the resume step (0 when no usable checkpoint remains)."""
+        self._sweep_tmp_files()
         while True:
             resume = self.latest_checkpoint()
             if resume is None:
@@ -279,6 +344,11 @@ class ProductionRunner:
                 return 0
             try:
                 self._load(trainer, resume)
+            except LayoutMismatch:
+                # Not corruption: the checkpoint is fine, the world
+                # changed shape.  Walking further back would only find
+                # more same-layout checkpoints — surface it.
+                raise
             except Exception:
                 # Validation passed but the load failed (e.g. raced
                 # corruption): drop this step and walk further back.
@@ -304,6 +374,18 @@ class ProductionRunner:
         self.obs.metrics.inc(f"runner.{name}")
 
     # -- the loop ------------------------------------------------------------
+
+    def _handle_resize(self, event: ResizeEvent, trainer, step: int,
+                       metrics: MetricsLog):
+        """React to a cluster resize; returns ``(trainer, step)``.
+
+        A fixed-size runner cannot absorb a world-size change — its
+        trainer factory only builds one layout — so the event
+        propagates to the operator.
+        :class:`~repro.elastic.runner.ElasticRunner` overrides this
+        with checkpoint–reshard–resume.
+        """
+        raise event
 
     def _attempt_step(self, trainer, batch):
         if self.retry_policy is None:
@@ -361,6 +443,9 @@ class ProductionRunner:
                 self._mark("rollback", step=step)
                 trainer = self.trainer_factory()
                 step = self._restore(trainer, metrics)
+            except ResizeEvent as event:
+                trainer, step = self._handle_resize(
+                    event, trainer, step, metrics)
             except Fault as fault:
                 restarts += 1
                 if restarts > self.max_restarts:

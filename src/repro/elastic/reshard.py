@@ -1,0 +1,328 @@
+"""Deterministic re-partitioning of training state across layouts.
+
+Three mappings, each exact by construction:
+
+* **ZeRO-1 optimizer shards across a changed shard degree.**  The
+  flatten/unflatten layout in :mod:`repro.parallel.zero` is a plain
+  concatenation padded to a multiple of the rank count, so resharding
+  is concatenate → strip pad → re-pad → re-split: bit-exact, and the
+  bytes that change owners fall out of interval arithmetic on the two
+  shard grids (:func:`zero1_moved_elements`).
+* **Expert re-placement under a changed EP degree.**  Experts live in
+  contiguous blocks of ``E/n`` per rank
+  (:class:`~repro.parallel.ep_ffn.EPFFNEngine`); the placement at any
+  degree is a pure function of ``(E, n)``, and the experts that move
+  are exactly those whose block index changes.
+* **DP ring re-formation.**  The data-parallel rings at the new world
+  size are recomputed from scratch (:func:`form_dp_rings`) — ring
+  membership is never patched incrementally, which is what makes the
+  re-partition deterministic regardless of which ranks left or joined.
+
+:func:`reshard_state` applies all three to a trainer checkpoint and
+returns the re-partitioned state plus a :class:`ReshardReport` (bytes
+moved, experts moved, modelled reshard seconds at a configurable link
+bandwidth) — the numbers the obs counters, the ``elastic-demo`` CLI,
+and ``bench_elastic_resize`` report.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .layout import ParallelLayout
+
+__all__ = [
+    "DEFAULT_RESHARD_BANDWIDTH",
+    "ReshardReport",
+    "zero1_shard_flat",
+    "zero1_unshard_flat",
+    "zero1_moved_elements",
+    "reshard_zero1_state",
+    "expert_placement",
+    "expert_moves",
+    "form_dp_rings",
+    "reshard_state",
+]
+
+#: Modelled reshard link bandwidth (bytes/s).  Resharding moves state
+#: between *nodes*, so the H800 NIC (Table 4) is the honest default.
+DEFAULT_RESHARD_BANDWIDTH = 50e9
+
+_EXPERT_KEY = re.compile(
+    r"(?:^|/)blocks\.(\d+)\.moe\.experts\.(\d+)\.")
+
+
+# -- ZeRO-1 shard re-flattening ----------------------------------------------
+
+
+def _padded(numel: int, dp: int) -> int:
+    return -(-numel // dp) * dp
+
+
+def zero1_shard_flat(flat: np.ndarray, dp: int) -> List[np.ndarray]:
+    """Split a flattened parameter space into ``dp`` padded shards.
+
+    Matches :class:`~repro.parallel.zero.Zero1AdamW`'s layout exactly:
+    pad to a multiple of ``dp``, then equal contiguous slices.
+    """
+    if dp < 1:
+        raise ValueError(f"dp must be >= 1, got {dp}")
+    flat = np.asarray(flat).reshape(-1)
+    pad = _padded(flat.size, dp) - flat.size
+    if pad:
+        flat = np.concatenate([flat, np.zeros(pad, dtype=flat.dtype)])
+    shard_size = flat.size // dp
+    return [flat[r * shard_size:(r + 1) * shard_size].copy()
+            for r in range(dp)]
+
+
+def zero1_unshard_flat(shards: Sequence[np.ndarray],
+                       numel: int) -> np.ndarray:
+    """Concatenate per-rank shards and strip the padding back off."""
+    flat = np.concatenate([np.asarray(s).reshape(-1) for s in shards])
+    if flat.size < numel:
+        raise ValueError(
+            f"shards hold {flat.size} elements < numel {numel}"
+        )
+    return flat[:numel].copy()
+
+
+def zero1_moved_elements(numel: int, old_dp: int, new_dp: int) -> int:
+    """Elements whose owning rank changes between two shard grids.
+
+    Walks the merged shard boundaries of both grids; within each
+    interval the (old owner, new owner) pair is constant, so the count
+    is exact without touching per-element data.
+    """
+    if numel <= 0 or old_dp == new_dp:
+        return 0
+    old_size = _padded(numel, old_dp) // old_dp
+    new_size = _padded(numel, new_dp) // new_dp
+    cuts = sorted(
+        {0, numel}
+        | {min(r * old_size, numel) for r in range(1, old_dp)}
+        | {min(r * new_size, numel) for r in range(1, new_dp)}
+    )
+    moved = 0
+    for lo, hi in zip(cuts, cuts[1:]):
+        if lo // old_size != lo // new_size:
+            moved += hi - lo
+    return moved
+
+
+def reshard_zero1_state(state: Dict, new_dp: int) -> Dict:
+    """Re-partition a :meth:`Zero1AdamW.shard_state_dict` across DP.
+
+    Exact: the master copy and both Adam moments are re-flattened
+    through the concat/pad/split layout, so loading the result into a
+    fresh :class:`~repro.parallel.zero.Zero1AdamW` of degree
+    ``new_dp`` continues the trajectory as if it had always run there.
+    """
+    numel = int(state["numel"])
+    out = {
+        "numel": numel,
+        "dp": int(new_dp),
+        "step_count": int(state["step_count"]),
+    }
+    for kind in ("master", "m", "v"):
+        flat = zero1_unshard_flat(state[kind], numel)
+        out[kind] = zero1_shard_flat(flat, new_dp)
+    return out
+
+
+# -- expert re-placement ------------------------------------------------------
+
+
+def expert_placement(n_experts: int, ep: int) -> List[int]:
+    """Owning rank per expert index at EP degree ``ep``.
+
+    Contiguous blocks of ``E/n`` experts per rank — the exact layout
+    :class:`~repro.parallel.ep_ffn.EPFFNEngine` slices out of the
+    reference :class:`~repro.model.moe.MoELayer`.
+    """
+    if ep < 1:
+        raise ValueError(f"ep must be >= 1, got {ep}")
+    if n_experts % ep != 0:
+        raise ValueError(
+            f"n_experts={n_experts} not divisible by ep={ep}"
+        )
+    per_rank = n_experts // ep
+    return [e // per_rank for e in range(n_experts)]
+
+
+def expert_moves(n_experts: int, old_ep: int,
+                 new_ep: int) -> List[int]:
+    """Expert indices whose owning rank changes old→new."""
+    old = expert_placement(n_experts, old_ep)
+    new = expert_placement(n_experts, new_ep)
+    return [e for e in range(n_experts) if old[e] != new[e]]
+
+
+# -- DP ring re-formation -----------------------------------------------------
+
+
+def form_dp_rings(world_size: int, dp: int) -> List[List[int]]:
+    """Data-parallel rings at one world size, re-formed from scratch.
+
+    Ranks are laid out replica-major (all of replica 0's model-parallel
+    slots, then replica 1's, ...), so the ``world/dp`` rings each
+    connect the same model-parallel slot across all ``dp`` replicas.
+    """
+    if world_size < 1 or dp < 1:
+        raise ValueError("world_size and dp must be >= 1")
+    if world_size % dp != 0:
+        raise ValueError(
+            f"world_size={world_size} not divisible by dp={dp}"
+        )
+    slots = world_size // dp
+    return [[slot + replica * slots for replica in range(dp)]
+            for slot in range(slots)]
+
+
+# -- the full state mapping ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReshardReport:
+    """What one checkpoint re-partition moved, and what it would cost."""
+
+    old_layout: ParallelLayout
+    new_layout: ParallelLayout
+    #: Flattened optimizer-state element count (the ZeRO shard space).
+    numel: int
+    #: Elements whose ZeRO-1 shard owner changed.
+    zero_elements_moved: int
+    #: Bytes of master + both Adam moments that change ranks.
+    zero_bytes: float
+    #: Expert indices (per layer) that change ranks under the new EP.
+    experts_moved: Tuple[Tuple[int, ...], ...]
+    #: Bytes of expert parameters that change ranks.
+    expert_bytes: float
+    #: The re-formed DP rings at the new layout.
+    dp_rings: Tuple[Tuple[int, ...], ...] = field(default=())
+
+    @property
+    def total_bytes(self) -> float:
+        return self.zero_bytes + self.expert_bytes
+
+    @property
+    def n_experts_moved(self) -> int:
+        return sum(len(layer) for layer in self.experts_moved)
+
+    def seconds(self,
+                bandwidth: float = DEFAULT_RESHARD_BANDWIDTH) -> float:
+        """Modelled reshard time: bytes over one re-partition link."""
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {bandwidth}")
+        return self.total_bytes / bandwidth
+
+
+def _optimizer_keys(state: Dict[str, np.ndarray]) -> List[str]:
+    return sorted(
+        (k for k in state if re.fullmatch(r"opt/[mv]/\d+", k)),
+        key=lambda k: (k.split("/")[1], int(k.split("/")[2])),
+    )
+
+
+def _expert_bytes_by_layer(state: Dict[str, np.ndarray],
+                           ) -> Dict[int, Dict[int, float]]:
+    """``{layer: {expert: bytes}}`` for every expert tensor in state."""
+    layers: Dict[int, Dict[int, float]] = {}
+    for key, value in state.items():
+        match = _EXPERT_KEY.search(key)
+        if match is None:
+            continue
+        layer, expert = int(match.group(1)), int(match.group(2))
+        per = layers.setdefault(layer, {})
+        per[expert] = per.get(expert, 0.0) + float(
+            np.asarray(value).nbytes)
+    return layers
+
+
+def reshard_state(state: Dict[str, np.ndarray],
+                  old_layout: ParallelLayout,
+                  new_layout: ParallelLayout,
+                  *,
+                  obs: Optional[object] = None,
+                  ) -> Tuple[Dict[str, np.ndarray], ReshardReport]:
+    """Map a trainer checkpoint from one parallel layout to another.
+
+    The optimizer moments are round-tripped through the ZeRO-1
+    shard grids of both layouts (shard at the old degree, unshard,
+    re-shard at the new) — an exact identity that *is* the re-flatten
+    the real system performs, and whose owner-change count prices the
+    movement.  Expert tensors pass through unchanged (they are
+    replicated in this simulation's reference model) while their
+    re-placement under the new EP degree is computed and priced.  The
+    ZeRO shard group is the full world: with ``dp == 1`` layouts the
+    simulated trainer shards optimizer state across the model-parallel
+    ranks, which is the dimension an elastic resize actually changes.
+
+    Returns ``(new_state, report)``; when ``obs`` is given the
+    re-partition lands as an ``elastic.reshard`` span plus
+    ``elastic.reshards`` / ``elastic.bytes_moved`` counters.
+    """
+    old_group = old_layout.world_size
+    new_group = new_layout.world_size
+
+    new_state: Dict[str, np.ndarray] = {}
+    numel = 0
+    for key, value in state.items():
+        array = np.asarray(value)
+        if re.fullmatch(r"opt/[mv]/\d+", key):
+            numel += array.size
+            # The exact re-flatten: old shard grid -> flat -> new grid.
+            shards = zero1_shard_flat(array.reshape(-1), old_group)
+            flat = zero1_unshard_flat(shards, array.size)
+            regathered = zero1_unshard_flat(
+                zero1_shard_flat(flat, new_group), array.size)
+            new_state[key] = regathered.reshape(array.shape)
+        else:
+            new_state[key] = array.copy()
+    # m and v each contribute numel once; shard accounting covers the
+    # flattened space a single time.
+    numel //= 2 if numel else 1
+
+    moved = zero1_moved_elements(numel, old_group, new_group)
+    # Master copy (8 B) + first and second Adam moments (8 B each).
+    zero_bytes = 3.0 * 8.0 * moved
+
+    expert_bytes = 0.0
+    moved_by_layer: List[Tuple[int, ...]] = []
+    per_layer = _expert_bytes_by_layer(state)
+    old_ep, new_ep = old_layout.ep, new_layout.ep
+    for layer in sorted(per_layer):
+        experts = per_layer[layer]
+        moves = tuple(expert_moves(len(experts), old_ep, new_ep))
+        moved_by_layer.append(moves)
+        expert_bytes += sum(experts[e] for e in moves)
+
+    report = ReshardReport(
+        old_layout=old_layout,
+        new_layout=new_layout,
+        numel=numel,
+        zero_elements_moved=moved,
+        zero_bytes=zero_bytes,
+        experts_moved=tuple(moved_by_layer),
+        expert_bytes=expert_bytes,
+        dp_rings=tuple(tuple(ring) for ring in form_dp_rings(
+            new_layout.world_size, new_layout.dp)),
+    )
+
+    if obs is not None:
+        with obs.tracer.span("elastic.reshard", cat="elastic",
+                             stream="runner",
+                             old=old_layout.describe(),
+                             new=new_layout.describe(),
+                             bytes=report.total_bytes,
+                             experts_moved=report.n_experts_moved):
+            pass
+        obs.metrics.inc("elastic.reshards")
+        obs.metrics.inc("elastic.bytes_moved", report.total_bytes)
+        obs.metrics.set("elastic.last_reshard_seconds",
+                        report.seconds())
+    return new_state, report

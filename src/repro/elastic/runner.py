@@ -1,0 +1,110 @@
+"""A production runner that survives world-size changes mid-run.
+
+:class:`ElasticRunner` extends
+:class:`~repro.core.runner.ProductionRunner` with the
+checkpoint–reshard–resume cycle: when a
+:class:`~repro.ft.faults.ResizeEvent` fires (the fleet shrank or
+grew), the runner checkpoints the live trainer, switches its layout,
+rebuilds the trainer at the new world size, and restores — the load
+path detects the layout mismatch recorded in the checkpoint's meta
+sidecar and routes it through
+:func:`~repro.elastic.reshard.reshard_state` instead of refusing.
+
+Because the checkpoint is taken at the exact step the resize fires, a
+resize replays *zero* steps; a cold restart (the only option for the
+fixed-size runner) replays everything since the last periodic
+checkpoint.  ``benchmarks/bench_elastic_resize.py`` measures exactly
+that gap.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from ..core.runner import MetricsLog, ProductionRunner
+from ..ft.faults import ResizeEvent
+from .layout import ParallelLayout
+from .reshard import ReshardReport, reshard_state
+
+__all__ = ["ElasticRunner"]
+
+
+class ElasticRunner(ProductionRunner):
+    """Runs a trainer whose world size may change between steps.
+
+    Args:
+        layout_factory: Builds a fresh trainer *for a given layout* —
+            called at start, after restarts, and after every resize
+            with the current :class:`ParallelLayout`.
+        initial_layout: The layout the run starts at (a
+            :class:`ParallelLayout`, a world-size int, or a dict).
+        checkpoint_dir: As for :class:`ProductionRunner`; remaining
+            keyword arguments are forwarded unchanged.
+    """
+
+    def __init__(self, layout_factory: Callable[[ParallelLayout],
+                                                object],
+                 initial_layout, checkpoint_dir: str, **kwargs):
+        self.layout_factory = layout_factory
+        self.current_layout = self._coerce_layout(initial_layout)
+        #: Every re-partition performed, in order.
+        self.reshard_reports: List[ReshardReport] = []
+        # The base restart path calls self.trainer_factory() with no
+        # arguments; binding it to the *current* layout keeps every
+        # inherited recovery path working across resizes.
+        super().__init__(
+            lambda: self.layout_factory(self.current_layout),
+            checkpoint_dir, **kwargs)
+
+    @staticmethod
+    def _coerce_layout(spec) -> ParallelLayout:
+        """Accept a ParallelLayout, a dict, or a bare world size.
+
+        A bare int means the repo's canonical SP-attention / EP-FFN
+        megascale layout at that size (dp = pp = 1).
+        """
+        if isinstance(spec, ParallelLayout):
+            return spec
+        if isinstance(spec, dict):
+            return ParallelLayout.from_dict(spec)
+        n = int(spec)
+        return ParallelLayout(world_size=n, ep=n, sp=n)
+
+    # -- the elastic paths ---------------------------------------------------
+
+    def _resolve_layout_mismatch(self, state, saved, current,
+                                 step: int):
+        """Reshard instead of refusing: map the checkpoint's state
+        from its recorded layout onto the live trainer's."""
+        new_state, report = reshard_state(state, saved, current,
+                                          obs=self.obs)
+        self.reshard_reports.append(report)
+        return new_state
+
+    def _handle_resize(self, event: ResizeEvent, trainer, step: int,
+                       metrics: MetricsLog):
+        """Checkpoint – reshard – rebuild – resume at the new size."""
+        new_layout = self._coerce_layout(event.layout)
+        old_layout = self.current_layout
+
+        # Checkpoint at the exact step the resize fired, so nothing
+        # is replayed after the world comes back up.
+        self._save(trainer, step)
+        if step not in metrics.checkpoints:
+            metrics.checkpoints.append(step)
+        self._mark("checkpoint", step=step)
+
+        reports_before = len(self.reshard_reports)
+        self.current_layout = new_layout
+        trainer = self.trainer_factory()
+        resume = self._restore(trainer, metrics)
+
+        metrics.resizes.append(event.step)
+        for report in self.reshard_reports[reports_before:]:
+            metrics.reshard_bytes += report.total_bytes
+            metrics.reshard_seconds += report.seconds()
+        self._mark("resize", step=event.step,
+                   old=old_layout.describe(),
+                   new=new_layout.describe(),
+                   resumed_at=resume)
+        return trainer, resume

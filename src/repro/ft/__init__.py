@@ -26,6 +26,7 @@ from .faults import (
     NumericFault,
     PayloadCorruption,
     RankCrash,
+    ResizeEvent,
     RetryExhausted,
     TransientCommFault,
 )
@@ -37,6 +38,7 @@ from .health import (
 )
 from .recovery import (
     BackoffPolicy,
+    LayoutMismatch,
     RetryStats,
     file_crc32,
     read_checkpoint_meta,
@@ -54,6 +56,8 @@ __all__ = [
     "NumericFault",
     "LossSpike",
     "RetryExhausted",
+    "ResizeEvent",
+    "LayoutMismatch",
     "FaultSpec",
     "FaultEvent",
     "FaultPlan",

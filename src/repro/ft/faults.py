@@ -41,6 +41,7 @@ __all__ = [
     "NumericFault",
     "LossSpike",
     "RetryExhausted",
+    "ResizeEvent",
     "FaultSpec",
     "FaultEvent",
     "FaultPlan",
@@ -77,6 +78,27 @@ class LossSpike(Fault):
 
 class RetryExhausted(Fault):
     """Transient-fault retries ran out; escalate to a restart."""
+
+
+class ResizeEvent(Fault):
+    """The cluster changed size: rebuild the world at a new layout.
+
+    Raised by the step-level injector when the fleet shrinks (machines
+    fail) or grows (machines return).  ``layout`` is the *target*
+    parallel layout — a :class:`~repro.elastic.layout.ParallelLayout`,
+    or anything the runner's layout factory accepts (duck-typed so this
+    module stays import-free of :mod:`repro.elastic`).  A fixed-size
+    :class:`~repro.core.runner.ProductionRunner` re-raises it; an
+    :class:`~repro.elastic.runner.ElasticRunner` answers with
+    checkpoint–reshard–resume.
+    """
+
+    def __init__(self, step: int, layout: object):
+        super().__init__(
+            f"cluster resize at step {step} -> {layout}"
+        )
+        self.step = int(step)
+        self.layout = layout
 
 
 _KINDS = ("crash", "timeout", "corrupt")

@@ -33,6 +33,7 @@ __all__ = [
     "BackoffPolicy",
     "RetryStats",
     "retry_with_backoff",
+    "LayoutMismatch",
     "file_crc32",
     "meta_path",
     "write_checkpoint_meta",
@@ -40,7 +41,27 @@ __all__ = [
     "validate_checkpoint",
 ]
 
-META_FORMAT_VERSION = 1
+#: v1 sidecars carried step/size/crc32; v2 adds the parallel layout of
+#: the writer.  Readers accept both (``layout`` is simply absent in v1).
+META_FORMAT_VERSION = 2
+
+
+class LayoutMismatch(RuntimeError):
+    """A checkpoint's recorded parallel layout differs from the
+    trainer it is being loaded into.
+
+    Deliberately *not* a :class:`~repro.ft.faults.Fault`: the restart
+    path would retry forever against the same mismatched files.  The
+    fixed-size runner raises this instead of silently loading
+    wrong-shaped arrays; the elastic runner catches the mismatch
+    earlier and reshards.
+    """
+
+    def __init__(self, message: str, *, saved: object = None,
+                 current: object = None):
+        super().__init__(message)
+        self.saved = saved
+        self.current = current
 
 
 # -- retry with exponential backoff -----------------------------------------
@@ -48,12 +69,23 @@ META_FORMAT_VERSION = 1
 
 @dataclass(frozen=True)
 class BackoffPolicy:
-    """Bounded exponential backoff: ``base * multiplier**attempt``."""
+    """Bounded exponential backoff: ``base * multiplier**attempt``.
+
+    ``jitter`` subtracts a deterministic, seeded fraction of up to
+    ``jitter`` of each delay so ranks that hit the same transient fault
+    don't wake in lockstep and re-stampede the fabric (retry-storm
+    avoidance).  The draw is keyed on ``(jitter_seed, salt, attempt)``
+    — give each rank its own ``salt`` and every rank sees a different
+    but fully reproducible schedule.  The default ``jitter=0.0``
+    returns exactly the old deterministic delays, bit for bit.
+    """
 
     max_retries: int = 3
     base_delay: float = 0.5
     multiplier: float = 2.0
     max_delay: float = 30.0
+    jitter: float = 0.0
+    jitter_seed: int = 0
 
     def __post_init__(self):
         if self.max_retries < 0:
@@ -66,11 +98,25 @@ class BackoffPolicy:
             raise ValueError(
                 f"multiplier must be >= 1, got {self.multiplier}"
             )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
 
-    def delay(self, attempt: int) -> float:
-        """Backoff before retry number ``attempt`` (0-based)."""
-        return min(self.base_delay * self.multiplier ** attempt,
-                   self.max_delay)
+    def delay(self, attempt: int, salt: int = 0) -> float:
+        """Backoff before retry number ``attempt`` (0-based).
+
+        ``salt`` decorrelates independent retriers (pass the rank).
+        """
+        delay = min(self.base_delay * self.multiplier ** attempt,
+                    self.max_delay)
+        if self.jitter == 0.0:
+            return delay
+        import numpy as np
+
+        rng = np.random.default_rng(
+            [int(self.jitter_seed), int(salt), int(attempt)])
+        return delay * (1.0 - self.jitter * float(rng.random()))
 
 
 @dataclass
@@ -91,6 +137,7 @@ def retry_with_backoff(
     retryable: Tuple[Type[BaseException], ...] = (TransientCommFault,),
     sleep: Optional[Callable[[float], None]] = None,
     stats: Optional[RetryStats] = None,
+    salt: int = 0,
 ):
     """Call ``fn`` until it succeeds or retries are exhausted.
 
@@ -115,7 +162,7 @@ def retry_with_backoff(
                     f"gave up after {policy.max_retries} retries; last "
                     f"fault: {fault}"
                 ) from fault
-            delay = policy.delay(attempt)
+            delay = policy.delay(attempt, salt)
             if stats is not None:
                 stats.retries += 1
                 stats.total_backoff += delay
@@ -143,8 +190,16 @@ def meta_path(checkpoint_path: str) -> str:
     return checkpoint_path + ".meta.json"
 
 
-def write_checkpoint_meta(checkpoint_path: str, step: int) -> dict:
-    """Write the CRC/size sidecar for an already-written checkpoint."""
+def write_checkpoint_meta(checkpoint_path: str, step: int,
+                          layout: Optional[object] = None) -> dict:
+    """Write the CRC/size sidecar for an already-written checkpoint.
+
+    ``layout`` (anything with ``to_dict()``, e.g. a
+    :class:`~repro.elastic.layout.ParallelLayout`, or a plain dict)
+    records the parallel degrees the state was written under, so a
+    later load can detect — and a resharder can resolve — a layout
+    change instead of silently restoring wrong-shaped arrays.
+    """
     from ..core.checkpoint import atomic_write
 
     meta = {
@@ -153,6 +208,10 @@ def write_checkpoint_meta(checkpoint_path: str, step: int) -> dict:
         "size": os.path.getsize(checkpoint_path),
         "crc32": file_crc32(checkpoint_path),
     }
+    if layout is not None:
+        to_dict = getattr(layout, "to_dict", None)
+        meta["layout"] = dict(to_dict() if callable(to_dict)
+                              else layout)
     atomic_write(meta_path(checkpoint_path),
                  lambda handle: json.dump(meta, handle), text=True)
     return meta
@@ -172,16 +231,21 @@ def validate_checkpoint(checkpoint_path: str) -> bool:
     """True when a checkpoint is present, uncorrupted, and loadable.
 
     Checks, in order: the file exists; the CRC/size sidecar (when one
-    exists) matches the file bytes; and every array in the ``.npz``
-    archive decompresses cleanly (``zipfile`` verifies per-member CRCs
-    on read, so this also catches truncation and in-archive flips even
-    without a sidecar).
+    exists) parses and matches the file bytes — a sidecar that is
+    *present but unparseable* fails validation, because a half-written
+    meta means the checkpoint's provenance can't be trusted, while an
+    *absent* sidecar (legacy checkpoint) is still acceptable; and every
+    array in the ``.npz`` archive decompresses cleanly (``zipfile``
+    verifies per-member CRCs on read, so this also catches truncation
+    and in-archive flips even without a sidecar).
     """
     import numpy as np
 
     if not os.path.isfile(checkpoint_path):
         return False
     meta = read_checkpoint_meta(checkpoint_path)
+    if meta is None and os.path.exists(meta_path(checkpoint_path)):
+        return False
     if meta is not None:
         try:
             if int(meta.get("size", -1)) != os.path.getsize(

@@ -141,6 +141,61 @@ class Zero1AdamW:
         for p in self.params:
             p.zero_grad()
 
+    # -- shard-level state (elastic resharding) ------------------------------
+
+    def shard_state_dict(self) -> Dict:
+        """Per-rank optimizer shards in re-partitionable form.
+
+        The returned dict is exactly what
+        :func:`repro.elastic.reshard.reshard_zero1_state` maps across
+        DP degrees: the padded per-rank slices of the master copy and
+        both Adam moments, plus the flatten geometry needed to undo
+        the padding.
+        """
+        return {
+            "numel": self.numel,
+            "dp": self.group.size,
+            "step_count": self.step_count,
+            "master": [s.copy() for s in self.master_shards],
+            "m": [s.copy() for s in self.m_shards],
+            "v": [s.copy() for s in self.v_shards],
+        }
+
+    def load_shard_state_dict(self, state: Dict) -> None:
+        """Restore shards saved by :meth:`shard_state_dict`.
+
+        The state's DP degree must match this optimizer's group —
+        reshard first (:func:`~repro.elastic.reshard
+        .reshard_zero1_state`) when resuming at a different size.
+        """
+        if int(state["numel"]) != self.numel:
+            raise ValueError(
+                f"state covers {state['numel']} elements, optimizer "
+                f"has {self.numel}"
+            )
+        if int(state["dp"]) != self.group.size:
+            raise ValueError(
+                f"state sharded for dp={state['dp']}, group size is "
+                f"{self.group.size}; reshard before loading"
+            )
+        self.step_count = int(state["step_count"])
+        for name, shards in (("master_shards", state["master"]),
+                             ("m_shards", state["m"]),
+                             ("v_shards", state["v"])):
+            loaded = [np.asarray(s, dtype=np.float64).copy()
+                      for s in shards]
+            if any(s.shape != (self.shard_size,) for s in loaded):
+                raise ValueError(
+                    f"{name} shard shapes do not match shard_size "
+                    f"{self.shard_size}"
+                )
+            setattr(self, name, loaded)
+        # Propagate the restored master copy into the live parameters.
+        flat = np.concatenate(self.master_shards)
+        for p, updated in zip(self.params,
+                              self._unflatten(flat[:self.numel])):
+            p.data = updated.astype(p.data.dtype)
+
     def state_nbytes_per_rank(self) -> float:
         """Master + moments bytes held by one rank (the ZeRO saving)."""
         return 3 * self.shard_size * 8.0

@@ -15,11 +15,11 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import Iterator, List, Tuple
 
 from ..core.config import ModelConfig, ParallelConfig, TrainConfig
 
-__all__ = ["VerifyCase", "smoke_matrix"]
+__all__ = ["VerifyCase", "smoke_matrix", "elastic_matrix"]
 
 #: Execution modes × EP dispatch × comm precision of the CI smoke grid.
 SMOKE_EXECUTIONS = ("sequential", "threaded")
@@ -53,6 +53,13 @@ class VerifyCase:
     dropout: float = 0.0
     steps: int = 2
     seed: int = 0
+    #: Cluster resize schedule: ``((step, new_ranks), ...)`` — at each
+    #: listed step the injected :class:`~repro.ft.faults.ResizeEvent`
+    #: re-forms the world at ``new_ranks`` before the step trains.
+    #: Empty = fixed-size run.  When set, the engine additionally runs
+    #: the case through an :class:`~repro.elastic.runner.ElasticRunner`
+    #: and the ``elastic_resume`` invariant compares trajectories.
+    resize: Tuple[Tuple[int, int], ...] = ()
 
     def __post_init__(self):
         if self.ranks < 1:
@@ -102,6 +109,45 @@ class VerifyCase:
         if not 0.0 <= self.dropout < 1.0:
             raise ValueError(f"dropout must be in [0, 1), got "
                              f"{self.dropout}")
+        if self.resize:
+            if self.dropout != 0.0:
+                # Per-rank dropout masks are a function of the world
+                # size; trajectories across a resize would legitimately
+                # diverge and the invariant would be vacuous.
+                raise ValueError("resize requires dropout == 0")
+            normalized = []
+            last_step = 0
+            for entry in self.resize:
+                try:
+                    step, new_ranks = entry
+                except (TypeError, ValueError):
+                    raise ValueError(
+                        f"resize entries must be (step, new_ranks) "
+                        f"pairs, got {entry!r}"
+                    ) from None
+                step, new_ranks = int(step), int(new_ranks)
+                if not 1 <= step < self.steps:
+                    raise ValueError(
+                        f"resize step {step} outside [1, "
+                        f"{self.steps - 1}]"
+                    )
+                if step <= last_step:
+                    raise ValueError(
+                        "resize steps must be strictly increasing"
+                    )
+                last_step = step
+                # The target world must satisfy every divisibility
+                # constraint this case imposes at its own rank count.
+                try:
+                    dataclasses.replace(self, ranks=new_ranks,
+                                        resize=())
+                except ValueError as exc:
+                    raise ValueError(
+                        f"resize target ranks={new_ranks} invalid: "
+                        f"{exc}"
+                    ) from None
+                normalized.append((step, new_ranks))
+            object.__setattr__(self, "resize", tuple(normalized))
 
     @property
     def case_id(self) -> str:
@@ -115,6 +161,8 @@ class VerifyCase:
         ]
         if self.backend != "engine":
             parts.append(self.backend)
+        for step, new_ranks in self.resize:
+            parts.append(f"rz{step}x{new_ranks}")
         if self.dropout > 0.0:
             parts.append(f"do{self.dropout:g}")
         if self.seed != 0:
@@ -172,6 +220,28 @@ def smoke_matrix(seed: int = 0) -> List[VerifyCase]:
                     yield VerifyCase(
                         ep_dispatch=dispatch, precision=precision,
                         execution=execution, seed=seed,
+                    )
+
+    return list(cases())
+
+
+def elastic_matrix(seed: int = 0) -> List[VerifyCase]:
+    """The resize conformance grid: shrink at 1, grow back at 2.
+
+    Every case starts at 4 ranks, shrinks the SP×EP world to 2 at
+    step 1, and grows back to 4 at step 2 — the ISSUE's acceptance
+    scenario — across both execution modes, both EP dispatch modes,
+    and both smoke precisions.
+    """
+
+    def cases() -> Iterator[VerifyCase]:
+        for execution in SMOKE_EXECUTIONS:
+            for dispatch in SMOKE_DISPATCHES:
+                for precision in SMOKE_PRECISIONS:
+                    yield VerifyCase(
+                        ep_dispatch=dispatch, precision=precision,
+                        execution=execution, seed=seed, steps=3,
+                        resize=((1, 2), (2, 4)),
                     )
 
     return list(cases())

@@ -34,6 +34,7 @@ from .invariants import InvariantResult, registered_invariants
 
 __all__ = [
     "GoldenArtifacts",
+    "ElasticArtifacts",
     "RunArtifacts",
     "CaseResult",
     "ConformanceReport",
@@ -67,6 +68,28 @@ class GoldenArtifacts:
 
 
 @dataclass
+class ElasticArtifacts:
+    """What the resize-injected elastic run produced."""
+
+    #: Raw step/loss history (replayed steps appear twice).
+    steps: List[int]
+    losses: List[float]
+    #: Steps at which a ResizeEvent fired and was absorbed.
+    resizes: List[int]
+    #: One report per actual re-partition (size-changing resumes).
+    reshard_reports: List[object]
+    reshard_bytes: float
+    reshard_seconds: float
+
+    def final_losses(self) -> Dict[int, float]:
+        """Last recorded loss per step (replays overwrite)."""
+        final: Dict[int, float] = {}
+        for step, loss in zip(self.steps, self.losses):
+            final[step] = loss
+        return final
+
+
+@dataclass
 class RunArtifacts:
     """Everything the invariants inspect about one case run."""
 
@@ -91,6 +114,8 @@ class RunArtifacts:
     twin: Optional["RunArtifacts"] = None
     #: The legacy-backend twin of a DAG-backend case run.
     engine_twin: Optional["RunArtifacts"] = None
+    #: The resize-injected elastic run of a ``case.resize`` case.
+    elastic: Optional[ElasticArtifacts] = None
 
 
 @dataclass
@@ -257,6 +282,59 @@ def _run_golden(case: VerifyCase) -> GoldenArtifacts:
     )
 
 
+def _run_elastic(case: VerifyCase) -> ElasticArtifacts:
+    """Run the case's resize schedule through an ElasticRunner.
+
+    Same model seed, same batches, same optimizer schedule as the
+    fixed-size case run — only the world shrinks and grows per
+    ``case.resize``, so any trajectory difference beyond summation
+    order is a resharding bug.
+    """
+    import shutil
+    import tempfile
+
+    from ..core.config import ParallelConfig
+    from ..core.runner import FaultInjector
+    from ..elastic.layout import ParallelLayout
+    from ..elastic.runner import ElasticRunner
+
+    def layout_at(ranks: int) -> ParallelLayout:
+        return ParallelLayout.from_parallel_config(ParallelConfig(
+            ranks, attention=case.attention, ffn=case.ffn,
+            ep_dispatch=case.ep_dispatch,
+        ))
+
+    def factory(layout: ParallelLayout):
+        sized = case.replace(ranks=layout.world_size, resize=())
+        model = MoETransformer(case.model_config(), seed=case.seed,
+                               dtype=np.float64)
+        return MegaScaleTrainer(
+            model, World(sized.ranks, sized.ranks),
+            sized.parallel_config(), sized.train_config(),
+            optimizer=AdamW(model.parameters(), lr=_LEARNING_RATE),
+        )
+
+    tmpdir = tempfile.mkdtemp(prefix="repro-elastic-")
+    try:
+        runner = ElasticRunner(factory, layout_at(case.ranks), tmpdir,
+                               checkpoint_interval=1)
+        injector = FaultInjector(resize_steps={
+            step: layout_at(new_ranks)
+            for step, new_ranks in case.resize
+        })
+        metrics = runner.run(_batches(case), injector)
+        return ElasticArtifacts(
+            steps=list(metrics.steps),
+            losses=list(metrics.losses),
+            resizes=list(metrics.resizes),
+            reshard_reports=list(runner.reshard_reports),
+            reshard_bytes=metrics.reshard_bytes,
+            reshard_seconds=metrics.reshard_seconds,
+        )
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+
 def run_case(case: VerifyCase,
              world_setup: Optional[Callable[[World], None]] = None,
              ) -> CaseResult:
@@ -275,6 +353,8 @@ def run_case(case: VerifyCase,
         artifacts.twin = _run_parallel(case.twin_sequential())
     if case.backend == "dag":
         artifacts.engine_twin = _run_parallel(case.twin_engine())
+    if case.resize:
+        artifacts.elastic = _run_elastic(case)
     outcomes: List[InvariantResult] = []
     for invariant in registered_invariants():
         if not invariant.applies(case):

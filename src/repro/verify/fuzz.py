@@ -34,7 +34,7 @@ def sample_case(rng: np.random.Generator) -> VerifyCase:
     heads = ranks * gqa * int(rng.choice([1, 2]))
     hidden = heads * int(rng.choice([2, 4]))
     experts = ranks * int(rng.choice([1, 2]))
-    return VerifyCase(
+    case = VerifyCase(
         ranks=ranks,
         layers=int(rng.choice([1, 2])),
         hidden=hidden,
@@ -56,6 +56,20 @@ def sample_case(rng: np.random.Generator) -> VerifyCase:
         steps=int(rng.choice([1, 2])),
         seed=int(rng.integers(0, 1_000_000)),
     )
+    # Sometimes inject a cluster resize: fuzz over the resize step and
+    # the old→new layout pair (any target world the model dimensions
+    # admit).  Drawn after the base fields so the non-resize portion
+    # of the case space is sampled exactly as before.
+    if case.dropout == 0.0 and case.steps >= 2 \
+            and float(rng.random()) < 0.3:
+        step = int(rng.integers(1, case.steps))
+        for target in rng.permutation(
+                [r for r in (1, 2, 4, 8) if r != case.ranks]):
+            try:
+                return case.replace(resize=((step, int(target)),))
+            except ValueError:
+                continue
+    return case
 
 
 def fuzz(n_cases: int, seed: int = 0,
@@ -79,6 +93,12 @@ def _shrink_candidates(case: VerifyCase) -> Iterator[VerifyCase]:
         except ValueError:
             return None
 
+    # Dropping the resize schedule first: it removes three extra
+    # trainer builds per evaluation, the biggest single reduction.
+    if case.resize:
+        yield from filter(None, [attempt(resize=())])
+        if len(case.resize) > 1:
+            yield from filter(None, [attempt(resize=case.resize[:1])])
     if case.ranks > 1:
         yield from filter(None, [attempt(ranks=case.ranks // 2)])
     if case.layers > 1:

@@ -430,6 +430,51 @@ def _check_comm_audit(art: "RunArtifacts") -> List[str]:
     return violations
 
 
+def _check_elastic_resume(art: "RunArtifacts") -> List[str]:
+    """The resize-injected elastic run must execute every step and
+    land on the fixed-size run's loss trajectory within the
+    precision band (resharding is exact; only collective summation
+    order may differ across world sizes)."""
+    case = art.case
+    elastic = art.elastic
+    if elastic is None:
+        return ["no elastic artifacts recorded for a resize case"]
+    violations = []
+    scheduled = [step for step, _ in case.resize]
+    if elastic.resizes != scheduled:
+        violations.append(
+            f"resizes fired at {elastic.resizes}, scheduled "
+            f"{scheduled}"
+        )
+    final = elastic.final_losses()
+    missing = [s for s in range(case.steps) if s not in final]
+    if missing:
+        violations.append(f"steps never executed: {missing}")
+    # Each resize whose target world differs from the world it leaves
+    # must have gone through exactly one re-partition.
+    worlds = [case.ranks] + [r for _, r in case.resize]
+    expected_reshards = sum(
+        1 for prev, new in zip(worlds, worlds[1:]) if prev != new)
+    if len(elastic.reshard_reports) != expected_reshards:
+        violations.append(
+            f"{len(elastic.reshard_reports)} reshards performed, "
+            f"expected {expected_reshards}"
+        )
+    band = tolerance_for_precision(case.precision, "loss")
+    for step, want in enumerate(art.losses):
+        got = final.get(step)
+        if got is None:
+            continue  # already reported as missing
+        if not band.close(got, want, want):
+            violations.append(
+                f"step {step} elastic loss {got:.10g} vs fixed-size "
+                f"{want:.10g} (rel err "
+                f"{abs(got - want) / max(abs(want), 1e-300):.3g} > "
+                f"rtol {band.rtol:g})"
+            )
+    return violations
+
+
 def default_registry() -> List[Invariant]:
     """(Re)register and return the built-in invariants."""
     builtins = [
@@ -510,6 +555,14 @@ def default_registry() -> List[Invariant]:
                                   and case.ffn == "ep"
                                   and case.ranks > 1),
             check=_check_comm_audit,
+        ),
+        Invariant(
+            name="elastic_resume",
+            description="a resize-injected elastic run executes every "
+                        "step and its loss trajectory matches the "
+                        "fixed-size run within the precision band",
+            applies=lambda case: bool(case.resize),
+            check=_check_elastic_resume,
         ),
     ]
     for invariant in builtins:

@@ -1,0 +1,600 @@
+"""Tests for the elastic resharding subsystem (repro.elastic) and the
+robustness satellites that ride along with it: layout-stamped
+checkpoint meta, LayoutMismatch refusal, seeded backoff jitter, tmp
+sweeping on construction, and corrupted-sidecar handling."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.comm import World
+from repro.core.config import ModelConfig, ParallelConfig, TrainConfig
+from repro.core.runner import FaultInjector, ProductionRunner
+from repro.core.trainer import MegaScaleTrainer
+from repro.elastic import (
+    ElasticRunner,
+    ParallelLayout,
+    expert_moves,
+    expert_placement,
+    form_dp_rings,
+    reshard_state,
+    reshard_zero1_state,
+    zero1_moved_elements,
+    zero1_shard_flat,
+    zero1_unshard_flat,
+)
+from repro.ft import BackoffPolicy, LayoutMismatch, ResizeEvent
+from repro.ft.recovery import (
+    META_FORMAT_VERSION,
+    meta_path,
+    read_checkpoint_meta,
+    validate_checkpoint,
+    write_checkpoint_meta,
+)
+from repro.model import MoETransformer
+from repro.parallel.zero import Zero1AdamW
+from repro.precision.optimizer import AdamW
+from repro.tensor import Tensor
+
+CONFIG = ModelConfig("elastic-test", n_layers=2, hidden_size=32,
+                     n_heads=8, gqa_ratio=2, ffn_hidden_size=48,
+                     n_experts=8, top_k=2, vocab_size=64, seq_len=16)
+
+
+def layout_at(n):
+    return ParallelLayout.from_parallel_config(
+        ParallelConfig.megascale(n))
+
+
+def make_factory(lr=1e-2):
+    def factory(layout=None):
+        n = 4 if layout is None else layout.world_size
+        model = MoETransformer(CONFIG, seed=0, dtype=np.float64)
+        train = TrainConfig(global_batch_size=2, micro_batch_size=2,
+                            seq_len=16, learning_rate=lr,
+                            aux_loss_coeff=0.01)
+        return MegaScaleTrainer(
+            model, World(n, n), ParallelConfig.megascale(n), train,
+            optimizer=AdamW(model.parameters(), lr=lr))
+    return factory
+
+
+def make_batches(n):
+    rng = np.random.default_rng(0)
+    return [rng.integers(0, 64, size=(2, 17)) for _ in range(n)]
+
+
+class TestParallelLayout:
+    def test_defaults_and_describe(self):
+        layout = ParallelLayout(world_size=4, ep=4, sp=4)
+        assert (layout.dp, layout.tp, layout.pp) == (1, 1, 1)
+        assert layout.describe() == "world=4 dp1 ep4 tp1 sp4 pp1"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="ep"):
+            ParallelLayout(world_size=4, ep=0)
+        with pytest.raises(ValueError, match="world_size"):
+            ParallelLayout(world_size=1.5)
+
+    def test_dict_round_trip(self):
+        layout = ParallelLayout(world_size=8, dp=2, ep=4, sp=4)
+        assert ParallelLayout.from_dict(layout.to_dict()) == layout
+
+    def test_from_parallel_config_megascale(self):
+        layout = layout_at(4)
+        assert layout == ParallelLayout(world_size=4, ep=4, sp=4)
+
+    def test_from_parallel_config_tp(self):
+        parallel = ParallelConfig(4, attention="tp", ffn="tp")
+        layout = ParallelLayout.from_parallel_config(parallel)
+        assert layout.tp == 4 and layout.ep == 1 and layout.sp == 1
+
+    def test_from_trainer_duck_typed(self):
+        trainer = make_factory()(layout_at(2))
+        assert ParallelLayout.from_trainer(trainer) == layout_at(2)
+
+        class Toy:
+            pass
+
+        assert ParallelLayout.from_trainer(Toy()) is None
+
+
+class TestZero1Reshard:
+    def test_shard_unshard_round_trip_with_padding(self):
+        flat = np.arange(13, dtype=np.float64)
+        for dp in (1, 2, 3, 4, 5):
+            shards = zero1_shard_flat(flat, dp)
+            assert len(shards) == dp
+            assert len({s.size for s in shards}) == 1
+            back = zero1_unshard_flat(shards, flat.size)
+            np.testing.assert_array_equal(back, flat)
+
+    def test_moved_elements_known_values(self):
+        # numel=8: dp2 shards are [0..4), [4..8); dp4 shards are
+        # [0..2), [2..4), [4..6), [6..8).  Owners differ on [2..4)
+        # (0 -> 1), [4..6) (1 -> 2), and [6..8) (1 -> 3): 6 move.
+        assert zero1_moved_elements(8, 2, 4) == 6
+        assert zero1_moved_elements(8, 2, 2) == 0
+        assert zero1_moved_elements(0, 2, 4) == 0
+
+    def test_moved_elements_symmetric(self):
+        for numel in (7, 64, 1000, 84640):
+            for a, b in ((1, 4), (2, 4), (3, 5), (4, 6)):
+                assert zero1_moved_elements(numel, a, b) == \
+                    zero1_moved_elements(numel, b, a)
+
+    def test_moved_elements_matches_brute_force(self):
+        def brute(numel, old_dp, new_dp):
+            old = zero1_shard_flat(np.arange(numel, dtype=float),
+                                   old_dp)
+            new = zero1_shard_flat(np.arange(numel, dtype=float),
+                                   new_dp)
+            owner = lambda shards, i: next(
+                r for r in range(len(shards)) if i in shards[r])
+            return sum(1 for i in range(numel)
+                       if owner(old, i) != owner(new, i))
+
+        for numel in (5, 8, 13):
+            for a, b in ((1, 2), (2, 4), (2, 3), (4, 2)):
+                assert zero1_moved_elements(numel, a, b) == \
+                    brute(numel, a, b)
+
+    def test_reshard_zero1_state_exact(self):
+        rng = np.random.default_rng(3)
+        params = [Tensor(rng.normal(size=(5, 3))),
+                  Tensor(rng.normal(size=(7,)))]
+        opt = Zero1AdamW(params, World(4, 4).full_group(), lr=1e-2)
+        for p in params:
+            p.grad = rng.normal(size=p.shape)
+        opt.step()
+
+        state = opt.shard_state_dict()
+        resharded = reshard_zero1_state(state, 2)
+        assert resharded["dp"] == 2
+        assert resharded["step_count"] == state["step_count"]
+        for kind in ("master", "m", "v"):
+            np.testing.assert_array_equal(
+                zero1_unshard_flat(resharded[kind], state["numel"]),
+                zero1_unshard_flat(state[kind], state["numel"]))
+
+    def test_resharded_state_continues_trajectory(self):
+        """An optimizer resharded 4 -> 2 steps bit-identically to one
+        that ran at 2 the whole time."""
+        rng = np.random.default_rng(7)
+        shapes = [(6, 4), (10,)]
+        grads = [[rng.normal(size=s) for s in shapes]
+                 for _ in range(3)]
+
+        def fresh(dp):
+            r = np.random.default_rng(1)
+            params = [Tensor(r.normal(size=s)) for s in shapes]
+            return params, Zero1AdamW(params, World(dp, dp).full_group(),
+                                      lr=1e-2)
+
+        ref_params, ref_opt = fresh(2)
+        for g in grads:
+            for p, gr in zip(ref_params, g):
+                p.grad = gr
+            ref_opt.step()
+
+        params, opt = fresh(4)
+        for g in grads[:2]:
+            for p, gr in zip(params, g):
+                p.grad = gr
+            opt.step()
+        moved_params, moved_opt = fresh(2)
+        moved_opt.load_shard_state_dict(
+            reshard_zero1_state(opt.shard_state_dict(), 2))
+        for p, gr in zip(moved_params, grads[2]):
+            p.grad = gr
+        moved_opt.step()
+
+        for a, b in zip(ref_params, moved_params):
+            assert a.data.tobytes() == b.data.tobytes()
+
+    def test_load_shard_state_rejects_wrong_dp(self):
+        params = [Tensor(np.zeros(8))]
+        opt = Zero1AdamW(params, World(4, 4).full_group())
+        state = opt.shard_state_dict()
+        other = Zero1AdamW([Tensor(np.zeros(8))], World(2, 2).full_group())
+        with pytest.raises(ValueError, match="reshard before loading"):
+            other.load_shard_state_dict(state)
+
+    def test_load_shard_state_rejects_wrong_numel(self):
+        opt = Zero1AdamW([Tensor(np.zeros(8))], World(2, 2).full_group())
+        state = opt.shard_state_dict()
+        other = Zero1AdamW([Tensor(np.zeros(12))], World(2, 2).full_group())
+        with pytest.raises(ValueError, match="elements"):
+            other.load_shard_state_dict(state)
+
+
+class TestExpertPlacement:
+    def test_contiguous_blocks(self):
+        assert expert_placement(8, 4) == [0, 0, 1, 1, 2, 2, 3, 3]
+        assert expert_placement(8, 1) == [0] * 8
+
+    def test_matches_ep_engine_slicing(self):
+        """Placement agrees with EPFFNEngine's contiguous slices of
+        E/n experts per rank."""
+        for n_experts, ep in ((8, 2), (8, 4), (4, 4)):
+            local = n_experts // ep
+            expected = [e // local for e in range(n_experts)]
+            assert expert_placement(n_experts, ep) == expected
+
+    def test_divisibility_enforced(self):
+        with pytest.raises(ValueError, match="divisible"):
+            expert_placement(8, 3)
+
+    def test_expert_moves(self):
+        # 8 experts, 4 -> 2 ranks: blocks of 2 become blocks of 4;
+        # only experts 0,1 keep their rank (0): the rest move.
+        assert expert_moves(8, 4, 2) == [2, 3, 4, 5, 6, 7]
+        assert expert_moves(8, 2, 2) == []
+
+    def test_form_dp_rings(self):
+        assert form_dp_rings(8, 2) == [[0, 4], [1, 5], [2, 6], [3, 7]]
+        assert form_dp_rings(4, 1) == [[0], [1], [2], [3]]
+        with pytest.raises(ValueError, match="divisible"):
+            form_dp_rings(8, 3)
+
+
+class TestReshardState:
+    def trained_state(self):
+        trainer = make_factory()(layout_at(4))
+        trainer.train_step(make_batches(1)[0])
+        return trainer.state_dict()
+
+    def test_values_bitwise_preserved(self):
+        state = self.trained_state()
+        new_state, _ = reshard_state(state, layout_at(4), layout_at(2))
+        assert sorted(new_state) == sorted(state)
+        for key in state:
+            assert np.asarray(new_state[key]).tobytes() == \
+                np.asarray(state[key]).tobytes(), key
+
+    def test_report_accounting(self):
+        state = self.trained_state()
+        _, report = reshard_state(state, layout_at(4), layout_at(2))
+        numel = sum(np.asarray(v).size for k, v in state.items()
+                    if k.startswith("opt/m/"))
+        assert report.numel == numel
+        assert report.zero_elements_moved == \
+            zero1_moved_elements(numel, 4, 2)
+        assert report.zero_bytes == 3.0 * 8.0 * report.zero_elements_moved
+        # One tuple of moved experts per MoE layer.
+        assert len(report.experts_moved) == CONFIG.n_layers
+        for layer in report.experts_moved:
+            assert layer == tuple(expert_moves(CONFIG.n_experts, 4, 2))
+        assert report.expert_bytes > 0
+        assert report.total_bytes == \
+            report.zero_bytes + report.expert_bytes
+        assert report.seconds() == pytest.approx(
+            report.total_bytes / 50e9)
+        assert report.dp_rings == tuple(
+            (r,) for r in range(2))  # world=2, dp=1: singleton rings
+
+    def test_same_layout_moves_nothing(self):
+        state = self.trained_state()
+        _, report = reshard_state(state, layout_at(4), layout_at(4))
+        assert report.zero_elements_moved == 0
+        assert report.n_experts_moved == 0
+        assert report.total_bytes == 0.0
+
+
+class TestFaultInjectorResize:
+    def test_fires_once_per_step(self):
+        injector = FaultInjector(resize_steps={2: layout_at(2)})
+        injector.check(0)
+        injector.check(1)
+        with pytest.raises(ResizeEvent) as exc:
+            injector.check(2)
+        assert exc.value.step == 2
+        assert exc.value.layout == layout_at(2)
+        injector.check(2)  # replay proceeds
+        assert injector.resized == [2]
+
+
+class TestElasticRunner:
+    def test_shrink_then_grow_matches_fixed_size(self, tmp_path):
+        """The acceptance scenario: shrink at N, grow at M, and the
+        loss trajectory matches the fixed-size run to fp64 noise."""
+        batches = make_batches(8)
+        fixed = ProductionRunner(make_factory(),
+                                 str(tmp_path / "fixed"),
+                                 checkpoint_interval=4)
+        fixed_metrics = fixed.run(batches)
+
+        elastic = ElasticRunner(make_factory(), layout_at(4),
+                                str(tmp_path / "elastic"),
+                                checkpoint_interval=4)
+        metrics = elastic.run(
+            batches, FaultInjector(resize_steps={3: layout_at(2),
+                                                 6: layout_at(4)}))
+
+        assert metrics.resizes == [3, 6]
+        assert metrics.replayed_steps == 0
+        assert set(metrics.steps) == set(range(8))
+        assert len(elastic.reshard_reports) == 2
+        assert metrics.reshard_bytes == pytest.approx(sum(
+            r.total_bytes for r in elastic.reshard_reports))
+        assert metrics.reshard_seconds > 0
+
+        fixed_final = dict(zip(fixed_metrics.steps,
+                               fixed_metrics.losses))
+        for step, loss in zip(metrics.steps, metrics.losses):
+            assert loss == pytest.approx(fixed_final[step],
+                                         rel=1e-12), step
+
+    def test_coerce_layout_forms(self, tmp_path):
+        runner = ElasticRunner(make_factory(), 4, str(tmp_path))
+        assert runner.current_layout == ParallelLayout(
+            world_size=4, ep=4, sp=4)
+        assert runner._coerce_layout({"world_size": 2, "ep": 2,
+                                      "sp": 2}) == \
+            ParallelLayout(world_size=2, ep=2, sp=2)
+
+    def test_resize_to_same_size_reshards_nothing(self, tmp_path):
+        batches = make_batches(4)
+        elastic = ElasticRunner(make_factory(), layout_at(4),
+                                str(tmp_path), checkpoint_interval=2)
+        metrics = elastic.run(
+            batches, FaultInjector(resize_steps={2: layout_at(4)}))
+        assert metrics.resizes == [2]
+        # Same layout on both sides: the load path sees no mismatch.
+        assert elastic.reshard_reports == []
+        assert set(metrics.steps) == set(range(4))
+
+
+class TestLayoutMismatchRefusal:
+    def test_fixed_runner_refuses_foreign_layout(self, tmp_path):
+        """Satellite (a): the base runner must not silently load a
+        checkpoint written under a different parallel layout."""
+        factory = make_factory()
+        writer = ProductionRunner(lambda: factory(layout_at(4)),
+                                  str(tmp_path), checkpoint_interval=2)
+        writer.run(make_batches(4))
+
+        reader = ProductionRunner(lambda: factory(layout_at(2)),
+                                  str(tmp_path), checkpoint_interval=2)
+        with pytest.raises(LayoutMismatch) as exc:
+            reader.run(make_batches(4))
+        assert exc.value.saved == layout_at(4)
+        assert exc.value.current == layout_at(2)
+        assert "reshard" in str(exc.value)
+
+    def test_legacy_checkpoint_without_layout_loads(self, tmp_path):
+        """v1 sidecars (no layout) opt out of the check."""
+        factory = make_factory()
+        writer = ProductionRunner(lambda: factory(layout_at(4)),
+                                  str(tmp_path), checkpoint_interval=2)
+        writer.run(make_batches(4))
+        # Strip the layout from the newest sidecar (simulate v1).
+        path = writer._path(4)
+        meta = read_checkpoint_meta(path)
+        del meta["layout"]
+        with open(meta_path(path), "w") as handle:
+            json.dump(meta, handle)
+
+        reader = ProductionRunner(lambda: factory(layout_at(4)),
+                                  str(tmp_path), checkpoint_interval=2)
+        metrics = reader.run(make_batches(6))
+        assert metrics.steps[0] == 4  # resumed, no refusal
+
+
+class TestCheckpointMetaLayout:
+    def test_meta_records_layout_and_format(self, tmp_path):
+        path = str(tmp_path / "step_00000002.npz")
+        with open(path, "wb") as handle:
+            np.savez(handle, w=np.ones(4))
+        meta = write_checkpoint_meta(path, 2, layout=layout_at(4))
+        assert meta["format"] == META_FORMAT_VERSION == 2
+        assert meta["layout"] == layout_at(4).to_dict()
+        assert read_checkpoint_meta(path)["layout"] == \
+            layout_at(4).to_dict()
+
+    def test_meta_accepts_plain_dict_layout(self, tmp_path):
+        path = str(tmp_path / "step_00000002.npz")
+        with open(path, "wb") as handle:
+            np.savez(handle, w=np.ones(4))
+        meta = write_checkpoint_meta(path, 2,
+                                     layout={"world_size": 2})
+        assert meta["layout"] == {"world_size": 2}
+
+
+class TestCorruptedSidecars:
+    """Satellite (d): corrupted/truncated meta sidecars."""
+
+    def write_checkpoint(self, tmp_path, step=4):
+        path = str(tmp_path / f"step_{step:08d}.npz")
+        with open(path, "wb") as handle:
+            np.savez(handle, w=np.ones(8))
+        write_checkpoint_meta(path, step, layout=layout_at(4))
+        return path
+
+    def test_partial_json_reads_as_none(self, tmp_path):
+        path = self.write_checkpoint(tmp_path)
+        blob = open(meta_path(path)).read()
+        with open(meta_path(path), "w") as handle:
+            handle.write(blob[:len(blob) // 2])  # truncated write
+        assert read_checkpoint_meta(path) is None
+
+    def test_unparseable_sidecar_fails_validation(self, tmp_path):
+        """Present-but-broken meta means provenance can't be trusted."""
+        path = self.write_checkpoint(tmp_path)
+        assert validate_checkpoint(path)
+        with open(meta_path(path), "w") as handle:
+            handle.write('{"format": 2, "step":')
+        assert not validate_checkpoint(path)
+
+    def test_non_dict_sidecar_fails_validation(self, tmp_path):
+        path = self.write_checkpoint(tmp_path)
+        with open(meta_path(path), "w") as handle:
+            json.dump([1, 2, 3], handle)
+        assert not validate_checkpoint(path)
+
+    def test_sidecar_pointing_at_missing_archive(self, tmp_path):
+        path = self.write_checkpoint(tmp_path)
+        os.remove(path)
+        assert os.path.exists(meta_path(path))
+        assert not validate_checkpoint(path)
+
+    def test_latest_walks_past_broken_meta(self, tmp_path):
+        """An intact .npz whose sidecar is garbage is discarded and
+        the chain walks back to the previous checkpoint."""
+        runner = ProductionRunner(make_factory(), str(tmp_path),
+                                  checkpoint_interval=2)
+        runner.run(make_batches(4))  # checkpoints at 2 and 4
+        with open(meta_path(runner._path(4)), "w") as handle:
+            handle.write("not json at all")
+
+        fresh = ProductionRunner(make_factory(), str(tmp_path),
+                                 checkpoint_interval=2)
+        assert fresh.latest_checkpoint() == 2
+        assert fresh.discarded == [4]
+        metrics = fresh.run(make_batches(6))
+        assert metrics.steps[0] == 2
+
+
+class TestSweepOnConstruction:
+    def test_leftover_tmp_removed_at_startup(self, tmp_path):
+        """Satellite (c): construction sweeps crashed-write leftovers
+        without waiting for the next save."""
+        leftovers = [tmp_path / "step_00000004.npz.tmp",
+                     tmp_path / "step_00000004.npz.meta.json.tmp"]
+        for p in leftovers:
+            p.write_bytes(b"partial")
+        ProductionRunner(make_factory(), str(tmp_path))
+        for p in leftovers:
+            assert not p.exists()
+
+    def test_restore_sweeps_too(self, tmp_path):
+        runner = ProductionRunner(make_factory(), str(tmp_path),
+                                  checkpoint_interval=2)
+        runner.run(make_batches(2))
+        leftover = tmp_path / "step_00000009.npz.tmp"
+        leftover.write_bytes(b"partial")
+        runner._restore(make_factory()())
+        assert not leftover.exists()
+
+
+class TestBackoffJitter:
+    """Satellite (b): deterministic seedable jitter."""
+
+    def test_zero_jitter_is_bitwise_legacy(self):
+        legacy = BackoffPolicy(max_retries=5, base_delay=0.5,
+                               multiplier=2.0, max_delay=3.0)
+        assert [legacy.delay(a) for a in range(4)] == \
+            [0.5, 1.0, 2.0, 3.0]
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = BackoffPolicy(jitter=0.5, jitter_seed=42)
+        for attempt in range(4):
+            base = BackoffPolicy().delay(attempt)
+            d1 = policy.delay(attempt)
+            d2 = policy.delay(attempt)
+            assert d1 == d2  # seeded draw, fully reproducible
+            assert base * 0.5 <= d1 <= base
+
+    def test_salt_decorrelates_ranks(self):
+        policy = BackoffPolicy(jitter=0.5, jitter_seed=1)
+        delays = {policy.delay(0, salt=rank) for rank in range(8)}
+        assert len(delays) == 8  # no retry stampede in lockstep
+
+    def test_seed_changes_schedule(self):
+        a = BackoffPolicy(jitter=0.5, jitter_seed=1)
+        b = BackoffPolicy(jitter=0.5, jitter_seed=2)
+        assert a.delay(0) != b.delay(0)
+
+    def test_jitter_validation(self):
+        with pytest.raises(ValueError, match="jitter"):
+            BackoffPolicy(jitter=1.5)
+        with pytest.raises(ValueError, match="jitter"):
+            BackoffPolicy(jitter=-0.1)
+
+
+class TestVerifyCaseResize:
+    def test_resize_field_validates(self):
+        from repro.verify import VerifyCase
+
+        case = VerifyCase(steps=3, resize=((1, 2), (2, 4)))
+        assert case.resize == ((1, 2), (2, 4))
+        assert "rz1x2" in case.case_id and "rz2x4" in case.case_id
+
+    def test_resize_rejects_bad_schedules(self):
+        from repro.verify import VerifyCase
+
+        with pytest.raises(ValueError, match="outside"):
+            VerifyCase(steps=2, resize=((2, 2),))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            VerifyCase(steps=4, resize=((2, 2), (2, 4)))
+        with pytest.raises(ValueError, match="dropout"):
+            VerifyCase(steps=3, dropout=0.1, resize=((1, 2),))
+        with pytest.raises(ValueError, match="invalid"):
+            # 8 heads not divisible by 3 ranks.
+            VerifyCase(steps=3, resize=((1, 3),))
+
+    def test_elastic_matrix_covers_grid(self):
+        from repro.verify.cases import elastic_matrix
+
+        cases = elastic_matrix()
+        assert len(cases) == 8
+        assert all(c.resize == ((1, 2), (2, 4)) for c in cases)
+        assert {c.execution for c in cases} == {"sequential",
+                                                "threaded"}
+        assert {c.precision for c in cases} == {"fp32", "fp8"}
+        assert len({c.case_id for c in cases}) == 8
+
+    def test_fuzzer_samples_resize_cases(self):
+        from repro.verify.fuzz import sample_case
+
+        rng = np.random.default_rng(0)
+        cases = [sample_case(rng) for _ in range(60)]
+        resized = [c for c in cases if c.resize]
+        assert resized  # the space is actually explored
+        for case in resized:
+            step, target = case.resize[0]
+            assert 1 <= step < case.steps
+            assert target != case.ranks
+
+    def test_shrinker_drops_resize_first(self):
+        from repro.verify import VerifyCase
+        from repro.verify.fuzz import _shrink_candidates
+
+        case = VerifyCase(steps=3, resize=((1, 2),))
+        first = next(_shrink_candidates(case))
+        assert first.resize == ()
+
+    def test_elastic_resume_invariant_passes(self):
+        from repro.verify import VerifyCase, run_case
+
+        case = VerifyCase(layers=1, steps=2, resize=((1, 2),))
+        result = run_case(case)
+        outcome = result.outcome("elastic_resume")
+        assert outcome.status == "pass", outcome.detail
+
+    def test_elastic_resume_skipped_without_resize(self):
+        from repro.verify import VerifyCase, run_case
+
+        result = run_case(VerifyCase(layers=1, steps=1))
+        assert result.outcome("elastic_resume").status == "skip"
+
+
+class TestElasticCli:
+    def test_elastic_demo_exit_zero(self, capsys, tmp_path):
+        from repro.__main__ import main as cli_main
+
+        assert cli_main(["elastic-demo", "4",
+                         "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "trajectory" in out
+        assert "resize" in out
+
+    def test_elastic_demo_rejects_bad_schedule(self, capsys,
+                                               tmp_path):
+        from repro.__main__ import main as cli_main
+
+        assert cli_main(["elastic-demo", "4", "--shrink-at", "3",
+                         "--grow-at", "2",
+                         "--dir", str(tmp_path)]) == 2
