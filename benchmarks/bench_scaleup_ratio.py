@@ -21,7 +21,6 @@ from repro.core.analysis import scale_up_ratio
 from repro.core.config import GPU_SPECS, MODEL_ZOO, ModelConfig, \
     ParallelConfig
 from repro.core.operators import build_forward_graph
-from repro.perf.estimator import KernelModel
 
 GPU = GPU_SPECS["h800"]
 

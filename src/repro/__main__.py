@@ -512,7 +512,9 @@ def main(argv=None) -> int:
                         choices=["engine", "dag"],
                         help="numeric backend for the smoke matrix "
                              "(dag adds bitwise + schedule-conformance "
-                             "checks against the engine path)")
+                             "checks against the engine path; "
+                             "vectorized-execution cases always run on "
+                             "the dag backend)")
     verify.add_argument("--shrink", action="store_true",
                         help="shrink failing cases to minimal "
                              "reproducers")

@@ -329,7 +329,9 @@ class TrainConfig:
     capacity_factor: float = 0.0
     #: Rank-execution engine: "sequential" (classic per-rank loops),
     #: "threaded" (one thread per rank with rendezvous collectives —
-    #: bitwise-identical results), or None to defer to the
+    #: bitwise-identical results), "vectorized" (all ranks stacked on a
+    #: leading axis, one batched kernel per op — bitwise-identical,
+    #: requires the "dag" backend), or None to defer to the
     #: ``REPRO_EXECUTION`` environment variable.
     execution: Optional[str] = None
     #: Numeric backend: "engine" (classic per-engine call chains),
@@ -350,15 +352,21 @@ class TrainConfig:
             raise ValueError(f"unknown precision {self.precision!r}")
         if self.global_batch_size < 1 or self.micro_batch_size < 1:
             raise ValueError("batch sizes must be >= 1")
-        if self.execution not in (None, "sequential", "threaded"):
+        if self.execution not in (None, "sequential", "threaded",
+                                  "vectorized"):
             raise ValueError(
                 f"unknown execution mode {self.execution!r}; expected "
-                "None, 'sequential', or 'threaded'"
+                "None, 'sequential', 'threaded', or 'vectorized'"
             )
         if self.backend not in (None, "engine", "dag"):
             raise ValueError(
                 f"unknown backend {self.backend!r}; expected None, "
                 "'engine', or 'dag'"
+            )
+        if self.execution == "vectorized" and self.backend == "engine":
+            raise ValueError(
+                "execution='vectorized' runs through the DAG executor; "
+                "it is incompatible with backend='engine'"
             )
         if not 0.0 <= self.dropout < 1.0:
             raise ValueError(

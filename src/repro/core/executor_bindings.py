@@ -14,13 +14,22 @@ one engine method computes together, e.g. the grouped-GEMM chain
 * ``rank`` — the per-rank callable used by the thread-per-rank backend:
   it sees one rank's activations and a
   :class:`~repro.runtime.spmd.RankComm` whose collectives rendezvous
-  with the peer threads.
+  with the peer threads;
+* ``vec`` (optional) — the all-ranks-at-once callable used by the
+  vectorized backend (:mod:`repro.runtime.vectorized`): it sees every
+  rank's activations stacked on a leading rank axis and runs one
+  batched numpy kernel, with collectives reduced to axis permutations.
+  Bindings without a ``vec`` handler fall back to ``seq`` inside the
+  same vectorized run.
 
-Both flavors call the *same* per-op engine methods
+The ``seq``/``rank`` flavors call the *same* per-op engine methods
 (``SPAttentionEngine.op_qkv``, ``EPFFNEngine.op_scatter_a2a``, …), so
 the autograd tape they build is structurally identical to the legacy
 engine path — which is why ``repro verify`` can demand bitwise equality
-between the two.
+between the two.  The ``vec`` flavor builds a *different* (batched)
+tape whose per-rank slices and gradient-accumulation order are
+nonetheless bitwise-identical to the per-rank tapes — the
+``dag_bitwise`` invariant pins this too.
 
 :func:`layer_program` closes the loop with the scheduler: it builds the
 forward graph, prices it with the :class:`~repro.perf.KernelModel`,
@@ -32,7 +41,7 @@ order) into the op-level execution order the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -49,6 +58,7 @@ __all__ = [
     "layer_program",
     "per_rank",
     "unit_map",
+    "with_vec",
 ]
 
 
@@ -103,6 +113,10 @@ class OpBinding:
             topological execution order — the executor checks this.
         seq: Whole-world handler; returns the per-rank value list.
         rank: Per-rank handler; returns this rank's value.
+        vec: Optional rank-stacked handler for the vectorized backend;
+            returns the stacked value (or a tuple of stacked values).
+            ``None`` means the vectorized executor falls back to
+            ``seq`` for this binding.
     """
 
     op: str
@@ -110,6 +124,13 @@ class OpBinding:
     reads: Tuple[str, ...]
     seq: Callable[[_SeqCtx], List[Any]]
     rank: Callable[[_RankCtx], Any]
+    vec: Optional[Callable[[Any], Any]] = None
+
+
+def with_vec(binding: OpBinding,
+             fn: Callable[[Any], Any]) -> OpBinding:
+    """Attach a vectorized handler to an existing binding."""
+    return replace(binding, vec=fn)
 
 
 def per_rank(op: str, reads: Sequence[str],
@@ -185,19 +206,44 @@ def _sp_attention_bindings(engine: Any, seq_len: int) -> List[OpBinding]:
             ctx.get("attention"), split_axis=1, concat_axis=2,
             elem_bytes=eb, tag="sp_attn:attn_a2a")
 
+    # Vectorized flavors: the whole SP chain runs rank-stacked, with
+    # the two all-to-alls reduced to axis permutations (same tags, same
+    # ledger bytes; q/k/v in the same call order as the seq path).
+    def vec_qkv_a2a(ctx: Any) -> Any:
+        from ..runtime.vectorized import vec_all_to_all
+        q, k, v = ctx.stacked("rope")
+        return tuple(
+            vec_all_to_all(t, split_axis=2, concat_axis=1, group=group,
+                           elem_bytes=eb, tag="sp_attn:qkv_a2a")
+            for t in (q, k, v))
+
+    def vec_attn_a2a(ctx: Any) -> Any:
+        from ..runtime.vectorized import vec_all_to_all
+        return vec_all_to_all(
+            ctx.stacked("attention"), split_axis=1, concat_axis=2,
+            group=group, elem_bytes=eb, tag="sp_attn:attn_a2a")
+
     return [
-        per_rank("qkv_proj", ("ln1",),
-                 lambda r, get: eng.op_qkv(get("ln1"))),
-        per_rank("rope", ("qkv_proj",),
-                 lambda r, get: eng.op_rope(get("qkv_proj"), r, local_s)),
+        with_vec(per_rank("qkv_proj", ("ln1",),
+                          lambda r, get: eng.op_qkv(get("ln1"))),
+                 lambda ctx: eng.vec_qkv(ctx.stacked("ln1"))),
+        with_vec(per_rank("rope", ("qkv_proj",),
+                          lambda r, get: eng.op_rope(get("qkv_proj"),
+                                                     r, local_s)),
+                 lambda ctx: eng.vec_rope(ctx.stacked("qkv_proj"),
+                                          local_s)),
         OpBinding("qkv_a2a", ("qkv_a2a",), ("rope",),
-                  seq_qkv_a2a, rank_qkv_a2a),
-        per_rank("attention", ("qkv_a2a",),
-                 lambda r, get: eng.op_attention(get("qkv_a2a"))),
+                  seq_qkv_a2a, rank_qkv_a2a, vec=vec_qkv_a2a),
+        with_vec(per_rank("attention", ("qkv_a2a",),
+                          lambda r, get: eng.op_attention(
+                              get("qkv_a2a"))),
+                 lambda ctx: eng.vec_attention(ctx.stacked("qkv_a2a"))),
         OpBinding("attn_a2a", ("attn_a2a",), ("attention",),
-                  seq_attn_a2a, rank_attn_a2a),
-        per_rank("out_proj", ("attn_a2a",),
-                 lambda r, get: eng.op_out_proj(get("attn_a2a"), r)),
+                  seq_attn_a2a, rank_attn_a2a, vec=vec_attn_a2a),
+        with_vec(per_rank("out_proj", ("attn_a2a",),
+                          lambda r, get: eng.op_out_proj(
+                              get("attn_a2a"), r)),
+                 lambda ctx: eng.vec_out_proj(ctx.stacked("attn_a2a"))),
     ]
 
 
@@ -225,18 +271,35 @@ def _tp_attention_bindings(engine: Any) -> List[OpBinding]:
         return ctx.comm.reduce_scatter(ctx.get("out_proj"), axis=1,
                                        elem_bytes=eb, tag="tp_attn:rs")
 
+    def vec_ag(ctx: Any) -> Any:
+        from ..runtime.vectorized import vec_all_gather
+        return vec_all_gather(ctx.stacked("ln1"), axis=1, group=group,
+                              elem_bytes=eb, tag="tp_attn:ag")
+
+    def vec_rs(ctx: Any) -> Any:
+        from ..runtime.vectorized import vec_reduce_scatter
+        return vec_reduce_scatter(ctx.stacked("out_proj"), axis=1,
+                                  group=group, elem_bytes=eb,
+                                  tag="tp_attn:rs")
+
     return [
-        OpBinding("attn_ag", ("attn_ag",), ("ln1",), seq_ag, rank_ag),
-        per_rank("qkv_proj", ("attn_ag",),
-                 lambda r, get: eng.op_qkv(get("attn_ag"), r)),
-        per_rank("rope", ("qkv_proj",),
-                 lambda r, get: eng.op_rope(get("qkv_proj"))),
-        per_rank("attention", ("rope",),
-                 lambda r, get: eng.op_attention(get("rope"))),
-        per_rank("out_proj", ("attention",),
-                 lambda r, get: eng.op_out_proj(get("attention"), r)),
-        OpBinding("attn_rs", ("attn_rs",), ("out_proj",),
-                  seq_rs, rank_rs),
+        with_vec(OpBinding("attn_ag", ("attn_ag",), ("ln1",),
+                           seq_ag, rank_ag), vec_ag),
+        with_vec(per_rank("qkv_proj", ("attn_ag",),
+                          lambda r, get: eng.op_qkv(get("attn_ag"), r)),
+                 lambda ctx: eng.vec_qkv(ctx.stacked("attn_ag"))),
+        with_vec(per_rank("rope", ("qkv_proj",),
+                          lambda r, get: eng.op_rope(get("qkv_proj"))),
+                 lambda ctx: eng.vec_rope(ctx.stacked("qkv_proj"))),
+        with_vec(per_rank("attention", ("rope",),
+                          lambda r, get: eng.op_attention(get("rope"))),
+                 lambda ctx: eng.vec_attention(ctx.stacked("rope"))),
+        with_vec(per_rank("out_proj", ("attention",),
+                          lambda r, get: eng.op_out_proj(
+                              get("attention"), r)),
+                 lambda ctx: eng.vec_out_proj(ctx.stacked("attention"))),
+        with_vec(OpBinding("attn_rs", ("attn_rs",), ("out_proj",),
+                           seq_rs, rank_rs), vec_rs),
     ]
 
 
@@ -469,9 +532,20 @@ def build_layer_bindings(engine: Any, seq_len: int) -> List[OpBinding]:
     covers partition against the graph at construction time.
     """
     block = engine.block
+
+    def vec_norm(norm: Any, read: str) -> Callable[[Any], Any]:
+        def fn(ctx: Any) -> Any:
+            from ..runtime.vectorized import vec_rmsnorm
+            return vec_rmsnorm(ctx.stacked(read), norm.weight, norm.eps)
+        return fn
+
+    def vec_add(a: str, b: str) -> Callable[[Any], Any]:
+        return lambda ctx: ctx.stacked(a) + ctx.stacked(b)
+
     bindings = [
-        per_rank("ln1", ("hidden",),
-                 lambda r, get: block.ln1(get("hidden"))),
+        with_vec(per_rank("ln1", ("hidden",),
+                          lambda r, get: block.ln1(get("hidden"))),
+                 vec_norm(block.ln1, "hidden")),
     ]
     if engine.attention == "sp":
         bindings += _sp_attention_bindings(engine, seq_len)
@@ -480,10 +554,13 @@ def build_layer_bindings(engine: Any, seq_len: int) -> List[OpBinding]:
         bindings += _tp_attention_bindings(engine)
         attn_out = "attn_rs"
     bindings += [
-        per_rank("residual1", ("hidden", attn_out),
-                 lambda r, get, _a=attn_out: get("hidden") + get(_a)),
-        per_rank("ln2", ("residual1",),
-                 lambda r, get: block.ln2(get("residual1"))),
+        with_vec(per_rank("residual1", ("hidden", attn_out),
+                          lambda r, get, _a=attn_out:
+                          get("hidden") + get(_a)),
+                 vec_add("hidden", attn_out)),
+        with_vec(per_rank("ln2", ("residual1",),
+                          lambda r, get: block.ln2(get("residual1"))),
+                 vec_norm(block.ln2, "residual1")),
     ]
     if engine.ffn == "ep" and engine.ffn_engine.mode == "a2a":
         bindings += _ep_a2a_bindings(engine)
@@ -495,8 +572,10 @@ def build_layer_bindings(engine: Any, seq_len: int) -> List[OpBinding]:
         bindings += _ag_ffn_bindings(engine, "tp")
         ffn_out = "ffn_rs"
     bindings.append(
-        per_rank("residual2", ("residual1", ffn_out),
-                 lambda r, get, _f=ffn_out: get("residual1") + get(_f)))
+        with_vec(per_rank("residual2", ("residual1", ffn_out),
+                          lambda r, get, _f=ffn_out:
+                          get("residual1") + get(_f)),
+                 vec_add("residual1", ffn_out)))
     return bindings
 
 

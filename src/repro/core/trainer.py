@@ -38,7 +38,7 @@ from ..parallel.block import ParallelBlockEngine
 from ..precision.optimizer import AdamW, clip_grad_norm
 from ..precision.policy import PrecisionPolicy
 from ..runtime import backward as runtime_backward
-from ..runtime import make_executor, resolve_backend
+from ..runtime import make_executor, resolve_backend, resolve_execution
 from ..tensor import Tensor, ops
 from .config import ParallelConfig, TrainConfig
 
@@ -95,16 +95,27 @@ class MegaScaleTrainer:
         self.group: ProcessGroup = world.full_group()
         self.parallel = parallel
         self.train_cfg = train
+        #: Resolved execution mode (config > ``REPRO_EXECUTION`` env >
+        #: sequential): "sequential", "threaded", or "vectorized" —
+        #: all bitwise-identical (docs/INTERNALS.md §8, §12).
+        self.execution = resolve_execution(train.execution)
         #: SPMD executor for ``execution="threaded"`` (None = classic
-        #: sequential rank loops); resolves config > ``REPRO_EXECUTION``
-        #: env var > sequential.  Threaded runs are bitwise-identical
-        #: to sequential ones (docs/INTERNALS.md §8).
-        self.executor = make_executor(train.execution)
+        #: sequential rank loops; vectorized mode is single-threaded).
+        self.executor = make_executor(self.execution)
         #: Numeric backend (config > ``REPRO_BACKEND`` env > "engine").
         #: "dag" compiles one LayerProgram — forward IR + overlap
         #: schedule — and runs every layer through the DagExecutor in
         #: schedule order, bitwise-identical to the engine path.
         self.backend = resolve_backend(train.backend)
+        if self.execution == "vectorized":
+            if train.backend == "engine":
+                raise ValueError(
+                    "execution='vectorized' requires the DAG backend; "
+                    "backend='engine' cannot batch ranks"
+                )
+            # The rank-stacked kernels live behind the DAG executor's
+            # op bindings, so the mode implies the "dag" backend.
+            self.backend = "dag"
         self._dag_programs: Dict[int, object] = {}
         self.remat_plan = None
         if self.backend == "dag" and train.selective_remat:
@@ -186,11 +197,13 @@ class MegaScaleTrainer:
         dag_program = (self.dag_program_for(seq)
                        if self.backend == "dag" else None)
         aux_total: Optional[Tensor] = None
+        vectorized = self.execution == "vectorized"
         for engine in self.engines:
             shards, aux = engine.forward(shards, seq,
                                          executor=self.executor,
                                          dag_program=dag_program,
-                                         remat_plan=self.remat_plan)
+                                         remat_plan=self.remat_plan,
+                                         vectorized=vectorized)
             aux_total = aux if aux_total is None else aux_total + aux
 
         if self.vocab_parallel:

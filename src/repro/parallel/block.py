@@ -88,7 +88,8 @@ class ParallelBlockEngine:
     def forward(self, hidden_shards: List[Tensor], seq_len: int,
                 executor: Optional[object] = None,
                 dag_program: Optional[object] = None,
-                remat_plan: Optional[object] = None
+                remat_plan: Optional[object] = None,
+                vectorized: bool = False
                 ) -> Tuple[List[Tensor], Tensor]:
         """Map hidden shards through the block; returns (shards, aux).
 
@@ -102,12 +103,19 @@ class ParallelBlockEngine:
         instead runs through the
         :class:`~repro.runtime.dag_executor.DagExecutor` in the
         program's schedule order — bitwise-identical to this path; an
-        ``executor`` then threads *every* op per-rank, and a
-        ``remat_plan`` drops unretained activations afterwards.
+        ``executor`` then threads *every* op per-rank, ``vectorized``
+        batches every op over the rank axis
+        (:mod:`repro.runtime.vectorized`), and a ``remat_plan`` drops
+        unretained activations afterwards.
         """
         if dag_program is not None:
             return self._dag_forward(hidden_shards, seq_len, executor,
-                                     dag_program, remat_plan)
+                                     dag_program, remat_plan,
+                                     vectorized=vectorized)
+        if vectorized:
+            raise ValueError(
+                "vectorized execution requires a dag_program"
+            )
         block = self.block
         ln1_out = [block.ln1(h) for h in hidden_shards]
         if executor is not None and self.attention == "sp":
@@ -130,7 +138,9 @@ class ParallelBlockEngine:
 
     def _dag_forward(self, hidden_shards: List[Tensor], seq_len: int,
                      executor: Optional[object], program,
-                     remat_plan) -> Tuple[List[Tensor], Tensor]:
+                     remat_plan,
+                     vectorized: bool = False
+                     ) -> Tuple[List[Tensor], Tensor]:
         """Run the layer through the schedule-ordered DAG executor."""
         from ..core.executor_bindings import build_layer_bindings
         from ..runtime.dag_executor import DagExecutor
@@ -147,7 +157,7 @@ class ParallelBlockEngine:
         tracer = getattr(getattr(self.group, "world", None),
                          "tracer", None)
         result = dag.run({"hidden": hidden_shards}, executor=executor,
-                         tracer=tracer)
+                         tracer=tracer, vectorized=vectorized)
         self.last_executed_ops = list(result.executed)
 
         outputs = result.per_rank("residual2")

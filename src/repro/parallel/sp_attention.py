@@ -114,6 +114,66 @@ class SPAttentionEngine:
         flat = attn_shard.reshape(b, s_local, self.attn.hidden_size)
         return self._maybe_dropout(self.attn.out_proj(flat), rank)
 
+    # -- rank-stacked handlers (vectorized backend) ------------------------
+    #
+    # Same ops on a ``[n_ranks, ...]``-stacked tensor, one batched numpy
+    # kernel per op; per-rank slices are bitwise-identical to the
+    # per-op methods above (docs/INTERNALS.md §12).
+
+    def vec_qkv(self, stacked: Tensor):
+        """``qkv_proj`` for all ranks: batched projection + q/k/v split."""
+        from ..runtime.vectorized import vec_linear
+        attn = self.attn
+        n, b, s_local = stacked.shape[0], stacked.shape[1], \
+            stacked.shape[2]
+        qkv = vec_linear(stacked, attn.qkv_proj)
+        h = attn.hidden_size
+        kv = attn.n_kv_heads * attn.head_dim
+        q = qkv[:, :, :, :h].reshape(n, b, s_local, attn.n_heads,
+                                     attn.head_dim)
+        k = qkv[:, :, :, h:h + kv].reshape(n, b, s_local,
+                                           attn.n_kv_heads,
+                                           attn.head_dim)
+        v = qkv[:, :, :, h + kv:].reshape(n, b, s_local,
+                                          attn.n_kv_heads,
+                                          attn.head_dim)
+        return q, k, v
+
+    def vec_rope(self, qkv, local_s: int):
+        """``rope`` for all ranks: each rank's global positions."""
+        from ..runtime.vectorized import vec_rope
+        q, k, v = qkv
+        positions = [np.arange(r * local_s, (r + 1) * local_s)
+                     for r in range(self.group.size)]
+        return (vec_rope(q, self.attn.rope_base, positions),
+                vec_rope(k, self.attn.rope_base, positions),
+                v)
+
+    def vec_attention(self, qkv_full):
+        """``attention`` for all ranks: batched causal SDPA."""
+        from ..runtime.vectorized import \
+            vec_scaled_dot_product_attention
+        q_full, k_full, v_full = qkv_full
+        out = vec_scaled_dot_product_attention(
+            q_full.transpose(0, 1, 3, 2, 4),
+            k_full.transpose(0, 1, 3, 2, 4),
+            v_full.transpose(0, 1, 3, 2, 4),
+            causal=True,
+        )
+        return out.transpose(0, 1, 3, 2, 4)
+
+    def vec_out_proj(self, attn_stacked: Tensor) -> Tensor:
+        """``out_proj`` for all ranks: batched projection + dropout."""
+        from ..runtime.vectorized import vec_dropout, vec_linear
+        n, b, s_local = attn_stacked.shape[0], attn_stacked.shape[1], \
+            attn_stacked.shape[2]
+        flat = attn_stacked.reshape(n, b, s_local,
+                                    self.attn.hidden_size)
+        out = vec_linear(flat, self.attn.out_proj)
+        if self.dropout > 0.0 and self.training:
+            out = vec_dropout(out, self.dropout, self.rng_pool)
+        return out
+
     def forward(self, hidden_shards: List[Tensor], seq_len: int,
                 executor: Optional[object] = None) -> List[Tensor]:
         """Map ``ln1_out`` shards to ``attn_out`` shards.

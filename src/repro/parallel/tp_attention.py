@@ -118,6 +118,60 @@ class TPAttentionEngine:
         """``out_proj``: row-sharded partial product."""
         return out @ self.out_weights[r]
 
+    # -- rank-stacked handlers (vectorized backend) ------------------------
+    #
+    # Batched mirrors of the per-rank ops above for
+    # ``execution="vectorized"``: one kernel per op over the leading
+    # rank axis, bitwise-identical slice-for-slice.  Every rank pairs
+    # with its own weight shard, so the projections go through
+    # :func:`~repro.runtime.vectorized.vec_shard_matmul`.
+
+    def vec_qkv(self, x: Tensor):
+        """Batched ``qkv_proj`` over ``[n, b, s, h]``."""
+        from ..runtime.vectorized import vec_shard_matmul
+        attn, n = self.attn, self.group.size
+        heads_local = attn.n_heads // n
+        kv_local = attn.n_kv_heads // n
+        hd = attn.head_dim
+        _, b, s, _ = x.shape
+        qkv = vec_shard_matmul(x, self.qkv_weights)
+        q_width = heads_local * hd
+        kv_width = kv_local * hd
+        q = qkv[:, :, :, :q_width].reshape(n, b, s, heads_local, hd)
+        k = qkv[:, :, :, q_width:q_width + kv_width].reshape(
+            n, b, s, kv_local, hd)
+        v = qkv[:, :, :, q_width + kv_width:].reshape(
+            n, b, s, kv_local, hd)
+        return q, k, v
+
+    def vec_rope(self, qkv):
+        """Batched ``rope``: all ranks see the full sequence, so one
+        shared position table broadcast over the rank axis."""
+        from ..runtime.vectorized import vec_rope
+        q, k, v = qkv
+        n, s = q.shape[0], q.shape[2]
+        positions = [np.arange(s)] * n
+        return (vec_rope(q, self.attn.rope_base, positions),
+                vec_rope(k, self.attn.rope_base, positions), v)
+
+    def vec_attention(self, qkv) -> Tensor:
+        """Batched causal SDPA on the head shards."""
+        from ..runtime.vectorized import (
+            vec_scaled_dot_product_attention,
+        )
+        q, k, v = qkv
+        n, b, s = q.shape[0], q.shape[1], q.shape[2]
+        q_width = q.shape[3] * q.shape[4]
+        out = vec_scaled_dot_product_attention(
+            q.transpose(0, 1, 3, 2, 4), k.transpose(0, 1, 3, 2, 4),
+            v.transpose(0, 1, 3, 2, 4), causal=True)
+        return out.transpose(0, 1, 3, 2, 4).reshape(n, b, s, q_width)
+
+    def vec_out_proj(self, out: Tensor) -> Tensor:
+        """Batched ``out_proj`` partial products."""
+        from ..runtime.vectorized import vec_shard_matmul
+        return vec_shard_matmul(out, self.out_weights)
+
     def forward(self, hidden_shards: List[Tensor],
                 seq_len: int) -> List[Tensor]:
         """Map ``ln1_out`` sequence shards to ``attn_out`` shards."""

@@ -13,6 +13,7 @@ from .dag_executor import (
     schedule_conformance_problems,
 )
 from .rng import RankRngPool
+from .vectorized import VecCtx, VecEnv
 from .spmd import (
     EXECUTION_MODES,
     RankComm,
@@ -30,6 +31,8 @@ __all__ = [
     "RankComm",
     "RankRngPool",
     "SpmdExecutor",
+    "VecCtx",
+    "VecEnv",
     "backward",
     "current_rank",
     "make_executor",

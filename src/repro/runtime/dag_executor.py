@@ -10,11 +10,17 @@ same order the simulator scores.  Two backends:
   handler sees all ranks and issues the classic ``dist_*`` collectives;
 * **threaded** — one :class:`~repro.runtime.spmd.SpmdExecutor` thread
   per rank walks the *same* order calling the ``rank`` handlers, whose
-  collectives rendezvous across threads.
+  collectives rendezvous across threads;
+* **vectorized** — one thread walks the order with all ranks' shards
+  stacked on a leading rank axis; bindings with a ``vec`` handler run
+  one batched numpy kernel for every rank at once
+  (:mod:`repro.runtime.vectorized`), the rest fall back to their
+  ``seq`` handlers against on-demand per-rank views.
 
 Because every handler performs the identical Tensor arithmetic as the
-legacy engine path, both backends are bitwise-identical to it — the
-``dag_bitwise`` invariant in :mod:`repro.verify` enforces this.
+legacy engine path (the vectorized kernels per rank-*slice*), all
+backends are bitwise-identical to it — the ``dag_bitwise`` invariant
+in :mod:`repro.verify` enforces this.
 
 Construction validates the whole contract up front: the bindings'
 ``covers`` partition the graph, the flattened order is a permutation of
@@ -211,7 +217,8 @@ class DagExecutor:
 
     def run(self, inputs: Dict[str, List[Any]],
             executor: Optional[object] = None,
-            tracer: Optional[object] = None) -> DagRunResult:
+            tracer: Optional[object] = None,
+            vectorized: bool = False) -> DagRunResult:
         """Execute the layer; returns every anchor's per-rank values.
 
         Args:
@@ -223,11 +230,28 @@ class DagExecutor:
                 runs inside a ``dag.op:<anchor>`` span whose measured
                 duration can calibrate the perf model
                 (:func:`~repro.perf.estimator.calibrate_from_spans`).
+            vectorized: Run bindings through their rank-stacked ``vec``
+                handlers (one batched kernel per op); incompatible with
+                ``executor``.  A world carrying a fault plan silently
+                runs sequentially instead — fault injection targets
+                per-rank transfers, which the permutation collectives
+                do not model.
         """
         missing = [name for name in self.inputs if name not in inputs]
         if missing:
             raise ValueError(f"missing layer inputs: {missing}")
-        if executor is not None:
+        if vectorized and executor is not None:
+            raise ValueError(
+                "vectorized execution is single-threaded; it cannot "
+                "take an SpmdExecutor"
+            )
+        if vectorized:
+            world = getattr(self.group, "world", None)
+            if getattr(world, "fault_plan", None) is not None:
+                env = self._run_sequential(inputs, tracer)
+            else:
+                env = self._run_vectorized(inputs, tracer)
+        elif executor is not None:
             env = self._run_threaded(inputs, executor, tracer)
         else:
             env = self._run_sequential(inputs, tracer)
@@ -243,6 +267,22 @@ class DagExecutor:
         for b in self._bindings_in_order:
             with self._span(tracer, b):
                 env[b.op] = b.seq(ctx)
+        return env
+
+    def _run_vectorized(self, inputs, tracer) -> Dict[str, List[Any]]:
+        from ..core.executor_bindings import _SeqCtx
+        from .vectorized import VecCtx, VecEnv
+        env = VecEnv(self.group.size)
+        for name, vals in inputs.items():
+            env[name] = list(vals)
+        ctx = VecCtx(self.group, env)
+        seq_ctx = _SeqCtx(self.group, env)
+        for b in self._bindings_in_order:
+            with self._span(tracer, b):
+                if b.vec is not None:
+                    env.set_stacked(b.op, b.vec(ctx))
+                else:
+                    env[b.op] = b.seq(seq_ctx)
         return env
 
     def _run_threaded(self, inputs, executor,

@@ -52,7 +52,7 @@ __all__ = [
     "resolve_execution",
 ]
 
-EXECUTION_MODES = ("sequential", "threaded")
+EXECUTION_MODES = ("sequential", "threaded", "vectorized")
 
 _TLS = threading.local()
 
@@ -77,6 +77,11 @@ def make_executor(execution: Optional[str] = None,
                   parallelism: Optional[int] = None
                   ) -> Optional["SpmdExecutor"]:
     """An :class:`SpmdExecutor` for ``"threaded"`` mode, else None.
+
+    ``"vectorized"`` also resolves to None: the vectorized backend is
+    single-threaded (all ranks batched into one kernel per op), so the
+    engines' sequential code paths carry it — the trainer routes the
+    mode to the DAG executor's ``vectorized`` flag instead.
 
     ``None`` doubles as the sequential sentinel throughout the engines:
     every ``executor`` parameter treats it as "run the classic loop".

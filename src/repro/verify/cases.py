@@ -4,9 +4,10 @@ A :class:`VerifyCase` pins everything a differential run needs — model
 dimensions, rank count, parallel strategies, EP dispatch mode, comm
 precision, execution engine, dropout, step count, and the data seed —
 as a frozen, hashable value.  The conformance engine
-(:mod:`repro.verify.engine`) turns a case into three runs (the case
-itself, its single-rank golden reference, and — for threaded cases —
-its sequential twin) and the fuzzer (:mod:`repro.verify.fuzz`) samples
+(:mod:`repro.verify.engine`) turns a case into several runs (the case
+itself, its single-rank golden reference, a sequential twin for
+threaded cases, and a legacy-engine twin for DAG-backend — including
+vectorized — cases) and the fuzzer (:mod:`repro.verify.fuzz`) samples
 and shrinks cases, which is why immutability and cheap equality
 matter.
 """
@@ -22,7 +23,7 @@ from ..core.config import ModelConfig, ParallelConfig, TrainConfig
 __all__ = ["VerifyCase", "smoke_matrix", "elastic_matrix"]
 
 #: Execution modes × EP dispatch × comm precision of the CI smoke grid.
-SMOKE_EXECUTIONS = ("sequential", "threaded")
+SMOKE_EXECUTIONS = ("sequential", "threaded", "vectorized")
 SMOKE_DISPATCHES = ("a2a", "ag_rs")
 SMOKE_PRECISIONS = ("fp32", "fp8")
 
@@ -100,10 +101,16 @@ class VerifyCase:
             raise ValueError(f"unknown ep_dispatch {self.ep_dispatch!r}")
         if self.precision not in ("fp32", "bf16", "fp8"):
             raise ValueError(f"unknown precision {self.precision!r}")
-        if self.execution not in ("sequential", "threaded"):
+        if self.execution not in ("sequential", "threaded",
+                                  "vectorized"):
             raise ValueError(f"unknown execution {self.execution!r}")
         if self.backend not in ("engine", "dag"):
             raise ValueError(f"unknown backend {self.backend!r}")
+        if self.execution == "vectorized" and self.backend != "dag":
+            raise ValueError(
+                "execution='vectorized' runs through the DAG executor; "
+                "it requires backend='dag'"
+            )
         if self.steps < 1:
             raise ValueError(f"steps must be >= 1, got {self.steps}")
         if not 0.0 <= self.dropout < 1.0:
@@ -154,7 +161,8 @@ class VerifyCase:
         """Compact stable identifier used in the conformance matrix."""
         parts = [
             self.attention, self.ffn, self.ep_dispatch, self.precision,
-            "thr" if self.execution == "threaded" else "seq",
+            {"threaded": "thr",
+             "vectorized": "vec"}.get(self.execution, "seq"),
             f"r{self.ranks}", f"l{self.layers}", f"b{self.batch}",
             f"s{self.seq}", f"e{self.experts}", f"k{self.top_k}",
             f"st{self.steps}",
@@ -206,8 +214,27 @@ class VerifyCase:
         return self.replace(execution="sequential")
 
     def twin_engine(self) -> "VerifyCase":
-        """The legacy-backend twin of a DAG-backend case."""
+        """The legacy-backend twin of a DAG-backend case.
+
+        Vectorized cases have no engine-backend sibling (the rank-stacked
+        kernels only exist in the DAG executor), so their twin is the
+        sequential legacy-engine run — the strictest possible reference:
+        the bitwise comparison then spans both the backend and the
+        execution mode at once.
+        """
+        if self.execution == "vectorized":
+            return self.replace(backend="engine", execution="sequential")
         return self.replace(backend="engine")
+
+
+def _backend_for(execution: str) -> str:
+    """Default backend an execution mode pairs with in the grids.
+
+    Vectorized execution only exists in the DAG executor; the other
+    modes default to the legacy engine (the DAG backend is exercised
+    against them by ``twin_engine`` and the ``--backend dag`` override).
+    """
+    return "dag" if execution == "vectorized" else "engine"
 
 
 def smoke_matrix(seed: int = 0) -> List[VerifyCase]:
@@ -219,7 +246,8 @@ def smoke_matrix(seed: int = 0) -> List[VerifyCase]:
                 for precision in SMOKE_PRECISIONS:
                     yield VerifyCase(
                         ep_dispatch=dispatch, precision=precision,
-                        execution=execution, seed=seed,
+                        execution=execution,
+                        backend=_backend_for(execution), seed=seed,
                     )
 
     return list(cases())
@@ -240,8 +268,9 @@ def elastic_matrix(seed: int = 0) -> List[VerifyCase]:
                 for precision in SMOKE_PRECISIONS:
                     yield VerifyCase(
                         ep_dispatch=dispatch, precision=precision,
-                        execution=execution, seed=seed, steps=3,
-                        resize=((1, 2), (2, 4)),
+                        execution=execution,
+                        backend=_backend_for(execution), seed=seed,
+                        steps=3, resize=((1, 2), (2, 4)),
                     )
 
     return list(cases())

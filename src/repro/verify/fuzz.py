@@ -48,8 +48,11 @@ def sample_case(rng: np.random.Generator) -> VerifyCase:
         seq=ranks * int(rng.choice([2, 4])),
         ep_dispatch=str(rng.choice(["a2a", "ag_rs"])),
         precision=str(rng.choice(["fp32", "fp8"])),
-        execution=str(rng.choice(["sequential", "threaded"])),
-        backend=str(rng.choice(["engine", "engine", "dag"])),
+        execution=(execution := str(rng.choice(
+            ["sequential", "threaded", "vectorized"]))),
+        # Vectorized execution only exists in the DAG executor.
+        backend=("dag" if execution == "vectorized"
+                 else str(rng.choice(["engine", "engine", "dag"]))),
         # Dropout cases exercise the per-rank RNG contract (threaded
         # bitwise identity); golden closeness is skipped for them.
         dropout=float(rng.choice([0.0, 0.0, 0.0, 0.1])),
@@ -126,8 +129,17 @@ def _shrink_candidates(case: VerifyCase) -> Iterator[VerifyCase]:
         yield from filter(None, [attempt(vocab=32)])
     if case.dropout > 0.0:
         yield from filter(None, [attempt(dropout=0.0)])
+    # Shrink toward the plainest execution stack: sequential first
+    # (a vectorized case keeps its DAG backend and stays valid), then
+    # the legacy engine backend (invalid for vectorized cases, which
+    # the attempt() validator filters out).
+    if case.execution != "sequential":
+        yield from filter(None, [attempt(execution="sequential")])
     if case.backend != "engine":
         yield from filter(None, [attempt(backend="engine")])
+        if case.execution != "sequential":
+            yield from filter(None, [attempt(execution="sequential",
+                                             backend="engine")])
 
 
 def shrink(case: VerifyCase,

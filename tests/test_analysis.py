@@ -1,6 +1,5 @@
 """Tests for the closed-form analysis (Eqs. 1–9, Appendix A.2)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -18,7 +17,7 @@ from repro.core.analysis import (
     tp_attention_comm_volume,
     tp_ffn_comm_volume,
 )
-from repro.core.config import GPU_SPECS, MODEL_ZOO, ModelConfig, \
+from repro.core.config import GPU_SPECS, MODEL_ZOO, \
     ParallelConfig
 
 

@@ -2,7 +2,6 @@
 trees must pass central-difference gradient checks."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

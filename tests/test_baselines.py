@@ -1,7 +1,6 @@
 """Tests for the packaged Megatron-LM baseline characterization."""
 
 import numpy as np
-import pytest
 
 from repro.baselines import (
     MegatronTrainer,

@@ -5,7 +5,7 @@ import pytest
 
 from repro.baselines import MegatronTrainer
 from repro.comm import World
-from repro.core import MegaScaleTrainer, ModelConfig, ParallelConfig, \
+from repro.core import MegaScaleTrainer, ParallelConfig, \
     TrainConfig
 from repro.data import MarkovCorpus, batch_iterator
 from repro.model import MoETransformer

@@ -6,7 +6,7 @@ import pytest
 from repro.core.config import ModelConfig
 from repro.model import MoETransformer
 from repro.model.layers import SelfAttention
-from repro.tensor import Tensor, ops
+from repro.tensor import Tensor
 from repro.tensor.checkpoint import (
     checkpoint_segment,
     tape_live_bytes,
@@ -65,8 +65,13 @@ class TestCheckpointSegment:
 
     def test_nested_checkpoints(self, rng):
         x = Tensor(rng.standard_normal((4, 4)), requires_grad=True)
-        inner = lambda a: a.silu()
-        outer = lambda a: checkpoint_segment(inner, a) * 2.0
+        def inner(a):
+            return a.silu()
+
+        def outer(a):
+            return checkpoint_segment(inner, a) * 2.0
+
+
         out = checkpoint_segment(outer, x)
         out.sum().backward()
         sig = 1 / (1 + np.exp(-x.data))

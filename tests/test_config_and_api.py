@@ -2,7 +2,6 @@
 
 import importlib
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -10,7 +9,6 @@ from hypothesis import strategies as st
 from repro.core.config import (
     GPU_SPECS,
     MODEL_ZOO,
-    GPUSpec,
     ModelConfig,
     ParallelConfig,
     TrainConfig,

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.comm import World
 from repro.parallel.dist_ops import (
     dist_all_gather,
     dist_all_reduce,

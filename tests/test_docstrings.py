@@ -8,7 +8,6 @@ import importlib
 import inspect
 import pkgutil
 
-import pytest
 
 import repro
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.comm import World
-from repro.core.config import ModelConfig, TrainConfig
 from repro.data import MarkovCorpus, batch_iterator
 from repro.model import MoETransformer
 from repro.parallel.dp import DataParallelTrainer, zero1_memory_model

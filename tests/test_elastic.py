@@ -131,8 +131,10 @@ class TestZero1Reshard:
                                    old_dp)
             new = zero1_shard_flat(np.arange(numel, dtype=float),
                                    new_dp)
-            owner = lambda shards, i: next(
-                r for r in range(len(shards)) if i in shards[r])
+            def owner(shards, i):
+                return next(r for r in range(len(shards))
+                            if i in shards[r])
+
             return sum(1 for i in range(numel)
                        if owner(old, i) != owner(new, i))
 
@@ -539,12 +541,13 @@ class TestVerifyCaseResize:
         from repro.verify.cases import elastic_matrix
 
         cases = elastic_matrix()
-        assert len(cases) == 8
+        assert len(cases) == 12
         assert all(c.resize == ((1, 2), (2, 4)) for c in cases)
         assert {c.execution for c in cases} == {"sequential",
-                                                "threaded"}
+                                                "threaded",
+                                                "vectorized"}
         assert {c.precision for c in cases} == {"fp32", "fp8"}
-        assert len({c.case_id for c in cases}) == 8
+        assert len({c.case_id for c in cases}) == 12
 
     def test_fuzzer_samples_resize_cases(self):
         from repro.verify.fuzz import sample_case

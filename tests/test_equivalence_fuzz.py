@@ -8,7 +8,6 @@ forward pass and all gradients coincide with the reference model.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -5,7 +5,6 @@ import os
 import subprocess
 import sys
 
-import pytest
 
 EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
 

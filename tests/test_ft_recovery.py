@@ -8,8 +8,7 @@ import pytest
 
 from repro.comm import World
 from repro.core.config import ModelConfig, ParallelConfig, TrainConfig
-from repro.core.runner import FaultInjector, ProductionRunner, \
-    SimulatedFault
+from repro.core.runner import FaultInjector, ProductionRunner
 from repro.core.trainer import MegaScaleTrainer
 from repro.data import MarkovCorpus, batch_iterator
 from repro.ft import (

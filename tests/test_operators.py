@@ -9,7 +9,7 @@ from repro.core.analysis import (
     tp_attention_comm_volume,
     tp_ffn_comm_volume,
 )
-from repro.core.config import MODEL_ZOO, ModelConfig, ParallelConfig
+from repro.core.config import MODEL_ZOO, ParallelConfig
 from repro.core.operators import (
     Op,
     OpGraph,

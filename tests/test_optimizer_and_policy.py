@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.config import ModelConfig
 from repro.model import MoETransformer
 from repro.model.layers import Linear
 from repro.precision.formats import BF16, FP8_E4M3, round_bf16

@@ -16,7 +16,6 @@ from repro.core.checkpoint import (
 )
 from repro.core.config import GPU_SPECS
 from repro.core.operators import build_backward_graph
-from repro.core.schedule import OverlapConfig
 from repro.model import MoETransformer
 from repro.parallel.pp_engine import PipelineParallelTrainer, \
     stage_partition

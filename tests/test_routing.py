@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.model.routing import (
-    DispatchPlan,
     RoutingResult,
     build_dispatch_plan,
 )

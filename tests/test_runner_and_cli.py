@@ -10,7 +10,6 @@ from repro.comm import World
 from repro.core.config import ModelConfig, ParallelConfig, TrainConfig
 from repro.core.runner import (
     FaultInjector,
-    MetricsLog,
     ProductionRunner,
     SimulatedFault,
 )

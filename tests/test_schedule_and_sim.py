@@ -10,10 +10,9 @@ from repro.core.schedule import (
     HolisticScheduler,
     OverlapConfig,
 )
-from repro.core.operators import Op
 from repro.perf.estimator import KernelModel
 from repro.core.config import GPU_SPECS
-from repro.sim.engine import SimTask, Timeline, simulate
+from repro.sim.engine import SimTask, simulate
 
 MODEL = MODEL_ZOO["mixtral-8x7b"]
 GPU = GPU_SPECS["h800"]

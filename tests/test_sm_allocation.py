@@ -1,6 +1,5 @@
 """Tests for the §4.2 SM-allocation model."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

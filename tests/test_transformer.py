@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.config import ModelConfig
 from repro.data import MarkovCorpus, batch_iterator
 from repro.model import MoETransformer
 from repro.tensor import no_grad

@@ -84,11 +84,15 @@ class TestVerifyCase:
 
     def test_smoke_matrix_covers_grid(self):
         cases = smoke_matrix()
-        assert len(cases) == 8
-        assert {c.execution for c in cases} == {"sequential", "threaded"}
+        assert len(cases) == 12
+        assert {c.execution for c in cases} == {"sequential", "threaded",
+                                                "vectorized"}
         assert {c.ep_dispatch for c in cases} == {"a2a", "ag_rs"}
         assert {c.precision for c in cases} == {"fp32", "fp8"}
-        assert len({c.case_id for c in cases}) == 8
+        assert len({c.case_id for c in cases}) == 12
+        # Vectorized execution only exists in the DAG executor.
+        assert all(c.backend == "dag" for c in cases
+                   if c.execution == "vectorized")
 
 
 class TestRegistry:
@@ -199,8 +203,11 @@ class TestInjectedViolations:
         assert fails(minimal)
         # Strictly smaller, and a local minimum: no candidate
         # reduction of the minimal case still fails.
-        size = lambda c: (c.ranks, c.layers, c.steps, c.batch, c.seq,
-                          c.experts, c.top_k)
+        def size(c):
+            return (c.ranks, c.layers, c.steps, c.batch, c.seq,
+                    c.experts, c.top_k)
+
+
         assert size(minimal) != size(original)
         assert all(a <= b for a, b in zip(size(minimal),
                                           size(original)))
@@ -274,7 +281,8 @@ class TestFuzzer:
         assert {c.ep_dispatch for c in cases} == {"a2a", "ag_rs"}
         assert {c.precision for c in cases} == {"fp32", "fp8"}
         assert {c.execution for c in cases} == {"sequential",
-                                                "threaded"}
+                                                "threaded",
+                                                "vectorized"}
         assert len({c.case_id for c in cases}) > 20
 
     def test_sampling_is_deterministic(self):
