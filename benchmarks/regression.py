@@ -89,6 +89,35 @@ def sim_metrics():
     }
 
 
+def tile_metrics():
+    """Tile-granular (§4.2) one-layer forward: tiled vs untiled sim.
+
+    Deterministic by construction: tile counts come from the graph
+    transform, durations from the roofline model, and the makespans
+    from the event simulator — no wall clock anywhere.
+    """
+    from repro.core.config import MODEL_ZOO, ParallelConfig
+    from repro.core.executor_bindings import layer_program
+    from repro.core.operators import tiled_members
+    from repro.sim import simulate
+
+    model = MODEL_ZOO["internal-352b"]
+    pc = ParallelConfig.megascale(8, ep_dispatch="ag_rs")
+    seq, tile_tokens = 4096, 128  # local shard 512 -> 4 token chunks
+    untiled = layer_program(model, pc, 1, seq)
+    tiled = layer_program(model, pc, 1, seq, tile_tokens=tile_tokens)
+    t_untiled = simulate(untiled.tasks)
+    t_tiled = simulate(tiled.tile_tasks)
+    return {
+        "tile.layer_fwd_makespan_s": t_tiled.makespan,
+        "tile.layer_fwd_exposed_comm_s": t_tiled.exposed_comm,
+        "tile.makespan_vs_untiled": t_tiled.makespan
+            / t_untiled.makespan,
+        "tile.sub_ops": float(sum(
+            len(ts) for ts in tiled_members(tiled.tile_graph).values())),
+    }
+
+
 def traced_run_metrics(smoke, out_dir=None):
     """Fixed-seed traced training run: audited byte volumes per layer.
 
@@ -223,6 +252,7 @@ def collect(smoke, out_dir=None):
     metrics = {}
     metrics.update(perf_model_metrics())
     metrics.update(sim_metrics())
+    metrics.update(tile_metrics())
     metrics.update(traced_run_metrics(smoke, out_dir))
     metrics.update(elastic_metrics())
     return metrics

@@ -114,9 +114,13 @@ def cmd_train_demo(args) -> int:
     config = ModelConfig("cli-demo", 2, 32, 8, 2, 48, 8, 2,
                          vocab_size=64, seq_len=16)
     model = MoETransformer(config, seed=0, dtype=np.float64)
+    backend = args.backend
+    if args.tile_tokens is not None and backend is None:
+        backend = "dag"  # tile-granular execution is a DAG feature
     train = TrainConfig(global_batch_size=4, micro_batch_size=4,
                         seq_len=16, learning_rate=3e-3,
-                        aux_loss_coeff=0.01, backend=args.backend)
+                        aux_loss_coeff=0.01, backend=backend,
+                        tile_tokens=args.tile_tokens)
     trainer = MegaScaleTrainer(
         model, World(4, 4), ParallelConfig.megascale(4), train,
         optimizer=AdamW(model.parameters(), lr=3e-3))
@@ -467,6 +471,11 @@ def main(argv=None) -> int:
                       help="numeric backend: legacy engines or the "
                            "schedule-ordered DAG executor (bitwise-"
                            "identical losses)")
+    demo.add_argument("--tile-tokens", type=int, default=None,
+                      help="token-chunk width for tile-granular "
+                           "fused-kernel execution (4.2); must divide "
+                           "the per-rank sequence shard; implies the "
+                           "dag backend (env: REPRO_TILE_TOKENS)")
 
     ft = sub.add_parser(
         "ft-demo",

@@ -50,7 +50,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from .group import ProcessGroup
+from .group import ProcessGroup, tile_span
 
 __all__ = [
     "all_gather",
@@ -77,19 +77,43 @@ def all_gather(
     axis: int = 0,
     elem_bytes: Optional[float] = None,
     tag: str = "",
+    tiled: bool = False,
+    tile_label: str = "",
 ) -> List[np.ndarray]:
     """Gather every rank's shard onto all ranks, concatenated along ``axis``.
 
     Returns ``n`` identical full tensors (independent copies, as each rank
     holds its own buffer).
+
+    With ``tiled=True`` the gather is chunked per source rank (§4.2):
+    shard ``i`` is copied into a preallocated full buffer and its wire
+    bytes ledger-recorded one-hot as tile ``(i, n)``; tile bytes sum
+    exactly to the untiled record and values are bitwise-identical.
     """
     group.check_shards(shards)
     group.pre_collective("all_gather", tag)
     n = group.size
-    full = np.concatenate([np.asarray(s) for s in shards], axis=axis)
     eb = _elem_bytes(shards, elem_bytes)
     per_rank = [s.size * eb * (n - 1) / 1.0 for s in shards]
-    group.record("all_gather", per_rank, tag)
+    datas = [np.asarray(s) for s in shards]
+    if tiled and n >= 2:
+        sizes = [d.shape[axis] for d in datas]
+        offsets = np.cumsum([0] + sizes)
+        shape = list(datas[0].shape)
+        shape[axis] = int(offsets[-1])
+        full = np.empty(shape, dtype=np.result_type(*datas))
+        slicer = [slice(None)] * full.ndim
+        for i in range(n):
+            with tile_span(group, tile_label, i, n):
+                slicer[axis] = slice(offsets[i], offsets[i + 1])
+                full[tuple(slicer)] = datas[i]
+                group.record("all_gather",
+                             [per_rank[i] if k == i else 0.0
+                              for k in range(n)],
+                             tag, tile=(i, n))
+    else:
+        full = np.concatenate(datas, axis=axis)
+        group.record("all_gather", per_rank, tag)
     if group.world.fault_plan is None:
         out = [full] * n  # zero-copy: one shared read-only delivery
     else:
@@ -104,11 +128,18 @@ def reduce_scatter(
     axis: int = 0,
     elem_bytes: Optional[float] = None,
     tag: str = "",
+    tiled: bool = False,
+    tile_label: str = "",
 ) -> List[np.ndarray]:
     """Element-wise sum of all ranks' tensors, scattered along ``axis``.
 
     Rank ``i`` receives the ``i``-th equal slice of the reduced tensor.
     The sliced dimension must be divisible by the group size.
+
+    With ``tiled=True`` the reduction is chunked per destination rank
+    (§4.2): tile ``j`` reduces only slice ``j`` — elementwise over
+    ranks, so bitwise-identical to slicing the whole reduction — and
+    ledger-records its traffic one-hot as tile ``(j, n)``.
     """
     group.check_shards(tensors)
     n = group.size
@@ -122,11 +153,27 @@ def reduce_scatter(
             f"axis {axis} of size {dim} not divisible by group size {n}"
         )
     group.pre_collective("reduce_scatter", tag)
-    total = np.sum([np.asarray(t, dtype=np.float64) for t in tensors], axis=0)
-    pieces = np.split(total, n, axis=axis)
     eb = _elem_bytes(tensors, elem_bytes)
     shard_elems = first.size // n
-    group.record("reduce_scatter", [shard_elems * eb * (n - 1)] * n, tag)
+    if tiled and n >= 2:
+        width = dim // n
+        pieces = []
+        slicer = [slice(None)] * first.ndim
+        for j in range(n):
+            with tile_span(group, tile_label, j, n):
+                slicer[axis] = slice(j * width, (j + 1) * width)
+                pieces.append(np.sum(
+                    [np.asarray(t, dtype=np.float64)[tuple(slicer)]
+                     for t in tensors], axis=0))
+                group.record("reduce_scatter",
+                             [shard_elems * eb * (n - 1) if k == j else 0.0
+                              for k in range(n)],
+                             tag, tile=(j, n))
+    else:
+        total = np.sum([np.asarray(t, dtype=np.float64) for t in tensors],
+                       axis=0)
+        pieces = np.split(total, n, axis=axis)
+        group.record("reduce_scatter", [shard_elems * eb * (n - 1)] * n, tag)
     if group.world.fault_plan is None:
         # Zero-copy: np.split pieces are views of the reduced tensor.
         out = [p.astype(first.dtype, copy=False) for p in pieces]
@@ -165,12 +212,19 @@ def all_to_all(
     chunk_lists: Sequence[Sequence[np.ndarray]],
     elem_bytes: Optional[float] = None,
     tag: str = "",
+    tiled: bool = False,
+    tile_label: str = "",
 ) -> List[List[np.ndarray]]:
     """General all-to-all: ``chunk_lists[i][j]`` goes from rank i to rank j.
 
     Returns ``received`` with ``received[j][i] == chunk_lists[i][j]``.
     Chunks may have arbitrary (even differing) shapes; only the self-chunk
     ``[i][i]`` stays local and costs no communication.
+
+    With ``tiled=True`` delivery is chunked per *source* rank (chunk
+    shapes may be ragged): tile ``i`` delivers rank ``i``'s chunks to
+    every destination and ledger-records rank ``i``'s wire bytes
+    one-hot as tile ``(i, n)``.
     """
     group.check_shards(chunk_lists)
     n = group.size
@@ -180,24 +234,38 @@ def all_to_all(
                 f"rank {i} provided {len(row)} chunks, expected {n}"
             )
     group.pre_collective("all_to_all", tag)
-    if group.world.fault_plan is None:
-        # Zero-copy: deliver the sender's chunks (usually slice views).
-        received: List[List[np.ndarray]] = [
-            [np.asarray(chunk_lists[i][j]) for i in range(n)]
-            for j in range(n)
-        ]
-    else:
-        received = [
-            [np.asarray(chunk_lists[i][j]).copy() for i in range(n)]
-            for j in range(n)
-        ]
+    copy = group.world.fault_plan is not None
     eb = _elem_bytes([np.asarray(chunk_lists[0][0])], elem_bytes)
     per_rank = [
         sum(np.asarray(chunk_lists[i][j]).size * eb
             for j in range(n) if j != i)
         for i in range(n)
     ]
-    group.record("all_to_all", per_rank, tag)
+    received: List[List[np.ndarray]]
+    if tiled and n >= 2:
+        received = [[None] * n for _ in range(n)]
+        for i in range(n):
+            with tile_span(group, tile_label, i, n):
+                for j in range(n):
+                    chunk = np.asarray(chunk_lists[i][j])
+                    received[j][i] = chunk.copy() if copy else chunk
+                group.record("all_to_all",
+                             [per_rank[i] if k == i else 0.0
+                              for k in range(n)],
+                             tag, tile=(i, n))
+    elif copy:
+        received = [
+            [np.asarray(chunk_lists[i][j]).copy() for i in range(n)]
+            for j in range(n)
+        ]
+        group.record("all_to_all", per_rank, tag)
+    else:
+        # Zero-copy: deliver the sender's chunks (usually slice views).
+        received = [
+            [np.asarray(chunk_lists[i][j]) for i in range(n)]
+            for j in range(n)
+        ]
+        group.record("all_to_all", per_rank, tag)
     group.post_collective("all_to_all", received, tag)
     return received
 

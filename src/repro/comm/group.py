@@ -43,7 +43,26 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["CommRecord", "CommLedger", "ProcessGroup", "World"]
+__all__ = ["CommRecord", "CommLedger", "ProcessGroup", "World",
+           "tile_span"]
+
+
+def tile_span(group: "ProcessGroup", label: str, index: int,
+              count: int):
+    """A ``dag.tile:<label>#t<index>`` span around one tile's movement.
+
+    Chunked collectives wrap each tile's data movement + ledger record
+    in one of these so :func:`repro.perf.estimator.calibrate_from_spans`
+    can calibrate per-tile durations (prefix ``dag.tile:``).  Returns a
+    no-op context when no tracer is attached or ``label`` is empty.
+    """
+    tracer = group.world.tracer
+    if tracer is None or not label:
+        from contextlib import nullcontext
+        return nullcontext()
+    name = f"{label}#t{index}"
+    return tracer.span(f"dag.tile:{name}", cat="dag", stream="comm",
+                       phase="fwd", ops=name, tile=[index, count])
 
 
 def _flatten_arrays(outputs,
@@ -75,6 +94,11 @@ class CommRecord:
     #: balanced collectives; all-to-all with uneven splits may differ).
     send_bytes_per_rank: List[float]
     tag: str = ""
+    #: ``(index, count)`` when this record covers one tile of a
+    #: chunked collective (§4.2 intra-op overlap); None for whole
+    #: transfers.  Tile records of one logical collective share its
+    #: tag, and their bytes sum exactly to the untiled transfer's.
+    tile: Optional[Tuple[int, int]] = None
 
     @property
     def total_bytes(self) -> float:
@@ -136,7 +160,11 @@ class CommLedger:
             )
             agg["total_bytes"] += record.total_bytes
             agg["per_rank_bytes"] += record.total_bytes / record.group_size
-            agg["count"] += 1.0
+            # A chunked collective emits one record per tile but is
+            # still one logical call: only its first tile bumps the
+            # count, so counts() matches the untiled path exactly.
+            if record.tile is None or record.tile[0] == 0:
+                agg["count"] += 1.0
             self.records.append(record)
             if (self.max_records is not None
                     and len(self.records) > self.max_records):
@@ -328,7 +356,8 @@ class ProcessGroup:
         return "comm/intra" if self.is_intra_node else "comm/inter"
 
     def record(self, op: str, send_bytes_per_rank: Sequence[float],
-               tag: str = "") -> None:
+               tag: str = "",
+               tile: Optional[Tuple[int, int]] = None) -> None:
         """Record one collective on this group into the world's ledger.
 
         Also feeds the health monitor, when one is attached: every
@@ -336,8 +365,10 @@ class ProcessGroup:
         over the nominal bandwidth, stretched by that rank's slow-link
         factor from the fault plan.  When a tracer is attached, the
         byte total lands on the ``comm`` span :meth:`pre_collective`
-        opened (closing it); unbracketed records — backward-hook duals
-        and fallback paths — emit a self-contained span instead.
+        opened (closing it); unbracketed records — backward-hook duals,
+        fallback paths, and the per-tile records of chunked collectives
+        (which pass ``tile=(i, T)``) — emit a self-contained span, so
+        traced bytes still sum to ledger bytes exactly.
         """
         ledger = self.world.ledger
         if ledger.enabled:
@@ -348,19 +379,23 @@ class ProcessGroup:
                 group_size=self.size,
                 send_bytes_per_rank=list(send_bytes_per_rank),
                 tag=tag,
+                tile=tile,
             ))
         tracer = self.world.tracer
         if tracer is not None:
             total = float(sum(send_bytes_per_rank))
             current = tracer.current()
-            if (current is not None and current.cat == "comm"
+            if (tile is None and current is not None
+                    and current.cat == "comm"
                     and current.attrs.get("op") == op
                     and current.attrs.get("tag") == tag):
                 tracer.end(current, bytes=total)
             else:
+                attrs = {} if tile is None else {"tile": list(tile)}
                 span = tracer.begin(
                     op, cat="comm", stream=self.comm_stream,
-                    op=op, tag=tag, group_size=self.size, bytes=total)
+                    op=op, tag=tag, group_size=self.size, bytes=total,
+                    **attrs)
                 tracer.end(span)
         health = self.world.health
         if health is not None:

@@ -346,6 +346,13 @@ class TrainConfig:
     dropout: float = 0.0
     #: Seed for the per-rank dropout streams.
     dropout_seed: int = 1234
+    #: §4.2 tile-granular fused-kernel execution: token-chunk width
+    #: (sequence positions per rank) for A2A-adjacent fused groups;
+    #: AG/RS groups always tile per source rank.  Must divide the
+    #: local sequence shard ``seq_len / n`` (validated when the layer
+    #: program is planned) and requires the "dag" backend.  None (or
+    #: an unset ``REPRO_TILE_TOKENS``) keeps fused groups whole.
+    tile_tokens: Optional[int] = None
 
     def __post_init__(self):
         if self.precision not in ("bf16", "fp8", "fp32"):
@@ -371,4 +378,13 @@ class TrainConfig:
         if not 0.0 <= self.dropout < 1.0:
             raise ValueError(
                 f"dropout must be in [0, 1), got {self.dropout}"
+            )
+        if self.tile_tokens is not None and self.tile_tokens < 1:
+            raise ValueError(
+                f"tile_tokens must be >= 1, got {self.tile_tokens}"
+            )
+        if self.tile_tokens is not None and self.backend == "engine":
+            raise ValueError(
+                "tile_tokens requires the 'dag' backend; the engine "
+                "path has no scheduled operator graph to tile"
             )

@@ -47,7 +47,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .config import GPU_SPECS, ModelConfig, ParallelConfig
-from .operators import OpGraph, build_forward_graph
+from .operators import (OpGraph, TilePlan, build_forward_graph,
+                        plan_tiles, tile_forward_graph)
 from .schedule import HolisticScheduler, OverlapConfig
 
 __all__ = [
@@ -66,6 +67,13 @@ def _dist_ops():
     # Imported lazily: repro.parallel builds on repro.core.
     from ..parallel import dist_ops
     return dist_ops
+
+
+def _group_tiles(tile_plan: Optional[TilePlan], fuse_group: str) -> int:
+    """Planned tile count for one forward fuse group (1 = whole)."""
+    if tile_plan is None:
+        return 1
+    return tile_plan.group_tiles.get(fuse_group + "/fwd", 1)
 
 
 # ---------------------------------------------------------------------------
@@ -163,48 +171,68 @@ def per_rank(op: str, reads: Sequence[str],
 # Strategy binding factories
 # ---------------------------------------------------------------------------
 
-def _sp_attention_bindings(engine: Any, seq_len: int) -> List[OpBinding]:
+def _sp_attention_bindings(engine: Any, seq_len: int,
+                           tile_plan: Optional[TilePlan] = None
+                           ) -> List[OpBinding]:
     """SP (Ulysses) attention: qkv_proj → rope → A2A → attn → A2A →
     out_proj, replicated weights (§3.1, Fig. 20)."""
     eng = engine.attn_engine
     group = engine.group
     local_s = seq_len // group.size
     eb = eng.elem_bytes
+    # Token-chunked A2As (§4.2): every (source, dest) chunk's sequence
+    # extent is the local shard, tiled into `tile_tokens` slices.
+    t_qkv = _group_tiles(tile_plan, "a2a+attn")
+    t_attn = _group_tiles(tile_plan, "a2a+gemm")
 
     def seq_qkv_a2a(ctx: _SeqCtx) -> List[Any]:
         d = _dist_ops()
         triples = ctx.env["rope"]
         q_full = d.dist_all_to_all(group, [t[0] for t in triples],
                                    split_axis=2, concat_axis=1,
-                                   elem_bytes=eb, tag="sp_attn:qkv_a2a")
+                                   elem_bytes=eb, tag="sp_attn:qkv_a2a",
+                                   tiles=t_qkv, tile_axis=1,
+                                   tile_label="qkv_a2a")
         k_full = d.dist_all_to_all(group, [t[1] for t in triples],
                                    split_axis=2, concat_axis=1,
-                                   elem_bytes=eb, tag="sp_attn:qkv_a2a")
+                                   elem_bytes=eb, tag="sp_attn:qkv_a2a",
+                                   tiles=t_qkv, tile_axis=1,
+                                   tile_label="qkv_a2a")
         v_full = d.dist_all_to_all(group, [t[2] for t in triples],
                                    split_axis=2, concat_axis=1,
-                                   elem_bytes=eb, tag="sp_attn:qkv_a2a")
+                                   elem_bytes=eb, tag="sp_attn:qkv_a2a",
+                                   tiles=t_qkv, tile_axis=1,
+                                   tile_label="qkv_a2a")
         return list(zip(q_full, k_full, v_full))
 
     def rank_qkv_a2a(ctx: _RankCtx) -> Any:
         q, k, v = ctx.get("rope")
         comm = ctx.comm
         q_full = comm.all_to_all(q, split_axis=2, concat_axis=1,
-                                 elem_bytes=eb, tag="sp_attn:qkv_a2a")
+                                 elem_bytes=eb, tag="sp_attn:qkv_a2a",
+                                 tiles=t_qkv, tile_axis=1,
+                                 tile_label="qkv_a2a")
         k_full = comm.all_to_all(k, split_axis=2, concat_axis=1,
-                                 elem_bytes=eb, tag="sp_attn:qkv_a2a")
+                                 elem_bytes=eb, tag="sp_attn:qkv_a2a",
+                                 tiles=t_qkv, tile_axis=1,
+                                 tile_label="qkv_a2a")
         v_full = comm.all_to_all(v, split_axis=2, concat_axis=1,
-                                 elem_bytes=eb, tag="sp_attn:qkv_a2a")
+                                 elem_bytes=eb, tag="sp_attn:qkv_a2a",
+                                 tiles=t_qkv, tile_axis=1,
+                                 tile_label="qkv_a2a")
         return q_full, k_full, v_full
 
     def seq_attn_a2a(ctx: _SeqCtx) -> List[Any]:
         return _dist_ops().dist_all_to_all(
             group, ctx.env["attention"], split_axis=1, concat_axis=2,
-            elem_bytes=eb, tag="sp_attn:attn_a2a")
+            elem_bytes=eb, tag="sp_attn:attn_a2a",
+            tiles=t_attn, tile_axis=1, tile_label="attn_a2a")
 
     def rank_attn_a2a(ctx: _RankCtx) -> Any:
         return ctx.comm.all_to_all(
             ctx.get("attention"), split_axis=1, concat_axis=2,
-            elem_bytes=eb, tag="sp_attn:attn_a2a")
+            elem_bytes=eb, tag="sp_attn:attn_a2a",
+            tiles=t_attn, tile_axis=1, tile_label="attn_a2a")
 
     # Vectorized flavors: the whole SP chain runs rank-stacked, with
     # the two all-to-alls reduced to axis permutations (same tags, same
@@ -214,14 +242,16 @@ def _sp_attention_bindings(engine: Any, seq_len: int) -> List[OpBinding]:
         q, k, v = ctx.stacked("rope")
         return tuple(
             vec_all_to_all(t, split_axis=2, concat_axis=1, group=group,
-                           elem_bytes=eb, tag="sp_attn:qkv_a2a")
+                           elem_bytes=eb, tag="sp_attn:qkv_a2a",
+                           tiles=t_qkv, tile_label="qkv_a2a")
             for t in (q, k, v))
 
     def vec_attn_a2a(ctx: Any) -> Any:
         from ..runtime.vectorized import vec_all_to_all
         return vec_all_to_all(
             ctx.stacked("attention"), split_axis=1, concat_axis=2,
-            group=group, elem_bytes=eb, tag="sp_attn:attn_a2a")
+            group=group, elem_bytes=eb, tag="sp_attn:attn_a2a",
+            tiles=t_attn, tile_label="attn_a2a")
 
     return [
         with_vec(per_rank("qkv_proj", ("ln1",),
@@ -247,40 +277,50 @@ def _sp_attention_bindings(engine: Any, seq_len: int) -> List[OpBinding]:
     ]
 
 
-def _tp_attention_bindings(engine: Any) -> List[OpBinding]:
+def _tp_attention_bindings(engine: Any,
+                           tile_plan: Optional[TilePlan] = None
+                           ) -> List[OpBinding]:
     """TP (Megatron) attention: AG in, head-sharded compute, RS out."""
     eng = engine.attn_engine
     group = engine.group
     eb = eng.elem_bytes
+    ag_tiled = _group_tiles(tile_plan, "attn_ag+gemm") >= 2
+    rs_tiled = _group_tiles(tile_plan, "attn_gemm+rs") >= 2
 
     def seq_ag(ctx: _SeqCtx) -> List[Any]:
         return _dist_ops().dist_all_gather(
             group, ctx.env["ln1"], axis=1, elem_bytes=eb,
-            tag="tp_attn:ag")
+            tag="tp_attn:ag", tiled=ag_tiled, tile_label="attn_ag")
 
     def rank_ag(ctx: _RankCtx) -> Any:
         return ctx.comm.all_gather(ctx.get("ln1"), axis=1,
-                                   elem_bytes=eb, tag="tp_attn:ag")
+                                   elem_bytes=eb, tag="tp_attn:ag",
+                                   tiled=ag_tiled,
+                                   tile_label="attn_ag")
 
     def seq_rs(ctx: _SeqCtx) -> List[Any]:
         return _dist_ops().dist_reduce_scatter(
             group, ctx.env["out_proj"], axis=1, elem_bytes=eb,
-            tag="tp_attn:rs")
+            tag="tp_attn:rs", tiled=rs_tiled, tile_label="attn_rs")
 
     def rank_rs(ctx: _RankCtx) -> Any:
         return ctx.comm.reduce_scatter(ctx.get("out_proj"), axis=1,
-                                       elem_bytes=eb, tag="tp_attn:rs")
+                                       elem_bytes=eb, tag="tp_attn:rs",
+                                       tiled=rs_tiled,
+                                       tile_label="attn_rs")
 
     def vec_ag(ctx: Any) -> Any:
         from ..runtime.vectorized import vec_all_gather
         return vec_all_gather(ctx.stacked("ln1"), axis=1, group=group,
-                              elem_bytes=eb, tag="tp_attn:ag")
+                              elem_bytes=eb, tag="tp_attn:ag",
+                              tiled=ag_tiled, tile_label="attn_ag")
 
     def vec_rs(ctx: Any) -> Any:
         from ..runtime.vectorized import vec_reduce_scatter
         return vec_reduce_scatter(ctx.stacked("out_proj"), axis=1,
                                   group=group, elem_bytes=eb,
-                                  tag="tp_attn:rs")
+                                  tag="tp_attn:rs", tiled=rs_tiled,
+                                  tile_label="attn_rs")
 
     return [
         with_vec(OpBinding("attn_ag", ("attn_ag",), ("ln1",),
@@ -303,13 +343,19 @@ def _tp_attention_bindings(engine: Any) -> List[OpBinding]:
     ]
 
 
-def _ep_a2a_bindings(engine: Any) -> List[OpBinding]:
+def _ep_a2a_bindings(engine: Any,
+                     tile_plan: Optional[TilePlan] = None
+                     ) -> List[OpBinding]:
     """EP FFN with A2A dispatch (§3.2 Eq. 3): route local tokens, send
     kept rows to their experts' ranks, return and gate-combine."""
     ffn = engine.ffn_engine
     group = engine.group
     n = group.size
     eb = ffn.elem_bytes
+    # Ragged dispatch tiles per source rank (§4.2 swizzled order); the
+    # return A2A ("ggemm+a2a") has no downstream compute to overlap
+    # with and stays whole.
+    dispatch_tiled = _group_tiles(tile_plan, "a2a+ggemm") >= 2
 
     def seq_router(ctx: _SeqCtx) -> List[Any]:
         flats = ffn._flatten(ctx.env["ln2"])
@@ -352,12 +398,14 @@ def _ep_a2a_bindings(engine: Any) -> List[OpBinding]:
         ffn._last_send_splits = [list(s) for s in send_splits]
         return _dist_ops().dist_all_to_all_uneven(
             group, send_rows, send_splits, elem_bytes=eb,
-            tag="ep_ffn:dispatch_a2a")
+            tag="ep_ffn:dispatch_a2a", tiled=dispatch_tiled,
+            tile_label="dispatch_a2a")
 
     def rank_dispatch(ctx: _RankCtx) -> Any:
         rows, _, splits = ctx.get("scatter")[:3]
         return ctx.comm.all_to_all_uneven(
-            rows, splits, elem_bytes=eb, tag="ep_ffn:dispatch_a2a")
+            rows, splits, elem_bytes=eb, tag="ep_ffn:dispatch_a2a",
+            tiled=dispatch_tiled, tile_label="dispatch_a2a")
 
     def seq_experts(ctx: _SeqCtx) -> List[Any]:
         metas = [v[1] for v in ctx.env["scatter"]]
@@ -413,7 +461,9 @@ def _ep_a2a_bindings(engine: Any) -> List[OpBinding]:
     ]
 
 
-def _ag_ffn_bindings(engine: Any, flavor: str) -> List[OpBinding]:
+def _ag_ffn_bindings(engine: Any, flavor: str,
+                     tile_plan: Optional[TilePlan] = None
+                     ) -> List[OpBinding]:
     """The two AG-based FFN paths share one shape (§3.2 Eq. 4):
     all-gather tokens, route the full batch, local scatter + experts,
     weighted full-size contribution, reduce-scatter.
@@ -428,9 +478,17 @@ def _ag_ffn_bindings(engine: Any, flavor: str) -> List[OpBinding]:
     if flavor == "ep":
         ag_tag, rs_tag = "ep_ffn:dispatch_ag", "ep_ffn:combine_rs"
         gossip_label = "ep_ffn:t_local"
+        ag_key, rs_key = "ag+scatter+ggemm", "ggemm+gather+rs"
     else:
         ag_tag, rs_tag = "tp_ffn:ag", "tp_ffn:rs"
         gossip_label = "tp_ffn:t_local"
+        ag_key, rs_key = "tp_ffn_ag+gemm", "tp_ffn_gemm+rs"
+    # Source/dest-rank tile swizzle (§4.2); the FP8-wire collectives
+    # keep their fused quantize-transfer kernels whole.
+    ag_tiled = (not ffn.fp8_comm
+                and _group_tiles(tile_plan, ag_key) >= 2)
+    rs_tiled = (not ffn.fp8_comm
+                and _group_tiles(tile_plan, rs_key) >= 2)
 
     def seq_ag(ctx: _SeqCtx) -> List[Any]:
         if flavor == "ep":
@@ -444,7 +502,8 @@ def _ag_ffn_bindings(engine: Any, flavor: str) -> List[OpBinding]:
             fulls = dist_all_gather_fp8(group, flats, tag=ag_tag)
         else:
             fulls = _dist_ops().dist_all_gather(
-                group, flats, axis=0, elem_bytes=eb, tag=ag_tag)
+                group, flats, axis=0, elem_bytes=eb, tag=ag_tag,
+                tiled=ag_tiled, tile_label="ffn_ag")
         return [(full, t_locals) for full in fulls]
 
     def rank_ag(ctx: _RankCtx) -> Any:
@@ -458,7 +517,8 @@ def _ag_ffn_bindings(engine: Any, flavor: str) -> List[OpBinding]:
                                        tag=ag_tag)
         else:
             full = ctx.comm.all_gather(flat, axis=0, elem_bytes=eb,
-                                       tag=ag_tag)
+                                       tag=ag_tag, tiled=ag_tiled,
+                                       tile_label="ffn_ag")
         return full, t_locals
 
     def route(r: int, get: Callable[[str], Any]) -> Any:
@@ -495,7 +555,7 @@ def _ag_ffn_bindings(engine: Any, flavor: str) -> List[OpBinding]:
         else:
             out_flats = _dist_ops().dist_reduce_scatter(
                 group, ctx.env["gather"], axis=0, elem_bytes=eb,
-                tag=rs_tag)
+                tag=rs_tag, tiled=rs_tiled, tile_label="ffn_rs")
         return [flat.reshape(*shard.shape)
                 for flat, shard in zip(out_flats, ctx.env["ln2"])]
 
@@ -507,7 +567,8 @@ def _ag_ffn_bindings(engine: Any, flavor: str) -> List[OpBinding]:
                                            tag=rs_tag)
         else:
             out_flat = ctx.comm.reduce_scatter(
-                ctx.get("gather"), axis=0, elem_bytes=eb, tag=rs_tag)
+                ctx.get("gather"), axis=0, elem_bytes=eb, tag=rs_tag,
+                tiled=rs_tiled, tile_label="ffn_rs")
         return out_flat.reshape(*ctx.get("ln2").shape)
 
     return [
@@ -523,13 +584,21 @@ def _ag_ffn_bindings(engine: Any, flavor: str) -> List[OpBinding]:
     ]
 
 
-def build_layer_bindings(engine: Any, seq_len: int) -> List[OpBinding]:
+def build_layer_bindings(engine: Any, seq_len: int,
+                         tile_plan: Optional[TilePlan] = None
+                         ) -> List[OpBinding]:
     """All bindings for one :class:`ParallelBlockEngine` layer.
 
     The set matches the forward graph that
     :func:`~repro.core.operators.build_forward_graph` emits for the
     engine's strategy combination — the DAG executor validates the
     covers partition against the graph at construction time.
+
+    ``tile_plan`` (from :func:`~repro.core.operators.plan_tiles`)
+    switches the fused groups' collectives to chunked per-tile
+    transfers; compute handlers are unchanged — all of a tiled GEMM's
+    tiles execute in its one whole-tensor call, never splitting a BLAS
+    reduction, which keeps results bitwise-identical to untiled.
     """
     block = engine.block
 
@@ -548,10 +617,10 @@ def build_layer_bindings(engine: Any, seq_len: int) -> List[OpBinding]:
                  vec_norm(block.ln1, "hidden")),
     ]
     if engine.attention == "sp":
-        bindings += _sp_attention_bindings(engine, seq_len)
+        bindings += _sp_attention_bindings(engine, seq_len, tile_plan)
         attn_out = "out_proj"
     else:
-        bindings += _tp_attention_bindings(engine)
+        bindings += _tp_attention_bindings(engine, tile_plan)
         attn_out = "attn_rs"
     bindings += [
         with_vec(per_rank("residual1", ("hidden", attn_out),
@@ -563,13 +632,13 @@ def build_layer_bindings(engine: Any, seq_len: int) -> List[OpBinding]:
                  vec_norm(block.ln2, "residual1")),
     ]
     if engine.ffn == "ep" and engine.ffn_engine.mode == "a2a":
-        bindings += _ep_a2a_bindings(engine)
+        bindings += _ep_a2a_bindings(engine, tile_plan)
         ffn_out = "weighted_sum"
     elif engine.ffn == "ep":
-        bindings += _ag_ffn_bindings(engine, "ep")
+        bindings += _ag_ffn_bindings(engine, "ep", tile_plan)
         ffn_out = "ffn_rs"
     else:
-        bindings += _ag_ffn_bindings(engine, "tp")
+        bindings += _ag_ffn_bindings(engine, "tp", tile_plan)
         ffn_out = "ffn_rs"
     bindings.append(
         with_vec(per_rank("residual2", ("residual1", ffn_out),
@@ -622,25 +691,62 @@ class LayerProgram:
     tasks: List[Any]
     order: List[str]
     durations: Dict[str, float] = field(default_factory=dict)
+    #: Tile-granular companion program (§4.2), present when the layer
+    #: was built with ``tile_tokens``: the forward graph with fused
+    #: groups decomposed into per-tile sub-ops, its own schedule, and
+    #: the flattened tile-level order the simulator/conformance checks
+    #: compare executed tile streams against.
+    tile_graph: Optional[OpGraph] = None
+    tile_tasks: Optional[List[Any]] = None
+    tile_order: Optional[List[str]] = None
+    tile_plan: Optional[TilePlan] = None
+    tile_durations: Dict[str, float] = field(default_factory=dict)
 
     def task_of(self) -> Dict[str, str]:
         """Op name → scheduled unit name."""
         return unit_map(self.graph, self.tasks)
 
+    @property
+    def tiled(self) -> bool:
+        """Whether this program carries a tile-granular decomposition."""
+        return self.tile_graph is not None
+
 
 def layer_program(model: ModelConfig, parallel: ParallelConfig,
                   micro_batch: int, seq_len: int,
                   gpu: str = "h800",
-                  overlap: Optional[OverlapConfig] = None
+                  overlap: Optional[OverlapConfig] = None,
+                  tile_tokens: Optional[int] = None
                   ) -> LayerProgram:
-    """Build the graph → price it → schedule it → flatten the order."""
+    """Build the graph → price it → schedule it → flatten the order.
+
+    ``tile_tokens`` additionally plans the §4.2 tile decomposition and
+    attaches the tiled graph/schedule/order to the program (validating
+    that the tile width divides the local sequence shard).
+    """
     from ..perf.estimator import KernelModel
     graph = build_forward_graph(model, parallel, micro_batch,
                                 seq_len=seq_len)
-    durations = KernelModel(GPU_SPECS[gpu]).durations(graph)
+    kernel_model = KernelModel(GPU_SPECS[gpu])
+    durations = kernel_model.durations(graph)
     scheduler = HolisticScheduler(overlap or OverlapConfig.full())
     tasks = scheduler.schedule(graph, durations)
     order = [name for task in tasks
              for name in expand_task(graph, task.name)]
-    return LayerProgram(graph=graph, tasks=tasks, order=order,
-                        durations=durations)
+    program = LayerProgram(graph=graph, tasks=tasks, order=order,
+                           durations=durations)
+    if tile_tokens is not None:
+        plan = plan_tiles(graph, parallel.model_parallel_size, seq_len,
+                          tile_tokens)
+        if plan.group_tiles:
+            tile_graph = tile_forward_graph(graph, plan)
+            tile_durations = kernel_model.durations(tile_graph)
+            tile_tasks = scheduler.schedule(tile_graph, tile_durations)
+            program.tile_graph = tile_graph
+            program.tile_tasks = tile_tasks
+            program.tile_order = [
+                name for task in tile_tasks
+                for name in expand_task(tile_graph, task.name)]
+            program.tile_plan = plan
+            program.tile_durations = tile_durations
+    return program

@@ -21,12 +21,25 @@ Element sizes default to BF16 (2 bytes) as in the paper's training.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .config import ModelConfig, ParallelConfig
 
-__all__ = ["Op", "OpGraph", "build_forward_graph", "build_backward_graph"]
+__all__ = [
+    "Op",
+    "OpGraph",
+    "build_forward_graph",
+    "build_backward_graph",
+    "TilePlan",
+    "TILE_SEP",
+    "tile_name",
+    "base_op_name",
+    "fusable_groups",
+    "plan_tiles",
+    "tile_forward_graph",
+    "tiled_members",
+]
 
 COMPUTE_KINDS = ("gemm", "attn", "memory")
 COMM_PATTERNS = ("a2a", "ag", "rs", "ar")
@@ -54,6 +67,14 @@ class Op:
     #: GEMM tile shape (per-expert for grouped GEMMs) for the
     #: shape-aware efficiency model; 0 means "not a GEMM".
     gemm_shape: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+    #: ``(index, count)`` when this op is one tile of a decomposed
+    #: fused-group member (§4.2 intra-operator overlap); None for
+    #: whole ops.  Tile index order is the swizzled execution order:
+    #: ascending source rank for AG/RS groups, ascending token chunk
+    #: for A2A-adjacent groups.
+    tile: Optional[Tuple[int, int]] = None
+    #: Name of the whole op this tile was split from ("" for whole ops).
+    tile_of: str = ""
 
     def __post_init__(self):
         if self.kind == "comm":
@@ -531,3 +552,170 @@ def build_backward_graph(
     graph = OpGraph(ops)
     graph.validate()
     return graph
+
+
+# ---------------------------------------------------------------------------
+# Tile decomposition (§4.2 intra-operator overlap)
+# ---------------------------------------------------------------------------
+
+#: Separator between a base op name and its tile index ("qkv_a2a#t0").
+TILE_SEP = "#t"
+
+
+def tile_name(base: str, index: int) -> str:
+    """The sub-op name of one tile of a decomposed fused-group op."""
+    return f"{base}{TILE_SEP}{index}"
+
+
+def base_op_name(name: str) -> str:
+    """The whole-op name a (possibly tiled) op name refers to."""
+    head, sep, tail = name.rpartition(TILE_SEP)
+    if sep and tail.isdigit():
+        return head
+    return name
+
+
+@dataclass(frozen=True)
+class TilePlan:
+    """How a forward graph's fused groups decompose into tiles.
+
+    ``group_tiles`` maps ``"<fuse_group>/<phase>"`` keys (the same keys
+    the scheduler fuses on) to tile counts ``T >= 2``; groups absent
+    from the map stay whole.  AG/RS-adjacent groups tile per source
+    rank (``T = n``, ascending-rank swizzle), dense A2A-adjacent groups
+    tile by token chunks of ``tile_tokens`` sequence positions per
+    rank, and the ragged EP dispatch group tiles per source rank.
+    """
+
+    tile_tokens: int
+    group_tiles: Mapping[str, int]
+
+    def tiles_of(self, op: Op) -> int:
+        """Tile count for one op (1 = stays whole)."""
+        if not op.fuse_group or op.phase != "fwd":
+            return 1
+        return self.group_tiles.get(f"{op.fuse_group}/{op.phase}", 1)
+
+
+def fusable_groups(graph: OpGraph) -> Dict[str, List[str]]:
+    """Groups the scheduler would fuse: >= 1 comm and >= 1 compute op.
+
+    Returns ``{"<fuse_group>/<phase>": [member names in graph order]}``
+    — the same keying :class:`~repro.core.schedule.HolisticScheduler`
+    uses, so the tile transform and the fusion pass agree on which
+    groups are §4.2 fused kernels.
+    """
+    groups: Dict[str, List[str]] = {}
+    for op in graph:
+        if op.fuse_group:
+            groups.setdefault(
+                f"{op.fuse_group}/{op.phase}", []).append(op.name)
+    return {
+        key: names for key, names in groups.items()
+        if any(graph[n].kind == "comm" for n in names)
+        and any(graph[n].kind != "comm" for n in names)
+    }
+
+
+def plan_tiles(graph: OpGraph, parallel_size: int, seq_len: int,
+               tile_tokens: int) -> TilePlan:
+    """Choose per-group tile counts for one forward graph.
+
+    ``tile_tokens`` is the token-chunk width (sequence positions per
+    rank) for dense A2A-adjacent groups; it must divide the local
+    sequence shard ``seq_len / parallel_size`` exactly — tiles never
+    pad, so an uneven split is a configuration error.  AG/RS and the
+    ragged EP-dispatch groups always use ``parallel_size`` tiles (one
+    per source rank, the paper's swizzled ordering).
+    """
+    if tile_tokens < 1:
+        raise ValueError(f"tile_tokens must be >= 1, got {tile_tokens}")
+    if seq_len % parallel_size != 0:
+        raise ValueError(
+            f"sequence length {seq_len} not divisible by "
+            f"{parallel_size} ranks")
+    local_seq = seq_len // parallel_size
+    if local_seq % tile_tokens != 0:
+        raise ValueError(
+            f"tile_tokens={tile_tokens} must divide the local "
+            f"sequence shard {local_seq} (= {seq_len}/{parallel_size}); "
+            f"valid values: divisors of {local_seq}")
+    token_tiles = local_seq // tile_tokens
+    group_tiles: Dict[str, int] = {}
+    for key, members in fusable_groups(graph).items():
+        patterns = {graph[n].comm_pattern
+                    for n in members if graph[n].kind == "comm"}
+        if patterns & {"ag", "rs"}:
+            tiles = parallel_size          # source/dest-rank swizzle
+        elif "ggemm" in key:
+            tiles = parallel_size          # ragged dispatch: per rank
+        else:
+            tiles = token_tiles            # dense A2A: token chunks
+        if tiles >= 2:
+            group_tiles[key] = tiles
+    return TilePlan(tile_tokens=tile_tokens, group_tiles=group_tiles)
+
+
+def tile_forward_graph(graph: OpGraph, plan: TilePlan) -> OpGraph:
+    """Decompose fused groups of a forward graph into per-tile sub-ops.
+
+    Every member of a planned group becomes ``T`` sub-ops named
+    ``<op>#t<i>`` with work attributes split ``1/T`` each and deps that
+    encode the §4.2 pipeline: tile ``i`` depends on tile ``i`` of each
+    same-group producer (comm tile → consumer tile), on tile ``i-1`` of
+    itself (in-order streams, the source-rank-sorted order), and on the
+    *last* tile of any tiled producer outside its group.  Untiled
+    consumers of a tiled op wait for its last tile.  The result is a
+    valid :class:`OpGraph` whose topological orders are exactly the
+    legal tile interleavings the ``tile_conformance`` invariant
+    accepts.
+    """
+    tiles_of = {op.name: plan.tiles_of(op) for op in graph}
+    tiled_ops: List[Op] = []
+    for op in graph:
+        count = tiles_of[op.name]
+        if count < 2:
+            deps = tuple(
+                tile_name(d, tiles_of[d] - 1) if tiles_of[d] >= 2 else d
+                for d in op.deps)
+            tiled_ops.append(op if deps == op.deps
+                             else replace(op, deps=deps))
+            continue
+        m, k, n = op.gemm_shape
+        for i in range(count):
+            deps = []
+            for dep in op.deps:
+                dep_op = graph[dep]
+                if (tiles_of[dep] == count
+                        and dep_op.fuse_group == op.fuse_group):
+                    deps.append(tile_name(dep, i))
+                elif tiles_of[dep] >= 2:
+                    deps.append(tile_name(dep, tiles_of[dep] - 1))
+                else:
+                    deps.append(dep)
+            if i > 0:
+                deps.append(tile_name(op.name, i - 1))
+            tiled_ops.append(replace(
+                op,
+                name=tile_name(op.name, i),
+                flops=op.flops / count,
+                mem_bytes=op.mem_bytes / count,
+                comm_bytes=op.comm_bytes / count,
+                deps=tuple(deps),
+                produces=tuple(tile_name(p, i) for p in op.produces),
+                gemm_shape=(m / count, k, n),
+                tile=(i, count),
+                tile_of=op.name,
+            ))
+    tiled = OpGraph(tiled_ops)
+    tiled.validate()
+    return tiled
+
+
+def tiled_members(graph: OpGraph) -> Dict[str, List[str]]:
+    """``{base op name: [tile sub-op names, ascending]}`` of a graph."""
+    members: Dict[str, List[str]] = {}
+    for op in graph:
+        if op.tile is not None:
+            members.setdefault(op.tile_of, []).append(op.name)
+    return members

@@ -128,7 +128,14 @@ class HolisticScheduler:
     # -- intra-op fusion --------------------------------------------------
 
     def _fuse(self, graph: OpGraph, durations: Dict[str, float]):
-        """Collapse fuse groups into single tile-pipelined units."""
+        """Collapse fuse groups into single tile-pipelined units.
+
+        Groups whose members are already per-tile sub-ops (from
+        :func:`~repro.core.operators.tile_forward_graph`) are left
+        alone: their pipeline overlap is expressed explicitly by the
+        tile dependency structure, so collapsing them into an analytic
+        :class:`FusedKernel` would double-count the fusion win.
+        """
         groups: Dict[str, List[Op]] = {}
         for op in graph:
             if op.fuse_group:
@@ -138,6 +145,7 @@ class HolisticScheduler:
             key: members for key, members in groups.items()
             if any(m.kind == "comm" for m in members)
             and any(m.kind != "comm" for m in members)
+            and not any(m.tile is not None for m in members)
         }
 
         member_to_unit: Dict[str, str] = {}

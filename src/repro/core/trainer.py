@@ -26,6 +26,7 @@ The trainer composes with:
 
 from __future__ import annotations
 
+import os
 from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import ContextManager, Dict, Optional
@@ -116,7 +117,21 @@ class MegaScaleTrainer:
             # The rank-stacked kernels live behind the DAG executor's
             # op bindings, so the mode implies the "dag" backend.
             self.backend = "dag"
-        self._dag_programs: Dict[int, object] = {}
+        #: §4.2 tile-granular execution: token-chunk width for fused
+        #: groups (config > ``REPRO_TILE_TOKENS`` env > off).  Part of
+        #: the program cache key, so toggling it can never serve a
+        #: stale untiled (or differently-tiled) LayerProgram.
+        self.tile_tokens = train.tile_tokens
+        if self.tile_tokens is None:
+            env_tiles = os.environ.get("REPRO_TILE_TOKENS")
+            if env_tiles:
+                self.tile_tokens = int(env_tiles)
+        if self.tile_tokens is not None and self.backend != "dag":
+            raise ValueError(
+                "tile_tokens requires the DAG backend; tiled fused "
+                "groups only exist in the scheduled operator graph"
+            )
+        self._dag_programs: Dict[tuple, object] = {}
         self.remat_plan = None
         if self.backend == "dag" and train.selective_remat:
             from .remat import default_remat_plan
@@ -161,15 +176,18 @@ class MegaScaleTrainer:
         """The layer's compiled IR + overlap schedule for one seq_len.
 
         One program serves every layer (identical shapes); cached so
-        the scheduler runs once per distinct sequence length.
+        the scheduler runs once per distinct (sequence length,
+        tile width) pair.
         """
-        program = self._dag_programs.get(seq_len)
+        key = (seq_len, self.tile_tokens)
+        program = self._dag_programs.get(key)
         if program is None:
             from .executor_bindings import layer_program
             program = layer_program(
                 self.model.config, self.parallel,
-                self.train_cfg.micro_batch_size, seq_len)
-            self._dag_programs[seq_len] = program
+                self.train_cfg.micro_batch_size, seq_len,
+                tile_tokens=self.tile_tokens)
+            self._dag_programs[key] = program
         return program
 
     def loss(self, token_ids: np.ndarray) -> tuple:

@@ -83,6 +83,7 @@ class ParallelBlockEngine:
         #: program identity), plus introspection from the last DAG run.
         self._dag_cache: dict = {}
         self.last_executed_ops: Optional[List[str]] = None
+        self.last_executed_tiles: Optional[List[str]] = None
         self.last_remat_report: Optional[dict] = None
 
     def forward(self, hidden_shards: List[Tensor], seq_len: int,
@@ -148,7 +149,9 @@ class ParallelBlockEngine:
         key = (seq_len, id(program))
         dag = self._dag_cache.get(key)
         if dag is None:
-            bindings = build_layer_bindings(self, seq_len)
+            bindings = build_layer_bindings(
+                self, seq_len,
+                tile_plan=getattr(program, "tile_plan", None))
             dag = DagExecutor(program, bindings, self.group)
             self._dag_cache[key] = dag
 
@@ -159,6 +162,9 @@ class ParallelBlockEngine:
         result = dag.run({"hidden": hidden_shards}, executor=executor,
                          tracer=tracer, vectorized=vectorized)
         self.last_executed_ops = list(result.executed)
+        self.last_executed_tiles = (
+            list(result.executed_tiles)
+            if result.executed_tiles is not None else None)
 
         outputs = result.per_rank("residual2")
         router_vals = result.per_rank("router")

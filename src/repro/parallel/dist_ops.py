@@ -41,7 +41,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..comm.group import ProcessGroup
+from ..comm.group import ProcessGroup, tile_span
 from ..tensor import Tensor
 
 __all__ = [
@@ -65,21 +65,45 @@ def dist_all_gather(
     axis: int = 0,
     elem_bytes: Optional[float] = None,
     tag: str = "",
+    tiled: bool = False,
+    tile_label: str = "",
 ) -> List[Tensor]:
     """All-gather per-rank shards; every rank receives the concatenation.
 
     Backward is a reduce-scatter: rank ``i``'s gradient is the sum over
     output ranks of the ``i``-th slice of each output gradient.
+
+    With ``tiled=True`` the gather is chunked per source rank (§4.2's
+    swizzled order): shard ``i`` is copied into the gathered buffer and
+    ledger-recorded as tile ``(i, n)`` — one tile's bytes at a time,
+    attributed one-hot to its source rank, summing exactly to the
+    untiled record.  The delivered values are bitwise-identical.
+    ``tile_label`` names the graph op for ``dag.tile:*`` spans.
     """
     group.check_shards(shards)
     n = group.size
     eb = _eb(shards, elem_bytes)
     datas = [s.data for s in shards]
-    full = np.concatenate(datas, axis=axis)
     sizes = [d.shape[axis] for d in datas]
     offsets = np.cumsum([0] + sizes)
     group.pre_collective("all_gather", tag)
-    group.record("all_gather", [d.size * eb * (n - 1) for d in datas], tag)
+    if tiled and n >= 2:
+        shape = list(datas[0].shape)
+        shape[axis] = int(offsets[-1])
+        full = np.empty(shape, dtype=np.result_type(*datas))
+        slicer = [slice(None)] * full.ndim
+        for i in range(n):
+            with tile_span(group, tile_label, i, n):
+                slicer[axis] = slice(offsets[i], offsets[i + 1])
+                full[tuple(slicer)] = datas[i]
+                group.record(
+                    "all_gather",
+                    _one_hot(n, i, datas[i].size * eb * (n - 1)),
+                    tag, tile=(i, n))
+    else:
+        full = np.concatenate(datas, axis=axis)
+        group.record("all_gather",
+                     [d.size * eb * (n - 1) for d in datas], tag)
 
     # Zero-copy: with no fault plan the delivered buffers are read-only,
     # so every rank can share the single gathered array.
@@ -115,11 +139,19 @@ def dist_reduce_scatter(
     axis: int = 0,
     elem_bytes: Optional[float] = None,
     tag: str = "",
+    tiled: bool = False,
+    tile_label: str = "",
 ) -> List[Tensor]:
     """Sum all ranks' tensors; rank ``j`` receives the ``j``-th slice.
 
     Backward is an all-gather: every input receives the concatenation of
     the per-rank output gradients.
+
+    With ``tiled=True`` the reduction is chunked per destination rank:
+    tile ``j`` reduces only slice ``j`` (elementwise over ranks, so the
+    result is bitwise-identical to slicing the whole-tensor reduction)
+    and ledger-records its traffic one-hot at rank ``j`` as tile
+    ``(j, n)``; tile bytes sum exactly to the untiled record.
     """
     group.check_shards(tensors)
     n = group.size
@@ -132,13 +164,28 @@ def dist_reduce_scatter(
         raise ValueError(
             f"axis {axis} of size {first.shape[axis]} not divisible by {n}"
         )
-    total = np.sum([t.data.astype(np.float64) for t in tensors], axis=0)
-    pieces = np.split(total, n, axis=axis)
     shard_elems = first.size // n
-    group.pre_collective("reduce_scatter", tag)
-    group.record("reduce_scatter", [shard_elems * eb * (n - 1)] * n, tag)
-
     width = first.shape[axis] // n
+    group.pre_collective("reduce_scatter", tag)
+    if tiled and n >= 2:
+        pieces = []
+        slicer = [slice(None)] * first.ndim
+        for j in range(n):
+            with tile_span(group, tile_label, j, n):
+                slicer[axis] = slice(j * width, (j + 1) * width)
+                pieces.append(np.sum(
+                    [t.data[tuple(slicer)].astype(np.float64)
+                     for t in tensors], axis=0))
+                group.record(
+                    "reduce_scatter",
+                    _one_hot(n, j, shard_elems * eb * (n - 1)),
+                    tag, tile=(j, n))
+    else:
+        total = np.sum([t.data.astype(np.float64) for t in tensors],
+                       axis=0)
+        pieces = np.split(total, n, axis=axis)
+        group.record("reduce_scatter",
+                     [shard_elems * eb * (n - 1)] * n, tag)
     outs = []
     for j in range(n):
         def backward(g, j=j):
@@ -173,6 +220,9 @@ def dist_all_to_all(
     concat_axis: int,
     elem_bytes: Optional[float] = None,
     tag: str = "",
+    tiles: int = 1,
+    tile_axis: int = 0,
+    tile_label: str = "",
 ) -> List[Tensor]:
     """Balanced all-to-all: split each rank's tensor into ``n`` chunks on
     ``split_axis``, exchange, concatenate received chunks on
@@ -181,6 +231,14 @@ def dist_all_to_all(
     This is the Ulysses primitive (§3.1): e.g. split heads / gather
     sequence on the way in, split sequence / gather heads on the way out.
     Backward is the reverse all-to-all.
+
+    With ``tiles > 1`` the exchange is chunked along ``tile_axis``
+    (token chunks, §4.2): each of every (source, dest) chunk's
+    ``tile_axis`` extents is split into ``tiles`` equal sub-chunks, and
+    tile ``t`` copies sub-chunk ``t`` of every pair into the delivered
+    buffers and ledger-records ``1/tiles`` of each rank's bytes as tile
+    ``(t, tiles)`` — exact, since the extent must divide evenly.
+    Delivered values are bitwise-identical to the untiled exchange.
     """
     group.check_shards(tensors)
     n = group.size
@@ -196,13 +254,22 @@ def dist_all_to_all(
     per_rank = [sum(chunks[i][j].size * eb for j in range(n) if j != i)
                 for i in range(n)]
     group.pre_collective("all_to_all", tag)
-    group.record("all_to_all", per_rank, tag)
+    if tiles > 1:
+        received_list = _a2a_tiled_delivery(
+            group, chunks, per_rank, concat_axis, tile_axis, tiles,
+            eb, tag, tile_label)
+    else:
+        group.record("all_to_all", per_rank, tag)
+        received_list = None
 
     chunk_split = datas[0].shape[split_axis] // n
     outs = []
     for j in range(n):
-        received = np.concatenate([chunks[i][j] for i in range(n)],
-                                  axis=concat_axis)
+        if received_list is not None:
+            received = received_list[j]
+        else:
+            received = np.concatenate([chunks[i][j] for i in range(n)],
+                                      axis=concat_axis)
         recv_width = [chunks[i][j].shape[concat_axis] for i in range(n)]
         recv_offsets = np.cumsum([0] + recv_width)
 
@@ -234,12 +301,62 @@ def dist_all_to_all(
     return outs
 
 
+def _a2a_tiled_delivery(group, chunks, per_rank, concat_axis, tile_axis,
+                        tiles, eb, tag, tile_label):
+    """Token-chunked delivery for a balanced all-to-all.
+
+    Preallocates each destination's buffer and copies one tile of every
+    (source, dest) chunk per pass, recording that tile's exact bytes.
+    The filled buffers hold exactly the values ``np.concatenate`` over
+    whole chunks would produce.
+    """
+    n = len(chunks)
+    for i in range(n):
+        for j in range(n):
+            extent = chunks[i][j].shape[tile_axis]
+            if extent % tiles != 0:
+                raise ValueError(
+                    f"tile axis {tile_axis} extent {extent} not "
+                    f"divisible by {tiles} tiles")
+    received = []
+    dtype = np.result_type(*[chunks[i][0] for i in range(n)])
+    for j in range(n):
+        shape = list(chunks[0][j].shape)
+        shape[concat_axis] = sum(chunks[i][j].shape[concat_axis]
+                                 for i in range(n))
+        received.append(np.empty(shape, dtype=dtype))
+    for t in range(tiles):
+        with tile_span(group, tile_label, t, tiles):
+            for j in range(n):
+                offset = 0
+                for i in range(n):
+                    chunk = chunks[i][j]
+                    width = chunk.shape[tile_axis] // tiles
+                    src = [slice(None)] * chunk.ndim
+                    src[tile_axis] = slice(t * width, (t + 1) * width)
+                    dst = [slice(None)] * chunk.ndim
+                    extent = chunk.shape[concat_axis]
+                    if tile_axis == concat_axis:
+                        dst[concat_axis] = slice(offset + t * width,
+                                                 offset + (t + 1) * width)
+                    else:
+                        dst[concat_axis] = slice(offset, offset + extent)
+                        dst[tile_axis] = src[tile_axis]
+                    received[j][tuple(dst)] = chunk[tuple(src)]
+                    offset += extent
+            group.record("all_to_all", [pr / tiles for pr in per_rank],
+                         tag, tile=(t, tiles))
+    return received
+
+
 def dist_all_to_all_uneven(
     group: ProcessGroup,
     tensors: Sequence[Tensor],
     send_splits: Sequence[Sequence[int]],
     elem_bytes: Optional[float] = None,
     tag: str = "",
+    tiled: bool = False,
+    tile_label: str = "",
 ) -> List[Tensor]:
     """Row-wise all-to-all with per-destination row counts.
 
@@ -247,6 +364,13 @@ def dist_all_to_all_uneven(
     receives the chunks concatenated in source-rank order.  This is MoE
     token dispatch (§3.2): the splits come from the routing result.
     Backward routes gradient rows back to their source ranks.
+
+    With ``tiled=True`` delivery is chunked per *source* rank (tile
+    sizes are ragged — routing decides the row counts): tile ``i``
+    copies rank ``i``'s rows into every destination's buffer and
+    ledger-records rank ``i``'s wire bytes one-hot as tile ``(i, n)``.
+    Delivered rows land at the same source-rank-sorted offsets as the
+    untiled concatenation, so values are bitwise-identical.
     """
     group.check_shards(tensors)
     n = group.size
@@ -270,16 +394,39 @@ def dist_all_to_all_uneven(
         for i in range(n)
     ]
     group.pre_collective("all_to_all", tag)
-    group.record("all_to_all", per_rank, tag)
+    recv_offsets_all = []
+    for j in range(n):
+        recv_counts = [send_splits[i][j] for i in range(n)]
+        recv_offsets_all.append(np.cumsum([0] + recv_counts))
+    if tiled and n >= 2:
+        tail = tensors[0].data.shape[1:]
+        dtype = np.result_type(*[t.data for t in tensors])
+        received_list = [
+            np.empty((int(recv_offsets_all[j][-1]),) + tail, dtype=dtype)
+            for j in range(n)
+        ]
+        for i in range(n):
+            with tile_span(group, tile_label, i, n):
+                for j in range(n):
+                    lo, hi = recv_offsets_all[j][i], recv_offsets_all[j][i + 1]
+                    received_list[j][lo:hi] = \
+                        tensors[i].data[offsets[i][j]:offsets[i][j + 1]]
+                group.record("all_to_all", _one_hot(n, i, per_rank[i]),
+                             tag, tile=(i, n))
+    else:
+        group.record("all_to_all", per_rank, tag)
+        received_list = None
 
     outs = []
     for j in range(n):
-        pieces = [tensors[i].data[offsets[i][j]:offsets[i][j + 1]]
-                  for i in range(n)]
-        received = (np.concatenate(pieces, axis=0) if pieces else
-                    np.zeros((0,) + tensors[0].data.shape[1:]))
-        recv_counts = [send_splits[i][j] for i in range(n)]
-        recv_offsets = np.cumsum([0] + recv_counts)
+        if received_list is not None:
+            received = received_list[j]
+        else:
+            pieces = [tensors[i].data[offsets[i][j]:offsets[i][j + 1]]
+                      for i in range(n)]
+            received = (np.concatenate(pieces, axis=0) if pieces else
+                        np.zeros((0,) + tensors[0].data.shape[1:]))
+        recv_offsets = recv_offsets_all[j]
 
         def backward(g, j=j, recv_offsets=recv_offsets):
             grads = []

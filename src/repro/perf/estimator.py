@@ -30,6 +30,8 @@ __all__ = [
     "KernelModel",
     "AnchorCalibration",
     "CalibrationReport",
+    "DAG_SPAN_PREFIX",
+    "TILE_SPAN_PREFIX",
     "calibrate_from_spans",
     "calibrated_durations",
 ]
@@ -151,6 +153,30 @@ class KernelModel:
 #: Span-name prefix the DAG executor uses for per-binding spans.
 DAG_SPAN_PREFIX = "dag.op:"
 
+#: Span-name prefix the chunked collectives use for per-tile spans
+#: (``dag.tile:<op>#t<i>``, §4.2).  Calibrating a *tile graph* against
+#: these spans fits each comm tile sub-op directly; ``dag.op:`` spans
+#: whose covered base ops were tile-decomposed expand to all their
+#: sub-ops, so atomic compute bindings calibrate their tiles too.
+TILE_SPAN_PREFIX = "dag.tile:"
+
+
+def _expand_to_graph_ops(graph: OpGraph, names) -> Tuple[str, ...]:
+    """Map span-attr op names onto graph members, expanding a base op
+    that was tile-decomposed (absent, but with ``<name>#t0`` present)
+    to all its tile sub-ops."""
+    from ..core.operators import tile_name
+    ops = []
+    for o in names:
+        if o in graph:
+            ops.append(o)
+            continue
+        i = 0
+        while tile_name(o, i) in graph:
+            ops.append(tile_name(o, i))
+            i += 1
+    return tuple(ops)
+
 
 @dataclass(frozen=True)
 class AnchorCalibration:
@@ -216,10 +242,8 @@ def calibrate_from_spans(model: KernelModel, graph: OpGraph,
             continue
         anchor = name[len(prefix):]
         measured.setdefault(anchor, []).append(float(span.duration))
-        ops = tuple(
-            o for o in str(span.attrs.get("ops", anchor)).split(",")
-            if o in graph
-        )
+        ops = _expand_to_graph_ops(
+            graph, str(span.attrs.get("ops", anchor)).split(","))
         covered[anchor] = ops or covered.get(anchor, ())
     report = CalibrationReport()
     for anchor, durations in sorted(measured.items()):

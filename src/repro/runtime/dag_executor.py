@@ -43,6 +43,8 @@ __all__ = [
     "DagRunResult",
     "resolve_backend",
     "schedule_conformance_problems",
+    "tile_conformance_problems",
+    "tiled_execution_order",
 ]
 
 #: Numeric backends the trainer can run a layer through: the legacy
@@ -76,6 +78,11 @@ class DagRunResult:
     covers: Dict[str, Tuple[str, ...]]
     graph: Any = None
     remat_report: Optional[dict] = field(default=None)
+    #: Tile-level execution stream (§4.2) when the program carries a
+    #: tile decomposition: the op order with each tiled op expanded to
+    #: its sub-tiles in the ascending (source-rank-sorted / token-chunk)
+    #: order the chunked collectives actually move them.
+    executed_tiles: Optional[List[str]] = field(default=None)
 
     def per_rank(self, name: str) -> List[Any]:
         """All ranks' values for one anchor (or input) name."""
@@ -132,26 +139,30 @@ class DagExecutor:
         self.group = group
         self.inputs = tuple(inputs)
         graph_names = [op.name for op in program.graph]
-        self._validate_order(program, graph_names)
+        self._validate_order(program.graph, program.order, graph_names)
+        if getattr(program, "tile_graph", None) is not None:
+            self._validate_order(
+                program.tile_graph, program.tile_order,
+                [op.name for op in program.tile_graph])
         self._bindings_in_order = self._validate_bindings(
             program, bindings, graph_names)
 
     # -- construction-time validation ----------------------------------
 
     @staticmethod
-    def _validate_order(program, graph_names: List[str]) -> None:
+    def _validate_order(graph, order, graph_names: List[str]) -> None:
         """The flattened order must be a topologically valid permutation
         of the graph — this is where a bad scheduler change surfaces."""
-        if sorted(program.order) != sorted(graph_names):
-            missing = set(graph_names) - set(program.order)
-            extra = set(program.order) - set(graph_names)
+        if sorted(order) != sorted(graph_names):
+            missing = set(graph_names) - set(order)
+            extra = set(order) - set(graph_names)
             raise ValueError(
                 f"program order is not a permutation of the graph "
                 f"(missing={sorted(missing)}, extra={sorted(extra)})"
             )
         seen = set()
-        for name in program.order:
-            for dep in program.graph[name].deps:
+        for name in order:
+            for dep in graph[name].deps:
                 if dep not in seen:
                     raise ValueError(
                         f"program order runs {name!r} before its "
@@ -256,8 +267,12 @@ class DagExecutor:
         else:
             env = self._run_sequential(inputs, tracer)
         covers = {b.op: b.covers for b in self._bindings_in_order}
+        tiles = (tiled_execution_order(self.program)
+                 if getattr(self.program, "tile_graph", None) is not None
+                 else None)
         return DagRunResult(executed=list(self.program.order), env=env,
-                            covers=covers, graph=self.program.graph)
+                            covers=covers, graph=self.program.graph,
+                            executed_tiles=tiles)
 
     def _run_sequential(self, inputs, tracer) -> Dict[str, List[Any]]:
         from ..core.executor_bindings import _SeqCtx
@@ -364,4 +379,66 @@ def schedule_conformance_problems(program,
                     f"dependency {dep!r}"
                 )
         done.add(unit)
+    return problems
+
+
+def tiled_execution_order(program) -> List[str]:
+    """The tile-level stream a tiled program's chunked execution moves.
+
+    Expands the program's op order in place: each tiled op becomes its
+    sub-tiles in ascending index order (the order the chunked
+    collectives copy and ledger-record them), untiled ops pass through.
+    Because tile ``i`` of an op depends only on tile ``i`` or the last
+    tile of earlier ops (plus its own tile ``i-1``), this expansion of
+    any valid op-level topological order is a valid topological order
+    of the tile graph.
+    """
+    from ..core.operators import tiled_members
+    members = tiled_members(program.tile_graph)
+    out: List[str] = []
+    for name in program.order:
+        out.extend(members.get(name, [name]))
+    return out
+
+
+def tile_conformance_problems(program,
+                              executed_tiles: Optional[Sequence[str]]
+                              ) -> List[str]:
+    """Check an executed tile stream against a tiled layer program.
+
+    The ``tile_conformance`` invariant: the stream must be a
+    permutation of the tile graph's sub-ops and a valid topological
+    order of its dependencies — which encode the §4.2 pipeline
+    (comm tile ``i`` before its consumer compute tile ``i``, ascending
+    source-rank-sorted tile order within each op via the self-chain
+    deps).  Returns human-readable problems; empty means conformant.
+    """
+    problems: List[str] = []
+    tile_graph = getattr(program, "tile_graph", None)
+    if tile_graph is None:
+        if executed_tiles:
+            problems.append(
+                "executed tile stream present for an untiled program"
+            )
+        return problems
+    if executed_tiles is None:
+        return ["tiled program executed without a tile stream"]
+    tile_names = [op.name for op in tile_graph]
+    if sorted(executed_tiles) != sorted(tile_names):
+        missing = set(tile_names) - set(executed_tiles)
+        extra = set(executed_tiles) - set(tile_names)
+        problems.append(
+            f"executed tiles are not a permutation of the tile graph "
+            f"(missing={sorted(missing)}, extra={sorted(extra)})"
+        )
+        return problems
+    seen = set()
+    for name in executed_tiles:
+        for dep in tile_graph[name].deps:
+            if dep not in seen:
+                problems.append(
+                    f"tile {name!r} executed before its dependency "
+                    f"{dep!r}"
+                )
+        seen.add(name)
     return problems

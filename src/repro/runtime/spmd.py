@@ -151,17 +151,21 @@ class RankComm:
 
     def all_gather(self, tensor: Any, axis: int = 0,
                    elem_bytes: Optional[float] = None,
-                   tag: str = "") -> Any:
+                   tag: str = "", tiled: bool = False,
+                   tile_label: str = "") -> Any:
         """Differentiable all-gather; returns the full tensor."""
         return self.collective(_dist_ops().dist_all_gather, tensor,
-                               axis=axis, elem_bytes=elem_bytes, tag=tag)
+                               axis=axis, elem_bytes=elem_bytes, tag=tag,
+                               tiled=tiled, tile_label=tile_label)
 
     def reduce_scatter(self, tensor: Any, axis: int = 0,
                        elem_bytes: Optional[float] = None,
-                       tag: str = "") -> Any:
+                       tag: str = "", tiled: bool = False,
+                       tile_label: str = "") -> Any:
         """Differentiable reduce-scatter; returns this rank's slice."""
         return self.collective(_dist_ops().dist_reduce_scatter, tensor,
-                               axis=axis, elem_bytes=elem_bytes, tag=tag)
+                               axis=axis, elem_bytes=elem_bytes, tag=tag,
+                               tiled=tiled, tile_label=tile_label)
 
     def all_reduce(self, tensor: Any,
                    elem_bytes: Optional[float] = None,
@@ -172,16 +176,20 @@ class RankComm:
 
     def all_to_all(self, tensor: Any, split_axis: int, concat_axis: int,
                    elem_bytes: Optional[float] = None,
-                   tag: str = "") -> Any:
+                   tag: str = "", tiles: int = 1, tile_axis: int = 0,
+                   tile_label: str = "") -> Any:
         """Differentiable balanced all-to-all (the Ulysses primitive)."""
         return self.collective(_dist_ops().dist_all_to_all, tensor,
                                split_axis=split_axis,
                                concat_axis=concat_axis,
-                               elem_bytes=elem_bytes, tag=tag)
+                               elem_bytes=elem_bytes, tag=tag,
+                               tiles=tiles, tile_axis=tile_axis,
+                               tile_label=tile_label)
 
     def all_to_all_uneven(self, tensor: Any, splits: Sequence[int],
                           elem_bytes: Optional[float] = None,
-                          tag: str = "") -> Any:
+                          tag: str = "", tiled: bool = False,
+                          tile_label: str = "") -> Any:
         """Differentiable uneven all-to-all (MoE token dispatch)."""
         ops = _dist_ops()
         group = self.group
@@ -189,7 +197,8 @@ class RankComm:
         def fn(slots: List[Any]) -> Any:
             return ops.dist_all_to_all_uneven(
                 group, [s[0] for s in slots], [s[1] for s in slots],
-                elem_bytes=elem_bytes, tag=tag)
+                elem_bytes=elem_bytes, tag=tag, tiled=tiled,
+                tile_label=tile_label)
 
         outs = self.exchange(("all_to_all_uneven", tag),
                              (tensor, list(splits)), fn)

@@ -380,7 +380,8 @@ def _a2a_permute(data: np.ndarray, n: int, split_axis: int,
 
 def vec_all_to_all(x: Tensor, split_axis: int, concat_axis: int,
                    group: Any, elem_bytes: Optional[float] = None,
-                   tag: str = "") -> Tensor:
+                   tag: str = "", tiles: int = 1,
+                   tile_label: str = "") -> Tensor:
     """Balanced all-to-all over the rank axis of a stacked Tensor.
 
     Zero arithmetic — forward and backward are inverse
@@ -389,7 +390,14 @@ def vec_all_to_all(x: Tensor, split_axis: int, concat_axis: int,
     (each rank sending ``n-1`` chunks) and ``n`` one-hot dual records
     backward, matching :func:`repro.parallel.dist_ops.dist_all_to_all`
     output-by-output.
+
+    With ``tiles > 1`` the forward record is split into per-tile
+    records of ``1/tiles`` of each rank's bytes (tile ``(t, tiles)``),
+    mirroring the chunked per-rank path; the data movement itself stays
+    the one fused permutation — the vectorized analog of the §4.2 fused
+    kernel, whose tiles live inside a single launch.
     """
+    from ..comm.group import tile_span
     from ..parallel.dist_ops import _one_hot
     n = int(group.size)
     data = x.data
@@ -403,7 +411,13 @@ def vec_all_to_all(x: Tensor, split_axis: int, concat_axis: int,
     chunk = data.size // (n * n)
     wire = (n - 1) * chunk * eb
     group.pre_collective("all_to_all", tag)
-    group.record("all_to_all", [wire] * n, tag)
+    if tiles > 1:
+        for t in range(tiles):
+            with tile_span(group, tile_label, t, tiles):
+                group.record("all_to_all", [wire / tiles] * n, tag,
+                             tile=(t, tiles))
+    else:
+        group.record("all_to_all", [wire] * n, tag)
     out = _a2a_permute(data, n, split_axis, concat_axis)
     group.post_collective("all_to_all", [out[j] for j in range(n)], tag)
 
@@ -419,7 +433,8 @@ def vec_all_to_all(x: Tensor, split_axis: int, concat_axis: int,
 
 def vec_all_gather(x: Tensor, axis: int, group: Any,
                    elem_bytes: Optional[float] = None,
-                   tag: str = "") -> Tensor:
+                   tag: str = "", tiled: bool = False,
+                   tile_label: str = "") -> Tensor:
     """All-gather over the rank axis of a stacked Tensor.
 
     Forward merges the rank axis into ``axis`` (the concatenation every
@@ -429,7 +444,12 @@ def vec_all_gather(x: Tensor, axis: int, group: Any,
     Backward replays the engine's accumulation exactly: output grads
     sum in *ascending*-rank order (the DFS tape order visits the
     per-rank outputs rank 0 first), then scatter back to shards.
+
+    With ``tiled=True`` the forward record is split per source rank
+    (one-hot, tile ``(i, n)``) while the movement stays the one fused
+    ``moveaxis`` — mirroring the chunked per-rank path's ledger.
     """
+    from ..comm.group import tile_span
     from ..parallel.dist_ops import _one_hot
     n = int(group.size)
     data = x.data
@@ -437,7 +457,14 @@ def vec_all_gather(x: Tensor, axis: int, group: Any,
     eb = (float(elem_bytes) if elem_bytes is not None
           else float(data.itemsize))
     group.pre_collective("all_gather", tag)
-    group.record("all_gather", [shard_size * eb * (n - 1)] * n, tag)
+    if tiled and n >= 2:
+        for i in range(n):
+            with tile_span(group, tile_label, i, n):
+                group.record("all_gather",
+                             _one_hot(n, i, shard_size * eb * (n - 1)),
+                             tag, tile=(i, n))
+    else:
+        group.record("all_gather", [shard_size * eb * (n - 1)] * n, tag)
     full_shape = list(data.shape[1:])
     full_shape[axis] *= n
     full = np.moveaxis(data, 0, axis).reshape(full_shape)
@@ -462,7 +489,8 @@ def vec_all_gather(x: Tensor, axis: int, group: Any,
 
 def vec_reduce_scatter(x: Tensor, axis: int, group: Any,
                        elem_bytes: Optional[float] = None,
-                       tag: str = "") -> Tensor:
+                       tag: str = "", tiled: bool = False,
+                       tile_label: str = "") -> Tensor:
     """Reduce-scatter over the rank axis of a stacked Tensor.
 
     Forward is the *same* float64 ``np.sum`` over the rank axis the
@@ -471,7 +499,12 @@ def vec_reduce_scatter(x: Tensor, axis: int, group: Any,
     at its slice of a zero full-shape array and folds in
     ascending-rank order — including the engine's ``+0.0`` additions,
     so even signed zeros match — then broadcasts to every rank.
+
+    With ``tiled=True`` the forward record is split per destination
+    rank (one-hot, tile ``(j, n)``) while the reduction stays the one
+    fused ``np.sum`` — mirroring the chunked per-rank path's ledger.
     """
+    from ..comm.group import tile_span
     from ..parallel.dist_ops import _one_hot
     n = int(group.size)
     data = x.data
@@ -485,7 +518,15 @@ def vec_reduce_scatter(x: Tensor, axis: int, group: Any,
     shard_elems = data[0].size // n
     total = np.sum(data.astype(np.float64), axis=0)
     group.pre_collective("reduce_scatter", tag)
-    group.record("reduce_scatter", [shard_elems * eb * (n - 1)] * n, tag)
+    if tiled and n >= 2:
+        for j in range(n):
+            with tile_span(group, tile_label, j, n):
+                group.record("reduce_scatter",
+                             _one_hot(n, j, shard_elems * eb * (n - 1)),
+                             tag, tile=(j, n))
+    else:
+        group.record("reduce_scatter",
+                     [shard_elems * eb * (n - 1)] * n, tag)
     width = total.shape[axis] // n
     split = list(total.shape)
     split[axis:axis + 1] = [n, width]

@@ -172,6 +172,22 @@ class Timeline:
                 return r
         raise KeyError(f"no task named {name!r}")
 
+    def task_order(self, stream: Optional[str] = None,
+                   comm: Optional[bool] = None) -> List[str]:
+        """Task names in start order, optionally filtered by stream
+        and/or comm kind.
+
+        This is the projection the §4.2 parity checks use: simulating a
+        tiled schedule and taking ``task_order(comm=True)`` yields the
+        comm-tile stream timeline to compare against the ``dag.tile:*``
+        order an execution actually traced.
+        """
+        recs = sorted(self.records,
+                      key=lambda r: (r.start, r.task.stream))
+        return [r.task.name for r in recs
+                if (stream is None or r.task.stream == stream)
+                and (comm is None or r.task.is_comm == comm)]
+
 
 def _adjust_for_failures(start: float, duration: float,
                          windows: Sequence[StreamFailure]):

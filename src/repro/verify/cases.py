@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from ..core.config import ModelConfig, ParallelConfig, TrainConfig
 
@@ -51,6 +51,10 @@ class VerifyCase:
     #: Numeric backend: "engine" (legacy per-engine call chains) or
     #: "dag" (schedule-ordered DAG executor).
     backend: str = "engine"
+    #: §4.2 tile-granular execution: token-chunk width for fused-group
+    #: tile decomposition (None = untiled).  Requires the DAG backend
+    #: and must divide the per-rank sequence shard ``seq // ranks``.
+    tile_tokens: Optional[int] = None
     dropout: float = 0.0
     steps: int = 2
     seed: int = 0
@@ -111,6 +115,18 @@ class VerifyCase:
                 "execution='vectorized' runs through the DAG executor; "
                 "it requires backend='dag'"
             )
+        if self.tile_tokens is not None:
+            if self.backend != "dag":
+                raise ValueError(
+                    "tile_tokens requires backend='dag' (tile-granular "
+                    "execution only exists in the DAG executor)"
+                )
+            local = self.seq // self.ranks
+            if self.tile_tokens < 1 or local % self.tile_tokens != 0:
+                raise ValueError(
+                    f"tile_tokens={self.tile_tokens} must divide the "
+                    f"per-rank shard seq//ranks={local}"
+                )
         if self.steps < 1:
             raise ValueError(f"steps must be >= 1, got {self.steps}")
         if not 0.0 <= self.dropout < 1.0:
@@ -169,6 +185,8 @@ class VerifyCase:
         ]
         if self.backend != "engine":
             parts.append(self.backend)
+        if self.tile_tokens is not None:
+            parts.append(f"tt{self.tile_tokens}")
         for step, new_ranks in self.resize:
             parts.append(f"rz{step}x{new_ranks}")
         if self.dropout > 0.0:
@@ -201,6 +219,7 @@ class VerifyCase:
             seq_len=self.seq, learning_rate=1e-2,
             aux_loss_coeff=0.01, precision=self.precision,
             execution=self.execution, backend=self.backend,
+            tile_tokens=self.tile_tokens,
             dropout=self.dropout,
             dropout_seed=self.seed + 1,
         )
@@ -221,10 +240,16 @@ class VerifyCase:
         sequential legacy-engine run — the strictest possible reference:
         the bitwise comparison then spans both the backend and the
         execution mode at once.
+
+        The twin is always untiled: tile-granular execution is a DAG
+        feature, so a tiled case's bitwise comparison spans the tiling
+        as well.
         """
         if self.execution == "vectorized":
-            return self.replace(backend="engine", execution="sequential")
-        return self.replace(backend="engine")
+            return self.replace(backend="engine",
+                                execution="sequential",
+                                tile_tokens=None)
+        return self.replace(backend="engine", tile_tokens=None)
 
 
 def _backend_for(execution: str) -> str:
@@ -237,8 +262,14 @@ def _backend_for(execution: str) -> str:
     return "dag" if execution == "vectorized" else "engine"
 
 
+#: Token-chunk width of the tiled smoke cases (seq=16 / ranks=4 → the
+#: per-rank shard is 4 tokens; width 2 gives two tiles per A2A group).
+SMOKE_TILE_TOKENS = 2
+
+
 def smoke_matrix(seed: int = 0) -> List[VerifyCase]:
-    """The seeded CI grid: execution × EP dispatch × precision."""
+    """The seeded CI grid: execution × EP dispatch × precision, plus a
+    tiled (§4.2 tile-granular) DAG leg per execution × dispatch."""
 
     def cases() -> Iterator[VerifyCase]:
         for execution in SMOKE_EXECUTIONS:
@@ -249,6 +280,11 @@ def smoke_matrix(seed: int = 0) -> List[VerifyCase]:
                         execution=execution,
                         backend=_backend_for(execution), seed=seed,
                     )
+                yield VerifyCase(
+                    ep_dispatch=dispatch, execution=execution,
+                    backend="dag", tile_tokens=SMOKE_TILE_TOKENS,
+                    seed=seed,
+                )
 
     return list(cases())
 

@@ -110,6 +110,10 @@ class RunArtifacts:
     #: engine-backend runs) — checked against the overlap schedule by
     #: the ``dag_schedule_conformance`` invariant.
     executed_ops: List[List[str]] = field(default_factory=list)
+    #: Per-layer tile-granular execution streams (``<op>#t<i>`` names,
+    #: §4.2) from tiled DAG runs — checked by ``tile_conformance``.
+    #: Empty for untiled/engine-backend runs.
+    executed_tiles: List[List[str]] = field(default_factory=list)
     golden: Optional[GoldenArtifacts] = None
     twin: Optional["RunArtifacts"] = None
     #: The legacy-backend twin of a DAG-backend case run.
@@ -238,6 +242,11 @@ def _run_parallel(case: VerifyCase,
         for engine in trainer.engines
         if getattr(engine, "last_executed_ops", None)
     ]
+    executed_tiles = [
+        list(engine.last_executed_tiles)
+        for engine in trainer.engines
+        if getattr(engine, "last_executed_tiles", None)
+    ]
     return RunArtifacts(
         case=case,
         losses=losses,
@@ -252,6 +261,7 @@ def _run_parallel(case: VerifyCase,
         ledger_counts=world.ledger.counts(),
         telemetry=telemetry,
         executed_ops=executed_ops,
+        executed_tiles=executed_tiles,
     )
 
 

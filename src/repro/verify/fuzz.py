@@ -59,6 +59,12 @@ def sample_case(rng: np.random.Generator) -> VerifyCase:
         steps=int(rng.choice([1, 2])),
         seed=int(rng.integers(0, 1_000_000)),
     )
+    # DAG-backend cases sometimes run tile-granular (§4.2): sample a
+    # token-chunk width from the divisors of the per-rank shard.
+    if case.backend == "dag" and float(rng.random()) < 0.5:
+        local = case.seq // case.ranks
+        divisors = [d for d in range(1, local + 1) if local % d == 0]
+        case = case.replace(tile_tokens=int(rng.choice(divisors)))
     # Sometimes inject a cluster resize: fuzz over the resize step and
     # the old→new layout pair (any target world the model dimensions
     # admit).  Drawn after the base fields so the non-resize portion
@@ -102,6 +108,11 @@ def _shrink_candidates(case: VerifyCase) -> Iterator[VerifyCase]:
         yield from filter(None, [attempt(resize=())])
         if len(case.resize) > 1:
             yield from filter(None, [attempt(resize=case.resize[:1])])
+    # Untiling early: it halves the DAG surface under test (no tile
+    # graph, no chunked collectives) without touching the model, and
+    # it unlocks the seq/ranks shrinks a tile width would forbid.
+    if case.tile_tokens is not None:
+        yield from filter(None, [attempt(tile_tokens=None)])
     if case.ranks > 1:
         yield from filter(None, [attempt(ranks=case.ranks // 2)])
     if case.layers > 1:
@@ -136,10 +147,12 @@ def _shrink_candidates(case: VerifyCase) -> Iterator[VerifyCase]:
     if case.execution != "sequential":
         yield from filter(None, [attempt(execution="sequential")])
     if case.backend != "engine":
-        yield from filter(None, [attempt(backend="engine")])
+        yield from filter(None, [attempt(backend="engine",
+                                         tile_tokens=None)])
         if case.execution != "sequential":
             yield from filter(None, [attempt(execution="sequential",
-                                             backend="engine")])
+                                             backend="engine",
+                                             tile_tokens=None)])
 
 
 def shrink(case: VerifyCase,

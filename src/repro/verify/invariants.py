@@ -294,10 +294,35 @@ def _check_dag_conformance(art: "RunArtifacts") -> List[str]:
         return ["no executed op sequences recorded for a DAG-backend "
                 "run"]
     program = layer_program(case.model_config(), case.parallel_config(),
-                            case.batch, case.seq)
+                            case.batch, case.seq,
+                            tile_tokens=case.tile_tokens)
     violations = []
     for layer, executed in enumerate(art.executed_ops):
         for problem in schedule_conformance_problems(program, executed):
+            violations.append(f"layer {layer}: {problem}")
+    return violations
+
+
+def _check_tile_conformance(art: "RunArtifacts") -> List[str]:
+    """A tiled run's executed tile stream must be a permutation of the
+    tile graph's sub-ops in a valid topological (and, per §4.2, rank-
+    swizzled/ascending-chunk) order."""
+    from ..core.executor_bindings import layer_program
+    from ..runtime.dag_executor import tile_conformance_problems
+
+    case = art.case
+    program = layer_program(case.model_config(), case.parallel_config(),
+                            case.batch, case.seq,
+                            tile_tokens=case.tile_tokens)
+    if not program.tiled:
+        return [f"tile_tokens={case.tile_tokens} produced no tiled "
+                "program (no fused group decomposed)"]
+    if not art.executed_tiles:
+        return ["no executed tile streams recorded for a tiled "
+                "DAG-backend run"]
+    violations = []
+    for layer, stream in enumerate(art.executed_tiles):
+        for problem in tile_conformance_problems(program, stream):
             violations.append(f"layer {layer}: {problem}")
     return violations
 
@@ -530,6 +555,16 @@ def default_registry() -> List[Invariant]:
                         "and the overlap schedule",
             applies=lambda case: case.backend == "dag",
             check=_check_dag_conformance,
+        ),
+        Invariant(
+            name="tile_conformance",
+            description="the tiled DAG backend's executed tile stream "
+                        "is a valid interleaving of the §4.2 tile "
+                        "graph (intra-group tile deps and swizzled "
+                        "chunk order respected)",
+            applies=lambda case: (case.backend == "dag"
+                                  and case.tile_tokens is not None),
+            check=_check_tile_conformance,
         ),
         Invariant(
             name="token_conservation",

@@ -84,15 +84,23 @@ class TestVerifyCase:
 
     def test_smoke_matrix_covers_grid(self):
         cases = smoke_matrix()
-        assert len(cases) == 12
+        assert len(cases) == 18
         assert {c.execution for c in cases} == {"sequential", "threaded",
                                                 "vectorized"}
         assert {c.ep_dispatch for c in cases} == {"a2a", "ag_rs"}
         assert {c.precision for c in cases} == {"fp32", "fp8"}
-        assert len({c.case_id for c in cases}) == 12
+        assert len({c.case_id for c in cases}) == 18
         # Vectorized execution only exists in the DAG executor.
         assert all(c.backend == "dag" for c in cases
                    if c.execution == "vectorized")
+        # One tiled (§4.2) DAG leg per execution × dispatch.
+        tiled = [c for c in cases if c.tile_tokens is not None]
+        assert len(tiled) == 6
+        assert all(c.backend == "dag" for c in tiled)
+        assert {(c.execution, c.ep_dispatch) for c in tiled} == {
+            (e, d) for e in ("sequential", "threaded", "vectorized")
+            for d in ("a2a", "ag_rs")
+        }
 
 
 class TestRegistry:
