@@ -37,7 +37,7 @@ BASELINE_DIR = os.path.join(_ROOT, "benchmarks", "baselines")
 
 #: Metrics where a larger value is an improvement; everything else
 #: regresses when it grows.
-HIGHER_IS_BETTER = {"perf.mfu"}
+HIGHER_IS_BETTER = {"perf.mfu", "serve.throughput_tokens_per_s"}
 
 #: Per-metric relative tolerance overrides (default: --tolerance).
 TOLERANCES = {
@@ -47,6 +47,12 @@ TOLERANCES = {
     # Reshard accounting is exact interval arithmetic.
     "elastic.reshard_bytes": 0.001,
     "elastic.reshard_seconds_modelled": 0.001,
+    # Serving runs on a virtual clock over a seeded trace: latency
+    # percentiles and bridge bytes are exact numbers, not wall time.
+    "serve.p50_latency_s": 0.001,
+    "serve.p99_latency_s": 0.001,
+    "serve.iterations": 0.001,
+    "serve.bridge_bytes": 0.001,
 }
 
 
@@ -247,6 +253,63 @@ def elastic_metrics():
     }
 
 
+def serve_metrics():
+    """Continuous-batching serving run on the virtual clock.
+
+    The trace is seeded, iteration costs are modelled, and the
+    attention/expert bridge bytes come from the exact comm ledger, so
+    every number here is machine-independent; the run also asserts the
+    batched outputs match the unbatched sequential golden bitwise.
+    """
+    import numpy as np
+
+    from repro.comm import World
+    from repro.core.config import ModelConfig, ServeConfig
+    from repro.model import MoETransformer
+    from repro.obs import Tracer
+    from repro.serve import (ServeEngine, VirtualClock, golden_decode,
+                             poisson_trace)
+
+    config = ModelConfig("bench-serve", 2, 32, 8, 2, 48, 8, 2,
+                         vocab_size=64, seq_len=64)
+    model = MoETransformer(config, seed=0, dtype=np.float64)
+    serve_config = ServeConfig(attention_ranks=2, expert_ranks=2,
+                               kv_block_size=4, kv_blocks=64,
+                               max_batch_size=4)
+    requests = poisson_trace(8, rate=0.8, vocab=64, seed=0)
+    world = World(serve_config.world_size)
+    clock = VirtualClock()
+    engine = ServeEngine(model, serve_config, world=world,
+                         tracer=Tracer(clock=clock), clock=clock)
+    try:
+        result = engine.run(requests)
+    finally:
+        engine.shutdown()
+    golden = golden_decode(model, serve_config, requests)
+    for rid, want in golden.results.items():
+        got = result.results[rid]
+        if got.generated != want.generated or not all(
+                np.array_equal(a, b)
+                for a, b in zip(got.logits, want.logits)):
+            raise RuntimeError(
+                f"serve request {rid} diverged from the unbatched "
+                "golden — a broken scheduler must never become the "
+                "baseline")
+    tags = world.ledger.bytes_by_tag()
+    if tags["serve:dispatch_a2a"] != tags["serve:combine_a2a"]:
+        raise RuntimeError("serve dispatch/combine bytes unbalanced")
+    return {
+        "serve.p50_latency_s": result.latency["p50"],
+        "serve.p99_latency_s": result.latency["p99"],
+        "serve.mean_latency_s": result.latency["mean"],
+        "serve.throughput_tokens_per_s":
+            result.latency["throughput_tokens"],
+        "serve.iterations": float(result.n_iterations),
+        "serve.bridge_bytes": tags["serve:dispatch_a2a"]
+            + tags["serve:combine_a2a"],
+    }
+
+
 def collect(smoke, out_dir=None):
     """All regression metrics as one flat name→value dict."""
     metrics = {}
@@ -255,6 +318,7 @@ def collect(smoke, out_dir=None):
     metrics.update(tile_metrics())
     metrics.update(traced_run_metrics(smoke, out_dir))
     metrics.update(elastic_metrics())
+    metrics.update(serve_metrics())
     return metrics
 
 

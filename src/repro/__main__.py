@@ -14,10 +14,16 @@ Commands:
   subsystem: per-collective spans, an Eq. 1–4 comm-volume audit, a
   simulated overlap timeline, and a Chrome-trace JSON you can open in
   Perfetto / ``chrome://tracing``.
-* ``verify [--smoke | --elastic | --fuzz N] [--seed S]`` —
+* ``verify [--smoke | --elastic | --serve | --fuzz N] [--seed S]`` —
   differential conformance: run parallel plans against the single-rank
   golden model and print the cases × invariants matrix (exit 1 on any
-  violation).  ``--elastic`` runs the resize conformance grid instead.
+  violation).  ``--elastic`` runs the resize conformance grid;
+  ``--serve`` runs the continuous-batching serving matrix (batched vs
+  unbatched golden, bitwise).
+* ``serve-demo [N_REQUESTS]`` — continuous-batching MoE inference on
+  the decode DAG: Poisson arrivals, paged KV, disaggregated
+  attention/expert ranks, an optional mid-stream rank crash, and
+  p50/p95/p99 latency percentiles on the virtual clock.
 * ``elastic-demo [STEPS]`` — shrink the world mid-run and grow it
   back via checkpoint–reshard–resume, then diff the loss trajectory
   against the fixed-size run.
@@ -404,6 +410,88 @@ def cmd_elastic_demo(args) -> int:
     return 1
 
 
+def cmd_serve_demo(args) -> int:
+    import numpy as np
+
+    from .comm import World
+    from .core.config import ModelConfig, ServeConfig
+    from .ft import FaultPlan, FaultSpec
+    from .obs import Tracer
+    from .serve import (ServeEngine, VirtualClock, bursty_trace,
+                        golden_decode, poisson_trace)
+
+    n = args.n_requests
+    if n < 1:
+        print(f"n_requests must be >= 1, got {n}", file=sys.stderr)
+        return 2
+    config = ModelConfig("serve-demo", 2, 32, 8, 2, 48, 8, 2,
+                         vocab_size=64, seq_len=64)
+    from .model import MoETransformer
+    model = MoETransformer(config, seed=0, dtype=np.float64)
+    serve = ServeConfig(attention_ranks=2, expert_ranks=2,
+                        kv_block_size=4, kv_blocks=args.kv_blocks,
+                        max_batch_size=args.batch,
+                        execution=args.execution)
+    if args.trace == "poisson":
+        requests = poisson_trace(n, rate=0.5, vocab=64, seed=args.seed)
+    else:
+        requests = bursty_trace(n, burst_size=3, burst_gap=2.0,
+                                vocab=64, seed=args.seed)
+    world = World(serve.world_size)
+    if args.crash_at is not None:
+        world.attach_fault_plan(FaultPlan(
+            [FaultSpec(kind="crash", at_call=args.crash_at)]))
+    clock = VirtualClock()
+    tracer = Tracer(clock=clock)
+    engine = ServeEngine(model, serve, world=world, tracer=tracer,
+                        clock=clock)
+    try:
+        result = engine.run(requests)
+    finally:
+        engine.shutdown()
+    golden = golden_decode(model, serve, requests)
+
+    print(f"served {len(result.results)} requests in "
+          f"{result.n_iterations} iterations "
+          f"(batch <= {serve.max_batch_size}, {args.execution}, "
+          f"{len(engine.placement.attn_ranks)} attn + "
+          f"{len(engine.placement.expert_ranks)} expert ranks)")
+    print(f"{'req':>4s} {'arrive':>7s} {'finish':>7s} {'lat':>6s} "
+          f"{'rst':>4s}  prompt -> generated")
+    mismatches = 0
+    for rid in sorted(result.results):
+        r = result.results[rid]
+        g = golden.results[rid]
+        match = (r.generated == g.generated and all(
+            np.array_equal(a, b) for a, b in zip(r.logits, g.logits)))
+        mismatches += 0 if match else 1
+        mark = "" if match else "  MISMATCH vs golden"
+        print(f"{rid:4d} {r.arrival_time:7.2f} {r.finish_time:7.2f} "
+              f"{r.latency:6.2f} {r.restarts:4d}  "
+              f"{list(r.prompt)} -> {r.generated}{mark}")
+    lat = result.latency
+    if lat:
+        print(f"latency (virtual s)  : p50 {lat['p50']:.2f}  "
+              f"p95 {lat['p95']:.2f}  p99 {lat['p99']:.2f}  "
+              f"mean {lat['mean']:.2f}")
+        print(f"throughput           : "
+              f"{lat['throughput_tokens']:.2f} tok/s over "
+              f"{lat['span_seconds']:.2f}s")
+    print(f"crashes / evictions  : {result.n_crashes} / "
+          f"{result.n_evictions}")
+    tags = world.ledger.bytes_by_tag()
+    print(f"bridge a2a bytes     : dispatch "
+          f"{tags.get('serve:dispatch_a2a', 0.0):.0f}, combine "
+          f"{tags.get('serve:combine_a2a', 0.0):.0f}")
+    if mismatches:
+        print(f"golden check         : FAILED ({mismatches} requests "
+              f"diverged)", file=sys.stderr)
+        return 1
+    print(f"golden check         : all {len(result.results)} requests "
+          f"bitwise-identical to the unbatched sequential run")
+    return 0
+
+
 def cmd_verify(args) -> int:
     from .verify import run_matrix, smoke_matrix
     from .verify.cases import elastic_matrix
@@ -413,6 +501,15 @@ def cmd_verify(args) -> int:
         mark = "ok" if result.ok else "FAIL"
         print(f"  {result.case.case_id:48s} {mark}", flush=True)
 
+    if args.serve:
+        from .verify import run_serve_matrix, serve_matrix
+        cases = serve_matrix(seed=args.seed)
+        print(f"running the serve matrix ({len(cases)} cases, "
+              f"seed {args.seed})")
+        report = run_serve_matrix(cases, progress=progress)
+        print()
+        print(report.render())
+        return 0 if report.ok else 1
     if args.fuzz > 0:
         print(f"fuzzing {args.fuzz} random cases (seed {args.seed})")
         report = fuzz(args.fuzz, seed=args.seed, progress=progress)
@@ -506,6 +603,29 @@ def main(argv=None) -> int:
                          help="checkpoint directory (default: temp "
                               "dir)")
 
+    serve = sub.add_parser(
+        "serve-demo",
+        help="continuous-batching MoE inference with paged KV and "
+             "disaggregated expert ranks")
+    serve.add_argument("n_requests", nargs="?", type=int, default=6)
+    serve.add_argument("--trace", default="poisson",
+                       choices=["poisson", "bursty"],
+                       help="arrival process for the request trace")
+    serve.add_argument("--batch", type=int, default=3,
+                       help="max concurrent requests per iteration")
+    serve.add_argument("--kv-blocks", type=int, default=64,
+                       help="paged KV pool size (small values force "
+                            "mid-stream evictions)")
+    serve.add_argument("--execution", default="sequential",
+                       choices=["sequential", "threaded"],
+                       help="attention-rank fan-out mode")
+    serve.add_argument("--crash-at", type=int, default=None,
+                       metavar="CALL",
+                       help="inject a rank crash at the Nth collective "
+                            "call; in-flight requests re-queue and "
+                            "replay")
+    serve.add_argument("--seed", type=int, default=0)
+
     verify = sub.add_parser(
         "verify",
         help="differential conformance matrix vs the golden model")
@@ -514,6 +634,10 @@ def main(argv=None) -> int:
     verify.add_argument("--elastic", action="store_true",
                         help="run the resize conformance grid (shrink "
                              "at step 1, grow back at step 2) instead")
+    verify.add_argument("--serve", action="store_true",
+                        help="run the continuous-batching serving "
+                             "matrix (batched vs unbatched golden, "
+                             "bitwise) instead")
     verify.add_argument("--fuzz", type=int, default=0, metavar="N",
                         help="run N random fuzzed cases instead")
     verify.add_argument("--seed", type=int, default=0)
@@ -538,6 +662,7 @@ def main(argv=None) -> int:
         "ft-demo": cmd_ft_demo,
         "trace": cmd_trace,
         "elastic-demo": cmd_elastic_demo,
+        "serve-demo": cmd_serve_demo,
         "verify": cmd_verify,
     }
     return handlers[args.command](args)

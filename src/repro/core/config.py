@@ -22,6 +22,7 @@ __all__ = [
     "GPUSpec",
     "ModelConfig",
     "ParallelConfig",
+    "ServeConfig",
     "TrainConfig",
     "GPU_SPECS",
     "MODEL_ZOO",
@@ -388,3 +389,83 @@ class TrainConfig:
                 "tile_tokens requires the 'dag' backend; the engine "
                 "path has no scheduled operator graph to tile"
             )
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of the continuous-batching inference engine.
+
+    The serving path (:mod:`repro.serve`) disaggregates the model
+    DisagMoE-style: ``attention_ranks`` hold requests (and their paged
+    KV caches) while ``expert_ranks`` hold contiguous expert slices;
+    the two groups exchange activation rows through the uneven-a2a
+    collectives every MoE layer.  Iteration costs are a simple linear
+    model used to advance an injected virtual clock, which is what
+    makes the latency-SLO benchmarks deterministic in CI.
+    """
+
+    #: Ranks holding requests, KV caches, and attention compute.
+    attention_ranks: int = 2
+    #: Ranks holding contiguous expert slices (DisagMoE FFN side).
+    expert_ranks: int = 2
+    #: Tokens per paged KV block.
+    kv_block_size: int = 4
+    #: Total KV blocks in the (per-attention-rank) pool.
+    kv_blocks: int = 128
+    #: Maximum concurrently active (admitted) requests.
+    max_batch_size: int = 4
+    #: "sequential" runs attention work on the scheduler thread;
+    #: "threaded" fans per-rank attention work out to a worker pool
+    #: (bitwise-identical results — the batch axis is scheduling-only).
+    execution: str = "sequential"
+    #: Virtual-clock cost of one scheduler iteration (fixed part).
+    iteration_cost: float = 1.0
+    #: Additional virtual-clock cost per prefill token.
+    prefill_token_cost: float = 0.01
+    #: Additional virtual-clock cost per decode token.
+    decode_token_cost: float = 0.1
+    #: Generated tokens per request unless the request overrides it.
+    max_new_tokens: int = 4
+
+    def __post_init__(self):
+        if self.attention_ranks < 1:
+            raise ValueError(
+                f"attention_ranks must be >= 1, got "
+                f"{self.attention_ranks}"
+            )
+        if self.expert_ranks < 1:
+            raise ValueError(
+                f"expert_ranks must be >= 1, got {self.expert_ranks}"
+            )
+        if self.kv_block_size < 1:
+            raise ValueError(
+                f"kv_block_size must be >= 1, got {self.kv_block_size}"
+            )
+        if self.kv_blocks < 1:
+            raise ValueError(
+                f"kv_blocks must be >= 1, got {self.kv_blocks}"
+            )
+        if self.max_batch_size < 1:
+            raise ValueError(
+                f"max_batch_size must be >= 1, got "
+                f"{self.max_batch_size}"
+            )
+        if self.execution not in ("sequential", "threaded"):
+            raise ValueError(
+                f"unknown serve execution {self.execution!r}; expected "
+                "'sequential' or 'threaded'"
+            )
+        if self.max_new_tokens < 1:
+            raise ValueError(
+                f"max_new_tokens must be >= 1, got "
+                f"{self.max_new_tokens}"
+            )
+        for name in ("iteration_cost", "prefill_token_cost",
+                     "decode_token_cost"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    @property
+    def world_size(self) -> int:
+        """Total simulated ranks: attention group + expert group."""
+        return self.attention_ranks + self.expert_ranks

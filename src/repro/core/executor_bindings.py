@@ -56,6 +56,7 @@ __all__ = [
     "OpBinding",
     "build_layer_bindings",
     "expand_task",
+    "forward_binding",
     "layer_program",
     "per_rank",
     "unit_map",
@@ -139,6 +140,27 @@ def with_vec(binding: OpBinding,
              fn: Callable[[Any], Any]) -> OpBinding:
     """Attach a vectorized handler to an existing binding."""
     return replace(binding, vec=fn)
+
+
+def forward_binding(op: str, reads: Sequence[str],
+                    fn: Callable[[_SeqCtx], List[Any]],
+                    covers: Optional[Sequence[str]] = None) -> OpBinding:
+    """A sequential-only binding for forward-only (serving) programs.
+
+    Inference decode graphs run through the DAG executor's sequential
+    path exclusively — there is no per-rank-thread flavor (the serve
+    scheduler owns its own worker pool for the batch axis), so the
+    ``rank`` handler raises if a threaded-SPMD run ever reaches it.
+    """
+    covers_t = tuple(covers) if covers is not None else (op,)
+
+    def no_rank(ctx: _RankCtx) -> Any:
+        raise NotImplementedError(
+            f"binding {op!r} is forward-only; it has no per-rank-thread "
+            "handler"
+        )
+
+    return OpBinding(op, covers_t, tuple(reads), fn, no_rank)
 
 
 def per_rank(op: str, reads: Sequence[str],

@@ -239,6 +239,52 @@ class Tracer:
     def open_depth(self) -> int:
         return len(self._stack)
 
+    def record_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        cat: str = "default",
+        stream: str = "main",
+        pid: str = "train",
+        rank: Optional[int] = None,
+        phase: str = "",
+        **attrs: Any,
+    ) -> Optional[Span]:
+        """Append an already-closed span with explicit timestamps.
+
+        Continuous-batching request lifetimes overlap arbitrarily, so
+        they cannot live on the strict-LIFO per-thread stack; the serve
+        scheduler instead records each request's span whole at finish
+        time, on whatever clock it was injected with.  Like
+        :meth:`ingest_timeline`, the span never touches the stack.
+        """
+        if not self.enabled:
+            return None
+        if end < start:
+            raise ValueError(
+                f"span {name!r} ends before it starts "
+                f"({end} < {start})"
+            )
+        if rank is None:
+            rank = _current_rank()
+        span = Span(
+            name=name,
+            cat=cat,
+            start=start,
+            end=end,
+            stream=stream,
+            pid=pid,
+            rank=rank,
+            phase=phase,
+            attrs=dict(attrs),
+        )
+        with self._lock:
+            span.span_id = self._next_id
+            self._next_id += 1
+            self.spans.append(span)
+        return span
+
     # -- instant events ----------------------------------------------------
 
     def instant(
@@ -312,6 +358,18 @@ class Tracer:
             and (cat is None or s.cat == cat or s.cat.startswith(cat + "."))
             and (pid is None or s.pid == pid)
         ]
+
+    def thread_stacks(self) -> Dict[int, int]:
+        """Open-span count per registered thread stack.
+
+        Worker threads that finished cleanly should have retired their
+        stacks via :meth:`inherit_parent`\\ ``(None)``; the serve
+        scheduler's shutdown leak check asserts exactly that — any
+        surviving entry here for a dead thread is a span-stack leak.
+        """
+        with self._lock:
+            return {tid: len(stack)
+                    for tid, stack in self._stacks.items()}
 
     def children_of(self, span: Span) -> List[Span]:
         """Direct children of ``span`` (by parent link)."""

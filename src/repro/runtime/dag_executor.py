@@ -229,7 +229,8 @@ class DagExecutor:
     def run(self, inputs: Dict[str, List[Any]],
             executor: Optional[object] = None,
             tracer: Optional[object] = None,
-            vectorized: bool = False) -> DagRunResult:
+            vectorized: bool = False,
+            retain: Optional[Sequence[str]] = None) -> DagRunResult:
         """Execute the layer; returns every anchor's per-rank values.
 
         Args:
@@ -247,6 +248,11 @@ class DagExecutor:
                 runs sequentially instead — fault injection targets
                 per-rank transfers, which the permutation collectives
                 do not model.
+            retain: Forward-only (decode) mode: release each anchor's
+                activations as soon as its last reader has run, keeping
+                only these anchors (plus the layer inputs) in the
+                returned env.  ``None`` keeps everything — training
+                needs the full env for backward.  Sequential-only.
         """
         missing = [name for name in self.inputs if name not in inputs]
         if missing:
@@ -255,6 +261,11 @@ class DagExecutor:
             raise ValueError(
                 "vectorized execution is single-threaded; it cannot "
                 "take an SpmdExecutor"
+            )
+        if retain is not None and (vectorized or executor is not None):
+            raise ValueError(
+                "retain (forward-only streaming activation release) "
+                "is only supported by the sequential backend"
             )
         if vectorized:
             world = getattr(self.group, "world", None)
@@ -265,7 +276,7 @@ class DagExecutor:
         elif executor is not None:
             env = self._run_threaded(inputs, executor, tracer)
         else:
-            env = self._run_sequential(inputs, tracer)
+            env = self._run_sequential(inputs, tracer, retain)
         covers = {b.op: b.covers for b in self._bindings_in_order}
         tiles = (tiled_execution_order(self.program)
                  if getattr(self.program, "tile_graph", None) is not None
@@ -274,14 +285,34 @@ class DagExecutor:
                             covers=covers, graph=self.program.graph,
                             executed_tiles=tiles)
 
-    def _run_sequential(self, inputs, tracer) -> Dict[str, List[Any]]:
+    def _run_sequential(self, inputs, tracer,
+                        retain: Optional[Sequence[str]] = None
+                        ) -> Dict[str, List[Any]]:
         from ..core.executor_bindings import _SeqCtx
         env: Dict[str, List[Any]] = {name: list(vals)
                                      for name, vals in inputs.items()}
         ctx = _SeqCtx(self.group, env)
-        for b in self._bindings_in_order:
+        if retain is None:
+            for b in self._bindings_in_order:
+                with self._span(tracer, b):
+                    env[b.op] = b.seq(ctx)
+            return env
+        # Forward-only streaming release: drop each anchor once its
+        # last reading binding has run (inference holds no tape worth
+        # keeping alive), unless the caller retains it.
+        keep = set(retain) | set(self.inputs)
+        last_reader: Dict[str, int] = {}
+        for i, b in enumerate(self._bindings_in_order):
+            for read in b.reads:
+                last_reader[read] = i
+        for i, b in enumerate(self._bindings_in_order):
             with self._span(tracer, b):
                 env[b.op] = b.seq(ctx)
+            for name, last in last_reader.items():
+                if last == i and name not in keep and name in env:
+                    del env[name]
+            if b.op not in last_reader and b.op not in keep:
+                del env[b.op]
         return env
 
     def _run_vectorized(self, inputs, tracer) -> Dict[str, List[Any]]:

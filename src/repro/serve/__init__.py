@@ -1,0 +1,46 @@
+"""Continuous-batching MoE inference on the operator-DAG IR.
+
+The serving half of the repo: paged KV caches (:mod:`.kv_cache`),
+the forward-only decode program (:mod:`.decode`), DisagMoE-style
+disaggregated attention/expert placement over the repo's collectives
+(:mod:`.placement`), deterministic arrival traces and the virtual clock
+(:mod:`.arrivals`), and the iteration-level scheduler itself
+(:mod:`.scheduler`).
+"""
+
+from .arrivals import (Request, VirtualClock, bursty_trace,
+                       latency_summary, poisson_trace)
+from .decode import (ActiveRequest, DecodeProgram, DecodeState,
+                     build_decode_bindings, build_decode_graph,
+                     decode_program)
+from .kv_cache import (BlockAllocator, KVLeakError, KVPool, OutOfKVBlocks,
+                       PagedKVCache)
+from .placement import COMBINE_TAG, DISPATCH_TAG, DisaggregatedPlacement
+from .scheduler import (RequestResult, ServeEngine, ServeResult,
+                        golden_decode)
+
+__all__ = [
+    "ActiveRequest",
+    "BlockAllocator",
+    "COMBINE_TAG",
+    "DISPATCH_TAG",
+    "DecodeProgram",
+    "DecodeState",
+    "DisaggregatedPlacement",
+    "KVLeakError",
+    "KVPool",
+    "OutOfKVBlocks",
+    "PagedKVCache",
+    "Request",
+    "RequestResult",
+    "ServeEngine",
+    "ServeResult",
+    "VirtualClock",
+    "bursty_trace",
+    "build_decode_bindings",
+    "build_decode_graph",
+    "decode_program",
+    "golden_decode",
+    "latency_summary",
+    "poisson_trace",
+]

@@ -1,0 +1,351 @@
+"""Continuous-batching MoE serving engine.
+
+Iteration-level scheduling in the vLLM/Orca style, on top of this
+repo's own subsystems: the per-layer decode program runs through the
+:class:`~repro.runtime.dag_executor.DagExecutor` (forward-only
+``retain=`` mode), KV lives in the paged pool of
+:mod:`repro.serve.kv_cache`, MoE crosses the disaggregated
+attention/expert bridge of :mod:`repro.serve.placement`, request
+latencies land in the :class:`~repro.obs.Tracer` as closed spans on the
+injected clock, and a mid-stream :class:`~repro.ft.RankCrash` re-queues
+the in-flight requests instead of failing the run.
+
+Determinism contract: per-request compute never crosses request
+boundaries, greedy decode is a pure function of the token prefix, and
+crash/eviction recovery replays a request from scratch — so every
+admitted request's generated tokens *and* per-step logits are
+bitwise-identical to an unbatched sequential run of the same engine
+(the ``serve_golden`` invariant).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Any, Deque, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..comm import World
+from ..core.config import ServeConfig
+from ..ft import RankCrash
+from ..runtime.dag_executor import DagExecutor
+from ..tensor import ops
+from .arrivals import Request, VirtualClock, latency_summary
+from .decode import (ActiveRequest, DecodeState, build_decode_bindings,
+                     decode_program)
+from .kv_cache import KVLeakError, KVPool, OutOfKVBlocks, PagedKVCache
+from .placement import DisaggregatedPlacement
+
+__all__ = ["RequestResult", "ServeResult", "ServeEngine", "golden_decode"]
+
+
+@dataclass
+class RequestResult:
+    """One completed request's output + timing."""
+
+    request_id: int
+    prompt: tuple
+    generated: List[int]
+    logits: List[np.ndarray]
+    arrival_time: float
+    finish_time: float
+    restarts: int
+
+    @property
+    def latency(self) -> float:
+        return self.finish_time - self.arrival_time
+
+
+@dataclass
+class ServeResult:
+    """Everything one engine run produced."""
+
+    results: Dict[int, RequestResult]
+    n_iterations: int
+    n_crashes: int
+    n_evictions: int
+    latency: Dict[str, float] = field(default_factory=dict)
+
+    def tokens_of(self, request_id: int) -> List[int]:
+        """Generated token ids of one completed request."""
+        return self.results[request_id].generated
+
+
+class ServeEngine:
+    """Admits, batches, decodes, and completes inference requests."""
+
+    def __init__(self, model, config: ServeConfig,
+                 world: Optional[World] = None,
+                 tracer: Optional[Any] = None,
+                 clock: Optional[VirtualClock] = None):
+        self.model = model
+        self.config = config
+        self.clock = clock if clock is not None else VirtualClock()
+        self.tracer = tracer
+        self.placement = DisaggregatedPlacement(
+            model.config.n_experts, config, world=world)
+        if tracer is not None:
+            self.placement.world.attach_tracer(tracer)
+        attn = model.blocks[0].attn
+        self.pool = KVPool(
+            n_layers=model.config.n_layers,
+            n_kv_heads=attn.n_kv_heads,
+            head_dim=attn.head_dim,
+            n_blocks=config.kv_blocks,
+            block_size=config.kv_block_size,
+            dtype=np.float64,
+        )
+        self.state = DecodeState(model=model, placement=self.placement)
+        self.state.batch = [[] for _ in self.placement.attn_ranks]
+        self._program = decode_program()
+        self._executor = DagExecutor(
+            self._program, build_decode_bindings(self.state),
+            self.placement.bridge.world.group(self.placement.attn_ranks),
+            inputs=("hidden",))
+        self._pool_exec: Optional[ThreadPoolExecutor] = None
+        if config.execution == "threaded":
+            self._pool_exec = ThreadPoolExecutor(
+                max_workers=len(self.placement.attn_ranks),
+                thread_name_prefix="serve-attn")
+            self.state.map_ranks = self._threaded_map
+        self._admission_seq = 0
+        #: Replays per request id (crash re-queues + evictions), carried
+        #: across re-admissions.
+        self._restarts: Dict[int, int] = {}
+        self.n_iterations = 0
+        self.n_crashes = 0
+        self.n_evictions = 0
+        self._shutdown = False
+
+    # -- worker fan-out -------------------------------------------------
+
+    def _threaded_map(self, fn, xs: Sequence[Any]) -> List[Any]:
+        """One task per attention rank; workers do pure per-request
+        numpy compute and never touch the tracer's span stacks."""
+        assert self._pool_exec is not None
+        return list(self._pool_exec.map(fn, xs))
+
+    # -- admission / eviction -------------------------------------------
+
+    @property
+    def active(self) -> List[ActiveRequest]:
+        """All in-flight requests, in admission order."""
+        items = [it for rank in self.state.batch for it in rank]
+        return sorted(items, key=lambda it: it.admission_seq)
+
+    def _admit(self, waiting: Deque[Request]) -> None:
+        while waiting and len(self.active) < self.config.max_batch_size:
+            req = waiting[0]
+            if req.arrival_time > self.clock():
+                break
+            worst = req.prompt_len + req.max_new_tokens
+            if -(-worst // self.config.kv_block_size) > \
+                    self.pool.allocator.n_blocks:
+                raise OutOfKVBlocks(
+                    f"request {req.request_id} needs more KV blocks "
+                    f"than the pool holds ({self.pool.allocator.n_blocks})"
+                )
+            cache = PagedKVCache(self.pool)
+            try:
+                cache.ensure_capacity(req.prompt_len)
+            except OutOfKVBlocks:
+                break  # defer until completions free blocks
+            waiting.popleft()
+            item = ActiveRequest(req, cache, self._admission_seq)
+            item.restarts = self._restarts.get(req.request_id, 0)
+            self._admission_seq += 1
+            rank = self.placement.rank_of_request(req.request_id)
+            self.state.batch[rank].append(item)
+
+    def _remove(self, item: ActiveRequest) -> None:
+        for rank in self.state.batch:
+            if item in rank:
+                rank.remove(item)
+                return
+        raise KeyError(f"request {item.request.request_id} not active")
+
+    def _evict(self, item: ActiveRequest,
+               waiting: Deque[Request]) -> None:
+        """Return a request to the waiting queue, freeing its blocks.
+
+        The victim restarts from scratch on re-admission; determinism
+        makes the replay bitwise-identical, so eviction never perturbs
+        outputs — only latency.
+        """
+        item.reset()
+        self._remove(item)
+        self._restarts[item.request.request_id] = item.restarts
+        waiting.appendleft(item.request)
+        self.n_evictions += 1
+
+    def _grow_caches(self, waiting: Deque[Request]) -> None:
+        """Reserve this iteration's KV before any compute; evict the
+        newest-admitted victims when the pool is exhausted."""
+        for item in self.active:
+            if item not in self.active:  # evicted by a prior pass
+                continue
+            while True:
+                try:
+                    item.cache.ensure_capacity(item.cur_len)
+                    break
+                except OutOfKVBlocks:
+                    victims = [v for v in self.active if v is not item]
+                    if not victims:
+                        self._evict(item, waiting)
+                        break
+                    self._evict(victims[-1], waiting)
+
+    # -- the iteration ---------------------------------------------------
+
+    def _iteration_cost(self) -> float:
+        c = self.config
+        prefill_tokens = sum(it.cur_len for it in self.active
+                             if it.is_prefill)
+        decode_requests = sum(1 for it in self.active
+                              if not it.is_prefill)
+        return (c.iteration_cost + c.prefill_token_cost * prefill_tokens
+                + c.decode_token_cost * decode_requests)
+
+    def _forward(self) -> None:
+        """One mixed prefill+decode iteration over the active batch."""
+        model = self.model
+        hidden = [
+            [ops.embedding(model.embedding, item.cur_ids[None, :])
+             for item in rank]
+            for rank in self.state.batch
+        ]
+        for layer in range(model.config.n_layers):
+            self.state.layer = layer
+            result = self._executor.run({"hidden": hidden},
+                                        tracer=self.tracer,
+                                        retain=("ffn_residual",))
+            hidden = result.env["ffn_residual"]
+        for rank_hidden, rank_batch in zip(hidden, self.state.batch):
+            for h, item in zip(rank_hidden, rank_batch):
+                logits = model.lm_head(model.final_norm(h))
+                row = np.ascontiguousarray(logits.data[0, -1])
+                item.commit(int(np.argmax(row)), row)
+
+    def _requeue_all(self, waiting: Deque[Request]) -> None:
+        """Crash recovery: reset every in-flight request and put it
+        back at the head of the queue (admission order preserved)."""
+        for item in reversed(self.active):
+            item.reset()
+            self._remove(item)
+            self._restarts[item.request.request_id] = item.restarts
+            waiting.appendleft(item.request)
+
+    def _record_request_span(self, item: ActiveRequest) -> None:
+        if self.tracer is None:
+            return
+        self.tracer.record_span(
+            f"request-{item.request.request_id}",
+            start=item.request.arrival_time,
+            end=self.clock(),
+            cat="serve.request",
+            pid="serve",
+            new_tokens=len(item.generated),
+            prompt_tokens=item.request.prompt_len,
+            restarts=item.restarts,
+        )
+
+    def run(self, requests: Sequence[Request]) -> ServeResult:
+        """Serve a whole trace to completion."""
+        if self._shutdown:
+            raise RuntimeError("engine already shut down")
+        ids = [r.request_id for r in requests]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate request ids in trace")
+        waiting: Deque[Request] = deque(
+            sorted(requests, key=lambda r: (r.arrival_time,
+                                            r.request_id)))
+        results: Dict[int, RequestResult] = {}
+        while waiting or self.active:
+            if not self.active and waiting:
+                self.clock.advance_to(waiting[0].arrival_time)
+            self._admit(waiting)
+            if not self.active:
+                raise RuntimeError(
+                    "no request admissible despite an empty batch"
+                )
+            self._grow_caches(waiting)
+            if not self.active:
+                continue
+            t0 = self.clock()
+            try:
+                self._forward()
+            except RankCrash:
+                self.n_crashes += 1
+                self._requeue_all(waiting)
+                self.clock.advance(self.config.iteration_cost)
+                continue
+            self.clock.advance(self._iteration_cost())
+            self.n_iterations += 1
+            if self.tracer is not None:
+                self.tracer.record_span(
+                    f"iteration-{self.n_iterations}", start=t0,
+                    end=self.clock(), cat="serve.iteration",
+                    pid="serve", batch=len(self.active))
+            for item in list(self.active):
+                if item.done:
+                    item.cache.release()
+                    self._remove(item)
+                    self._record_request_span(item)
+                    results[item.request.request_id] = RequestResult(
+                        request_id=item.request.request_id,
+                        prompt=item.request.prompt,
+                        generated=list(item.generated),
+                        logits=list(item.logits_log),
+                        arrival_time=item.request.arrival_time,
+                        finish_time=self.clock(),
+                        restarts=item.restarts,
+                    )
+        latency = (latency_summary(self.tracer)
+                   if self.tracer is not None else {})
+        return ServeResult(results=results,
+                           n_iterations=self.n_iterations,
+                           n_crashes=self.n_crashes,
+                           n_evictions=self.n_evictions,
+                           latency=latency)
+
+    # -- teardown ---------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Release resources and enforce the leak contract: every KV
+        block freed, every tracer span stack empty."""
+        if self._shutdown:
+            return
+        self._shutdown = True
+        for item in self.active:
+            item.cache.release()
+            self._remove(item)
+        if self._pool_exec is not None:
+            self._pool_exec.shutdown(wait=True)
+        self.pool.allocator.assert_no_leaks()
+        if self.tracer is not None:
+            open_stacks = {tid: depth for tid, depth
+                           in self.tracer.thread_stacks().items()
+                           if depth}
+            if open_stacks:
+                raise KVLeakError(
+                    f"tracer span stacks still open at shutdown: "
+                    f"{open_stacks}"
+                )
+
+
+def golden_decode(model, config: ServeConfig,
+                  requests: Sequence[Request],
+                  tracer: Optional[Any] = None) -> ServeResult:
+    """The unbatched sequential reference: the *same* engine code with
+    ``max_batch_size=1`` and no faults — each request runs alone, so
+    its output is the per-request ground truth the continuous batcher
+    must match bitwise."""
+    golden_cfg = replace(config, max_batch_size=1,
+                         execution="sequential")
+    engine = ServeEngine(model, golden_cfg, tracer=tracer)
+    try:
+        return engine.run(requests)
+    finally:
+        engine.shutdown()

@@ -17,14 +17,17 @@ the single-rank reference.  This package makes that claim executable:
 Entry point: ``python -m repro verify --smoke``.
 """
 
-from .cases import VerifyCase, smoke_matrix
+from .cases import ServeCase, VerifyCase, serve_matrix, smoke_matrix
 from .engine import (
     CaseResult,
     ConformanceReport,
     GoldenArtifacts,
     RunArtifacts,
+    ServeArtifacts,
     run_case,
     run_matrix,
+    run_serve_case,
+    run_serve_matrix,
 )
 from .fuzz import fuzz, sample_case, shrink
 from .invariants import (
@@ -32,19 +35,26 @@ from .invariants import (
     InvariantResult,
     ToleranceBand,
     register_invariant,
+    register_serve_invariant,
     registered_invariants,
+    registered_serve_invariants,
     tolerance_for_precision,
 )
 
 __all__ = [
     "VerifyCase",
+    "ServeCase",
     "smoke_matrix",
+    "serve_matrix",
     "CaseResult",
     "ConformanceReport",
     "GoldenArtifacts",
     "RunArtifacts",
+    "ServeArtifacts",
     "run_case",
     "run_matrix",
+    "run_serve_case",
+    "run_serve_matrix",
     "fuzz",
     "sample_case",
     "shrink",
@@ -52,6 +62,8 @@ __all__ = [
     "InvariantResult",
     "ToleranceBand",
     "register_invariant",
+    "register_serve_invariant",
     "registered_invariants",
+    "registered_serve_invariants",
     "tolerance_for_precision",
 ]

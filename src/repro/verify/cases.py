@@ -20,7 +20,8 @@ from typing import Iterator, List, Optional, Tuple
 
 from ..core.config import ModelConfig, ParallelConfig, TrainConfig
 
-__all__ = ["VerifyCase", "smoke_matrix", "elastic_matrix"]
+__all__ = ["VerifyCase", "ServeCase", "smoke_matrix", "elastic_matrix",
+           "serve_matrix"]
 
 #: Execution modes × EP dispatch × comm precision of the CI smoke grid.
 SMOKE_EXECUTIONS = ("sequential", "threaded", "vectorized")
@@ -285,6 +286,152 @@ def smoke_matrix(seed: int = 0) -> List[VerifyCase]:
                     backend="dag", tile_tokens=SMOKE_TILE_TOKENS,
                     seed=seed,
                 )
+
+    return list(cases())
+
+
+@dataclass(frozen=True)
+class ServeCase:
+    """One continuous-batching serving conformance run.
+
+    The serve engine decodes a seeded arrival trace under a
+    disaggregated attention/expert placement; the conformance engine
+    replays the same trace through the unbatched sequential golden
+    decoder and checks the ``serve_*`` invariants (bitwise per-request
+    equality, dispatch/combine ledger balance, KV/span leak freedom).
+    """
+
+    attention_ranks: int = 2
+    expert_ranks: int = 2
+    layers: int = 2
+    hidden: int = 32
+    heads: int = 8
+    gqa_ratio: int = 2
+    ffn_hidden: int = 48
+    experts: int = 8
+    top_k: int = 2
+    vocab: int = 64
+    kv_block_size: int = 4
+    kv_blocks: int = 64
+    max_batch_size: int = 3
+    execution: str = "sequential"
+    #: Arrival process of the request trace.
+    trace: str = "poisson"
+    n_requests: int = 6
+    #: Collective call index at which a scheduled RankCrash fires
+    #: (None = fault-free run).
+    crash_at_call: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.attention_ranks < 1 or self.expert_ranks < 1:
+            raise ValueError(
+                "attention_ranks and expert_ranks must be >= 1"
+            )
+        if self.heads % self.gqa_ratio != 0:
+            raise ValueError(
+                f"heads={self.heads} not divisible by "
+                f"gqa_ratio={self.gqa_ratio}"
+            )
+        if self.hidden % self.heads != 0:
+            raise ValueError(
+                f"hidden={self.hidden} not divisible by "
+                f"heads={self.heads}"
+            )
+        if self.experts % self.expert_ranks != 0:
+            raise ValueError(
+                f"experts={self.experts} not divisible by "
+                f"expert_ranks={self.expert_ranks}"
+            )
+        if self.top_k > self.experts:
+            raise ValueError(
+                f"top_k={self.top_k} > experts={self.experts}"
+            )
+        if self.execution not in ("sequential", "threaded"):
+            raise ValueError(
+                f"unknown serve execution {self.execution!r}"
+            )
+        if self.trace not in ("poisson", "bursty"):
+            raise ValueError(f"unknown trace kind {self.trace!r}")
+        if self.n_requests < 1:
+            raise ValueError(
+                f"n_requests must be >= 1, got {self.n_requests}"
+            )
+        if self.max_batch_size < 1:
+            raise ValueError(
+                f"max_batch_size must be >= 1, got "
+                f"{self.max_batch_size}"
+            )
+        if self.crash_at_call is not None and self.crash_at_call < 1:
+            raise ValueError(
+                f"crash_at_call must be >= 1, got {self.crash_at_call}"
+            )
+
+    @property
+    def case_id(self) -> str:
+        parts = [
+            "serve", self.trace,
+            {"threaded": "thr"}.get(self.execution, "seq"),
+            f"a{self.attention_ranks}", f"x{self.expert_ranks}",
+            f"b{self.max_batch_size}", f"n{self.n_requests}",
+            f"g{self.gqa_ratio}",
+        ]
+        if self.crash_at_call is not None:
+            parts.append(f"cr{self.crash_at_call}")
+        if self.seed != 0:
+            parts.append(f"sd{self.seed}")
+        return "-".join(parts)
+
+    def model_config(self) -> ModelConfig:
+        """The case's model dimensions as a ModelConfig."""
+        return ModelConfig(
+            f"serve-{self.case_id}", self.layers, self.hidden,
+            self.heads, self.gqa_ratio, self.ffn_hidden, self.experts,
+            self.top_k, vocab_size=self.vocab, seq_len=64,
+        )
+
+    def serve_config(self):
+        """The case's placement/KV/batching knobs as a ServeConfig."""
+        from ..core.config import ServeConfig
+        return ServeConfig(
+            attention_ranks=self.attention_ranks,
+            expert_ranks=self.expert_ranks,
+            kv_block_size=self.kv_block_size,
+            kv_blocks=self.kv_blocks,
+            max_batch_size=self.max_batch_size,
+            execution=self.execution,
+        )
+
+    def requests(self):
+        """The seeded request trace of the case's arrival process."""
+        from ..serve.arrivals import bursty_trace, poisson_trace
+        if self.trace == "bursty":
+            return bursty_trace(self.n_requests, burst_size=3,
+                                burst_gap=2.0, vocab=self.vocab,
+                                seed=self.seed)
+        return poisson_trace(self.n_requests, rate=2.0,
+                             vocab=self.vocab, seed=self.seed)
+
+    def replace(self, **changes) -> "ServeCase":
+        """A copy of the case with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+
+def serve_matrix(seed: int = 0) -> List[ServeCase]:
+    """The serving conformance grid: both execution modes over both
+    arrival processes, a wider-GQA leg, a tight-KV eviction leg, and a
+    mid-stream rank-crash leg per execution mode."""
+
+    def cases() -> Iterator[ServeCase]:
+        for execution in ("sequential", "threaded"):
+            for trace in ("poisson", "bursty"):
+                yield ServeCase(execution=execution, trace=trace,
+                                seed=seed)
+            yield ServeCase(execution=execution, gqa_ratio=4,
+                            seed=seed)
+            yield ServeCase(execution=execution, crash_at_call=5,
+                            seed=seed)
+        yield ServeCase(kv_blocks=5, max_batch_size=4, seed=seed)
 
     return list(cases())
 

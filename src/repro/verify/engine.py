@@ -36,10 +36,13 @@ __all__ = [
     "GoldenArtifacts",
     "ElasticArtifacts",
     "RunArtifacts",
+    "ServeArtifacts",
     "CaseResult",
     "ConformanceReport",
     "run_case",
     "run_matrix",
+    "run_serve_case",
+    "run_serve_matrix",
 ]
 
 #: Learning-rate / clip schedule shared by the case and golden runs.
@@ -106,6 +109,11 @@ class RunArtifacts:
     ledger_counts: Dict[str, int]
     #: Per-layer EP dispatch telemetry (None for non-EP layers).
     telemetry: List[Optional[dict]] = field(default_factory=list)
+    #: Loud diagnostics for layers that *should* have produced
+    #: telemetry but didn't (EP cases after a forward ran).  The
+    #: telemetry-consuming invariants fail on these instead of passing
+    #: vacuously on an all-``None`` telemetry list.
+    telemetry_missing: List[str] = field(default_factory=list)
     #: Per-layer op execution order from the DAG backend (empty for
     #: engine-backend runs) — checked against the overlap schedule by
     #: the ``dag_schedule_conformance`` invariant.
@@ -233,10 +241,22 @@ def _run_parallel(case: VerifyCase,
                 name: grad for name, grad
                 in _snapshot_grads(model).items() if grad is not None
             }
-    telemetry = [
-        getattr(engine.ffn_engine, "last_telemetry", None)
-        for engine in trainer.engines
-    ]
+    telemetry: List[Optional[dict]] = []
+    telemetry_missing: List[str] = []
+    for layer, engine in enumerate(trainer.engines):
+        ffn_engine = getattr(engine, "ffn_engine", None)
+        tele = getattr(ffn_engine, "last_telemetry", None)
+        telemetry.append(tele)
+        # EP layers must surface dispatch telemetry once a forward has
+        # run; a silent ``None`` here used to make the token/router
+        # conservation invariants pass vacuously.
+        if case.ffn == "ep" and losses and tele is None:
+            telemetry_missing.append(
+                f"layer {layer}: "
+                f"{type(engine).__name__}.ffn_engine "
+                f"({type(ffn_engine).__name__}) exposed no dispatch "
+                f"telemetry after {len(losses)} training steps"
+            )
     executed_ops = [
         list(engine.last_executed_ops)
         for engine in trainer.engines
@@ -260,6 +280,7 @@ def _run_parallel(case: VerifyCase,
         ledger_total_bytes=world.ledger.total_bytes(),
         ledger_counts=world.ledger.counts(),
         telemetry=telemetry,
+        telemetry_missing=telemetry_missing,
         executed_ops=executed_ops,
         executed_tiles=executed_tiles,
     )
@@ -377,6 +398,103 @@ def run_case(case: VerifyCase,
         else:
             outcomes.append(InvariantResult(invariant.name, "pass"))
     return CaseResult(case=case, outcomes=outcomes)
+
+
+@dataclass
+class ServeArtifacts:
+    """Everything the serve invariants inspect about one serving run."""
+
+    case: object
+    requests: List[object]
+    #: The continuous-batched run under the case's placement/faults.
+    result: object
+    #: The unbatched sequential golden replay of the same trace.
+    golden: object
+    ledger_by_tag: Dict[str, float]
+    ledger_counts: Dict[str, int]
+    #: Post-shutdown KV block accounting (in_use / allocated / freed).
+    allocator: Dict[str, int]
+    #: Per-thread open-span depth at shutdown.
+    thread_stacks: Dict[int, int]
+    shutdown_error: str = ""
+
+
+def run_serve_case(case) -> CaseResult:
+    """Run one :class:`~repro.verify.cases.ServeCase` differentially.
+
+    The case's trace runs through the continuous batcher (with the
+    case's fault plan, if any), then through the unbatched sequential
+    golden decoder; the ``serve_*`` registry checks per-request bitwise
+    equality, ledger balance, and the leak contract.
+    """
+    from ..obs.tracer import Tracer
+    from ..serve.arrivals import VirtualClock
+    from ..serve.scheduler import ServeEngine, golden_decode
+    from .invariants import registered_serve_invariants
+
+    model = MoETransformer(case.model_config(), seed=case.seed,
+                           dtype=np.float64)
+    serve_config = case.serve_config()
+    world = World(serve_config.world_size)
+    if case.crash_at_call is not None:
+        from ..ft import FaultPlan, FaultSpec
+        world.attach_fault_plan(FaultPlan([
+            FaultSpec(kind="crash", at_call=case.crash_at_call)
+        ]))
+    clock = VirtualClock()
+    tracer = Tracer(clock=clock)
+    engine = ServeEngine(model, serve_config, world=world,
+                         tracer=tracer, clock=clock)
+    requests = case.requests()
+    result = engine.run(requests)
+    shutdown_error = ""
+    try:
+        engine.shutdown()
+    except Exception as exc:  # leak contract feeds the invariant
+        shutdown_error = f"{type(exc).__name__}: {exc}"
+    golden = golden_decode(model, serve_config, requests)
+    artifacts = ServeArtifacts(
+        case=case,
+        requests=list(requests),
+        result=result,
+        golden=golden,
+        ledger_by_tag=dict(world.ledger.bytes_by_tag()),
+        ledger_counts=dict(world.ledger.counts()),
+        allocator={
+            "in_use": engine.pool.allocator.in_use,
+            "allocated_total": engine.pool.allocator.allocated_total,
+            "freed_total": engine.pool.allocator.freed_total,
+        },
+        thread_stacks=dict(tracer.thread_stacks()),
+        shutdown_error=shutdown_error,
+    )
+    outcomes: List[InvariantResult] = []
+    for invariant in registered_serve_invariants():
+        if not invariant.applies(case):
+            outcomes.append(InvariantResult(invariant.name, "skip"))
+            continue
+        violations = invariant.check(artifacts)
+        if violations:
+            outcomes.append(InvariantResult(
+                invariant.name, "fail", "; ".join(violations)))
+        else:
+            outcomes.append(InvariantResult(invariant.name, "pass"))
+    return CaseResult(case=case, outcomes=outcomes)
+
+
+def run_serve_matrix(cases: Sequence[object],
+                     progress: Optional[Callable[[CaseResult], None]]
+                     = None) -> ConformanceReport:
+    """Run every serve case; ``progress`` receives results as they
+    land.  Returns the same matrix report shape as :func:`run_matrix`
+    so `repro verify --serve` renders identically."""
+    results = []
+    for case in cases:
+        result = run_serve_case(case)
+        if progress is not None:
+            progress(result)
+        results.append(result)
+    return ConformanceReport(results=results)
 
 
 def run_matrix(cases: Sequence[VerifyCase],

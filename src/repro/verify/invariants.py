@@ -57,6 +57,9 @@ __all__ = [
     "register_invariant",
     "registered_invariants",
     "default_registry",
+    "register_serve_invariant",
+    "registered_serve_invariants",
+    "default_serve_registry",
 ]
 
 
@@ -328,7 +331,11 @@ def _check_tile_conformance(art: "RunArtifacts") -> List[str]:
 
 
 def _check_token_conservation(art: "RunArtifacts") -> List[str]:
-    violations = []
+    # Absent telemetry on a layer that should have produced it is a
+    # failure, not a free pass: conservation cannot be claimed on
+    # evidence that was never recorded.
+    violations = [f"telemetry missing: {msg}"
+                  for msg in art.telemetry_missing]
     for layer, tele in enumerate(art.telemetry):
         if tele is None:
             continue
@@ -375,7 +382,8 @@ def _check_token_conservation(art: "RunArtifacts") -> List[str]:
 
 
 def _check_router_mass(art: "RunArtifacts") -> List[str]:
-    violations = []
+    violations = [f"telemetry missing: {msg}"
+                  for msg in art.telemetry_missing]
     for layer, tele in enumerate(art.telemetry):
         if tele is None:
             continue
@@ -500,6 +508,148 @@ def _check_elastic_resume(art: "RunArtifacts") -> List[str]:
     return violations
 
 
+# -- serving invariants ------------------------------------------------------
+#
+# Serving runs produce ServeArtifacts (see repro.verify.engine), not
+# RunArtifacts, so they live in their own registry: the training matrix
+# never evaluates them and vice versa.
+
+_SERVE_REGISTRY: Dict[str, Invariant] = {}
+
+
+def register_serve_invariant(invariant: Invariant) -> Invariant:
+    """Add (or replace) an invariant in the serving registry."""
+    _SERVE_REGISTRY[invariant.name] = invariant
+    return invariant
+
+
+def registered_serve_invariants() -> List[Invariant]:
+    """All serving invariants, in registration order."""
+    return list(_SERVE_REGISTRY.values())
+
+
+def _check_serve_golden(art) -> List[str]:
+    """Continuous-batched decode must complete every admitted request
+    with tokens *and* per-step logits bitwise-equal to the unbatched
+    sequential golden decode of the same trace."""
+    violations = []
+    want_ids = {r.request_id for r in art.requests}
+    got_ids = set(art.result.results)
+    missing = sorted(want_ids - got_ids)
+    if missing:
+        violations.append(f"requests never completed: {missing}")
+    gold_ids = set(art.golden.results)
+    for rid in sorted(want_ids & got_ids & gold_ids):
+        got = art.result.results[rid]
+        want = art.golden.results[rid]
+        if got.generated != want.generated:
+            violations.append(
+                f"request {rid}: tokens {got.generated} != golden "
+                f"{want.generated}"
+            )
+            continue
+        for step, (a, b) in enumerate(zip(got.logits, want.logits)):
+            if not np.array_equal(a, b):
+                violations.append(
+                    f"request {rid} step {step}: logits not "
+                    f"bitwise-equal to golden (max |Δ| "
+                    f"{float(np.abs(a - b).max()):.3g})"
+                )
+                break
+    return violations
+
+
+def _check_serve_comm_balance(art) -> List[str]:
+    """Every dispatched byte comes back: the serve:dispatch_a2a and
+    serve:combine_a2a ledger buckets must balance exactly, and no serve
+    traffic may leak into the training (Eq. 1-4 audited) buckets."""
+    violations = []
+    by_tag = art.ledger_by_tag
+    dispatch = by_tag.get("serve:dispatch_a2a", 0.0)
+    combine = by_tag.get("serve:combine_a2a", 0.0)
+    if dispatch != combine:
+        violations.append(
+            f"dispatch bytes {dispatch:.0f} != combine bytes "
+            f"{combine:.0f}"
+        )
+    if dispatch == 0.0 and art.result.n_iterations > 0:
+        violations.append(
+            "no serve:dispatch_a2a traffic recorded despite "
+            f"{art.result.n_iterations} iterations"
+        )
+    stray = [tag for tag in by_tag if not tag.startswith("serve:")]
+    if stray:
+        violations.append(
+            f"serving run recorded traffic under non-serve tags: "
+            f"{sorted(stray)!r}"
+        )
+    n_dispatch = art.ledger_counts.get("all_to_all", 0)
+    if n_dispatch % 2 != 0:
+        violations.append(
+            f"odd all_to_all count {n_dispatch}: a dispatch is "
+            "missing its combine"
+        )
+    return violations
+
+
+def _check_serve_leaks(art) -> List[str]:
+    """Scheduler shutdown frees every paged KV block and leaves every
+    tracer span stack empty."""
+    violations = []
+    alloc = art.allocator
+    if alloc["in_use"]:
+        violations.append(
+            f"{alloc['in_use']} KV blocks still held after shutdown"
+        )
+    if alloc["allocated_total"] != alloc["freed_total"]:
+        violations.append(
+            f"KV accounting imbalance: allocated "
+            f"{alloc['allocated_total']}, freed {alloc['freed_total']}"
+        )
+    open_stacks = {tid: d for tid, d in art.thread_stacks.items() if d}
+    if open_stacks:
+        violations.append(
+            f"tracer span stacks still open: {open_stacks}"
+        )
+    if art.shutdown_error:
+        violations.append(f"shutdown raised: {art.shutdown_error}")
+    return violations
+
+
+def default_serve_registry() -> List[Invariant]:
+    """(Re)register and return the built-in serving invariants."""
+    builtins = [
+        Invariant(
+            name="serve_golden",
+            description="continuous-batched decode completes every "
+                        "request with tokens and logits bitwise-equal "
+                        "to the unbatched sequential golden",
+            applies=lambda case: True,
+            check=_check_serve_golden,
+        ),
+        Invariant(
+            name="serve_comm_balance",
+            description="serve:dispatch_a2a and serve:combine_a2a "
+                        "ledger bytes balance exactly and stay out of "
+                        "the training audit buckets",
+            # A crash aborts an iteration between dispatch and combine,
+            # legitimately leaving one unpaired dispatch record.
+            applies=lambda case: case.crash_at_call is None,
+            check=_check_serve_comm_balance,
+        ),
+        Invariant(
+            name="serve_leaks",
+            description="every paged KV block allocated is freed and "
+                        "every tracer span stack is empty at shutdown",
+            applies=lambda case: True,
+            check=_check_serve_leaks,
+        ),
+    ]
+    for invariant in builtins:
+        register_serve_invariant(invariant)
+    return builtins
+
+
 def default_registry() -> List[Invariant]:
     """(Re)register and return the built-in invariants."""
     builtins = [
@@ -606,3 +756,4 @@ def default_registry() -> List[Invariant]:
 
 
 default_registry()
+default_serve_registry()

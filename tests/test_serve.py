@@ -1,0 +1,572 @@
+"""Serving subsystem (repro.serve) tests.
+
+Coverage in four layers: the paged-KV plumbing (allocator accounting,
+GQA-shaped pool, block-table reads/writes), the determinism contract
+(continuous-batched output bitwise vs the unbatched sequential golden,
+across GQA ratios, ragged lengths, staggered admission, eviction,
+threading, and mid-stream rank crashes), the leak/trace contracts at
+shutdown, and the serve verify registry — including proof that each
+``serve_*`` invariant catches a hand-tampered artifact of its bug
+class, and that the verify-telemetry fix fails loudly when an EP
+engine stops exposing dispatch telemetry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import World
+from repro.core.config import ModelConfig, ServeConfig
+from repro.ft import FaultPlan, FaultSpec
+from repro.model import MoETransformer
+from repro.obs import Tracer
+from repro.serve import (
+    BlockAllocator,
+    KVLeakError,
+    KVPool,
+    OutOfKVBlocks,
+    PagedKVCache,
+    Request,
+    ServeEngine,
+    VirtualClock,
+    bursty_trace,
+    golden_decode,
+    latency_summary,
+    poisson_trace,
+)
+from repro.verify import (
+    ServeCase,
+    run_serve_case,
+    serve_matrix,
+)
+from repro.verify.engine import ServeArtifacts
+from repro.verify.invariants import (
+    _check_serve_comm_balance,
+    _check_serve_golden,
+    _check_serve_leaks,
+)
+
+
+def tiny_model(gqa_ratio=2, n_layers=2, seed=0):
+    config = ModelConfig("serve-test", n_layers, 32, 8, gqa_ratio, 48,
+                         8, 2, vocab_size=64, seq_len=64)
+    return MoETransformer(config, seed=seed, dtype=np.float64)
+
+
+def serve_config(**kw):
+    base = dict(attention_ranks=2, expert_ranks=2, kv_block_size=4,
+                kv_blocks=64, max_batch_size=3)
+    base.update(kw)
+    return ServeConfig(**base)
+
+
+def run_engine(model, config, requests, fault_plan=None,
+               with_tracer=True):
+    world = World(config.world_size)
+    if fault_plan is not None:
+        world.attach_fault_plan(fault_plan)
+    clock = VirtualClock()
+    tracer = Tracer(clock=clock) if with_tracer else None
+    engine = ServeEngine(model, config, world=world, tracer=tracer,
+                         clock=clock)
+    try:
+        result = engine.run(requests)
+    finally:
+        engine.shutdown()
+    return result, engine, world
+
+
+def assert_bitwise(result, golden):
+    assert set(result.results) == set(golden.results)
+    for rid, got in result.results.items():
+        want = golden.results[rid]
+        assert got.generated == want.generated, f"request {rid} tokens"
+        assert len(got.logits) == len(want.logits)
+        for step, (a, b) in enumerate(zip(got.logits, want.logits)):
+            assert np.array_equal(a, b), f"request {rid} step {step}"
+
+
+class TestBlockAllocator:
+    def test_accounting(self):
+        alloc = BlockAllocator(4)
+        a = alloc.allocate(3)
+        assert alloc.in_use == 3 and alloc.free_blocks == 1
+        assert alloc.allocated_total == 3
+        alloc.free(a)
+        assert alloc.in_use == 0
+        assert alloc.freed_total == 3
+        alloc.assert_no_leaks()
+
+    def test_all_or_nothing(self):
+        alloc = BlockAllocator(2)
+        with pytest.raises(OutOfKVBlocks):
+            alloc.allocate(3)
+        assert alloc.in_use == 0  # failed allocation takes nothing
+
+    def test_double_free_rejected(self):
+        alloc = BlockAllocator(2)
+        blocks = alloc.allocate(1)
+        alloc.free(blocks)
+        with pytest.raises(ValueError, match="double free"):
+            alloc.free(blocks)
+
+    def test_leak_detected(self):
+        alloc = BlockAllocator(2)
+        alloc.allocate(1)
+        with pytest.raises(KVLeakError, match="1 blocks still held"):
+            alloc.assert_no_leaks()
+
+
+class TestKVPool:
+    def test_gqa_head_axis(self):
+        # The pool stores n_kv_heads = n_heads / gqa_ratio heads, not
+        # n_heads — the structural GQA memory saving.
+        pool = KVPool(n_layers=2, n_kv_heads=2, head_dim=4,
+                      n_blocks=8, block_size=4)
+        assert pool.k.shape == (2, 8, 4, 2, 4)
+        assert pool.v.shape == pool.k.shape
+
+    def test_put_gather_roundtrip_across_blocks(self):
+        rng = np.random.default_rng(0)
+        pool = KVPool(n_layers=1, n_kv_heads=2, head_dim=3,
+                      n_blocks=8, block_size=4)
+        cache = PagedKVCache(pool)
+        k = rng.standard_normal((10, 2, 3))
+        v = rng.standard_normal((10, 2, 3))
+        cache.ensure_capacity(10)
+        cache.put(0, k[:6], v[:6], start=0)
+        cache.put(0, k[6:], v[6:], start=6)
+        cache.advance(10)
+        k_got, v_got = cache.gather(0, 10)
+        assert np.array_equal(k_got, k)
+        assert np.array_equal(v_got, v)
+        cache.release()
+        pool.allocator.assert_no_leaks()
+
+    def test_put_past_capacity_rejected(self):
+        pool = KVPool(1, 2, 3, n_blocks=2, block_size=4)
+        cache = PagedKVCache(pool)
+        cache.ensure_capacity(4)
+        with pytest.raises(OutOfKVBlocks, match="capacity"):
+            cache.put(0, np.zeros((5, 2, 3)), np.zeros((5, 2, 3)), 0)
+        cache.release()
+
+    def test_release_is_idempotent_and_resets(self):
+        pool = KVPool(1, 2, 3, n_blocks=4, block_size=4)
+        cache = PagedKVCache(pool)
+        cache.ensure_capacity(6)
+        cache.advance(6)
+        cache.release()
+        cache.release()
+        assert cache.length == 0 and cache.blocks == []
+        pool.allocator.assert_no_leaks()
+
+
+class TestArrivals:
+    def test_poisson_seeded_and_sorted(self):
+        a = poisson_trace(8, rate=1.0, vocab=32, seed=3)
+        b = poisson_trace(8, rate=1.0, vocab=32, seed=3)
+        assert a == b
+        times = [r.arrival_time for r in a]
+        assert times == sorted(times)
+        assert all(1 <= len(r.prompt) for r in a)
+
+    def test_bursty_groups(self):
+        trace = bursty_trace(6, burst_size=3, burst_gap=2.0, vocab=32)
+        times = [r.arrival_time for r in trace]
+        assert times == [0.0, 0.0, 0.0, 2.0, 2.0, 2.0]
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            Request(0, prompt=(), max_new_tokens=1)
+        with pytest.raises(ValueError):
+            Request(0, prompt=(1,), max_new_tokens=0)
+        with pytest.raises(ValueError):
+            Request(0, prompt=(1,), max_new_tokens=1, arrival_time=-1)
+
+    def test_virtual_clock(self):
+        clock = VirtualClock()
+        clock.advance(2.5)
+        clock.advance_to(1.0)  # no-op backwards
+        assert clock() == 2.5
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+    def test_latency_summary_deterministic(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock=clock)
+        for i, dur in enumerate([1.0, 2.0, 3.0, 4.0]):
+            tracer.record_span(f"request-{i}", start=float(i),
+                               end=float(i) + dur, cat="serve.request",
+                               pid="serve", new_tokens=2)
+        lat = latency_summary(tracer)
+        assert lat["count"] == 4.0
+        assert lat["p50"] == pytest.approx(2.5)
+        assert lat["mean"] == pytest.approx(2.5)
+        assert lat["throughput_tokens"] == pytest.approx(8.0 / 7.0)
+
+    def test_latency_summary_empty(self):
+        lat = latency_summary(Tracer(clock=VirtualClock()))
+        assert lat["count"] == 0.0 and lat["p50"] == 0.0
+
+
+class TestPrefillExactness:
+    def test_prefill_logits_match_model_forward(self):
+        """The prefill step of the serving engine runs the reference
+        RoPE/attention code path, so its first-token logits are
+        bitwise-equal to a whole-prompt model forward."""
+        model = tiny_model()
+        config = serve_config(max_batch_size=1)
+        prompt = (5, 17, 30, 2)
+        req = Request(0, prompt=prompt, max_new_tokens=1)
+        result, _, _ = run_engine(model, config, [req])
+        ref = model(np.asarray([prompt]))
+        assert np.array_equal(
+            result.results[0].logits[0],
+            np.ascontiguousarray(ref.logits.data[0, -1]))
+
+
+class TestGoldenBitwise:
+    @pytest.mark.parametrize("gqa_ratio", [1, 2, 4])
+    def test_batched_matches_golden(self, gqa_ratio):
+        model = tiny_model(gqa_ratio=gqa_ratio)
+        config = serve_config()
+        requests = poisson_trace(6, rate=0.5, vocab=64, seed=1)
+        result, _, _ = run_engine(model, config, requests)
+        assert_bitwise(result, golden_decode(model, config, requests))
+
+    def test_ragged_lengths_and_simultaneous_admission(self):
+        model = tiny_model()
+        config = serve_config(max_batch_size=4)
+        requests = [
+            Request(0, prompt=(1,), max_new_tokens=6),
+            Request(1, prompt=tuple(range(9)), max_new_tokens=2),
+            Request(2, prompt=(3, 4), max_new_tokens=4),
+            Request(3, prompt=(60, 61, 62), max_new_tokens=1),
+        ]
+        result, _, _ = run_engine(model, config, requests)
+        assert_bitwise(result, golden_decode(model, config, requests))
+
+    def test_staggered_admission_mid_stream(self):
+        # Request 2 arrives while 0 and 1 are mid-decode; batch
+        # composition changes every few iterations.
+        model = tiny_model()
+        config = serve_config(max_batch_size=2)
+        requests = [
+            Request(0, prompt=(1, 2), max_new_tokens=5,
+                    arrival_time=0.0),
+            Request(1, prompt=(3, 4, 5), max_new_tokens=5,
+                    arrival_time=0.5),
+            Request(2, prompt=(6,), max_new_tokens=3,
+                    arrival_time=2.0),
+        ]
+        result, _, _ = run_engine(model, config, requests)
+        assert result.n_iterations > 5
+        assert_bitwise(result, golden_decode(model, config, requests))
+
+    def test_threaded_matches_sequential(self):
+        model = tiny_model()
+        requests = poisson_trace(6, rate=0.5, vocab=64, seed=2)
+        seq, _, _ = run_engine(model, serve_config(), requests)
+        thr, _, _ = run_engine(
+            model, serve_config(execution="threaded"), requests)
+        assert_bitwise(thr, seq)
+
+    def test_eviction_replays_bitwise(self):
+        # A pool too small for the batch forces mid-stream evictions;
+        # victims replay from scratch and still match the golden.
+        model = tiny_model()
+        config = serve_config(kv_blocks=5, max_batch_size=4)
+        requests = poisson_trace(6, rate=1.0, vocab=64, seed=0)
+        result, _, _ = run_engine(model, config, requests)
+        assert result.n_evictions > 0
+        assert_bitwise(result, golden_decode(model, config, requests))
+
+    def test_oversized_request_rejected_upfront(self):
+        model = tiny_model()
+        config = serve_config(kv_blocks=2, kv_block_size=4)
+        req = Request(0, prompt=tuple(range(7)), max_new_tokens=4)
+        world = World(config.world_size)
+        engine = ServeEngine(model, config, world=world)
+        with pytest.raises(OutOfKVBlocks, match="request 0"):
+            engine.run([req])
+        engine._requeue_all(__import__("collections").deque())
+        engine.shutdown()
+
+    def test_duplicate_request_ids_rejected(self):
+        model = tiny_model(n_layers=1)
+        engine = ServeEngine(model, serve_config())
+        reqs = [Request(0, prompt=(1,), max_new_tokens=1),
+                Request(0, prompt=(2,), max_new_tokens=1)]
+        with pytest.raises(ValueError, match="duplicate"):
+            engine.run(reqs)
+        engine.shutdown()
+
+
+class TestCrashRecovery:
+    def test_crash_requeues_and_completes_bitwise(self):
+        model = tiny_model()
+        config = serve_config()
+        requests = poisson_trace(6, rate=0.5, vocab=64, seed=0)
+        plan = FaultPlan([FaultSpec(kind="crash", at_call=5)])
+        result, _, world = run_engine(model, config, requests,
+                                      fault_plan=plan)
+        assert result.n_crashes == 1
+        assert [e.kind for e in plan.fired] == ["crash"]
+        assert len(result.results) == len(requests)
+        assert_bitwise(result, golden_decode(model, config, requests))
+
+    def test_restart_counts_survive_readmission(self):
+        model = tiny_model()
+        config = serve_config()
+        requests = poisson_trace(6, rate=0.5, vocab=64, seed=0)
+        plan = FaultPlan([FaultSpec(kind="crash", at_call=5)])
+        result, _, _ = run_engine(model, config, requests,
+                                  fault_plan=plan)
+        assert sum(r.restarts for r in result.results.values()) >= 1
+
+
+class TestLeakContract:
+    def test_shutdown_flags_leaked_block(self):
+        model = tiny_model(n_layers=1)
+        engine = ServeEngine(model, serve_config())
+        engine.pool.allocator.allocate(1)  # simulate a lost block
+        with pytest.raises(KVLeakError):
+            engine.shutdown()
+
+    def test_shutdown_flags_open_span_stack(self):
+        model = tiny_model(n_layers=1)
+        clock = VirtualClock()
+        tracer = Tracer(clock=clock)
+        engine = ServeEngine(model, serve_config(), tracer=tracer,
+                             clock=clock)
+        tracer.begin("dangling", cat="test")
+        with pytest.raises(KVLeakError, match="span stacks"):
+            engine.shutdown()
+
+    def test_clean_run_leaks_nothing(self):
+        model = tiny_model(n_layers=1)
+        requests = poisson_trace(4, rate=1.0, vocab=64, seed=0)
+        _, engine, _ = run_engine(model, serve_config(), requests)
+        assert engine.pool.allocator.in_use == 0
+        assert (engine.pool.allocator.allocated_total
+                == engine.pool.allocator.freed_total > 0)
+
+    def test_run_after_shutdown_rejected(self):
+        model = tiny_model(n_layers=1)
+        engine = ServeEngine(model, serve_config())
+        engine.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            engine.run([Request(0, prompt=(1,), max_new_tokens=1)])
+
+
+class TestBridgeLedger:
+    def test_dispatch_combine_balanced_and_tagged(self):
+        model = tiny_model()
+        requests = poisson_trace(4, rate=1.0, vocab=64, seed=0)
+        _, _, world = run_engine(model, serve_config(), requests)
+        tags = world.ledger.bytes_by_tag()
+        assert set(tags) == {"serve:dispatch_a2a", "serve:combine_a2a"}
+        assert tags["serve:dispatch_a2a"] == tags["serve:combine_a2a"]
+        assert tags["serve:dispatch_a2a"] > 0
+
+    def test_latency_percentiles_from_virtual_clock(self):
+        model = tiny_model(n_layers=1)
+        requests = poisson_trace(5, rate=1.0, vocab=64, seed=0)
+        r1, _, _ = run_engine(model, serve_config(), requests)
+        r2, _, _ = run_engine(model, serve_config(), requests)
+        assert r1.latency == r2.latency  # exact, CI-stable numbers
+        assert r1.latency["count"] == 5.0
+        assert r1.latency["p99"] >= r1.latency["p95"] >= \
+            r1.latency["p50"] > 0
+
+
+class TestServeCase:
+    def test_defaults_and_case_id(self):
+        case = ServeCase()
+        assert case.case_id == "serve-poisson-seq-a2-x2-b3-n6-g2"
+        assert ServeCase(execution="threaded",
+                         crash_at_call=5).case_id.endswith("-cr5")
+
+    @pytest.mark.parametrize("changes", [
+        dict(attention_ranks=0),
+        dict(experts=6, expert_ranks=4),   # not divisible
+        dict(heads=6, gqa_ratio=4),        # not divisible
+        dict(trace="uniform"),
+        dict(execution="mpi"),
+        dict(max_batch_size=0),
+    ])
+    def test_validation_rejects(self, changes):
+        with pytest.raises(ValueError):
+            ServeCase(**changes)
+
+    def test_matrix_covers_required_legs(self):
+        cases = serve_matrix()
+        ids = [c.case_id for c in cases]
+        assert len(ids) == len(set(ids))
+        assert any("thr" in i for i in ids)
+        assert any("-cr" in i for i in ids)
+        assert any("bursty" in i for i in ids)
+        assert any(c.gqa_ratio > 2 for c in cases)
+
+    def test_run_serve_case_conformant(self):
+        case = ServeCase(n_requests=3, layers=1)
+        result = run_serve_case(case)
+        assert result.ok, result.render_line()
+
+
+def _artifacts(**overrides):
+    """A minimal healthy ServeArtifacts for tamper tests."""
+    from repro.serve.scheduler import RequestResult, ServeResult
+
+    def res(gen, logits):
+        return ServeResult(
+            results={0: RequestResult(0, (1,), list(gen),
+                                      [np.asarray(l) for l in logits],
+                                      0.0, 1.0, 0)},
+            n_iterations=2, n_crashes=0, n_evictions=0)
+
+    base = dict(
+        case=ServeCase(),
+        requests=[Request(0, prompt=(1,), max_new_tokens=2)],
+        result=res([3, 4], [[0.0, 1.0], [1.0, 0.0]]),
+        golden=res([3, 4], [[0.0, 1.0], [1.0, 0.0]]),
+        ledger_by_tag={"serve:dispatch_a2a": 64.0,
+                       "serve:combine_a2a": 64.0},
+        ledger_counts={"all_to_all": 4},
+        allocator={"in_use": 0, "allocated_total": 3,
+                   "freed_total": 3},
+        thread_stacks={},
+        shutdown_error="",
+    )
+    base.update(overrides)
+    return ServeArtifacts(**base)
+
+
+class TestServeInvariantsCatchBugs:
+    def test_healthy_artifacts_pass(self):
+        art = _artifacts()
+        assert not _check_serve_golden(art)
+        assert not _check_serve_comm_balance(art)
+        assert not _check_serve_leaks(art)
+
+    def test_golden_catches_token_divergence(self):
+        from repro.serve.scheduler import RequestResult, ServeResult
+        bad = ServeResult(
+            results={0: RequestResult(0, (1,), [3, 5],
+                                      [np.asarray([0.0, 1.0]),
+                                       np.asarray([1.0, 0.0])],
+                                      0.0, 1.0, 0)},
+            n_iterations=2, n_crashes=0, n_evictions=0)
+        violations = _check_serve_golden(_artifacts(result=bad))
+        assert violations and "request 0" in violations[0]
+
+    def test_golden_catches_logit_bitflip(self):
+        art = _artifacts()
+        art.result.results[0].logits[1] = np.asarray([1.0, 1e-16])
+        assert _check_serve_golden(art)
+
+    def test_golden_catches_dropped_request(self):
+        from repro.serve.scheduler import ServeResult
+        empty = ServeResult(results={}, n_iterations=2, n_crashes=0,
+                            n_evictions=0)
+        violations = _check_serve_golden(_artifacts(result=empty))
+        assert violations
+
+    def test_comm_balance_catches_imbalance(self):
+        art = _artifacts(ledger_by_tag={"serve:dispatch_a2a": 64.0,
+                                        "serve:combine_a2a": 32.0})
+        assert _check_serve_comm_balance(art)
+
+    def test_comm_balance_catches_untagged_traffic(self):
+        art = _artifacts(ledger_by_tag={"serve:dispatch_a2a": 64.0,
+                                        "serve:combine_a2a": 64.0,
+                                        "": 8.0})
+        assert _check_serve_comm_balance(art)
+
+    def test_leaks_catches_held_blocks(self):
+        art = _artifacts(allocator={"in_use": 1, "allocated_total": 3,
+                                    "freed_total": 2})
+        assert _check_serve_leaks(art)
+
+    def test_leaks_catches_open_spans(self):
+        assert _check_serve_leaks(_artifacts(thread_stacks={123: 2}))
+
+    def test_leaks_catches_shutdown_error(self):
+        assert _check_serve_leaks(
+            _artifacts(shutdown_error="KVLeakError: boom"))
+
+
+class TestTelemetrySoundness:
+    """The satellite fix: verify's telemetry invariants must fail
+    loudly — naming the engine — when an EP FFN engine stops exposing
+    dispatch telemetry, instead of passing vacuously."""
+
+    def _case(self):
+        from repro.verify import VerifyCase
+        return VerifyCase(ranks=2, layers=1, hidden=16, heads=4,
+                          gqa_ratio=2, ffn_hidden=16, experts=2,
+                          top_k=1, vocab=32, batch=1, seq=4, steps=1)
+
+    def test_normal_ep_case_reports_telemetry(self):
+        from repro.verify import run_case
+        result = run_case(self._case())
+        by_name = {o.name: o.status for o in result.outcomes}
+        assert by_name["token_conservation"] == "pass"
+        assert by_name["router_mass"] == "pass"
+
+    def test_missing_telemetry_fails_loudly(self, monkeypatch):
+        from repro.parallel import ep_ffn
+        from repro.verify import run_case
+
+        orig = ep_ffn.EPFFNEngine.forward
+
+        def stripped(self, *args, **kwargs):
+            out = orig(self, *args, **kwargs)
+            self.last_telemetry = None
+            return out
+
+        monkeypatch.setattr(ep_ffn.EPFFNEngine, "forward", stripped)
+        result = run_case(self._case())
+        by_name = {o.name: o for o in result.outcomes}
+        for name in ("token_conservation", "router_mass"):
+            assert by_name[name].status == "fail"
+            assert "telemetry missing" in by_name[name].detail
+            assert "EPFFNEngine" in by_name[name].detail
+
+
+class TestDagExecutorRetain:
+    def test_retain_releases_intermediates(self):
+        """Forward-only mode drops every anchor after its last reader;
+        only inputs and the retained set survive in the result env."""
+        from repro.serve.decode import (DecodeState,
+                                        build_decode_bindings,
+                                        decode_program)
+        from repro.serve.placement import DisaggregatedPlacement
+        from repro.runtime.dag_executor import DagExecutor
+        from repro.tensor import ops
+
+        model = tiny_model(n_layers=1)
+        config = serve_config()
+        placement = DisaggregatedPlacement(model.config.n_experts,
+                                           config)
+        state = DecodeState(model=model, placement=placement)
+        pool = KVPool(1, 4, 4, n_blocks=16, block_size=4)
+        from repro.serve.decode import ActiveRequest
+        req = Request(0, prompt=(1, 2, 3), max_new_tokens=1)
+        item = ActiveRequest(req, PagedKVCache(pool), 0)
+        item.cache.ensure_capacity(3)
+        state.batch = [[item], []]
+        executor = DagExecutor(
+            decode_program(), build_decode_bindings(state),
+            placement.world.group(placement.attn_ranks),
+            inputs=("hidden",))
+        hidden = [[ops.embedding(model.embedding,
+                                 item.cur_ids[None, :])], []]
+        result = executor.run({"hidden": hidden},
+                              retain=("ffn_residual",))
+        assert "ffn_residual" in result.env
+        assert "hidden" in result.env  # inputs always survive
+        assert "qkv" not in result.env
+        assert "moe_experts" not in result.env
+        item.cache.release()
+        pool.allocator.assert_no_leaks()
