@@ -12,8 +12,9 @@ already is to the searchable optimum.
 import pytest
 
 from conftest import report
-from repro.core.autoschedule import AutoScheduler
-from repro.core.config import GPU_SPECS, MODEL_ZOO, ParallelConfig
+from repro.core.autoschedule import AutoScheduler, optimize_plan
+from repro.core.cluster import ClusterSpec
+from repro.core.config import GPU_SPECS, MODEL_ZOO, ParallelConfig, TrainConfig
 from repro.core.operators import build_backward_graph, build_forward_graph
 from repro.core.schedule import OverlapConfig
 from repro.perf.estimator import KernelModel
@@ -69,3 +70,61 @@ def test_future_autoschedule(benchmark):
         # ...and the holistic schedule is within 10% of anything the
         # search finds — the paper's engineering effort, validated.
         assert r["gain"] < 0.10, r["case"]
+
+
+PLAN_CASES = [
+    ("mixtral-8x2b 2x8 h800",
+     MODEL_ZOO["mixtral-8x2b"],
+     ClusterSpec.homogeneous("h800", n_nodes=2),
+     TrainConfig(global_batch_size=64, micro_batch_size=2)),
+    ("mixtral-8x7b 4x8 h800",
+     MODEL_ZOO["mixtral-8x7b"],
+     ClusterSpec.homogeneous("h800", n_nodes=4),
+     TrainConfig(global_batch_size=512, micro_batch_size=2)),
+]
+
+
+def run_plan_search():
+    rows = []
+    for label, model, cluster, train in PLAN_CASES:
+        result = optimize_plan(model, cluster, train, budget=60, seed=0)
+        best = result.plan.best
+        rows.append({
+            "case": label,
+            "plan": best.candidate.describe(),
+            "feasible": f"{result.plan.n_feasible}"
+                        f"/{result.plan.n_enumerated}",
+            "iter_ms": best.iteration_time * 1e3,
+            "cross_gb": best.cross_node_a2a_bytes / 1e9,
+            "layer_gain": result.layer_gain,
+            "fwd": result.fwd,
+            "bwd": result.bwd,
+        })
+    return rows
+
+
+@pytest.mark.benchmark(group="future-autoschedule")
+def test_future_plan_search(benchmark):
+    """Composed §7 search: pick the plan, then the op order inside it."""
+    rows = benchmark.pedantic(run_plan_search, rounds=1, iterations=1)
+    report(
+        "Future work: calibrated plan-space + schedule search",
+        ["cluster", "best plan", "feasible", "iter (ms)",
+         "cross-node a2a (GB)", "layer gain"],
+        [[r["case"], r["plan"], r["feasible"], r["iter_ms"],
+          f"{r['cross_gb']:.1f}", f"{r['layer_gain'] * 100:.2f}%"]
+         for r in rows],
+        notes="plan picked by the calibrated simulator over the full "
+              "feasible space; schedule search never regresses the "
+              "holistic baseline (§7)",
+    )
+
+    for r in rows:
+        # MegaScale's strategy family falls out of the search; on the
+        # paper's 8-GPU-node shape the exact n=8 choice does too.
+        assert r["plan"].startswith("SP+EP"), r["case"]
+        if "8x7b" in r["case"]:
+            assert r["plan"].startswith("SP+EP n=8"), r["case"]
+        for sched in (r["fwd"], r["bwd"]):
+            assert sched.makespan <= sched.baseline_makespan + 1e-9, \
+                r["case"]

@@ -37,13 +37,18 @@ BASELINE_DIR = os.path.join(_ROOT, "benchmarks", "baselines")
 
 #: Metrics where a larger value is an improvement; everything else
 #: regresses when it grows.
-HIGHER_IS_BETTER = {"perf.mfu", "serve.throughput_tokens_per_s"}
+HIGHER_IS_BETTER = {"perf.mfu", "serve.throughput_tokens_per_s",
+                    "plan.schedule_layer_gain"}
 
 #: Per-metric relative tolerance overrides (default: --tolerance).
 TOLERANCES = {
     # Exact byte accounting: any drift is a real comm-volume change.
     "comm.fwd_bytes_per_layer_pass": 0.001,
     "comm.total_bytes": 0.001,
+    # Enumeration counts are exact integers: any drift means the plan
+    # space itself changed shape.
+    "plan.n_enumerated": 0.001,
+    "plan.n_feasible": 0.001,
     # Reshard accounting is exact interval arithmetic.
     "elastic.reshard_bytes": 0.001,
     "elastic.reshard_seconds_modelled": 0.001,
@@ -310,12 +315,41 @@ def serve_metrics():
     }
 
 
+def plan_metrics():
+    """Plan-space search on a fixed two-node cluster (PR 10).
+
+    Enumeration counts are exact integers; the best simulated iteration
+    time comes from the same closed-form + event-simulator stack as
+    ``perf.*``/``sim.*``, and the schedule search is seeded — so every
+    number is machine-independent.
+    """
+    from repro.core.autoschedule import optimize_plan
+    from repro.core.cluster import ClusterSpec
+    from repro.core.config import MODEL_ZOO, TrainConfig
+    from repro.core.planner import plan_cluster
+
+    model = MODEL_ZOO["mixtral-8x2b"]
+    cluster = ClusterSpec.homogeneous("h800", n_nodes=2)
+    train = TrainConfig(global_batch_size=64, micro_batch_size=2)
+    result = plan_cluster(model, cluster, train)
+    sched = optimize_plan(model, cluster, train, budget=60, seed=0)
+    return {
+        "plan.n_enumerated": float(result.n_enumerated),
+        "plan.n_feasible": float(result.n_feasible),
+        "plan.best_iteration_time_s": result.best.iteration_time,
+        "plan.best_cross_node_a2a_gb":
+            result.best.cross_node_a2a_bytes / 1e9,
+        "plan.schedule_layer_gain": sched.layer_gain,
+    }
+
+
 def collect(smoke, out_dir=None):
     """All regression metrics as one flat name→value dict."""
     metrics = {}
     metrics.update(perf_model_metrics())
     metrics.update(sim_metrics())
     metrics.update(tile_metrics())
+    metrics.update(plan_metrics())
     metrics.update(traced_run_metrics(smoke, out_dir))
     metrics.update(elastic_metrics())
     metrics.update(serve_metrics())

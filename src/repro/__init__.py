@@ -43,12 +43,15 @@ from .comm import World
 from .core import (
     GPU_SPECS,
     MODEL_ZOO,
+    ClusterSpec,
     GPUSpec,
     MegaScaleTrainer,
     ModelConfig,
+    NoFeasiblePlan,
     OverlapConfig,
     ParallelConfig,
     TrainConfig,
+    plan_cluster,
     plan_parallelism,
 )
 from .data import MarkovCorpus
@@ -67,6 +70,9 @@ __all__ = [
     "OverlapConfig",
     "ParallelConfig",
     "TrainConfig",
+    "ClusterSpec",
+    "NoFeasiblePlan",
+    "plan_cluster",
     "plan_parallelism",
     "MarkovCorpus",
     "MoETransformer",

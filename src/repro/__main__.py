@@ -61,10 +61,94 @@ def cmd_gpus(_args) -> int:
     return 0
 
 
+def _plan_cluster_spec(args):
+    """Build the ClusterSpec a ``repro plan`` invocation describes."""
+    from .core.cluster import ClusterSpec
+
+    if args.cluster:
+        return ClusterSpec.load(args.cluster)
+    models = ([m.strip() for m in args.gpu_models.split(",")]
+              if args.gpu_models else [args.gpu])
+    nodes = args.nodes or 1
+    if len(models) == 1:
+        models = models * nodes
+    if len(models) != nodes:
+        raise ValueError(
+            f"--gpu-models names {len(models)} nodes but --nodes is "
+            f"{nodes}")
+    return ClusterSpec(
+        name=f"{nodes}x{args.gpus_per_node}x" + ",".join(
+            sorted(set(models))),
+        gpus_per_node=args.gpus_per_node,
+        node_gpus=tuple(models),
+    )
+
+
+def _cmd_plan_search(args) -> int:
+    """Cluster mode: enumerate, price, and emit the winning plan."""
+    from .core.autoschedule import optimize_plan
+    from .core.config import TrainConfig
+    from .core.planner import NoFeasiblePlan, plan_cluster
+
+    model = MODEL_ZOO[args.model]
+    try:
+        cluster = _plan_cluster_spec(args)
+    except (OSError, ValueError) as exc:
+        print(f"bad cluster spec: {exc}", file=sys.stderr)
+        return 2
+    train = TrainConfig(global_batch_size=args.batch,
+                        micro_batch_size=args.micro_batch)
+    try:
+        result = plan_cluster(model, cluster, train, top=args.top)
+    except NoFeasiblePlan as exc:
+        print(f"no feasible plan: {exc}", file=sys.stderr)
+        return 1
+    print(result.explain())
+    best = result.best.candidate
+
+    if len(result.ranked) > 1:
+        print("\nrunners-up:")
+        for scored in result.ranked[1:]:
+            print(f"  {scored.iteration_time * 1e3:9.1f} ms  "
+                  f"{scored.candidate.describe()}")
+
+    if args.schedule_budget > 0:
+        composed = optimize_plan(model, cluster, train,
+                                 budget=args.schedule_budget,
+                                 seed=args.seed)
+        print(f"\nschedule search (budget {args.schedule_budget}, "
+              f"seed {args.seed}): layer gain "
+              f"{composed.layer_gain * 100:.2f}% over the holistic "
+              f"baseline ({composed.fwd.evaluations} fwd + "
+              f"{composed.bwd.evaluations} bwd evaluations)")
+
+    if args.verify:
+        from .verify import plan_conformance_cases, run_matrix
+        precision = ("fp8" if best.precision == "fp8" else "bf16")
+        cases = plan_conformance_cases(
+            attention=best.parallel.attention, ffn=best.parallel.ffn,
+            ep_dispatch=best.parallel.ep_dispatch,
+            precision=precision, seed=args.seed)
+        print(f"\nverifying the winner on the conformance matrix "
+              f"({len(cases)} cases)")
+        report = run_matrix(cases)
+        print(report.render())
+        if not report.ok:
+            return 1
+    return 0
+
+
 def cmd_plan(args) -> int:
     from .core.config import ParallelConfig, TrainConfig
     from .core.planner import plan_parallelism
     from .perf.systems import MegaScalePerfModel, MegatronPerfModel
+
+    if args.cluster or args.nodes:
+        return _cmd_plan_search(args)
+    if args.n_gpus is None:
+        print("plan needs N_GPUS, or a cluster description via "
+              "--cluster/--nodes", file=sys.stderr)
+        return 2
 
     model = MODEL_ZOO[args.model]
     gpu = GPU_SPECS[args.gpu]
@@ -553,10 +637,34 @@ def main(argv=None) -> int:
 
     plan = sub.add_parser("plan", help="plan a training job (§3/§7)")
     plan.add_argument("model", choices=sorted(MODEL_ZOO))
-    plan.add_argument("n_gpus", type=int)
+    plan.add_argument("n_gpus", nargs="?", type=int, default=None)
     plan.add_argument("gpu", nargs="?", default="h800",
                       choices=sorted(GPU_SPECS))
     plan.add_argument("--batch", type=int, default=720)
+    plan.add_argument("--cluster", default=None, metavar="SPEC.json",
+                      help="cluster description file (nodes, GPU "
+                           "models, link tiers); switches to plan-"
+                           "space search")
+    plan.add_argument("--nodes", type=int, default=None,
+                      help="describe the cluster via flags: node count "
+                           "(switches to plan-space search)")
+    plan.add_argument("--gpus-per-node", type=int, default=8,
+                      help="ranks per NVLink domain (default 8)")
+    plan.add_argument("--gpu-models", default=None, metavar="a,b,...",
+                      help="per-node GPU models for mixed fleets "
+                           "(single name = uniform)")
+    plan.add_argument("--micro-batch", type=int, default=2,
+                      help="micro-batch size the plan is priced at")
+    plan.add_argument("--top", type=int, default=4,
+                      help="ranked plans to print")
+    plan.add_argument("--schedule-budget", type=int, default=0,
+                      metavar="N",
+                      help="also run the op-priority schedule search "
+                           "on the winner with this evaluation budget")
+    plan.add_argument("--verify", action="store_true",
+                      help="run the winning strategy through the "
+                           "conformance matrix (exit 1 on violation)")
+    plan.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("table3", help="regenerate the strong-scaling table")
 

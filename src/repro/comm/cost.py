@@ -31,6 +31,9 @@ __all__ = [
     "broadcast_time",
     "hierarchical_sync_time",
     "flat_sync_time",
+    "cross_node_fraction",
+    "tiered_all_to_all_time",
+    "tiered_ring_time",
 ]
 
 
@@ -134,6 +137,61 @@ def hierarchical_sync_time(
     bottleneck = max(nvlink_busy, nic_busy)
     fill_drain = (sum(stages) - bottleneck) / max(chunks, 1)
     return bottleneck + fill_drain
+
+
+def cross_node_fraction(group_size: int, gpus_per_node: int) -> float:
+    """Fraction of all-to-all peer traffic that crosses node boundaries.
+
+    A rank in a group of ``g`` spanning nodes of ``r`` ranks sends to
+    ``g - 1`` peers, ``g - r`` of them off-node; with uniform routing
+    that share of the bytes rides the inter-node tier.  Zero when the
+    group fits inside one node.
+    """
+    g, r = group_size, gpus_per_node
+    if g <= r or g <= 1:
+        return 0.0
+    return (g - r) / (g - 1)
+
+
+def tiered_all_to_all_time(per_rank_send_bytes: float, n: int,
+                           gpus_per_node: int, intra: LinkSpec,
+                           inter: LinkSpec) -> float:
+    """All-to-all over a group that may span node boundaries.
+
+    The intra-node share of each rank's traffic moves on NVLink while
+    the cross-node share moves on the NIC; the two resources transfer
+    concurrently (MoNTA's overlapping of inter-/intra-node pipelines),
+    so the makespan is the busier tier's time.  Collapses to
+    :func:`all_to_all_time` on the intra tier for node-local groups.
+    """
+    if n <= 1:
+        return 0.0
+    cross = cross_node_fraction(n, gpus_per_node)
+    if cross == 0.0:
+        return all_to_all_time(per_rank_send_bytes, n, intra)
+    local_peers = min(n, gpus_per_node) - 1
+    remote_peers = (n - 1) - local_peers
+    t_intra = (local_peers * intra.latency
+               + per_rank_send_bytes * (1.0 - cross)
+               / (intra.bandwidth * intra.a2a_efficiency))
+    t_inter = (remote_peers * inter.latency
+               + per_rank_send_bytes * cross
+               / (inter.bandwidth * inter.a2a_efficiency))
+    return max(t_intra, t_inter)
+
+
+def tiered_ring_time(total_bytes: float, n: int, gpus_per_node: int,
+                     intra: LinkSpec, inter: LinkSpec) -> float:
+    """Ring AG/RS over a group that may span node boundaries.
+
+    A synchronous ring is paced by its slowest hop: once the ring
+    crosses nodes, every one of the ``n - 1`` shard steps waits for the
+    NIC-bound crossings, so the whole collective prices at the
+    inter-node tier (this is why the planner keeps TP/SP/EP groups
+    inside the node whenever the model's shapes allow it).
+    """
+    link = inter if n > gpus_per_node else intra
+    return ring_all_gather_time(total_bytes, n, link)
 
 
 def flat_sync_time(param_bytes: float, n: int, d: int,

@@ -21,10 +21,13 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..sim.engine import SimTask, simulate
-from .operators import OpGraph
+from .cluster import ClusterSpec
+from .config import ModelConfig, TrainConfig
+from .operators import OpGraph, build_backward_graph, build_forward_graph
 from .schedule import HolisticScheduler, OverlapConfig
 
-__all__ = ["AutoScheduler", "AutoScheduleResult"]
+__all__ = ["AutoScheduler", "AutoScheduleResult", "PlanScheduleResult",
+           "optimize_plan"]
 
 
 @dataclass
@@ -119,7 +122,10 @@ def _reorder_by_priority(tasks: List[SimTask],
     ready = [name for name, deg in indegree.items() if deg == 0]
     out: List[SimTask] = []
     while ready:
-        ready.sort(key=lambda n: priority.get(n, 0.0))
+        # Tie-break equal priorities by name: dict insertion order is
+        # an accident of graph construction and made search results
+        # unstable across runs.
+        ready.sort(key=lambda n: (priority.get(n, 0.0), n))
         name = ready.pop(0)
         out.append(by_name[name])
         for child in children[name]:
@@ -129,3 +135,99 @@ def _reorder_by_priority(tasks: List[SimTask],
     if len(out) != len(tasks):
         return None
     return out
+
+
+@dataclass
+class PlanScheduleResult:
+    """Best plan, then best schedule within it (§7 composed search).
+
+    ``plan`` is the winning point of the plan space; ``fwd``/``bwd``
+    are the op-priority local-search results over that plan's layer
+    graphs, evaluated with the same (optionally span-calibrated)
+    durations the plan was priced with.
+    """
+
+    plan: object  # PlanSearchResult
+    fwd: AutoScheduleResult
+    bwd: AutoScheduleResult
+    calibrated: bool = False
+
+    @property
+    def layer_gain(self) -> float:
+        """Fractional layer-time reduction over the holistic baseline."""
+        base = self.fwd.baseline_makespan + self.bwd.baseline_makespan
+        if base == 0:
+            return 0.0
+        return 1.0 - (self.fwd.makespan + self.bwd.makespan) / base
+
+
+def optimize_plan(
+    model: ModelConfig,
+    cluster: ClusterSpec,
+    train: Optional[TrainConfig] = None,
+    budget: int = 200,
+    seed: int = 0,
+    spans=None,
+    calibration=None,
+) -> PlanScheduleResult:
+    """Search the plan space, then the schedule space of the winner.
+
+    Composes :func:`~repro.core.planner.plan_cluster` (which plan?)
+    with :class:`AutoScheduler` (which op order within it?).  When
+    ``spans`` from a traced DAG run are supplied, a
+    :class:`~repro.perf.estimator.CalibrationReport` is fitted first
+    and both searches use calibrated durations — closing the §7
+    execute → trace → calibrate → plan loop.
+    """
+    from ..perf.estimator import calibrate_from_spans, \
+        calibrated_durations
+    from ..perf.systems import MegaScalePerfModel
+    from .planner import plan_cluster
+
+    train = train or TrainConfig()
+    probe_cand = None
+    if spans is not None and calibration is None:
+        # Fit the correction against the hand plan's graph: the span
+        # anchors (attention, dispatch, experts, ...) are shared by
+        # every candidate's graphs.
+        from .planner import enumerate_plans
+        feasible = enumerate_plans(model, cluster, train)
+        if feasible:
+            probe_cand = feasible[0]
+            perf = MegaScalePerfModel(cluster=cluster)
+            km = perf.kernel_model(
+                cluster.bottleneck_gpu(),
+                probe_cand.parallel.model_parallel_size)
+            graph = build_forward_graph(model, probe_cand.parallel,
+                                        train.micro_batch_size,
+                                        probe_cand.elem_bytes)
+            calibration = calibrate_from_spans(km, graph, spans)
+
+    plan = plan_cluster(model, cluster, train, calibration=calibration)
+    best = plan.best.candidate
+
+    perf = MegaScalePerfModel(
+        cluster=cluster,
+        selective_remat=best.remat == "selective",
+        elem_bytes=best.elem_bytes,
+    )
+    km = perf.kernel_model(cluster.bottleneck_gpu(),
+                           best.parallel.model_parallel_size)
+    fwd = build_forward_graph(model, best.parallel,
+                              train.micro_batch_size, best.elem_bytes)
+    bwd = build_backward_graph(model, best.parallel,
+                               train.micro_batch_size, best.elem_bytes,
+                               selective_remat=best.remat == "selective")
+
+    def _durations(graph: OpGraph) -> Dict[str, float]:
+        if calibration is not None:
+            return calibrated_durations(km, graph, calibration)
+        return km.durations(graph)
+
+    scheduler = AutoScheduler(budget=budget, seed=seed)
+    return PlanScheduleResult(
+        plan=plan,
+        fwd=scheduler.optimize(fwd, _durations(fwd)),
+        bwd=scheduler.optimize(bwd, _durations(bwd)),
+        calibrated=calibration is not None,
+    )

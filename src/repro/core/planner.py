@@ -17,8 +17,8 @@ collectives and the Eq. 5–9 scale-up check.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from ..comm.cost import (
     LinkSpec,
@@ -26,11 +26,25 @@ from ..comm.cost import (
     ring_all_gather_time,
     ring_reduce_scatter_time,
 )
-from .analysis import scale_up_ratio
-from .config import GPUSpec, ModelConfig, ParallelConfig
+from .analysis import (
+    attention_comm_volume,
+    ep_ffn_comm_volume,
+    ffn_comm_volume,
+    param_memory_per_gpu,
+    scale_up_ratio,
+    sp_attention_comm_volume,
+    tp_attention_comm_volume,
+)
+from .cluster import ClusterSpec
+from .config import GPUSpec, ModelConfig, ParallelConfig, TrainConfig
 
 __all__ = ["PlanDecision", "plan_parallelism", "dispatch_mode_times",
-           "dispatch_crossover_top_k"]
+           "dispatch_crossover_top_k", "NoFeasiblePlan", "PlanCandidate",
+           "ScoredPlan", "PlanSearchResult", "enumerate_plans",
+           "plan_cluster"]
+
+#: Wire bytes per element for each training precision policy (§5).
+_PRECISION_BYTES = {"bf16": 2.0, "fp8": 1.0, "fp32": 4.0}
 
 
 @dataclass
@@ -152,6 +166,7 @@ def dispatch_mode_times(
     link: LinkSpec,
     micro_batch: int = 1,
     elem_bytes: float = 2.0,
+    precision: Optional[str] = None,
 ) -> Dict[str, float]:
     """Fig. 7 — dispatch time per collective choice for a given top-k.
 
@@ -159,11 +174,26 @@ def dispatch_mode_times(
     ``ag`` (all-gather of all tokens) and ``rs`` (reduce-scatter of the
     combined tensor).  Dispatch under AG/RS mode costs ``ag``; combine
     costs ``rs``; A2A mode pays ``a2a`` both ways.
+
+    ``precision`` threads the training precision policy onto the wire.
+    Under ``"fp8"`` the AG/RS payloads travel FP8-E4M3 with one 4-byte
+    per-token scale, exactly the wire format of
+    :mod:`repro.parallel.dist_ops_fp8`, while the uneven all-to-all
+    stays in the training activation format — so fp8 shifts the
+    crossover toward smaller top-k (a uniform element-size rescale
+    would cancel out of the comparison entirely).
     """
     tokens = micro_batch * model.seq_len
     h = model.hidden_size
-    a2a_bytes = tokens * top_k / n * h * (n - 1) / n * elem_bytes
-    full_bytes = tokens * h * elem_bytes
+    a2a_elem = ring_elem = elem_bytes
+    if precision == "fp8":
+        # AG/RS legs are fp8-compressed (1 byte/elem + a 4-byte scale
+        # per token row); the uneven a2a keeps the training format.
+        ring_elem = _PRECISION_BYTES["fp8"] + 4.0 / h
+    elif precision is not None:
+        a2a_elem = ring_elem = _PRECISION_BYTES[precision]
+    a2a_bytes = tokens * top_k / n * h * (n - 1) / n * a2a_elem
+    full_bytes = tokens * h * ring_elem
     return {
         "a2a": all_to_all_time(a2a_bytes, n, link),
         "ag": ring_all_gather_time(full_bytes, n, link),
@@ -172,10 +202,406 @@ def dispatch_mode_times(
 
 
 def dispatch_crossover_top_k(model: ModelConfig, n: int,
-                             link: LinkSpec) -> int:
+                             link: LinkSpec,
+                             precision: Optional[str] = None) -> int:
     """Smallest top-k at which AG/RS dispatch beats A2A (Fig. 7)."""
     for k in range(1, model.n_experts + 1):
-        times = dispatch_mode_times(model, k, n, link)
+        times = dispatch_mode_times(model, k, n, link,
+                                    precision=precision)
         if times["ag"] + times["rs"] <= 2 * times["a2a"]:
             return k
     return model.n_experts + 1
+
+
+# ---------------------------------------------------------------------------
+# Plan-space optimizer: describe cluster → enumerate → price → emit.
+# ---------------------------------------------------------------------------
+
+
+class NoFeasiblePlan(RuntimeError):
+    """No candidate satisfies divisibility + memory on this cluster.
+
+    Raised (instead of silently emitting an OOM plan) when every
+    enumerated combination either fails a shape-divisibility check or
+    does not fit the bottleneck GPU's HBM even with full remat.
+    """
+
+    def __init__(self, message: str, n_enumerated: int = 0):
+        super().__init__(message)
+        self.n_enumerated = n_enumerated
+
+
+@dataclass(frozen=True)
+class PlanCandidate:
+    """One point of the plan space the enumerator walks.
+
+    Combines the parallelism assignment with the precision policy and
+    the rematerialization plan — the three axes that change what moves
+    on the wire and what stays in HBM.
+    """
+
+    parallel: ParallelConfig
+    precision: str = "bf16"
+    remat: str = "selective"
+
+    def __post_init__(self):
+        if self.precision not in _PRECISION_BYTES:
+            raise ValueError(f"unknown precision {self.precision!r}")
+        if self.remat not in ("selective", "none"):
+            raise ValueError(f"unknown remat plan {self.remat!r}")
+
+    @property
+    def elem_bytes(self) -> float:
+        """Wire bytes per activation element under this precision."""
+        return _PRECISION_BYTES[self.precision]
+
+    def describe(self) -> str:
+        """One-line label, e.g. ``SP+EP n=8 pp=1 dp=4 a2a fp8 ...``."""
+        p = self.parallel
+        return (f"{p.strategy_name} n={p.model_parallel_size} "
+                f"pp={p.pipeline_size} dp={p.data_parallel_size} "
+                f"{p.ep_dispatch} {self.precision} remat={self.remat}")
+
+
+@dataclass
+class ScoredPlan:
+    """A candidate plus its price tags.
+
+    ``analytic_time`` is the cheap closed-form pre-score every
+    candidate gets; ``iteration`` is the full
+    :class:`~repro.perf.systems.SystemPerfModel` simulation the
+    shortlist gets.  ``cross_node_a2a_bytes`` is the MoNTA accounting:
+    per-iteration dispatch bytes that cross node boundaries.
+    """
+
+    candidate: PlanCandidate
+    analytic_time: float
+    cross_node_a2a_bytes: float = 0.0
+    iteration: object = None  # IterationBreakdown once simulated
+    rationale: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def iteration_time(self) -> float:
+        """Best available price: simulated when priced, else analytic."""
+        if self.iteration is not None:
+            return self.iteration.iteration_time
+        return self.analytic_time
+
+
+@dataclass
+class PlanSearchResult:
+    """Outcome of one plan-space search over a described cluster."""
+
+    model: ModelConfig
+    cluster: ClusterSpec
+    train: TrainConfig
+    best: ScoredPlan
+    ranked: List[ScoredPlan]
+    n_enumerated: int
+    n_feasible: int
+    n_simulated: int
+    scale_up_ratio: float
+
+    def explain(self) -> str:
+        """Human-readable winner summary with per-choice rationale."""
+        best = self.best
+        lines = [
+            self.cluster.describe(),
+            f"plan space: {self.n_enumerated} combinations, "
+            f"{self.n_feasible} feasible, "
+            f"{self.n_simulated} simulated",
+            f"strategy = {best.candidate.parallel.strategy_name} "
+            f"(PP={best.candidate.parallel.pipeline_size}, "
+            f"DP={best.candidate.parallel.data_parallel_size})",
+        ]
+        lines += [f"  {key}: {why}"
+                  for key, why in best.rationale.items()]
+        lines.append(f"  scale-up ratio R = {self.scale_up_ratio:.2f} "
+                     f"({'>' if self.scale_up_ratio > 1 else '<='} 1)")
+        lines.append(f"  simulated iteration time = "
+                     f"{best.iteration_time * 1e3:.1f} ms")
+        return "\n".join(lines)
+
+
+def _divisors(x: int) -> List[int]:
+    return [d for d in range(1, x + 1) if x % d == 0]
+
+
+def _raw_candidates(model: ModelConfig, cluster: ClusterSpec,
+                    train: TrainConfig) -> List[PlanCandidate]:
+    """Every shape-divisible combination, before the memory gate."""
+    out: List[PlanCandidate] = []
+    n_gpus = cluster.n_gpus
+    micro = train.micro_batch_size
+    for n in _divisors(n_gpus):
+        attentions = []
+        if model.n_heads % n == 0 and model.n_kv_heads % n == 0:
+            attentions.append("sp")
+        if model.n_heads % n == 0 and model.hidden_size % n == 0:
+            attentions.append("tp")
+        if n == 1:
+            attentions = ["sp"]  # degenerate: no MP communication
+        ffns: List[Tuple[str, str]] = []
+        if model.n_experts % n == 0:
+            if n == 1:
+                ffns.append(("ep", "a2a"))
+            else:
+                ffns.append(("ep", "a2a"))
+                ffns.append(("ep", "ag_rs"))
+        if model.ffn_hidden_size % n == 0 and n > 1:
+            ffns.append(("tp", "adaptive"))
+        if n == 1 and not ffns:
+            ffns.append(("ep", "a2a"))
+        for p in _divisors(n_gpus // n):
+            if model.n_layers % p != 0:
+                continue
+            d = n_gpus // (n * p)
+            if train.global_batch_size % (d * micro) != 0:
+                continue
+            for attention in attentions:
+                for ffn, mode in ffns:
+                    for precision in ("bf16", "fp8"):
+                        for remat in ("selective", "none"):
+                            out.append(PlanCandidate(
+                                parallel=ParallelConfig(
+                                    model_parallel_size=n,
+                                    attention=attention,
+                                    ffn=ffn,
+                                    pipeline_size=p,
+                                    data_parallel_size=d,
+                                    ep_dispatch=mode,
+                                ),
+                                precision=precision,
+                                remat=remat,
+                            ))
+    return out
+
+
+def _candidate_fits(model: ModelConfig, cluster: ClusterSpec,
+                    cand: PlanCandidate, micro: int,
+                    headroom: float = 0.9) -> bool:
+    """Static + in-flight activation bytes vs the bottleneck HBM."""
+    from .remat import default_remat_plan, no_remat_plan
+
+    gpu = cluster.bottleneck_gpu()
+    par = cand.parallel
+    static = param_memory_per_gpu(model, par)["total"]
+    plan = (default_remat_plan() if cand.remat == "selective"
+            else no_remat_plan())
+    layers_per_stage = model.n_layers / par.pipeline_size
+    activations = plan.retained_elements(model, par, micro) \
+        * cand.elem_bytes * layers_per_stage * par.pipeline_size
+    return static + activations < gpu.memory_bytes * headroom
+
+
+def enumerate_plans(model: ModelConfig, cluster: ClusterSpec,
+                    train: Optional[TrainConfig] = None
+                    ) -> List[PlanCandidate]:
+    """Feasibility-filtered plan enumeration for a described cluster.
+
+    Walks (MP degree, TP/SP attention, EP/TP FFN, dispatch mode, PP,
+    DP, precision, remat) subject to shape divisibility, batch
+    divisibility, and the bottleneck GPU's memory capacity.
+    """
+    train = train or TrainConfig()
+    return [c for c in _raw_candidates(model, cluster, train)
+            if _candidate_fits(model, cluster, c,
+                               train.micro_batch_size)]
+
+
+def _a2a_effective_bw(cluster: ClusterSpec, n: int) -> float:
+    """Per-rank effective all-to-all bandwidth over the tier mix."""
+    intra, inter = cluster.intra_link, cluster.inter_link
+    cross = cluster.cross_node_fraction(n)
+    if cross <= 0.0:
+        return intra.bandwidth * intra.a2a_efficiency
+    tiers = [inter.bandwidth * inter.a2a_efficiency / cross]
+    if cross < 1.0:
+        tiers.append(intra.bandwidth * intra.a2a_efficiency
+                     / (1.0 - cross))
+    return min(tiers)  # concurrent tiers: the busier one paces
+
+
+def _cross_node_a2a_bytes(model: ModelConfig, cluster: ClusterSpec,
+                          cand: PlanCandidate,
+                          train: TrainConfig) -> float:
+    """MoNTA accounting: per-iteration a2a bytes crossing nodes."""
+    par = cand.parallel
+    n = par.model_parallel_size
+    cross = cluster.cross_node_fraction(n)
+    if cross == 0.0:
+        return 0.0
+    b = train.micro_batch_size
+    s, h = model.seq_len, model.hidden_size
+    vol = 0.0
+    if par.attention == "sp":
+        vol += sp_attention_comm_volume(b, s, h, n, model.gqa_ratio)
+    if par.ffn == "ep" and par.ep_dispatch == "a2a":
+        vol += ep_ffn_comm_volume(b, s, h, n, model.top_k)
+    m = train.global_batch_size // (par.data_parallel_size * b)
+    # fwd + bwd passes, every layer, every micro-batch.
+    return vol * cand.elem_bytes * cross * 2.0 * model.n_layers * m
+
+
+def _analytic_time(model: ModelConfig, cluster: ClusterSpec,
+                   cand: PlanCandidate, train: TrainConfig) -> float:
+    """Closed-form pre-score: overlapped layer time × pipeline shape.
+
+    Deliberately coarse — its only job is to rank candidates well
+    enough that the full simulator shortlist contains the winner.
+    """
+    gpu = cluster.bottleneck_gpu()
+    par = cand.parallel
+    n, p, d = (par.model_parallel_size, par.pipeline_size,
+               par.data_parallel_size)
+    micro = train.micro_batch_size
+    m = train.global_batch_size // (d * micro)
+    tokens = micro * model.seq_len
+
+    # Per-layer fwd+bwd compute, sharded n ways at ~50% of peak.
+    flops = model.train_flops_per_token() * tokens / model.n_layers
+    compute = flops / (n * gpu.peak_flops * 0.5)
+
+    # Per-layer communication priced against the tier it crosses.
+    attn_bytes = attention_comm_volume(model, par, micro) \
+        * cand.elem_bytes
+    ffn_bytes = ffn_comm_volume(model, par, micro) * cand.elem_bytes
+    ring_bw = cluster.link_for_group(n).bandwidth
+    a2a_bw = _a2a_effective_bw(cluster, n)
+    attn_t = attn_bytes / (a2a_bw if par.attention == "sp" else ring_bw)
+    uses_a2a = par.ffn == "ep" and par.ep_dispatch != "ag_rs"
+    ffn_t = ffn_bytes / (a2a_bw if uses_a2a else ring_bw)
+    comm = 2.0 * (attn_t + ffn_t)  # fwd + bwd passes
+
+    # Holistic overlap hides the smaller of the two streams.
+    layer = max(compute, comm) + 0.15 * min(compute, comm)
+    layers_per_stage = model.n_layers / p
+    period = layer * layers_per_stage
+    pipeline = period * (m + p - 1)
+
+    # Exposed DP gradient sync (half-overlapped, inter-node ring).
+    params = param_memory_per_gpu(model, par)["params"] / 2.0
+    dp = (2.0 * params * 2.0 * (d - 1) / d
+          / cluster.inter_link.bandwidth * 0.5) if d > 1 else 0.0
+    return pipeline + dp
+
+
+def _rationale(model: ModelConfig, cluster: ClusterSpec,
+               cand: PlanCandidate, train: TrainConfig) -> Dict[str, str]:
+    """Per-choice reasoning for one scored plan."""
+    par = cand.parallel
+    n = par.model_parallel_size
+    b, s, h = train.micro_batch_size, model.seq_len, model.hidden_size
+    out: Dict[str, str] = {}
+    sp_vol = sp_attention_comm_volume(b, s, h, n, model.gqa_ratio)
+    tp_vol = tp_attention_comm_volume(b, s, h, n)
+    if par.attention == "sp":
+        ratio = sp_vol / tp_vol if tp_vol else 0.0
+        out["attention"] = (
+            f"SP (Ulysses): a2a volume is {ratio:.2f}x of TP's ring "
+            f"volume at n={n}, GQA m={model.gqa_ratio} (Eq. 2)")
+    else:
+        out["attention"] = (
+            f"TP: heads {model.n_heads}/{model.n_kv_heads} constrain "
+            f"SP at n={n}, or TP simply priced faster here (Eq. 1)")
+    if par.ffn == "ep":
+        out["ffn"] = (
+            f"EP with {par.ep_dispatch} dispatch: top-k={model.top_k} "
+            f"vs EP size {n} (Fig. 7 crossover)")
+    else:
+        out["ffn"] = f"TP FFN: priced faster than EP at n={n} (Eq. 4)"
+    cross = cluster.cross_node_fraction(n)
+    if cross > 0.0:
+        out["placement"] = (
+            f"MP group of {n} spans nodes of {cluster.gpus_per_node}: "
+            f"{cross * 100:.0f}% of dispatch bytes ride the RDMA tier")
+    else:
+        out["placement"] = (
+            f"MP group of {n} fits inside the {cluster.gpus_per_node}-"
+            f"GPU NVLink domain: zero cross-node dispatch traffic")
+    out["pipeline"] = (
+        f"PP={par.pipeline_size}, DP={par.data_parallel_size}: fits "
+        f"{cluster.bottleneck_gpu().name} HBM with remat={cand.remat}")
+    out["precision"] = (
+        f"{cand.precision}: {cand.elem_bytes:.0f} B/elem on the wire"
+        + (" (§5 fp8 communication compression)"
+           if cand.precision == "fp8" else ""))
+    return out
+
+
+def plan_cluster(
+    model: ModelConfig,
+    cluster: ClusterSpec,
+    train: Optional[TrainConfig] = None,
+    top: int = 5,
+    sim_top: int = 32,
+    calibration=None,
+) -> PlanSearchResult:
+    """Search the plan space for a model on a described cluster.
+
+    Two-stage pricing: every feasible candidate gets the closed-form
+    analytic score; the best ``sim_top`` by that score are priced by
+    the full :class:`~repro.perf.systems.SystemPerfModel` event
+    simulation (calibrated when a :class:`CalibrationReport` from
+    ``calibrate_from_spans`` is supplied).  Returns the ``top`` ranked
+    plans with the winner's per-choice rationale.
+
+    Raises:
+        NoFeasiblePlan: when no combination passes the divisibility
+            and memory gates.
+    """
+    from ..perf.systems import MegaScalePerfModel
+
+    train = train or TrainConfig()
+    raw = _raw_candidates(model, cluster, train)
+    feasible = [c for c in raw
+                if _candidate_fits(model, cluster, c,
+                                   train.micro_batch_size)]
+    if not feasible:
+        raise NoFeasiblePlan(
+            f"no feasible plan for {model.name} on "
+            f"{cluster.describe()}: {len(raw)} combinations enumerated"
+            f", all fail shape or memory constraints",
+            n_enumerated=len(raw),
+        )
+
+    scored = [ScoredPlan(
+        candidate=c,
+        analytic_time=_analytic_time(model, cluster, c, train),
+        cross_node_a2a_bytes=_cross_node_a2a_bytes(
+            model, cluster, c, train),
+    ) for c in feasible]
+    scored.sort(key=lambda s: (s.analytic_time, s.candidate.describe()))
+
+    gpu = cluster.bottleneck_gpu()
+    for s in scored[:sim_top]:
+        perf = MegaScalePerfModel(
+            cluster=cluster,
+            calibration=calibration,
+            selective_remat=s.candidate.remat == "selective",
+            elem_bytes=s.candidate.elem_bytes,
+        )
+        s.iteration = perf.iteration(model, s.candidate.parallel,
+                                     train, gpu)
+    simulated = scored[:sim_top]
+    simulated.sort(key=lambda s: (s.iteration_time,
+                                  s.cross_node_a2a_bytes,
+                                  s.candidate.describe()))
+    for s in simulated[:top]:
+        s.rationale = _rationale(model, cluster, s.candidate, train)
+
+    best = simulated[0]
+    ratio = scale_up_ratio(
+        model.ffn_hidden_size, gpu.nvlink_bandwidth, gpu.peak_flops,
+        max(best.candidate.parallel.model_parallel_size, 2))
+    return PlanSearchResult(
+        model=model,
+        cluster=cluster,
+        train=train,
+        best=best,
+        ranked=simulated[:top],
+        n_enumerated=len(raw),
+        n_feasible=len(feasible),
+        n_simulated=len(simulated),
+        scale_up_ratio=ratio,
+    )

@@ -20,9 +20,14 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
-from ..comm.cost import LinkSpec
+from ..comm.cost import (
+    LinkSpec,
+    tiered_all_to_all_time,
+    tiered_ring_time,
+)
+from ..core.cluster import ClusterSpec
 from ..core.config import GPUSpec
 from ..core.operators import Op, OpGraph
 
@@ -51,6 +56,13 @@ class KernelModel:
         link_eff: Achievable fraction of the spec'd NVLink bandwidth.
         a2a_eff: Additional all-to-all inefficiency vs ring collectives.
         kernel_latency: Fixed launch/dispatch overhead per op.
+        cluster: Optional cluster description; when set, collectives
+            price against the link tier their group actually crosses
+            (MoNTA-style) instead of deriving both tiers from ``gpu``.
+        mp_group_size: Size of the model-parallel group the graph's
+            "intra"-scoped collectives run over; a group larger than
+            the cluster's node size spills onto the inter-node tier.
+            0 means "fits in the node" (the legacy assumption).
     """
 
     gpu: GPUSpec
@@ -60,6 +72,8 @@ class KernelModel:
     link_eff: float = 0.42
     a2a_eff: float = 0.60
     kernel_latency: float = 5e-6
+    cluster: Optional[ClusterSpec] = None
+    mp_group_size: int = 0
     #: Tile-quantization constants of the shape-efficiency factor
     #: d/(d+c), separately for the row (M) and the weight (N/K)
     #: dimensions: few rows per expert (micro-batch 1) dominate the
@@ -70,6 +84,8 @@ class KernelModel:
 
     def intra_link(self) -> LinkSpec:
         """The NVLink link as the cost models see it."""
+        if self.cluster is not None:
+            return self.cluster.intra_link
         return LinkSpec(
             bandwidth=self.gpu.nvlink_bandwidth * self.link_eff,
             latency=1e-5,
@@ -78,11 +94,18 @@ class KernelModel:
 
     def inter_link(self) -> LinkSpec:
         """The inter-node NIC link as the cost models see it."""
+        if self.cluster is not None:
+            return self.cluster.inter_link
         return LinkSpec(
             bandwidth=self.gpu.nic_bandwidth,
             latency=2e-5,
             a2a_efficiency=self.a2a_eff,
         )
+
+    def _mp_spans_nodes(self) -> bool:
+        """Does the model-parallel group spill past the NVLink domain?"""
+        return (self.cluster is not None and self.mp_group_size
+                > self.cluster.gpus_per_node)
 
     def op_duration(self, op: Op) -> float:
         """Seconds for one op on one rank."""
@@ -102,6 +125,19 @@ class KernelModel:
                 + self.kernel_latency)
 
     def _comm_duration(self, op: Op) -> float:
+        if op.comm_scope != "inter" and self._mp_spans_nodes():
+            # An "intra"-scoped collective whose group spans nodes pays
+            # the tier each byte actually crosses (MoNTA accounting).
+            assert self.cluster is not None
+            n, r = self.mp_group_size, self.cluster.gpus_per_node
+            intra, inter = self.intra_link(), self.inter_link()
+            if op.comm_pattern == "a2a":
+                return tiered_all_to_all_time(op.comm_bytes, n, r,
+                                              intra, inter)
+            # comm_bytes = (n-1) × shard; recover the full tensor size
+            # the tiered ring model expects.
+            total = op.comm_bytes * n / max(n - 1, 1)
+            return tiered_ring_time(total, n, r, intra, inter)
         link = (self.inter_link() if op.comm_scope == "inter"
                 else self.intra_link())
         if op.comm_pattern == "a2a":

@@ -25,6 +25,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+from typing import Optional
+
+from ..core.cluster import ClusterSpec
 from ..core.config import (
     GPUSpec,
     ModelConfig,
@@ -34,7 +37,7 @@ from ..core.config import (
 from ..core.operators import build_backward_graph, build_forward_graph
 from ..core.schedule import HolisticScheduler, OverlapConfig
 from ..sim.engine import simulate
-from .estimator import KernelModel
+from .estimator import CalibrationReport, KernelModel, calibrated_durations
 
 __all__ = ["IterationBreakdown", "SystemPerfModel", "MegatronPerfModel",
            "MegaScalePerfModel"]
@@ -89,25 +92,42 @@ class SystemPerfModel:
     full_recompute: bool = False
     dp_overlap_fraction: float = 0.5
     elem_bytes: float = 2.0
+    #: Optional cluster description: collectives then price against the
+    #: link tier their group actually crosses, and model-parallel
+    #: groups larger than a node spill onto the RDMA tier.
+    cluster: Optional[ClusterSpec] = None
+    #: Optional span-derived corrections (execute → trace → calibrate):
+    #: per-anchor measured/modeled scales applied to every duration the
+    #: scheduler and simulator consume.
+    calibration: Optional[CalibrationReport] = None
 
     # -- per-layer -----------------------------------------------------------
 
-    def kernel_model(self, gpu: GPUSpec) -> KernelModel:
+    def kernel_model(self, gpu: GPUSpec,
+                     mp_group_size: int = 0) -> KernelModel:
         """Duration oracle with this system's memory-op efficiency."""
-        return KernelModel(gpu, mem_eff=self.mem_eff)
+        return KernelModel(gpu, mem_eff=self.mem_eff,
+                           cluster=self.cluster,
+                           mp_group_size=mp_group_size)
+
+    def _durations(self, km: KernelModel, graph) -> Dict[str, float]:
+        """Modeled durations, calibrated when a report is installed."""
+        if self.calibration is not None:
+            return calibrated_durations(km, graph, self.calibration)
+        return km.durations(graph)
 
     def layer_timelines(self, model: ModelConfig, parallel: ParallelConfig,
                         micro_batch: int, gpu: GPUSpec):
         """(fwd timeline, bwd timeline) for one MoE layer on one rank."""
-        km = self.kernel_model(gpu)
+        km = self.kernel_model(gpu, parallel.model_parallel_size)
         scheduler = HolisticScheduler(self.overlap)
         fwd = build_forward_graph(model, parallel, micro_batch,
                                   self.elem_bytes)
         bwd = build_backward_graph(model, parallel, micro_batch,
                                    self.elem_bytes,
                                    selective_remat=self.selective_remat)
-        tl_fwd = simulate(scheduler.schedule(fwd, km.durations(fwd)))
-        tl_bwd = simulate(scheduler.schedule(bwd, km.durations(bwd)))
+        tl_fwd = simulate(scheduler.schedule(fwd, self._durations(km, fwd)))
+        tl_bwd = simulate(scheduler.schedule(bwd, self._durations(km, bwd)))
         return fwd, bwd, tl_fwd, tl_bwd
 
     def _kind_times(self, graph, km: KernelModel) -> Dict[str, float]:
@@ -136,7 +156,7 @@ class SystemPerfModel:
         m = train.global_batch_size // (d * micro)
         layers_per_stage = model.n_layers / p
 
-        km = self.kernel_model(gpu)
+        km = self.kernel_model(gpu, parallel.model_parallel_size)
         fwd, bwd, tl_fwd, tl_bwd = self.layer_timelines(
             model, parallel, micro, gpu)
         kinds_f = self._kind_times(fwd, km)
@@ -167,7 +187,7 @@ class SystemPerfModel:
         # inter-node volume identical for SP and TP attention).
         from ..core.analysis import param_memory_per_gpu
         params_bytes = param_memory_per_gpu(model, parallel)["params"] \
-            / self.elem_bytes  # back to parameter count
+            / 2.0  # params stored at 2 B each, back to parameter count
         grad_bytes = params_bytes * self.grad_elem_bytes
         dp_link = km.inter_link()
         dp_time = (2.0 * grad_bytes * (d - 1) / max(d, 1)

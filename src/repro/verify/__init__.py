@@ -17,7 +17,13 @@ the single-rank reference.  This package makes that claim executable:
 Entry point: ``python -m repro verify --smoke``.
 """
 
-from .cases import ServeCase, VerifyCase, serve_matrix, smoke_matrix
+from .cases import (
+    ServeCase,
+    VerifyCase,
+    plan_conformance_cases,
+    serve_matrix,
+    smoke_matrix,
+)
 from .engine import (
     CaseResult,
     ConformanceReport,
@@ -46,6 +52,7 @@ __all__ = [
     "ServeCase",
     "smoke_matrix",
     "serve_matrix",
+    "plan_conformance_cases",
     "CaseResult",
     "ConformanceReport",
     "GoldenArtifacts",

@@ -21,7 +21,7 @@ from typing import Iterator, List, Optional, Tuple
 from ..core.config import ModelConfig, ParallelConfig, TrainConfig
 
 __all__ = ["VerifyCase", "ServeCase", "smoke_matrix", "elastic_matrix",
-           "serve_matrix"]
+           "serve_matrix", "plan_conformance_cases"]
 
 #: Execution modes × EP dispatch × comm precision of the CI smoke grid.
 SMOKE_EXECUTIONS = ("sequential", "threaded", "vectorized")
@@ -266,6 +266,29 @@ def _backend_for(execution: str) -> str:
 #: Token-chunk width of the tiled smoke cases (seq=16 / ranks=4 → the
 #: per-rank shard is 4 tokens; width 2 gives two tiles per A2A group).
 SMOKE_TILE_TOKENS = 2
+
+
+def plan_conformance_cases(attention: str = "sp", ffn: str = "ep",
+                           ep_dispatch: str = "a2a",
+                           precision: str = "bf16",
+                           seed: int = 0) -> List[VerifyCase]:
+    """Map a winning plan onto the small conformance shapes.
+
+    The plan-space optimizer (:func:`repro.core.planner.plan_cluster`)
+    emits a strategy tuple for a production-scale model; this projects
+    that tuple onto the 4-rank default shapes so ``repro plan
+    --verify`` can prove the chosen configuration is numerically live
+    on both execution backends.  ``adaptive`` dispatch resolves to the
+    concrete modes it can pick between.
+    """
+    dispatches = (("a2a", "ag_rs") if ep_dispatch == "adaptive"
+                  else (ep_dispatch,))
+    return [
+        VerifyCase(attention=attention, ffn=ffn, ep_dispatch=dispatch,
+                   precision=precision, backend=backend, seed=seed)
+        for dispatch in dispatches
+        for backend in ("engine", "dag")
+    ]
 
 
 def smoke_matrix(seed: int = 0) -> List[VerifyCase]:

@@ -1,0 +1,433 @@
+"""Plan-space optimizer tests: ClusterSpec, tiered pricing, the
+feasibility-filtered enumerator, the MoNTA cross-node-traffic check,
+the fp8 dispatch-crossover shift, and the composed plan+schedule
+search."""
+
+import json
+
+import pytest
+
+from repro.comm.cost import (
+    LinkSpec,
+    all_to_all_time,
+    cross_node_fraction,
+    ring_all_gather_time,
+    tiered_all_to_all_time,
+    tiered_ring_time,
+)
+from repro.core.autoschedule import (
+    AutoScheduler,
+    _reorder_by_priority,
+    optimize_plan,
+)
+from repro.core.cluster import ClusterSpec
+from repro.core.config import (
+    GPU_SPECS,
+    MODEL_ZOO,
+    ModelConfig,
+    ParallelConfig,
+    TrainConfig,
+)
+from repro.core.planner import (
+    NoFeasiblePlan,
+    PlanCandidate,
+    _cross_node_a2a_bytes,
+    dispatch_crossover_top_k,
+    dispatch_mode_times,
+    enumerate_plans,
+    plan_cluster,
+)
+from repro.perf.estimator import CalibrationReport, KernelModel
+from repro.perf.systems import MegaScalePerfModel
+from repro.sim.engine import SimTask
+
+H800 = GPU_SPECS["h800"]
+MIXTRAL = MODEL_ZOO["mixtral-8x7b"]
+SMALL = MODEL_ZOO["mixtral-8x2b"]
+LINK = LinkSpec(bandwidth=168e9, latency=1e-5, a2a_efficiency=0.6)
+
+
+# ---------------------------------------------------------------------------
+# ClusterSpec
+# ---------------------------------------------------------------------------
+
+
+class TestClusterSpec:
+    def test_homogeneous_shape(self):
+        c = ClusterSpec.homogeneous("h800", n_nodes=4, gpus_per_node=8)
+        assert c.n_nodes == 4
+        assert c.n_gpus == 32
+        assert not c.is_heterogeneous
+        assert c.bottleneck_gpu() is H800
+
+    def test_default_links_derive_from_gpu(self):
+        c = ClusterSpec.homogeneous("h800", n_nodes=2)
+        assert c.intra_link.bandwidth == pytest.approx(
+            H800.nvlink_bandwidth * 0.42)
+        assert c.inter_link.bandwidth == pytest.approx(
+            H800.nic_bandwidth)
+
+    def test_mixed_fleet_bottleneck_is_elementwise_min(self):
+        c = ClusterSpec(name="mix", gpus_per_node=8,
+                        node_gpus=("h800", "a100", "h20"))
+        assert c.is_heterogeneous
+        g = c.bottleneck_gpu()
+        for attr in ("peak_flops", "memory_bytes", "memory_bandwidth",
+                     "nvlink_bandwidth", "nic_bandwidth", "sm_count"):
+            assert getattr(g, attr) == min(
+                getattr(GPU_SPECS[m], attr)
+                for m in ("h800", "a100", "h20"))
+
+    def test_tier_selection(self):
+        c = ClusterSpec.homogeneous("h800", n_nodes=2, gpus_per_node=8)
+        assert not c.spans_nodes(8)
+        assert c.spans_nodes(16)
+        assert c.link_for_group(8) is c.intra_link
+        assert c.link_for_group(16) is c.inter_link
+
+    def test_cross_node_fraction(self):
+        c = ClusterSpec.homogeneous("h800", n_nodes=2, gpus_per_node=4)
+        assert c.cross_node_fraction(4) == 0.0
+        assert c.cross_node_fraction(8) == pytest.approx(4 / 7)
+
+    def test_json_round_trip(self, tmp_path):
+        c = ClusterSpec(name="mix", gpus_per_node=4,
+                        node_gpus=("h800", "a100"))
+        again = ClusterSpec.from_json(c.to_json())
+        assert again == c
+        path = tmp_path / "cluster.json"
+        path.write_text(c.to_json())
+        assert ClusterSpec.load(str(path)) == c
+
+    def test_unknown_gpu_rejected(self):
+        with pytest.raises(ValueError, match="unknown GPU"):
+            ClusterSpec(name="x", gpus_per_node=8,
+                        node_gpus=("h800", "tpu-v9"))
+
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(ValueError, match="at least one node"):
+            ClusterSpec(name="x", gpus_per_node=8, node_gpus=())
+
+    def test_from_dict_missing_keys(self):
+        with pytest.raises(ValueError, match="cluster spec needs"):
+            ClusterSpec.from_dict({"name": "x"})
+
+    def test_example_specs_load(self):
+        for name in ("h800x2", "mixed_fleet"):
+            with open(f"examples/clusters/{name}.json") as fh:
+                spec = ClusterSpec.from_dict(json.load(fh))
+            assert spec.n_gpus > 0
+
+
+# ---------------------------------------------------------------------------
+# Tiered collective pricing
+# ---------------------------------------------------------------------------
+
+
+class TestTieredCost:
+    INTRA = LinkSpec(bandwidth=168e9, latency=1e-5, a2a_efficiency=0.6)
+    INTER = LinkSpec(bandwidth=50e9, latency=2e-5, a2a_efficiency=0.6)
+
+    def test_cross_node_fraction_formula(self):
+        assert cross_node_fraction(8, 8) == 0.0
+        assert cross_node_fraction(16, 8) == pytest.approx(8 / 15)
+        assert cross_node_fraction(1, 8) == 0.0
+
+    def test_node_local_a2a_collapses_to_intra(self):
+        t = tiered_all_to_all_time(1e8, 8, 8, self.INTRA, self.INTER)
+        assert t == pytest.approx(
+            all_to_all_time(1e8, 8, self.INTRA))
+
+    def test_spanning_a2a_is_max_of_tiers(self):
+        n, r = 16, 8
+        t = tiered_all_to_all_time(1e8, n, r, self.INTRA, self.INTER)
+        cross = cross_node_fraction(n, r)
+        t_inter = (8 * self.INTER.latency + 1e8 * cross
+                   / (self.INTER.bandwidth * 0.6))
+        assert t == pytest.approx(t_inter)  # NIC tier paces here
+        # and always at least the intra share
+        assert t >= 1e8 * (1 - cross) / (self.INTRA.bandwidth * 0.6)
+
+    def test_spanning_ring_prices_at_inter_tier(self):
+        local = tiered_ring_time(1e9, 8, 8, self.INTRA, self.INTER)
+        spanning = tiered_ring_time(1e9, 16, 8, self.INTRA, self.INTER)
+        assert local == pytest.approx(
+            ring_all_gather_time(1e9, 8, self.INTRA))
+        assert spanning == pytest.approx(
+            ring_all_gather_time(1e9, 16, self.INTER))
+        assert spanning > local
+
+    def test_kernel_model_legacy_parity_when_group_fits(self):
+        """cluster=None and a node-local cluster price identically."""
+        c = ClusterSpec.homogeneous("h800", n_nodes=2)
+        perf_legacy = MegaScalePerfModel()
+        perf_tiered = MegaScalePerfModel(cluster=c)
+        par = ParallelConfig.megascale(8, 1, 2)
+        train = TrainConfig(global_batch_size=16)
+        a = perf_legacy.iteration(MIXTRAL, par, train, H800)
+        b = perf_tiered.iteration(MIXTRAL, par, train,
+                                  c.bottleneck_gpu())
+        assert a.iteration_time == pytest.approx(b.iteration_time)
+
+    def test_spanning_mp_group_costs_more(self):
+        c = ClusterSpec.homogeneous("h800", n_nodes=2)
+        train = TrainConfig(global_batch_size=16)
+        local = MegaScalePerfModel(cluster=c).iteration(
+            MIXTRAL, ParallelConfig.megascale(8, 1, 2), train, H800)
+        spanning = MegaScalePerfModel(cluster=c).iteration(
+            MIXTRAL, ParallelConfig.megascale(16, 1, 1), train, H800)
+        assert spanning.exposed_comm_time > local.exposed_comm_time
+        assert spanning.iteration_time > local.iteration_time
+
+
+# ---------------------------------------------------------------------------
+# Enumerator + feasibility
+# ---------------------------------------------------------------------------
+
+
+class TestEnumerator:
+    def test_candidates_respect_divisibility(self):
+        c = ClusterSpec.homogeneous("h800", n_nodes=2)
+        train = TrainConfig(global_batch_size=64, micro_batch_size=2)
+        for cand in enumerate_plans(SMALL, c, train):
+            par = cand.parallel
+            n = par.model_parallel_size
+            assert par.total_gpus == c.n_gpus
+            assert SMALL.n_layers % par.pipeline_size == 0
+            assert 64 % (par.data_parallel_size * 2) == 0
+            if par.attention == "sp":
+                assert SMALL.n_heads % n == 0
+                assert SMALL.n_kv_heads % n == 0
+            if par.ffn == "ep":
+                assert SMALL.n_experts % n == 0
+
+    def test_non_divisible_heads_exclude_sp(self):
+        model = ModelConfig("odd-heads", 4, 96, 6, 2, 128, 8, 2,
+                            vocab_size=256, seq_len=64)
+        c = ClusterSpec.homogeneous("h800", n_nodes=1, gpus_per_node=4)
+        train = TrainConfig(global_batch_size=16, micro_batch_size=1)
+        plans = enumerate_plans(model, c, train)
+        assert plans  # n=1 and n=2 still legal
+        assert all(p.parallel.model_parallel_size != 4
+                   or p.parallel.attention != "sp" for p in plans)
+
+    def test_non_divisible_experts_exclude_ep(self):
+        model = ModelConfig("odd-experts", 4, 64, 8, 2, 128, 6, 2,
+                            vocab_size=256, seq_len=64)
+        c = ClusterSpec.homogeneous("h800", n_nodes=1, gpus_per_node=4)
+        train = TrainConfig(global_batch_size=16, micro_batch_size=1)
+        plans = enumerate_plans(model, c, train)
+        assert all(p.parallel.ffn != "ep" for p in plans
+                   if p.parallel.model_parallel_size == 4)
+
+    def test_coprime_nodes_and_layers_limit_pp(self):
+        """n_layers=7 coprime with nodes=4: PP in {1, 7} only."""
+        model = ModelConfig("coprime", 7, 64, 8, 2, 128, 8, 2,
+                            vocab_size=256, seq_len=64)
+        c = ClusterSpec.homogeneous("h800", n_nodes=4,
+                                    gpus_per_node=2)
+        train = TrainConfig(global_batch_size=64, micro_batch_size=1)
+        pps = {p.parallel.pipeline_size
+               for p in enumerate_plans(model, c, train)}
+        assert pps <= {1, 7}
+
+    def test_single_node_cluster_plans(self):
+        c = ClusterSpec.homogeneous("h800", n_nodes=1)
+        train = TrainConfig(global_batch_size=32, micro_batch_size=2)
+        result = plan_cluster(SMALL, c, train)
+        assert result.best.cross_node_a2a_bytes == 0.0
+        assert result.best.candidate.parallel.total_gpus == 8
+
+    def test_memory_infeasible_raises_typed_error(self):
+        c = ClusterSpec.homogeneous("v100", n_nodes=1)
+        train = TrainConfig(global_batch_size=32, micro_batch_size=2)
+        with pytest.raises(NoFeasiblePlan) as exc:
+            plan_cluster(MODEL_ZOO["internal-352b"], c, train)
+        assert exc.value.n_enumerated > 0
+
+    def test_infeasible_is_runtime_error_subclass(self):
+        assert issubclass(NoFeasiblePlan, RuntimeError)
+
+    def test_candidate_validation(self):
+        with pytest.raises(ValueError, match="precision"):
+            PlanCandidate(ParallelConfig.megascale(8), precision="int4")
+        with pytest.raises(ValueError, match="remat"):
+            PlanCandidate(ParallelConfig.megascale(8), remat="full")
+
+
+# ---------------------------------------------------------------------------
+# Plan search: MegaScale reproduction + MoNTA preference
+# ---------------------------------------------------------------------------
+
+
+class TestPlanSearch:
+    def test_reproduces_megascale_choice_on_h800_nodes(self):
+        """Paper's 8×H800 node shape → SP attention, EP FFN, a2a."""
+        c = ClusterSpec.homogeneous("h800", n_nodes=4, gpus_per_node=8)
+        train = TrainConfig(global_batch_size=512, micro_batch_size=2)
+        result = plan_cluster(MIXTRAL, c, train)
+        best = result.best.candidate.parallel
+        assert best.attention == "sp"
+        assert best.ffn == "ep"
+        # top-k=2 on EP size 8 sits left of the Fig. 7 crossover.
+        assert best.ep_dispatch == "a2a"
+        assert best.model_parallel_size == 8
+        assert result.best.cross_node_a2a_bytes == 0.0
+
+    def test_monta_prefers_low_cross_node_traffic(self):
+        """Two-tier cluster: winner keeps dispatch inside the node and
+        provably beats the node-spanning EP alternative."""
+        c = ClusterSpec.homogeneous("h800", n_nodes=4, gpus_per_node=4)
+        train = TrainConfig(global_batch_size=512, micro_batch_size=2)
+        result = plan_cluster(SMALL, c, train)
+        assert result.best.cross_node_a2a_bytes == 0.0
+        assert not c.spans_nodes(
+            result.best.candidate.parallel.model_parallel_size)
+
+        # Price the node-spanning EP-8 plan explicitly: more cross-node
+        # a2a bytes AND a slower simulated iteration.
+        spanning = PlanCandidate(
+            parallel=ParallelConfig(
+                model_parallel_size=8, attention="sp", ffn="ep",
+                ep_dispatch="a2a", pipeline_size=1,
+                data_parallel_size=c.n_gpus // 8),
+            precision=result.best.candidate.precision,
+            remat=result.best.candidate.remat)
+        cross = _cross_node_a2a_bytes(SMALL, c, spanning, train)
+        assert cross > result.best.cross_node_a2a_bytes
+        perf = MegaScalePerfModel(
+            cluster=c,
+            selective_remat=spanning.remat == "selective",
+            elem_bytes=spanning.elem_bytes)
+        it = perf.iteration(SMALL, spanning.parallel, train,
+                            c.bottleneck_gpu())
+        assert it.iteration_time > result.best.iteration_time
+
+    def test_search_result_explain_mentions_key_facts(self):
+        c = ClusterSpec.homogeneous("h800", n_nodes=2)
+        train = TrainConfig(global_batch_size=64, micro_batch_size=2)
+        result = plan_cluster(SMALL, c, train)
+        text = result.explain()
+        assert "scale-up ratio" in text
+        assert "strategy =" in text
+        assert "simulated iteration time" in text
+        assert result.n_feasible <= result.n_enumerated
+        assert result.n_simulated >= len(result.ranked)
+
+    def test_search_is_deterministic(self):
+        c = ClusterSpec.homogeneous("h800", n_nodes=2)
+        train = TrainConfig(global_batch_size=64, micro_batch_size=2)
+        a = plan_cluster(SMALL, c, train)
+        b = plan_cluster(SMALL, c, train)
+        assert a.best.candidate == b.best.candidate
+        assert [s.candidate for s in a.ranked] == \
+            [s.candidate for s in b.ranked]
+
+    def test_calibration_scales_prices(self):
+        c = ClusterSpec.homogeneous("h800", n_nodes=2)
+        train = TrainConfig(global_batch_size=64, micro_batch_size=2)
+        base = plan_cluster(SMALL, c, train)
+        report = CalibrationReport()  # empty → median scale 1.0
+        same = plan_cluster(SMALL, c, train, calibration=report)
+        assert same.best.iteration_time == pytest.approx(
+            base.best.iteration_time)
+
+
+# ---------------------------------------------------------------------------
+# fp8 dispatch crossover (§5 + Fig. 7)
+# ---------------------------------------------------------------------------
+
+
+class TestPrecisionCrossover:
+    def test_fp8_shifts_crossover_down(self):
+        model = MODEL_ZOO["phi-3.5-moe"]
+        bf16 = dispatch_crossover_top_k(model, 8, LINK,
+                                        precision="bf16")
+        fp8 = dispatch_crossover_top_k(model, 8, LINK, precision="fp8")
+        assert bf16 == 5
+        assert fp8 == 3
+        assert fp8 < bf16
+
+    def test_default_matches_bf16(self):
+        model = MODEL_ZOO["phi-3.5-moe"]
+        assert dispatch_crossover_top_k(model, 8, LINK) == \
+            dispatch_crossover_top_k(model, 8, LINK, precision="bf16")
+
+    def test_fp8_cheapens_rings_not_a2a(self):
+        model = MODEL_ZOO["phi-3.5-moe"]
+        bf16 = dispatch_mode_times(model, 2, 8, LINK, precision="bf16")
+        fp8 = dispatch_mode_times(model, 2, 8, LINK, precision="fp8")
+        assert fp8["ag"] < bf16["ag"]
+        assert fp8["rs"] < bf16["rs"]
+        assert fp8["a2a"] == pytest.approx(bf16["a2a"])
+
+    def test_fp32_scales_everything(self):
+        model = MODEL_ZOO["phi-3.5-moe"]
+        bf16 = dispatch_mode_times(model, 2, 8, LINK, precision="bf16")
+        fp32 = dispatch_mode_times(model, 2, 8, LINK, precision="fp32")
+        assert fp32["a2a"] > bf16["a2a"]
+        assert fp32["ag"] > bf16["ag"]
+
+
+# ---------------------------------------------------------------------------
+# Search layer: deterministic tie-breaks + composed plan/schedule search
+# ---------------------------------------------------------------------------
+
+
+class TestScheduleSearch:
+    def tasks(self):
+        return [
+            SimTask("b", 1.0, "compute"),
+            SimTask("a", 1.0, "compute"),
+            SimTask("c", 1.0, "compute", deps=("a", "b")),
+        ]
+
+    def test_equal_priorities_tie_break_by_name(self):
+        out = _reorder_by_priority(self.tasks(), {})
+        assert [t.name for t in out] == ["a", "b", "c"]
+
+    def test_tie_break_is_insertion_order_independent(self):
+        rev = list(reversed(self.tasks()[:2])) + self.tasks()[2:]
+        a = _reorder_by_priority(self.tasks(), {"a": 0.0, "b": 0.0})
+        b = _reorder_by_priority(rev, {"a": 0.0, "b": 0.0})
+        assert [t.name for t in a] == [t.name for t in b]
+
+    def test_optimize_plan_composes(self):
+        c = ClusterSpec.homogeneous("h800", n_nodes=2)
+        train = TrainConfig(global_batch_size=64, micro_batch_size=2)
+        result = optimize_plan(SMALL, c, train, budget=20, seed=0)
+        assert result.plan.best is not None
+        # By construction never worse than the holistic baseline.
+        assert result.fwd.makespan <= result.fwd.baseline_makespan
+        assert result.bwd.makespan <= result.bwd.baseline_makespan
+        assert 0.0 <= result.layer_gain < 1.0
+        assert not result.calibrated
+
+    def test_optimize_plan_accepts_spans(self):
+        from repro.obs import Span
+        c = ClusterSpec.homogeneous("h800", n_nodes=2)
+        train = TrainConfig(global_batch_size=64, micro_batch_size=2)
+        # A single span anchors the whole-graph median scale at ~2x.
+        feas = enumerate_plans(SMALL, c, train)
+        from repro.core.operators import build_forward_graph
+        graph = build_forward_graph(SMALL, feas[0].parallel, 2,
+                                    feas[0].elem_bytes)
+        km = KernelModel(
+            c.bottleneck_gpu(), cluster=c,
+            mp_group_size=feas[0].parallel.model_parallel_size)
+        first = next(iter(graph))
+        span = Span(name=f"dag.op:{first.name}", start=0.0,
+                    end=2.0 * km.op_duration(first),
+                    attrs={"ops": first.name})
+        result = optimize_plan(SMALL, c, train, budget=5, seed=0,
+                               spans=[span])
+        assert result.calibrated
+
+    def test_seeded_search_is_reproducible(self):
+        c = ClusterSpec.homogeneous("h800", n_nodes=2)
+        train = TrainConfig(global_batch_size=64, micro_batch_size=2)
+        a = optimize_plan(SMALL, c, train, budget=15, seed=3)
+        b = optimize_plan(SMALL, c, train, budget=15, seed=3)
+        assert a.fwd.makespan == b.fwd.makespan
+        assert [t.name for t in a.fwd.tasks] == \
+            [t.name for t in b.fwd.tasks]
